@@ -1,0 +1,118 @@
+"""Experiment A1 -- section 3.2/3.3 ablations.
+
+Two knobs the paper mentions but does not quantify:
+
+* "Some other heuristics are used to limit the total number m of
+  combinations" -- the scheme-enumeration policies: every injective
+  mapping (Table 1), order-preserving, contiguous windows, identity.
+  Fewer instructions shrink k and the decoder, at the price of routing
+  freedom.
+* "a hardware architecture based on the use of pass transistors ...
+  solve[s] the CAS area problem for large width test busses" -- the
+  three implementation styles compared on every Table 1 configuration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.area import compare_styles
+from repro.core.generator import generate_cas
+from repro.core.instruction import instruction_count, register_width
+from repro.core.switch import POLICIES
+
+from conftest import emit
+
+CONFIGS = ((4, 2), (5, 3), (6, 3))
+
+
+def test_policy_ablation(benchmark):
+    def run():
+        designs = {}
+        for n, p in CONFIGS:
+            for policy in POLICIES:
+                designs[(n, p, policy)] = generate_cas(n, p, policy=policy)
+        return designs
+
+    designs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n, p in CONFIGS:
+        for policy in POLICIES:
+            design = designs[(n, p, policy)]
+            rows.append((
+                n, p, policy, design.m, design.k,
+                design.area.cell_count,
+            ))
+    emit(format_table(
+        ("N", "P", "policy", "m", "k", "cells"),
+        rows,
+        title="A1 -- instruction-set restriction heuristics",
+    ))
+    for n, p in CONFIGS:
+        cells = [designs[(n, p, policy)].area.cell_count
+                 for policy in POLICIES]
+        ms = [designs[(n, p, policy)].m for policy in POLICIES]
+        # Policies are ordered most-free to most-restricted.
+        assert ms == sorted(ms, reverse=True)
+        assert cells[-1] < cells[0]
+
+
+def test_policy_m_closed_forms(benchmark):
+    """Closed-form m for restricted policies, large N (no enumeration)."""
+
+    def closed_forms():
+        rows = []
+        for n in (8, 12, 16, 24, 32):
+            p = n // 2
+            rows.append((
+                n, p,
+                instruction_count(n, p, "order_preserving"),
+                register_width(
+                    instruction_count(n, p, "order_preserving")),
+                instruction_count(n, p, "contiguous"),
+                register_width(instruction_count(n, p, "contiguous")),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(closed_forms, rounds=1, iterations=1)
+    emit(format_table(
+        ("N", "P", "m (order-pres.)", "k", "m (contiguous)", "k"),
+        rows,
+        title="A1 -- restricted-policy instruction counts at widths "
+              "the full policy cannot reach",
+    ))
+    for row in rows:
+        assert row[5] <= row[3]
+
+
+def test_implementation_style_ablation(benchmark):
+    """Cell vs optimised-gate vs pass-transistor areas (section 3.3)."""
+    table1 = ((3, 1), (4, 2), (5, 3), (6, 3), (6, 5))
+
+    def run():
+        return {key: compare_styles(generate_cas(*key)) for key in table1}
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for (n, p), comparison in sorted(comparisons.items()):
+        rows.append((
+            n, p, comparison.m,
+            f"{comparison.cell_ge:.0f}",
+            f"{comparison.optimized_ge:.0f}",
+            f"{comparison.pass_transistor_ge:.0f}",
+        ))
+    emit(format_table(
+        ("N", "P", "m", "cells (GE)", "optimised (GE)",
+         "pass-transistor (GE)"),
+        rows,
+        title="A1 -- implementation styles (section 3.3)",
+    ))
+    for comparison in comparisons.values():
+        assert (comparison.pass_transistor_ge
+                < comparison.optimized_ge
+                < comparison.cell_ge)
+    # The pass-transistor advantage grows with m (the paper's claim
+    # that it solves the area problem for large busses).
+    small = comparisons[(3, 1)]
+    large = comparisons[(6, 5)]
+    assert (large.cell_ge / large.pass_transistor_ge
+            > small.cell_ge / small.pass_transistor_ge)

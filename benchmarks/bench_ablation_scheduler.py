@@ -1,0 +1,101 @@
+"""Experiment A2 -- scheduler-quality ablation.
+
+The paper leaves scheduling to "a good collaboration between the test
+designer and the test programmer"; the library implements three
+policies.  This ablation certifies them against each other and against
+the information-theoretic lower bound:
+
+* greedy session packing (fast, the default);
+* preemptive wire reallocation (the reconfigurability ceiling);
+* exhaustive enumeration (optimal, small instances only).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.soc.core import CoreTestParams, TestMethod
+from repro.soc.itc02 import d695_like, random_test_params
+from repro.schedule.preemptive import schedule_preemptive
+from repro.schedule.scheduler import (
+    lower_bound,
+    schedule_exhaustive,
+    schedule_greedy,
+)
+
+from conftest import emit
+
+
+def _small_instances():
+    base = [
+        CoreTestParams(name=f"s{i}", method=TestMethod.SCAN,
+                       flops=flops, patterns=patterns, max_wires=wires)
+        for i, (flops, patterns, wires) in enumerate(
+            ((120, 30, 4), (80, 22, 2), (60, 45, 1), (200, 10, 4))
+        )
+    ]
+    return base
+
+
+def test_greedy_vs_optimal(benchmark):
+    cores = _small_instances()
+
+    def compare():
+        rows = []
+        for n in (2, 4, 6):
+            greedy = schedule_greedy(cores, n, charge_config=False)
+            optimal = schedule_exhaustive(cores, n, charge_config=False)
+            bound = lower_bound(cores, n)
+            rows.append((
+                n, bound, optimal.test_cycles, greedy.test_cycles,
+                f"{greedy.test_cycles / optimal.test_cycles:.3f}",
+            ))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    emit(format_table(
+        ("N", "lower bound", "optimal", "greedy", "greedy/optimal"),
+        rows,
+        title="A2 -- greedy vs exhaustive (4-core instance)",
+    ))
+    for _, bound, optimal, greedy, _ in rows:
+        assert bound <= optimal <= greedy
+        assert greedy <= 1.5 * optimal
+
+
+def test_preemption_gain(benchmark):
+    workloads = {
+        "d695-like": d695_like(),
+        "random-c": random_test_params(314, num_cores=14),
+    }
+
+    def sweep():
+        rows = []
+        for name, cores in workloads.items():
+            for n in (4, 8, 16):
+                greedy = schedule_greedy(cores, n, charge_config=False)
+                preemptive = schedule_preemptive(cores, n,
+                                                 charge_config=False)
+                bound = lower_bound(cores, n)
+                rows.append((
+                    name, n, bound,
+                    greedy.test_cycles, preemptive.test_cycles,
+                    f"{greedy.test_cycles / preemptive.test_cycles:.3f}",
+                    f"{preemptive.test_cycles / bound:.3f}",
+                ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        ("workload", "N", "bound", "greedy", "preemptive",
+         "greedy/preempt", "preempt/bound"),
+        rows,
+        title="A2 -- preemptive reconfiguration gain",
+    ))
+    for row in rows:
+        bound, greedy, preemptive = row[2], row[3], row[4]
+        assert preemptive >= bound
+        # Preemption never loses more than quantisation noise.
+        assert preemptive <= greedy * 1.10
+    # Somewhere the staircase buys a real margin.
+    gains = [float(row[5]) for row in rows]
+    assert max(gains) > 1.10

@@ -1,0 +1,104 @@
+"""Experiment C2 -- section 4: scan-chain balancing.
+
+"In case of scanned cores, the test programmer can balance the length
+of the scan chains within the test programs, in order to reduce the
+test time."
+
+Two comparisons:
+
+* abstract: frozen unbalanced chains grouped onto wires (LPT) versus
+  freely rebalanced chains, across wire counts;
+* executable: the same core generated with balanced and with skewed
+  chains, both actually simulated through the CAS-BUS, cycle counts
+  measured (not modelled).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.soc.core import CoreSpec
+from repro.soc.soc import SocSpec
+from repro.schedule.timing import (
+    core_test_cycles_fixed_chains,
+    scan_test_cycles,
+)
+from repro.sim.plan import PlanBuilder, flat_assignment
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+
+from conftest import emit
+
+
+def test_balancing_model(benchmark):
+    """Abstract comparison over wire counts."""
+    chains = (58, 12, 12, 8, 6, 4)  # a skewed legacy core
+    total = sum(chains)
+    patterns = 100
+
+    def compare():
+        rows = []
+        for wires in (1, 2, 3, 4, 6):
+            frozen = core_test_cycles_fixed_chains(chains, wires, patterns)
+            import math
+
+            balanced = scan_test_cycles(
+                math.ceil(total / wires), patterns
+            )
+            rows.append((wires, frozen, balanced,
+                         f"{frozen / balanced:.2f}"))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    emit(format_table(
+        ("wires", "unbalanced cycles", "balanced cycles", "penalty"),
+        rows,
+        title="C2 -- chain balancing (model): skewed chains "
+              f"{list((58, 12, 12, 8, 6, 4))}, V=100",
+    ))
+    for wires, frozen, balanced, _ in rows:
+        assert frozen >= balanced
+
+
+def _soc_with_chains(chain_lengths):
+    core = CoreSpec.scan(
+        "dut", seed=77, num_ffs=sum(chain_lengths),
+        num_chains=len(chain_lengths), chain_lengths=tuple(chain_lengths),
+        num_pis=2, num_pos=2, atpg_max_patterns=16,
+    )
+    return SocSpec(name="bal", bus_width=len(chain_lengths) + 1,
+                   cores=(core,))
+
+
+def test_balancing_simulated(benchmark):
+    """Cycle-accurate: balanced vs skewed chains on the same logic."""
+
+    def run_both():
+        results = {}
+        for label, lengths in (("balanced", (10, 10, 10)),
+                               ("skewed", (24, 3, 3))):
+            soc = _soc_with_chains(lengths)
+            system = build_system(soc)
+            executor = SessionExecutor(system)
+            plan = PlanBuilder().add_session(
+                flat_assignment("dut", (0, 1, 2))
+            ).build()
+            results[label] = executor.run_plan(plan)
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    balanced = results["balanced"]
+    skewed = results["skewed"]
+    assert balanced.passed and skewed.passed
+    emit(format_table(
+        ("chains", "test cycles", "config cycles"),
+        (
+            ("10/10/10", balanced.test_cycles, balanced.config_cycles),
+            ("24/3/3", skewed.test_cycles, skewed.config_cycles),
+        ),
+        title="C2 -- chain balancing, cycle-accurate simulation "
+              "(30 FFs, same ATPG budget)",
+    ))
+    assert balanced.test_cycles < skewed.test_cycles
+    emit(f"balancing saves "
+         f"{skewed.test_cycles - balanced.test_cycles} cycles "
+         f"({skewed.test_cycles / balanced.test_cycles:.2f}x)")

@@ -1,0 +1,78 @@
+"""Experiment C5 -- section 1/4: CAS-BUS against the other TAM styles.
+
+The paper positions CAS-BUS against system-bus TAMs [3], merged
+wrapper/TAM test buses [4], multiplexed test buses [5] and implicitly
+against daisy chains and direct access.  All baselines run on the same
+workloads under one timing interface; the reproduction target is the
+qualitative ordering (who wins, where, at what pin/area cost), not
+absolute cycle counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.baselines import all_baselines
+from repro.soc.itc02 import d695_like, random_test_params
+
+from conftest import emit
+
+
+def test_baseline_comparison(benchmark):
+    cores = d695_like()
+    bus_width = 8
+
+    def evaluate_all():
+        return [b.evaluate(cores, bus_width) for b in all_baselines()]
+
+    reports = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    rows = [
+        (r.name, r.test_cycles, r.config_cycles, r.extra_pins,
+         f"{r.area_proxy:.0f}")
+        for r in sorted(reports, key=lambda r: r.total_cycles)
+    ]
+    emit(format_table(
+        ("architecture", "test cycles", "config", "extra pins",
+         "area proxy (GE)"),
+        rows,
+        title=f"C5 -- TAM architectures on the d695-like SoC, N={bus_width}",
+    ))
+    by_name = {r.name: r for r in reports}
+    # Qualitative ordering claims:
+    assert by_name["direct-access"].test_cycles <= min(
+        r.test_cycles for r in reports
+    )
+    assert by_name["daisy-chain"].test_cycles == max(
+        r.test_cycles for r in reports
+    )
+    assert (by_name["cas-bus"].test_cycles
+            < by_name["mux-bus"].test_cycles)
+    assert (by_name["cas-bus"].test_cycles
+            <= by_name["static-distribution"].test_cycles)
+    assert (by_name["cas-bus"].extra_pins
+            < by_name["direct-access"].extra_pins)
+
+
+def test_crossover_with_width(benchmark):
+    """Where the architectures cross over as the pin budget moves."""
+    cores = random_test_params(7, num_cores=10)
+
+    def sweep():
+        rows = []
+        for n in (1, 2, 4, 8, 16, 32):
+            row = [n]
+            for baseline in all_baselines():
+                row.append(baseline.evaluate(cores, n).total_cycles)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["N"] + [b.name for b in all_baselines()]
+    emit(format_table(headers, rows,
+                      title="C5 -- total cycles vs pin budget "
+                            "(random 10-core workload)"))
+    # At generous widths the flexible bus closes on direct access.
+    names = [b.name for b in all_baselines()]
+    cas_index = names.index("cas-bus") + 1
+    direct_index = names.index("direct-access") + 1
+    widest = rows[-1]
+    assert widest[cas_index] <= 1.6 * widest[direct_index]

@@ -1,0 +1,60 @@
+"""Experiment F1 -- figure 1: the six-core CAS-BUS SoC, executed.
+
+Figure 1 is an architecture diagram; its reproduction is executable:
+the depicted SoC (six cores covering all four test types plus the
+wrapped system bus with its dedicated CAS) is built, its TAM generated,
+and a complete test program -- configuration chains, switch schemes,
+scan/BIST/external payloads, hierarchical descent -- is simulated
+cycle-accurately.  Every core must pass, and the cycle budget is
+reported per session.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.tam import CasBusTamDesign
+from repro.soc.library import fig1_soc
+
+from conftest import emit
+
+
+def test_fig1_full_test_program(benchmark):
+    tam = CasBusTamDesign.for_soc(fig1_soc())
+
+    result = benchmark.pedantic(tam.run, rounds=1, iterations=1)
+
+    assert result.passed
+    rows = []
+    for session in result.sessions:
+        for core in session.core_results:
+            rows.append((
+                session.label,
+                core.name,
+                core.method,
+                "pass" if core.passed else "FAIL",
+                core.bits_compared,
+                core.detail,
+            ))
+    emit(format_table(
+        ("session", "core", "method", "result", "bits", "detail"),
+        rows,
+        title=(
+            f"Figure 1 SoC -- full test program: "
+            f"{result.total_cycles} cycles "
+            f"({result.config_cycles} config + {result.test_cycles} test)"
+        ),
+    ))
+    emit(format_table(
+        ("metric", "value"),
+        (
+            ("CAS instances", len(tam.cas_designs)),
+            ("total CAS cells", tam.total_cas_cells),
+            ("total CAS area (GE)", tam.total_cas_ge),
+            ("config chain bits", tam.total_config_bits),
+        ),
+        title="TAM hardware generated for the figure 1 SoC",
+    ))
+    # All four core test types exercised, all passing.
+    methods = {c.method for c in result.core_results()}
+    assert methods == {"scan", "bist", "external"}
+    assert len(result.core_results()) == 8

@@ -1,0 +1,101 @@
+"""Experiment F2 -- figure 2: the four supported core test types.
+
+One scenario per subfigure, each applying real test data through a CAS
+and deciding pass/fail, plus a fault-injected twin proving the test
+actually discriminates:
+
+(a) scannable core, P = number of scan chains;
+(b) BISTed core, P = 1;
+(c) external LFSR source / MISR sink, P = 1;
+(d) hierarchical core, P = inner bus width, inner cores CASed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.bist.engine import random_detectable_fault
+from repro.soc.core import CoreSpec
+from repro.soc.library import fig1_soc
+from repro.soc.soc import SocSpec
+from repro.sim.plan import CoreAssignment, PlanBuilder, flat_assignment
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+
+from conftest import emit
+
+_SOC = fig1_soc()
+
+_SCENARIOS = {
+    "fig2a-scan": (("core1",), ((0, 1, 2),)),
+    "fig2b-bist": (("core3",), ((0,),)),
+    "fig2c-external": (("core4",), ((0,),)),
+    "fig2d-hierarchical": (("core5", "core5b"), ((0, 1), (0, 1))),
+}
+
+
+def _run_one(name, inject=None):
+    path, levels = _SCENARIOS[name]
+    system = build_system(_SOC, inject_faults=inject or {})
+    executor = SessionExecutor(system)
+    plan = PlanBuilder().add_session(
+        CoreAssignment(path=path, levels=levels), label=name
+    ).build()
+    return executor.run_plan(plan)
+
+
+@pytest.mark.parametrize("name", sorted(_SCENARIOS))
+def test_fig2_test_type(benchmark, name):
+    result = benchmark.pedantic(_run_one, args=(name,),
+                                rounds=1, iterations=1)
+    assert result.passed
+    core = result.core_results()[0]
+    emit(format_table(
+        ("scenario", "core", "P", "result", "bits", "detail"),
+        ((name, core.name,
+          len(_SCENARIOS[name][1][-1]),
+          "pass", core.bits_compared, core.detail),),
+        title=f"Figure 2 scenario {name}",
+    ))
+
+
+def test_fig2_fault_discrimination(benchmark):
+    """Each test type catches an injected fault in its core."""
+    faults = {
+        "fig2a-scan": "core1",
+        "fig2b-bist": "core3",
+        "fig2c-external": "core4",
+        "fig2d-hierarchical": "core5/core5b",
+    }
+
+    def run_all():
+        rows = []
+        for name, target in sorted(faults.items()):
+            spec = _spec_at(target)
+            fault = random_detectable_fault(spec.build_scannable(),
+                                            seed=11)
+            result = _run_one(name, inject={target: fault})
+            core = result.core_results()[0]
+            rows.append((name, target, f"SA{fault[1]}@n{fault[0]}",
+                         "detected" if not core.passed else "MISSED"))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, target, _, outcome in rows:
+        assert outcome == "detected", (name, target)
+    emit(format_table(
+        ("scenario", "faulty core", "fault", "outcome"),
+        rows,
+        title="Figure 2 -- fault discrimination per test type",
+    ))
+
+
+def _spec_at(path: str) -> CoreSpec:
+    soc: SocSpec = _SOC
+    parts = path.split("/")
+    spec = soc.core_named(parts[0])
+    for name in parts[1:]:
+        assert spec.inner is not None
+        spec = spec.inner.core_named(name)
+    return spec

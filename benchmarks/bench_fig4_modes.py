@@ -1,0 +1,125 @@
+"""Experiment F4 -- figure 4: the three CAS modes.
+
+Drives a chain of CASes through CONFIGURATION (serial chain on e0/s0),
+BYPASS (all wires straight through) and TEST (N/P switching with the
+pairing heuristic), checking the wire-level invariants each subfigure
+depicts, and timing a full configure-test-reconfigure round trip.
+"""
+
+from __future__ import annotations
+
+from repro import values as lv
+from repro.analysis.tables import format_table
+from repro.core.bus import CasChain
+from repro.core.cas import CoreAccessSwitch
+from repro.core.instruction import InstructionSet
+
+from conftest import emit
+
+
+def _chain(count=3, n=4, p=2):
+    iset = InstructionSet(n, p)
+    return CasChain([CoreAccessSwitch(iset, name=f"cas{i}")
+                     for i in range(count)])
+
+
+def test_fig4a_configuration_mode(benchmark):
+    """(a): instruction registers chained on the first bus wire."""
+
+    def configure():
+        chain = _chain()
+        cycles = chain.run_configuration([5, 0, 9])
+        return chain, cycles
+
+    chain, cycles = benchmark.pedantic(configure, rounds=1, iterations=1)
+    assert [cas.active_code for cas in chain.cases] == [5, 0, 9]
+    assert cycles == chain.total_ir_bits() + 1
+    emit(f"Figure 4a: {len(chain.cases)} CAS chain configured in "
+         f"{cycles} cycles ({chain.total_ir_bits()} chain bits + update)")
+
+
+def test_fig4b_bypass_mode(benchmark):
+    """(b): instruction 000...0 routes every wire straight through."""
+    chain = _chain()
+
+    def bypass_route():
+        stimuli = (lv.ONE, lv.ZERO, lv.ONE, lv.ZERO)
+        routing = chain.route(
+            stimuli, [(lv.ZERO, lv.ZERO)] * len(chain.cases)
+        )
+        return stimuli, routing
+
+    stimuli, routing = benchmark.pedantic(bypass_route, rounds=1,
+                                          iterations=1)
+    assert routing.bus_out == stimuli
+    assert all(v == lv.Z for o in routing.core_outputs for v in o)
+    emit("Figure 4b: BYPASS verified -- bus transparent, core side "
+         "high-impedance")
+
+
+def test_fig4c_test_mode_heuristic(benchmark):
+    """(c): P wires switch to the core, N-P bypass, and e_i -> o_j
+    implies i_j -> s_i (one control word = one complete path)."""
+    chain = _chain(count=1)
+    iset = chain.cases[0].iset
+    rows = []
+
+    def check_all_schemes():
+        violations = 0
+        for scheme in iset.schemes:
+            chain.cases[0].load_code(iset.encode(scheme))
+            chain.cases[0].update()
+            e = tuple(lv.ONE if w % 2 else lv.ZERO for w in range(4))
+            returns = (lv.ONE, lv.ZERO)
+            routing = chain.route(e, [returns])
+            for port, wire in enumerate(scheme.wire_of_port):
+                if routing.core_outputs[0][port] != e[wire]:
+                    violations += 1
+                if routing.bus_out[wire] != returns[port]:
+                    violations += 1
+            for wire in scheme.bypassed_wires:
+                if routing.bus_out[wire] != e[wire]:
+                    violations += 1
+        return violations
+
+    violations = benchmark.pedantic(check_all_schemes, rounds=1,
+                                    iterations=1)
+    assert violations == 0
+    rows.append(("schemes checked", len(iset.schemes)))
+    rows.append(("heuristic violations", violations))
+    emit(format_table(("figure 4c check", "value"), rows,
+                      title="Figure 4c -- TEST mode pairing heuristic"))
+
+
+def test_fig4_mode_round_trip(benchmark):
+    """Reconfiguration during a test session: configure, test, switch
+    schemes, test again -- the dynamic behaviour figure 4 implies."""
+
+    def round_trip():
+        chain = _chain(count=2)
+        iset = chain.cases[0].iset
+        first = next(s for s in iset.schemes
+                     if s.wire_of_port == (0, 1))
+        second = next(s for s in iset.schemes
+                      if s.wire_of_port == (2, 3))
+        cycles = chain.run_configuration(
+            [iset.encode(first), iset.encode(second)]
+        )
+        routing1 = chain.route(
+            (lv.ONE, lv.ZERO, lv.ONE, lv.ONE),
+            [(lv.ZERO, lv.ONE), (lv.ONE, lv.ZERO)],
+        )
+        cycles += chain.run_configuration(
+            [iset.encode(second), iset.encode(first)]
+        )
+        routing2 = chain.route(
+            (lv.ONE, lv.ZERO, lv.ONE, lv.ONE),
+            [(lv.ZERO, lv.ONE), (lv.ONE, lv.ZERO)],
+        )
+        return cycles, routing1, routing2
+
+    cycles, routing1, routing2 = benchmark.pedantic(round_trip, rounds=1,
+                                                    iterations=1)
+    assert routing1 != routing2  # the swap changed the routing
+    emit(f"Figure 4 round trip: two configurations in {cycles} total "
+         f"configuration cycles; routings differ as expected")

@@ -1,0 +1,85 @@
+"""Experiment C6 -- section 4: SoC interconnect test over the CAS-BUS.
+
+"In the same way, SoC interconnect test time can be optimized when
+adopting a good configuration of the test chains."
+
+Runs the EXTEST interconnect test (true/complement counting sequence
+through the boundary registers) on a three-core SoC with four nets:
+clean silicon passes, and every modelled interconnect defect class
+(stuck-at, open, pairwise short) is detected and localised to the
+right net(s).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.library import interconnect_demo_soc
+
+from conftest import emit
+
+
+def test_clean_interconnects(benchmark):
+    soc = interconnect_demo_soc()
+
+    def run():
+        executor = SessionExecutor(build_system(soc))
+        return executor.run_interconnect_test()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.passed
+    rows = [
+        (r.name, r.detail, "pass" if r.passed else "FAIL",
+         r.bits_compared)
+        for r in result.core_results
+    ]
+    emit(format_table(
+        ("net", "route", "result", "bits"),
+        rows,
+        title=(
+            f"C6 -- interconnect test (EXTEST): "
+            f"{result.config_cycles} config + {result.test_cycles} "
+            f"test cycles"
+        ),
+    ))
+
+
+def test_interconnect_defect_localisation(benchmark):
+    soc = interconnect_demo_soc()
+    cases = (
+        ({"n0": "sa0"}, {"n0"}),
+        ({"n1": "sa1"}, {"n1"}),
+        ({"n2": "open"}, {"n2"}),
+        (({("n0", "n1"): "short"}), {"n0", "n1"}),
+        (({("n1", "n2"): "short"}), {"n1", "n2"}),
+        ({"n0": "sa1", "n3": "open"}, {"n0", "n3"}),
+    )
+
+    def run_all():
+        outcomes = []
+        for faults, expected in cases:
+            executor = SessionExecutor(
+                build_system(soc, interconnect_faults=faults)
+            )
+            result = executor.run_interconnect_test()
+            failing = {r.name for r in result.core_results
+                       if not r.passed}
+            outcomes.append((faults, expected, failing))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for faults, expected, failing in outcomes:
+        rows.append((
+            str(faults),
+            "/".join(sorted(expected)),
+            "/".join(sorted(failing)),
+            "ok" if failing == expected else "WRONG",
+        ))
+        assert failing == expected, (faults, failing)
+    emit(format_table(
+        ("injected defect", "expected nets", "flagged nets", "verdict"),
+        rows,
+        title="C6 -- interconnect defect localisation",
+    ))

@@ -1,0 +1,89 @@
+"""Experiment C1 -- sections 3.2/3.3/4: the bus-width trade-off.
+
+"A trade-off should be made on the value of N: the larger is the width
+of the test bus (N), the shorter is the overall test time. ... when
+the width of the test bus becomes important, the induced CAS-BUS
+overhead can be significant.  A good trade-off ... allows to choose an
+optimal width for the test bus."
+
+Sweeps N on the d695-proportioned workload: test time falls with N,
+CAS-BUS area rises with N, and the area x time product exposes an
+interior optimum.
+
+The scheme-enumeration policy is pinned to ``contiguous`` across the
+sweep so the area trend reflects bus width, not the discrete policy
+switches a designer would apply per configuration (the auto rule is
+exercised in C5 and A1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.baselines.casbus import CasBusTam
+from repro.soc.itc02 import d695_like
+
+from conftest import emit
+
+WIDTHS = (2, 3, 4, 6, 8, 12, 16)
+
+
+def test_bus_width_tradeoff(benchmark):
+    cores = d695_like()
+    tam = CasBusTam(policy="contiguous")
+
+    def sweep_widths():
+        return {n: tam.evaluate(cores, n) for n in WIDTHS}
+
+    reports = benchmark.pedantic(sweep_widths, rounds=1, iterations=1)
+    rows = []
+    products = {}
+    for n in WIDTHS:
+        report = reports[n]
+        product = report.total_cycles * report.area_proxy
+        products[n] = product
+        rows.append((
+            n,
+            report.test_cycles,
+            report.config_cycles,
+            f"{report.area_proxy:.0f}",
+            f"{product / 1e9:.2f}",
+        ))
+    emit(format_table(
+        ("N", "test cycles", "config cycles", "TAM area (GE)",
+         "area x time (1e9)"),
+        rows,
+        title="C1 -- bus width trade-off on the d695-like SoC",
+    ))
+    times = [reports[n].test_cycles for n in WIDTHS]
+    areas = [reports[n].area_proxy for n in WIDTHS]
+    # Paper claims: time monotone down, area monotone up...
+    assert times == sorted(times, reverse=True)
+    assert areas == sorted(areas)
+    # ...and an interior optimum exists for the combined cost.
+    best = min(products, key=products.get)
+    assert best not in (WIDTHS[0], WIDTHS[-1]), (
+        f"optimal width {best} sits at the sweep edge"
+    )
+    emit(f"optimal width by area x time: N = {best}")
+
+
+def test_config_overhead_negligible_once(benchmark):
+    """Section 3.3: 'the width of the CAS instruction register, even
+    when it is large, does not affect the test time, since the SoC test
+    architecture configuration will only occur once'."""
+    cores = d695_like()
+
+    def fractions():
+        result = {}
+        for n in (4, 8, 16):
+            report = CasBusTam(policy="contiguous").evaluate(cores, n)
+            result[n] = report.config_cycles / report.total_cycles
+        return result
+
+    result = benchmark.pedantic(fractions, rounds=1, iterations=1)
+    emit(format_table(
+        ("N", "config fraction"),
+        [(n, f"{frac:.4%}") for n, frac in sorted(result.items())],
+        title="C1 -- configuration overhead fraction of total test time",
+    ))
+    assert all(frac < 0.02 for frac in result.values())

@@ -1,0 +1,30 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artefact (table, figure, or
+section 4 claim) and prints the reproduced rows, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full paper-versus-measured record on stdout (also archived
+in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a report block, keeping benchmark output readable."""
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def fig1_system_result():
+    """One full cycle-accurate fig-1 test program, shared by benches."""
+    from repro.core.tam import CasBusTamDesign
+    from repro.soc.library import fig1_soc
+
+    tam = CasBusTamDesign.for_soc(fig1_soc())
+    return tam, tam.run()

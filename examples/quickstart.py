@@ -1,0 +1,57 @@
+"""Quickstart: generate a CAS, inspect it, and watch it switch.
+
+Covers the library's three entry points in ~60 lines:
+
+1. the CAS generator (paper section 3.2/3.3) -- instruction set, gate
+   count, VHDL;
+2. the behavioural CAS -- configuration shifting and N/P routing;
+3. a complete (tiny) SoC test, one call.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import values as lv
+from repro.core import CoreAccessSwitch, generate_cas
+from repro.core.tam import CasBusTamDesign
+from repro.soc.library import small_soc
+
+
+def main() -> None:
+    # -- 1. Generate the CAS hardware for N=4 bus wires, P=2 core pins.
+    design = generate_cas(4, 2)
+    print(f"CAS(N=4, P=2): m={design.m} instructions, "
+          f"k={design.k}-bit register, "
+          f"{design.area.cell_count} mapped cells "
+          f"({design.area.area_ge} GE)")
+    print("first VHDL lines:")
+    for line in design.vhdl.splitlines()[:6]:
+        print("   ", line)
+
+    # -- 2. Drive the behavioural model: configure, then route.
+    cas = CoreAccessSwitch(design.iset)
+    scheme = next(s for s in design.iset.schemes
+                  if s.wire_of_port == (2, 0))
+    print(f"\nselected scheme: {scheme.describe()}")
+    for bit in design.iset.code_to_bits(design.iset.encode(scheme)):
+        cas.shift(bit)              # serial configuration on e0/s0
+    cas.update()                    # activate
+    routing = cas.route(
+        e=(lv.ONE, lv.ZERO, lv.ZERO, lv.ONE),
+        core_returns=(lv.ONE, lv.ZERO),
+    )
+    print("bus in  1001 ->",
+          "core sees o =", lv.to_string(routing.o),
+          "| bus out =", lv.to_string(routing.s))
+
+    # -- 3. Full SoC test in one call.
+    tam = CasBusTamDesign.for_soc(small_soc())
+    result = tam.run()
+    print(f"\nsmall SoC test: {result.total_cycles} cycles, "
+          f"passed={result.passed}")
+    for core in result.core_results():
+        print(f"   {core.name:<6} {core.method:<5} "
+              f"{'pass' if core.passed else 'FAIL'}  ({core.detail})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""TAM design-space exploration: choosing N and the architecture.
+
+Walks the decisions the paper leaves to "the test designer and the
+test programmer":
+
+1. bus width N -- test time falls, CAS area rises, an interior optimum
+   appears (section 3.3's trade-off);
+2. architecture -- CAS-BUS versus multiplexed bus, daisy chain, static
+   distribution, direct access and system-bus reuse on the same
+   workload;
+3. reconfiguration granularity -- session-based versus preemptive
+   wire reallocation.
+
+Run:  python examples/tam_design_space.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines import all_baselines
+from repro.baselines.casbus import CasBusTam
+from repro.schedule.preemptive import schedule_preemptive
+from repro.schedule.scheduler import schedule_greedy
+from repro.soc.itc02 import d695_like
+
+
+def width_sweep(cores) -> None:
+    rows = []
+    tam = CasBusTam(policy="contiguous")
+    for n in (2, 3, 4, 6, 8, 12, 16):
+        report = tam.evaluate(cores, n)
+        rows.append((
+            n, report.test_cycles, f"{report.area_proxy:.0f}",
+            f"{report.total_cycles * report.area_proxy / 1e9:.2f}",
+        ))
+    print(format_table(
+        ("N", "test cycles", "TAM area (GE)", "area x time (1e9)"),
+        rows,
+        title="1) bus-width trade-off (d695-like workload)",
+    ))
+
+
+def architecture_comparison(cores, n=8) -> None:
+    rows = []
+    for baseline in all_baselines():
+        report = baseline.evaluate(cores, n)
+        rows.append((
+            report.name, report.total_cycles, report.extra_pins,
+            f"{report.area_proxy:.0f}",
+        ))
+    rows.sort(key=lambda row: row[1])
+    print("\n" + format_table(
+        ("architecture", "total cycles", "extra pins", "area (GE)"),
+        rows,
+        title=f"2) architectures at N={n}",
+    ))
+
+
+def granularity(cores, n=8) -> None:
+    greedy = schedule_greedy(cores, n)
+    preemptive = schedule_preemptive(cores, n)
+    print("\n3) reconfiguration granularity at N=8")
+    print(f"   session-based: {greedy.total_cycles} cycles "
+          f"({len(greedy.sessions)} sessions)")
+    print(f"   preemptive   : {preemptive.total_cycles} cycles "
+          f"({len(preemptive.segments)} segments)")
+    print("\n" + greedy.describe())
+
+
+def main() -> None:
+    cores = d695_like()
+    width_sweep(cores)
+    architecture_comparison(cores)
+    granularity(cores)
+
+
+if __name__ == "__main__":
+    main()

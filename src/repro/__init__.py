@@ -1,0 +1,78 @@
+"""repro -- reproduction of "CAS-BUS: A Scalable and Reconfigurable Test
+Access Mechanism for Systems on a Chip" (Benabdenbi, Maroufi, Marzouki;
+DATE 2000).
+
+The package implements the paper's Core Access Switch (CAS) and test
+bus, the P1500-style wrapper, scan/BIST/external/hierarchical core test
+substrates, a cycle-accurate four-valued system simulator, a test
+scheduler exploiting the TAM's reconfigurability, and baseline TAM
+architectures for comparison.  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the paper-versus-measured record.
+
+Quickstart::
+
+    from repro import generate_cas, fig1_soc, CasBusTamDesign
+
+    design = generate_cas(4, 2)          # Table 1 quantities + netlist
+    print(design.m, design.k, design.area.cell_count)
+
+    tam = CasBusTamDesign.for_soc(fig1_soc())
+    result = tam.run()                   # full cycle-accurate test
+    assert result.passed
+"""
+
+__version__ = "1.0.0"
+
+from repro import values
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SynthesisError,
+    VerificationError,
+)
+from repro.core import (
+    CasDesign,
+    CasGenerator,
+    CoreAccessSwitch,
+    InstructionSet,
+    SwitchScheme,
+    generate_cas,
+)
+from repro.core.tam import CasBusTamDesign
+from repro.soc import CoreSpec, SocSpec, TestMethod, fig1_soc
+from repro.sim import (
+    CoreAssignment,
+    SessionExecutor,
+    SessionPlan,
+    TestPlan,
+    build_system,
+)
+
+__all__ = [
+    "values",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SynthesisError",
+    "ScheduleError",
+    "VerificationError",
+    "CasDesign",
+    "CasGenerator",
+    "CoreAccessSwitch",
+    "InstructionSet",
+    "SwitchScheme",
+    "generate_cas",
+    "CasBusTamDesign",
+    "CoreSpec",
+    "SocSpec",
+    "TestMethod",
+    "fig1_soc",
+    "CoreAssignment",
+    "SessionExecutor",
+    "SessionPlan",
+    "TestPlan",
+    "build_system",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Paper-versus-measured reporting for the reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One quantity compared against the paper."""
+
+    label: str
+    paper: object
+    measured: object
+
+    @property
+    def ratio(self) -> float | None:
+        try:
+            paper = float(self.paper)  # type: ignore[arg-type]
+            measured = float(self.measured)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+        if paper == 0:
+            return None
+        return measured / paper
+
+    @property
+    def matches(self) -> bool:
+        return self.paper == self.measured
+
+
+def comparison_table(
+    rows: Sequence[ComparisonRow],
+    *,
+    title: str = "paper vs measured",
+) -> str:
+    """Render paper-vs-measured rows with ratios where meaningful."""
+    body = []
+    for row in rows:
+        ratio = row.ratio
+        body.append(
+            (
+                row.label,
+                row.paper,
+                row.measured,
+                f"{ratio:.2f}" if ratio is not None else
+                ("=" if row.matches else "-"),
+            )
+        )
+    return format_table(
+        ("quantity", "paper", "measured", "ratio"), body, title=title
+    )

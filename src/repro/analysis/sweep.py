@@ -1,0 +1,29 @@
+"""Parameter sweeps with tabulated results."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+
+def sweep(
+    parameter_values: Iterable[object],
+    evaluate: Callable[[object], Mapping[str, object]],
+    *,
+    parameter_name: str = "parameter",
+) -> tuple[list[str], list[list[object]]]:
+    """Run ``evaluate`` over a parameter range.
+
+    Returns ``(headers, rows)`` ready for
+    :func:`repro.analysis.tables.format_table`; the metric keys of the
+    first evaluation fix the column order.
+    """
+    headers: list[str] = [parameter_name]
+    rows: list[list[object]] = []
+    for value in parameter_values:
+        metrics = evaluate(value)
+        if len(headers) == 1:
+            headers.extend(metrics.keys())
+        row: list[object] = [value]
+        row.extend(metrics.get(key, "") for key in headers[1:])
+        rows.append(row)
+    return headers, rows

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned, text left-aligned; floats keep their
+    repr as supplied by the caller (format before passing for control).
+    """
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    numeric = [
+        all(_is_number(row[index]) for row in rows) if rows else False
+        for index in range(len(headers))
+    ]
+
+    def fmt_row(values: Sequence[str]) -> str:
+        parts = []
+        for index, value in enumerate(values):
+            if numeric[index]:
+                parts.append(value.rjust(widths[index]))
+            else:
+                parts.append(value.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,54 @@
+"""Baseline TAM architectures.
+
+The paper positions CAS-BUS against TAMs "based on the use of the
+system bus [3] or on a specific test bus [4], [5]" and against
+direct-access designs.  These executable baselines share one timing
+interface so the comparison experiment (C5) can run them all on the
+same workloads:
+
+* :class:`~repro.baselines.mux_bus.MultiplexedBus` -- full-width bus
+  multiplexed to one core at a time (Varma/Bhatia-style test bus);
+* :class:`~repro.baselines.daisy.DaisyChain` -- all cores on one serial
+  chain (TestShell/Boundary-scan style);
+* :class:`~repro.baselines.distribution.StaticDistribution` -- wires
+  statically partitioned across cores (Marinissen-style TestRail,
+  non-reconfigurable);
+* :class:`~repro.baselines.direct.DirectAccess` -- dedicated pins per
+  core, everything parallel (the pin-hungry upper baseline);
+* :class:`~repro.baselines.sysbus.SystemBusTam` -- reuse of the
+  functional system bus with per-pattern arbitration overhead;
+* :class:`~repro.baselines.casbus.CasBusTam` -- the paper's
+  architecture, delegating to the scheduler.
+"""
+
+from repro.baselines.base import TamBaseline, TamReport
+from repro.baselines.mux_bus import MultiplexedBus
+from repro.baselines.daisy import DaisyChain
+from repro.baselines.distribution import StaticDistribution
+from repro.baselines.direct import DirectAccess
+from repro.baselines.sysbus import SystemBusTam
+from repro.baselines.casbus import CasBusTam
+
+__all__ = [
+    "TamBaseline",
+    "TamReport",
+    "MultiplexedBus",
+    "DaisyChain",
+    "StaticDistribution",
+    "DirectAccess",
+    "SystemBusTam",
+    "CasBusTam",
+    "all_baselines",
+]
+
+
+def all_baselines() -> list[TamBaseline]:
+    """One instance of every architecture, CAS-BUS last."""
+    return [
+        MultiplexedBus(),
+        DaisyChain(),
+        StaticDistribution(),
+        DirectAccess(),
+        SystemBusTam(),
+        CasBusTam(),
+    ]

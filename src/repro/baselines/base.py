@@ -1,0 +1,60 @@
+"""Common interface for TAM architecture baselines."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.soc.core import CoreTestParams
+
+
+@dataclass(frozen=True)
+class TamReport:
+    """What one architecture costs on one workload.
+
+    Attributes:
+        name: architecture name.
+        test_cycles: total test application time.
+        config_cycles: configuration/steering overhead in cycles.
+        extra_pins: dedicated test pins beyond a serial control port.
+        area_proxy: relative silicon cost of the access hardware
+            (NAND2-equivalent estimate; comparable across baselines,
+            not against a foundry library).
+    """
+
+    name: str
+    test_cycles: int
+    config_cycles: int
+    extra_pins: int
+    area_proxy: float
+
+    @property
+    def total_cycles(self) -> int:
+        return self.test_cycles + self.config_cycles
+
+
+class TamBaseline(abc.ABC):
+    """One test access architecture under the abstract timing model."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def evaluate(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+    ) -> TamReport:
+        """Cost of testing ``cores`` with ``bus_width`` test wires.
+
+        ``bus_width`` is the pin budget architectures that use a bus
+        get; architectures that ignore it (daisy chain, direct access)
+        report their own pin needs instead.
+        """
+
+    # -- shared cost helpers ------------------------------------------------
+
+    @staticmethod
+    def wire_area_proxy(wires: int, taps: int) -> float:
+        """Routing cost proxy: wires times tap points, in GE."""
+        return 2.0 * wires * taps

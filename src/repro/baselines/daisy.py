@@ -1,0 +1,39 @@
+"""Daisy chain: every core's scan path concatenated on one serial wire
+(boundary-scan / TestShell style without parallel access).
+
+Minimal pins and hardware; test time is dominated by the total chain
+length times the largest pattern count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.soc.core import CoreTestParams
+from repro.baselines.base import TamBaseline, TamReport
+from repro.schedule.timing import scan_test_cycles
+
+
+class DaisyChain(TamBaseline):
+    name = "daisy-chain"
+
+    def evaluate(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+    ) -> TamReport:
+        total_length = sum(core.flops for core in cores)
+        patterns = max((core.patterns for core in cores), default=0)
+        test = scan_test_cycles(total_length, patterns)
+        # Fixed-duration (BIST) cores overlap with the scan stream only
+        # if longer; account for the worst.
+        fixed = max((core.fixed_cycles or 0 for core in cores), default=0)
+        test = max(test, fixed)
+        area = self.wire_area_proxy(1, len(cores)) + 1.0 * len(cores)
+        return TamReport(
+            name=self.name,
+            test_cycles=test,
+            config_cycles=0,
+            extra_pins=1,
+            area_proxy=round(area, 1),
+        )

@@ -1,0 +1,36 @@
+"""Direct access: every core gets dedicated test pins at its full
+parallelism.  The time lower bound among bus-style TAMs -- and a pin
+count no real package offers.  Used as the reference point baselines
+are judged against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.soc.core import CoreTestParams
+from repro.baselines.base import TamBaseline, TamReport
+from repro.schedule.timing import core_test_cycles
+
+
+class DirectAccess(TamBaseline):
+    name = "direct-access"
+
+    def evaluate(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+    ) -> TamReport:
+        test = max(
+            (core_test_cycles(core, core.max_wires) for core in cores),
+            default=0,
+        )
+        pins = sum(core.max_wires for core in cores)
+        area = self.wire_area_proxy(pins, 1)
+        return TamReport(
+            name=self.name,
+            test_cycles=test,
+            config_cycles=0,
+            extra_pins=pins,
+            area_proxy=round(area, 1),
+        )

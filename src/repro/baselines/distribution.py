@@ -1,0 +1,35 @@
+"""Static distribution: the bus wires are partitioned among cores at
+design time (Marinissen et al., ITC'98 TestRail flavour) and never
+change.
+
+Everything runs in parallel, but the partition is frozen: a core that
+finishes early cannot donate its wires to the stragglers -- exactly
+the rigidity the CAS-BUS's reconfigurability removes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.soc.core import CoreTestParams
+from repro.baselines.base import TamBaseline, TamReport
+from repro.schedule.reconfig import static_partition
+
+
+class StaticDistribution(TamBaseline):
+    name = "static-distribution"
+
+    def evaluate(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+    ) -> TamReport:
+        plan = static_partition(cores, bus_width)
+        area = self.wire_area_proxy(bus_width, len(cores))
+        return TamReport(
+            name=self.name,
+            test_cycles=plan.total_cycles,
+            config_cycles=0,
+            extra_pins=bus_width,
+            area_proxy=round(area, 1),
+        )

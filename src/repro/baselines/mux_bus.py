@@ -1,0 +1,39 @@
+"""Multiplexed test bus: the full bus width is granted to one core at a
+time (Varma & Bhatia, ITC'98 style).
+
+Fast per core, but cores strictly serialise and every core's terminals
+must mux onto the full-width bus.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.soc.core import CoreTestParams
+from repro.baselines.base import TamBaseline, TamReport
+from repro.schedule.timing import core_test_cycles
+
+
+class MultiplexedBus(TamBaseline):
+    name = "mux-bus"
+
+    #: Cycles to steer the mux to the next core.
+    SWITCH_CYCLES = 4
+
+    def evaluate(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+    ) -> TamReport:
+        test = sum(core_test_cycles(core, bus_width) for core in cores)
+        config = self.SWITCH_CYCLES * len(cores)
+        # Every core taps the full bus; a wide mux at each tap.
+        area = self.wire_area_proxy(bus_width, len(cores)) + \
+            4.0 * bus_width * len(cores)
+        return TamReport(
+            name=self.name,
+            test_cycles=test,
+            config_cycles=config,
+            extra_pins=bus_width,
+            area_proxy=round(area, 1),
+        )

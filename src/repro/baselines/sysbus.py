@@ -1,0 +1,46 @@
+"""System-bus TAM: reuse the functional bus for test data (Harrod,
+ITC'99 style).
+
+No extra wires, but test data contends with bus protocol overhead and
+cores serialise on the single shared resource.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.soc.core import CoreTestParams
+from repro.baselines.base import TamBaseline, TamReport
+from repro.schedule.timing import core_test_cycles
+
+
+class SystemBusTam(TamBaseline):
+    name = "system-bus"
+
+    #: Functional bus width available for test payloads.
+    BUS_WIDTH = 32
+    #: Arbitration / protocol cycles charged per pattern transfer.
+    OVERHEAD_PER_PATTERN = 2
+    #: Cycles to set up bus-master access to one core.
+    SETUP_CYCLES = 16
+
+    def evaluate(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+    ) -> TamReport:
+        test = 0
+        for core in cores:
+            base = core_test_cycles(core, min(core.max_wires,
+                                              self.BUS_WIDTH))
+            test += base + core.patterns * self.OVERHEAD_PER_PATTERN
+        config = self.SETUP_CYCLES * len(cores)
+        # Bus interface logic per core (address decode, test DMA).
+        area = 60.0 * len(cores)
+        return TamReport(
+            name=self.name,
+            test_cycles=test,
+            config_cycles=config,
+            extra_pins=0,
+            area_proxy=round(area, 1),
+        )

@@ -1,0 +1,15 @@
+"""BIST substrate: LFSR pattern generators, MISR response compactors and
+a self-test engine wrapping a scannable core.
+
+Figure 2(b) of the paper connects a BISTed core to the CAS with P=1:
+the single switched wire starts the self-test and, when it completes,
+streams the signature back to the SoC test controller.  Figure 2(c)
+uses the same primitives off-chip: "P=1 when the source is a simple
+LFSR and the sink a simple MISR".
+"""
+
+from repro.bist.lfsr import DEFAULT_TAPS, Lfsr
+from repro.bist.misr import Misr
+from repro.bist.engine import BistEngine, BistReport
+
+__all__ = ["DEFAULT_TAPS", "Lfsr", "Misr", "BistEngine", "BistReport"]

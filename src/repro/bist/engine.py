@@ -1,0 +1,135 @@
+"""BIST engine: LFSR-fed self-test of a scannable core with MISR
+compaction, plus golden-signature computation.
+
+The engine is the inside of a "BISTed core" (figure 2b): from the
+CAS-BUS's point of view the whole thing is one core with P=1 whose test
+consists of (a) a start command, (b) ``cycles`` autonomous clocks,
+(c) a serial signature read-out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.bist.lfsr import Lfsr
+from repro.bist.misr import Misr
+from repro.scan.core_model import ScannableCore
+
+
+@dataclass(frozen=True)
+class BistReport:
+    """Outcome of one BIST run."""
+
+    cycles: int
+    signature: int
+    golden_signature: int
+
+    @property
+    def passed(self) -> bool:
+        return self.signature == self.golden_signature
+
+
+class BistEngine:
+    """Hardware self-test around one scannable core.
+
+    Each BIST cycle: the LFSR supplies fresh pseudo-random values to
+    every core input (PIs and flip-flops via test-mode load), the core
+    computes, and the MISR absorbs all observable outputs (next-state
+    and primary outputs).  This is test-per-clock BIST -- simple, and
+    enough to give the CAS-BUS a realistic autonomous-test payload.
+    """
+
+    def __init__(
+        self,
+        core: ScannableCore,
+        *,
+        signature_width: int = 16,
+        lfsr_seed: int = 0xACE1,
+        fault: "tuple[int, int] | None" = None,
+    ) -> None:
+        if signature_width < 2:
+            raise ConfigurationError(
+                f"signature width must be >= 2, got {signature_width}"
+            )
+        self.core = core
+        self.signature_width = signature_width
+        self.lfsr = Lfsr(width=16, seed=lfsr_seed)
+        self.misr = Misr(width=signature_width)
+        self.fault = fault
+        self._rng_cache: dict[int, list[int]] = {}
+
+    def _input_vector(self, cycle: int) -> list[int]:
+        """Pseudo-random core input vector for one BIST cycle.
+
+        Derived from the LFSR state so runs are reproducible; cached so
+        golden and faulty runs see identical stimuli.
+        """
+        cached = self._rng_cache.get(cycle)
+        if cached is not None:
+            return cached
+        # Expand the LFSR serially into as many bits as the core needs.
+        needed = self.core.cloud.num_inputs
+        bits = self.lfsr.stream(needed)
+        self._rng_cache[cycle] = bits
+        return bits
+
+    def run(self, cycles: int) -> BistReport:
+        """Execute the self-test and return signature vs golden."""
+        golden = self._signature(cycles, fault=None)
+        actual = (
+            golden
+            if self.fault is None
+            else self._signature(cycles, fault=self.fault)
+        )
+        return BistReport(
+            cycles=cycles, signature=actual, golden_signature=golden
+        )
+
+    def golden_signature(self, cycles: int) -> int:
+        """Signature of the fault-free core for ``cycles`` BIST clocks."""
+        return self._signature(cycles, fault=None)
+
+    def _signature(self, cycles: int, fault: "tuple[int, int] | None") -> int:
+        self.lfsr.reset()
+        self.misr.reset()
+        self._rng_cache.clear()
+        for cycle in range(cycles):
+            inputs = self._input_vector(cycle)
+            outputs = self.core.cloud.evaluate_words(inputs, mask=1,
+                                                     fault=fault)
+            bits = [v & 1 for v in outputs]
+            # Fold every observable output into the signature, chunked
+            # to the MISR width, so no logic escapes compaction.
+            for start in range(0, len(bits), self.misr.width):
+                self.misr.absorb(bits[start:start + self.misr.width])
+        return self.misr.signature
+
+
+def random_detectable_fault(
+    core: ScannableCore,
+    seed: int,
+    *,
+    check_cycles: int = 32,
+    attempts: int = 64,
+) -> tuple[int, int]:
+    """A pseudo-random stuck-at fault that a short BIST run detects.
+
+    Used by examples and failure-injection tests to make a BISTed or
+    scanned core instance actually defective.  Candidates that do not
+    change the signature within ``check_cycles`` (redundant or masked
+    faults) are skipped.
+    """
+    rng = random.Random(seed)
+    probe = BistEngine(core, signature_width=8)
+    golden = probe.golden_signature(check_cycles)
+    for _ in range(attempts):
+        node = rng.randrange(core.cloud.num_inputs, core.cloud.num_nodes)
+        fault = (node, rng.randint(0, 1))
+        if probe._signature(check_cycles, fault=fault) != golden:
+            return fault
+    raise ConfigurationError(
+        f"no detectable fault found in {attempts} attempts "
+        f"(core {core.name}, seed {seed})"
+    )

@@ -1,0 +1,107 @@
+"""Linear feedback shift registers (Fibonacci form).
+
+Tap sets come from the standard table of primitive polynomials, so the
+default LFSR of width ``w`` has maximal period ``2^w - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+#: Maximal-length tap positions (1-based, as usually tabulated) for
+#: x^w + ... + 1 primitive polynomials.
+DEFAULT_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    24: (24, 23, 22, 17),
+    28: (28, 25),
+    32: (32, 30, 26, 25),
+}
+
+
+class Lfsr:
+    """A Fibonacci LFSR producing one pseudo-random bit per step."""
+
+    def __init__(
+        self,
+        width: int,
+        taps: Sequence[int] | None = None,
+        seed: int = 1,
+    ) -> None:
+        if width < 2:
+            raise ConfigurationError(f"LFSR width must be >= 2, got {width}")
+        if taps is None:
+            if width not in DEFAULT_TAPS:
+                raise ConfigurationError(
+                    f"no default taps for width {width}; "
+                    f"available: {sorted(DEFAULT_TAPS)}"
+                )
+            taps = DEFAULT_TAPS[width]
+        self.width = width
+        self.taps = tuple(taps)
+        for tap in self.taps:
+            if not 1 <= tap <= width:
+                raise ConfigurationError(
+                    f"tap {tap} out of range for width {width}"
+                )
+        if seed % (1 << width) == 0:
+            raise ConfigurationError("LFSR seed must be non-zero modulo 2^w")
+        self._initial_state = seed % (1 << width)
+        self.state = self._initial_state
+
+    def reset(self) -> None:
+        self.state = self._initial_state
+
+    def step(self) -> int:
+        """Advance one cycle; returns the output bit (stage 1).
+
+        Taps are numbered from the output side (tap ``w`` is the stage
+        the feedback re-enters), so tap ``t`` reads register bit
+        ``width - t`` -- the standard Fibonacci convention.
+        """
+        out_bit = self.state & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        self.state = (self.state >> 1) | (feedback << (self.width - 1))
+        return out_bit
+
+    def stream(self, count: int) -> list[int]:
+        """The next ``count`` output bits."""
+        return [self.step() for _ in range(count)]
+
+    def period(self, limit: int | None = None) -> int:
+        """Cycle length from the initial state (for verification).
+
+        Stops at ``limit`` steps if given; raises if no cycle found.
+        """
+        if limit is None:
+            limit = 1 << self.width
+        probe = Lfsr(self.width, self.taps, self._initial_state)
+        start = probe.state
+        for count in range(1, limit + 1):
+            probe.step()
+            if probe.state == start:
+                return count
+        raise ConfigurationError(
+            f"no period within {limit} steps (non-maximal taps?)"
+        )

@@ -1,0 +1,74 @@
+"""Multiple-input signature registers (MISR).
+
+A MISR compacts a stream of parallel response vectors into a signature.
+Built on the same primitive-polynomial taps as the LFSR so the state
+transition is maximal-length.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.bist.lfsr import DEFAULT_TAPS
+
+
+class Misr:
+    """A parallel-input signature register of ``width`` stages."""
+
+    def __init__(
+        self,
+        width: int,
+        taps: Sequence[int] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if width < 2:
+            raise ConfigurationError(f"MISR width must be >= 2, got {width}")
+        if taps is None:
+            if width not in DEFAULT_TAPS:
+                raise ConfigurationError(
+                    f"no default taps for width {width}; "
+                    f"available: {sorted(DEFAULT_TAPS)}"
+                )
+            taps = DEFAULT_TAPS[width]
+        self.width = width
+        self.taps = tuple(taps)
+        self._initial_state = seed % (1 << width)
+        self.state = self._initial_state
+
+    def reset(self) -> None:
+        self.state = self._initial_state
+
+    def absorb(self, inputs: Sequence[int]) -> None:
+        """Clock the MISR once with a parallel input vector.
+
+        ``inputs`` may be narrower than the register; missing stages
+        absorb zero.
+        """
+        if len(inputs) > self.width:
+            raise SimulationError(
+                f"MISR of width {self.width} fed {len(inputs)} bits"
+            )
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        shifted = (self.state >> 1) | (feedback << (self.width - 1))
+        inject = 0
+        for index, bit in enumerate(inputs):
+            if bit not in (0, 1):
+                raise SimulationError(f"MISR input bit {bit!r} is not 0/1")
+            inject |= bit << index
+        self.state = shifted ^ inject
+
+    def absorb_bit(self, bit: int) -> None:
+        """Single-input convenience (serial signature analysis)."""
+        self.absorb((bit,))
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+    def signature_bits(self) -> list[int]:
+        """Signature as bits, LSB (stage 0) first -- the order a serial
+        read-out over the test bus produces."""
+        return [(self.state >> index) & 1 for index in range(self.width)]

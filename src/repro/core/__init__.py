@@ -1,0 +1,95 @@
+"""The paper's contribution: the CAS-BUS test access mechanism.
+
+Public surface:
+
+* :class:`~repro.core.switch.SwitchScheme` and scheme enumeration
+  policies -- the N/P wire-to-port mappings;
+* :class:`~repro.core.instruction.InstructionSet` -- instruction codes,
+  ``m`` and ``k`` (Table 1 quantities);
+* :class:`~repro.core.cas.CoreAccessSwitch` -- the behavioural CAS with
+  its three modes;
+* :class:`~repro.core.generator.CasGenerator` /
+  :func:`~repro.core.generator.generate_cas` -- netlist + VHDL + area
+  generation (the paper's CAS generator);
+* :class:`~repro.core.bus.CasChain` -- bus transport and the serial
+  configuration chain;
+* :class:`~repro.core.controller.SoCTestController` -- control program
+  generation.
+
+The SoC-level TAM assembly lives in :mod:`repro.core.tam` (imported
+lazily to keep this package free of workload dependencies).
+"""
+
+from repro.core.switch import (
+    POLICIES,
+    SwitchScheme,
+    enumerate_schemes,
+    scheme_count,
+)
+from repro.core.instruction import (
+    BYPASS_CODE,
+    CHAIN_CODE,
+    FIRST_TEST_CODE,
+    Instruction,
+    InstructionSet,
+    instruction_count,
+    register_width,
+)
+from repro.core.cas import (
+    MODE_BYPASS,
+    MODE_CHAIN,
+    MODE_CONFIGURATION,
+    MODE_TEST,
+    BusRouting,
+    CoreAccessSwitch,
+)
+from repro.core.generator import CasDesign, CasGenerator, generate_cas
+from repro.core.vhdl import LintReport, emit_vhdl, lint_vhdl
+from repro.core.bus import CasChain, ChainRouting, TestBus
+from repro.core.controller import (
+    ControlCycle,
+    ControllerProgram,
+    SoCTestController,
+)
+from repro.core.area import (
+    CasAreaComparison,
+    compare_styles,
+    optimized_gate_estimate,
+    pass_transistor_estimate,
+)
+
+__all__ = [
+    "POLICIES",
+    "SwitchScheme",
+    "enumerate_schemes",
+    "scheme_count",
+    "BYPASS_CODE",
+    "CHAIN_CODE",
+    "FIRST_TEST_CODE",
+    "Instruction",
+    "InstructionSet",
+    "instruction_count",
+    "register_width",
+    "MODE_BYPASS",
+    "MODE_CHAIN",
+    "MODE_CONFIGURATION",
+    "MODE_TEST",
+    "BusRouting",
+    "CoreAccessSwitch",
+    "CasDesign",
+    "CasGenerator",
+    "generate_cas",
+    "LintReport",
+    "emit_vhdl",
+    "lint_vhdl",
+    "CasChain",
+    "ChainRouting",
+    "TestBus",
+    "ControlCycle",
+    "ControllerProgram",
+    "SoCTestController",
+    "CasAreaComparison",
+    "compare_styles",
+    "optimized_gate_estimate",
+    "pass_transistor_estimate",
+]

@@ -1,0 +1,108 @@
+"""Area models for the three CAS implementation styles of section 3.3.
+
+The paper synthesises the generated VHDL ("# of gates", Table 1) and
+mentions two further implementations under study: "a highly optimized
+gate level description" and "a hardware architecture based on the use of
+pass transistors", the latter reported to "solve the CAS area problem
+for large width test busses, even without restricting heuristics".
+
+This module quantifies all three so the ablation experiment (A1) can
+reproduce that qualitative ordering:
+
+* **cell** -- the mapped cell count / GE of the generated netlist
+  (directly comparable to Table 1);
+* **optimized gate-level** -- a literal-count lower-bound estimate of
+  the decoder plus the unavoidable switch/register structure, the floor
+  a hand-optimised gate design approaches;
+* **pass transistor** -- transmission gates for the switch matrix and a
+  product-term line per cube, measured in transistors and converted at
+  4 transistors per NAND2-equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import CasDesign
+
+#: Transistors per NAND2-equivalent, the usual conversion.
+TRANSISTORS_PER_GE = 4.0
+
+#: Sequential cost (GE) of one shift + one update stage bit.
+_SEQ_GE_PER_BIT = 4.25 + 5.0
+
+
+@dataclass(frozen=True)
+class CasAreaComparison:
+    """Area of one (N, P) CAS under the three implementation styles.
+
+    All figures in NAND2-equivalents (GE); ``cell_count`` additionally
+    reports mapped cells for Table 1 comparison.
+    """
+
+    n: int
+    p: int
+    m: int
+    k: int
+    cell_count: int
+    cell_ge: float
+    optimized_ge: float
+    pass_transistor_ge: float
+
+
+def decoder_literals(design: CasDesign) -> int:
+    """Total literal count of the minimised decoder covers."""
+    return sum(cover.num_literals() for cover in design.connect_covers.values())
+
+
+def optimized_gate_estimate(design: CasDesign) -> float:
+    """GE estimate for a hand-optimised gate-level CAS.
+
+    Registers are kept as-is (2k sequential bits); the decoder is
+    costed at its literal count divided by two (each 2-input gate
+    absorbs two literals, sharing assumed perfect); the switch keeps
+    one tri-state driver per (wire, port) pair and one output mux per
+    wire.
+    """
+    k = design.k
+    literals = decoder_literals(design)
+    switch_pairs = len(design.connect_covers)
+    sequential = k * _SEQ_GE_PER_BIT
+    decoder = literals / 2.0
+    switch = switch_pairs * 1.25 + design.n * 2.25
+    return round(sequential + decoder + switch, 2)
+
+
+def pass_transistor_estimate(design: CasDesign) -> float:
+    """GE-converted transistor estimate for the pass-transistor CAS.
+
+    Switch matrix: one transmission gate (2 transistors) per
+    (wire, port) pair in each direction (4 per pair).  Decoder: one
+    series pass-transistor chain per cube (literals + 1 transistors).
+    Registers stay static CMOS (2k bits at the library cost, in
+    transistors).
+    """
+    pairs = len(design.connect_covers)
+    switch_transistors = 4 * pairs
+    decoder_transistors = sum(
+        cube.num_literals() + 1
+        for cover in design.connect_covers.values()
+        for cube in cover.cubes
+    )
+    register_transistors = design.k * _SEQ_GE_PER_BIT * TRANSISTORS_PER_GE
+    total = switch_transistors + decoder_transistors + register_transistors
+    return round(total / TRANSISTORS_PER_GE, 2)
+
+
+def compare_styles(design: CasDesign) -> CasAreaComparison:
+    """Compute all three style areas for one generated design."""
+    return CasAreaComparison(
+        n=design.n,
+        p=design.p,
+        m=design.m,
+        k=design.k,
+        cell_count=design.area.cell_count,
+        cell_ge=design.area.area_ge,
+        optimized_ge=optimized_gate_estimate(design),
+        pass_transistor_ge=pass_transistor_estimate(design),
+    )

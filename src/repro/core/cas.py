@@ -1,0 +1,228 @@
+"""Behavioural model of the Core Access Switch (paper, section 3).
+
+The CAS is a configurable switcher between the ``N``-wire test bus and
+the ``P`` test terminals of one wrapped core.  State:
+
+* a ``k``-bit **instruction register** (shift stage), serially loaded
+  through the first test-bus wire (``e0``/``s0``) while the global
+  ``config`` control is asserted;
+* a ``k``-bit **update stage** holding the *active* instruction --
+  configuration shifting never disturbs the active switch scheme until
+  ``update`` is pulsed (the paper's "update mechanism").
+
+Modes (paper, section 3.1):
+
+* **CONFIGURATION** -- ``config`` asserted: the instruction register
+  shifts, all core-side terminals are high-impedance, bus wires 1..N-1
+  bypass, and wire 0 carries the serial chain.
+* **BYPASS** -- active code 0: every wire passes straight through.
+* **TEST** -- an active switch scheme: ``P`` wires are routed to the
+  core with the pairing heuristic (``e_i -> o_j`` implies
+  ``i_j -> s_i``), the remaining ``N - P`` wires bypass.
+
+The CHAIN instruction (code 1) behaves like BYPASS on the bus; its role
+-- splicing the wrapper instruction register into the serial
+configuration chain -- is honoured by the system simulator
+(:mod:`repro.sim.system`), which owns the serial path wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import values as lv
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.instruction import (
+    BYPASS_CODE,
+    KIND_TEST,
+    Instruction,
+    InstructionSet,
+)
+
+#: Mode names, as reported by :meth:`CoreAccessSwitch.mode`.
+MODE_CONFIGURATION = "configuration"
+MODE_BYPASS = "bypass"
+MODE_CHAIN = "chain"
+MODE_TEST = "test"
+
+
+@dataclass(frozen=True)
+class BusRouting:
+    """Result of one combinational routing evaluation.
+
+    Attributes:
+        s: values presented on the CAS bus outputs ``s0..s{N-1}``.
+        o: values presented on the core-side outputs ``o0..o{P-1}``
+           (``Z`` whenever the CAS does not drive the core).
+    """
+
+    s: tuple[int, ...]
+    o: tuple[int, ...]
+
+
+class CoreAccessSwitch:
+    """Cycle-level behavioural CAS.
+
+    The object is deliberately split into a *sequential* interface
+    (:meth:`shift`, :meth:`update`, :meth:`reset`) and a *combinational*
+    one (:meth:`route`, :meth:`serial_out`), so a system simulator can
+    evaluate bus values and clock state in the correct order.
+    """
+
+    def __init__(
+        self,
+        iset: InstructionSet,
+        name: str = "cas",
+        strict: bool = True,
+    ) -> None:
+        self.iset = iset
+        self.name = name
+        self.strict = strict
+        self._shift_reg: list[int] = [0] * iset.k
+        self._active_code: int = BYPASS_CODE
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.iset.n
+
+    @property
+    def p(self) -> int:
+        return self.iset.p
+
+    @property
+    def k(self) -> int:
+        return self.iset.k
+
+    @property
+    def shift_register(self) -> tuple[int, ...]:
+        """Current shift-stage bits, stage 0 (serial-out end) first."""
+        return tuple(self._shift_reg)
+
+    @property
+    def active_code(self) -> int:
+        """The instruction code currently applied to the switch."""
+        return self._active_code
+
+    @property
+    def active_instruction(self) -> Instruction:
+        return self.iset.decode(self._active_code)
+
+    def mode(self, config: bool = False) -> str:
+        """The functional mode under the given ``config`` control value."""
+        if config:
+            return MODE_CONFIGURATION
+        instruction = self.active_instruction
+        if instruction.kind == KIND_TEST:
+            return MODE_TEST
+        if instruction.code == BYPASS_CODE:
+            return MODE_BYPASS
+        return MODE_CHAIN
+
+    # -- sequential interface ------------------------------------------------
+
+    def reset(self) -> None:
+        """Power-on state: shift stage cleared, BYPASS active."""
+        self._shift_reg = [0] * self.iset.k
+        self._active_code = BYPASS_CODE
+
+    def serial_out(self) -> int:
+        """Bit presented on the serial output *before* the next shift."""
+        return self._shift_reg[0]
+
+    def shift(self, serial_in: int) -> int:
+        """One configuration shift: returns the bit shifted out.
+
+        Stage 0 leaves through the serial output; ``serial_in`` enters
+        at stage ``k-1``.  After ``k`` shifts of a code's little-endian
+        bits (LSB first) the register holds exactly that code.
+        """
+        if serial_in not in (0, 1):
+            raise SimulationError(
+                f"{self.name}: serial input must be 0/1, got {serial_in!r}"
+            )
+        out_bit = self._shift_reg[0]
+        self._shift_reg = self._shift_reg[1:] + [serial_in]
+        return out_bit
+
+    def load_code(self, code: int) -> None:
+        """Directly load the shift stage with a code (test convenience)."""
+        self._shift_reg = list(self.iset.code_to_bits(code))
+
+    def update(self) -> int:
+        """Transfer the shift stage into the update stage.
+
+        Returns the newly active code.  In strict mode an out-of-range
+        bit pattern raises; otherwise it degrades to BYPASS, modelling a
+        decoder with no matching select.
+        """
+        code = self.iset.bits_to_code(tuple(self._shift_reg))
+        if not self.iset.is_valid_code(code):
+            if self.strict:
+                raise ConfigurationError(
+                    f"{self.name}: shifted pattern {code:#x} is not one of "
+                    f"the {self.iset.m} instructions"
+                )
+            code = BYPASS_CODE
+        self._active_code = code
+        return code
+
+    # -- combinational interface ----------------------------------------------
+
+    def route(
+        self,
+        e: Sequence[int],
+        core_returns: Sequence[int],
+        config: bool = False,
+    ) -> BusRouting:
+        """Evaluate the switch for one cycle.
+
+        Args:
+            e: values on bus inputs ``e0..e{N-1}``.
+            core_returns: values on core-side inputs ``i0..i{P-1}``
+               (what the wrapper drives back at the CAS).
+            config: the global configuration control.
+
+        Returns:
+            The bus and core-side output values.  In CONFIGURATION mode
+            ``s0`` carries this CAS's serial output; the system
+            simulator replaces it when the CHAIN splice is active.
+        """
+        if len(e) != self.n:
+            raise SimulationError(
+                f"{self.name}: expected {self.n} bus inputs, got {len(e)}"
+            )
+        if len(core_returns) != self.p:
+            raise SimulationError(
+                f"{self.name}: expected {self.p} core returns, "
+                f"got {len(core_returns)}"
+            )
+        if config:
+            s = (self._to_value(self.serial_out()),) + tuple(e[1:])
+            return BusRouting(s=s, o=(lv.Z,) * self.p)
+        instruction = self.active_instruction
+        if instruction.kind != KIND_TEST:
+            return BusRouting(s=tuple(e), o=(lv.Z,) * self.p)
+        scheme = instruction.scheme
+        assert scheme is not None
+        o = tuple(lv.v_buf(e[wire]) for wire in scheme.wire_of_port)
+        port_of_wire = scheme.port_of_wire
+        s = tuple(
+            lv.v_buf(core_returns[port_of_wire[wire]])
+            if wire in port_of_wire
+            else e[wire]
+            for wire in range(self.n)
+        )
+        return BusRouting(s=s, o=o)
+
+    @staticmethod
+    def _to_value(bit: int) -> int:
+        return lv.ONE if bit else lv.ZERO
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreAccessSwitch({self.name!r}, n={self.n}, p={self.p}, "
+            f"active={self.active_instruction.describe()})"
+        )

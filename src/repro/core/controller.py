@@ -1,0 +1,157 @@
+"""The central SoC test controller (paper, section 2: "All test control
+signals ... are connected to a central SoC test controller which is in
+charge of synchronizing test data and control").
+
+The controller is modelled as a *program generator*: it turns high-level
+intents (configure the chain, apply these stimuli) into a stream of
+:class:`ControlCycle` records -- the per-clock values of the global
+``config``/``update`` controls and the bus-entry wires.  The system
+simulator consumes these cycles one by one, so controller behaviour is
+fully decoupled from simulation mechanics and can be unit-tested as
+plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro import values as lv
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ControlCycle:
+    """Controller outputs for one clock cycle.
+
+    Attributes:
+        config: global configuration control (shifts instruction regs).
+        update: update pulse (activates shifted instructions).
+        bus_in: the N values driven at the bus entry point.
+        tag: free-form annotation used by traces and reports.
+    """
+
+    config: bool
+    update: bool
+    bus_in: tuple[int, ...]
+    tag: str = ""
+
+
+@dataclass
+class ControllerProgram:
+    """A finite sequence of control cycles with phase bookkeeping."""
+
+    n: int
+    cycles: list[ControlCycle] = field(default_factory=list)
+    phase_lengths: dict[str, int] = field(default_factory=dict)
+
+    def append(self, cycle: ControlCycle, phase: str) -> None:
+        if len(cycle.bus_in) != self.n:
+            raise ConfigurationError(
+                f"cycle drives {len(cycle.bus_in)} wires on an "
+                f"{self.n}-wire bus"
+            )
+        self.cycles.append(cycle)
+        self.phase_lengths[phase] = self.phase_lengths.get(phase, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __iter__(self) -> Iterator[ControlCycle]:
+        return iter(self.cycles)
+
+
+class SoCTestController:
+    """Builds controller programs for a CAS-BUS of width ``n``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"bus width must be >= 1, got {n}")
+        self.n = n
+
+    def idle_bus(self) -> tuple[int, ...]:
+        return (lv.ZERO,) * self.n
+
+    def new_program(self) -> ControllerProgram:
+        return ControllerProgram(n=self.n)
+
+    # -- phases --------------------------------------------------------------
+
+    def add_configuration(
+        self,
+        program: ControllerProgram,
+        bitstream: Sequence[int],
+        phase: str = "configuration",
+    ) -> None:
+        """Shift a serial bitstream on wire 0, then pulse update.
+
+        Cost: ``len(bitstream) + 1`` cycles -- the quantity the paper
+        notes "does not affect the test time, since the ... configuration
+        will only occur once at the beginning of a SoC testing session"
+        (and once per reconfiguration, which experiment C3 accounts for).
+        """
+        idle_rest = (lv.ZERO,) * (self.n - 1)
+        for bit in bitstream:
+            if bit not in (0, 1):
+                raise ConfigurationError(f"bitstream bit {bit!r} is not 0/1")
+            value = lv.ONE if bit else lv.ZERO
+            program.append(
+                ControlCycle(
+                    config=True,
+                    update=False,
+                    bus_in=(value,) + idle_rest,
+                    tag="shift",
+                ),
+                phase,
+            )
+        program.append(
+            ControlCycle(
+                config=False,
+                update=True,
+                bus_in=self.idle_bus(),
+                tag="update",
+            ),
+            phase,
+        )
+
+    def add_test_cycles(
+        self,
+        program: ControllerProgram,
+        stimuli: Sequence[Sequence[int]],
+        phase: str = "test",
+        tag: str = "test",
+    ) -> None:
+        """Drive raw bus vectors for a test phase, one per cycle."""
+        for vector in stimuli:
+            if len(vector) != self.n:
+                raise ConfigurationError(
+                    f"stimulus drives {len(vector)} wires on an "
+                    f"{self.n}-wire bus"
+                )
+            program.append(
+                ControlCycle(
+                    config=False,
+                    update=False,
+                    bus_in=tuple(vector),
+                    tag=tag,
+                ),
+                phase,
+            )
+
+    def add_idle_cycles(
+        self,
+        program: ControllerProgram,
+        count: int,
+        phase: str = "idle",
+    ) -> None:
+        """Clock the system without driving data (e.g. while BIST runs)."""
+        for _ in range(count):
+            program.append(
+                ControlCycle(
+                    config=False,
+                    update=False,
+                    bus_in=self.idle_bus(),
+                    tag="idle",
+                ),
+                phase,
+            )

@@ -1,0 +1,173 @@
+"""Gate-level CAS: the generated netlist as a drop-in switch model.
+
+The strongest cross-layer check in the reproduction: a
+:class:`GateLevelCoreAccessSwitch` exposes the exact interface of the
+behavioural :class:`~repro.core.cas.CoreAccessSwitch` but evaluates the
+*generated netlist* (four-valued, tri-states and all) through
+:class:`~repro.netlist.simulate.NetlistSimulator`.  The system
+simulator can therefore run whole test sessions with selected CASes
+replaced by their own synthesised gates
+(``build_system(..., gate_level={"core"})``) and must observe identical
+behaviour -- which the integration suite asserts.
+"""
+
+from __future__ import annotations
+
+from repro import values as lv
+from repro.errors import ConfigurationError, SimulationError
+from repro.netlist.simulate import NetlistSimulator
+from repro.core.cas import BusRouting, MODE_BYPASS, MODE_CHAIN, \
+    MODE_CONFIGURATION, MODE_TEST
+from repro.core.generator import CasDesign
+from repro.core.instruction import BYPASS_CODE, Instruction, KIND_TEST
+
+
+class GateLevelCoreAccessSwitch:
+    """A CAS whose switching fabric is its generated netlist.
+
+    Interface-compatible with
+    :class:`~repro.core.cas.CoreAccessSwitch`; see there for the
+    semantics.  State (instruction shift stage + update stage) lives in
+    the netlist's flip-flops.
+    """
+
+    def __init__(
+        self,
+        design: CasDesign,
+        name: str = "cas_gates",
+        strict: bool = True,
+    ) -> None:
+        self.design = design
+        self.iset = design.iset
+        self.name = name
+        self.strict = strict
+        self.sim = NetlistSimulator(design.netlist)
+        self.reset()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.iset.n
+
+    @property
+    def p(self) -> int:
+        return self.iset.p
+
+    @property
+    def k(self) -> int:
+        return self.iset.k
+
+    @property
+    def shift_register(self) -> tuple[int, ...]:
+        return tuple(
+            1 if self.sim.state_of(f"ir_{b}") == lv.ONE else 0
+            for b in range(self.k)
+        )
+
+    @property
+    def active_code(self) -> int:
+        bits = tuple(
+            1 if self.sim.state_of(f"upd_{b}") == lv.ONE else 0
+            for b in range(self.k)
+        )
+        return self.iset.bits_to_code(bits)
+
+    @property
+    def active_instruction(self) -> Instruction:
+        return self.iset.decode(self.active_code)
+
+    def mode(self, config: bool = False) -> str:
+        if config:
+            return MODE_CONFIGURATION
+        instruction = self.active_instruction
+        if instruction.kind == KIND_TEST:
+            return MODE_TEST
+        if instruction.code == BYPASS_CODE:
+            return MODE_BYPASS
+        return MODE_CHAIN
+
+    # -- sequential interface ------------------------------------------------
+
+    def reset(self) -> None:
+        """Power-on: both register stages cleared, bus quiescent."""
+        self.sim.load_state(
+            {f"ir_{b}": lv.ZERO for b in range(self.k)}
+        )
+        self.sim.load_state(
+            {f"upd_{b}": lv.ZERO for b in range(self.k)}
+        )
+        quiet = {"config": lv.ZERO, "update": lv.ZERO}
+        quiet.update({f"e{w}": lv.ZERO for w in range(self.n)})
+        quiet.update({f"i{j}": lv.ZERO for j in range(self.p)})
+        self.sim.set_inputs(quiet)
+
+    def serial_out(self) -> int:
+        return 1 if self.sim.state_of("ir_0") == lv.ONE else 0
+
+    def shift(self, serial_in: int) -> int:
+        """One configuration clock on the real gates."""
+        if serial_in not in (0, 1):
+            raise SimulationError(
+                f"{self.name}: serial input must be 0/1, got {serial_in!r}"
+            )
+        out_bit = self.serial_out()
+        self.sim.set_inputs({
+            "config": lv.ONE,
+            "update": lv.ZERO,
+            "e0": lv.ONE if serial_in else lv.ZERO,
+        })
+        self.sim.clock()
+        self.sim.set_inputs({"config": lv.ZERO})
+        return out_bit
+
+    def load_code(self, code: int) -> None:
+        bits = self.iset.code_to_bits(code)
+        self.sim.load_state(
+            {f"ir_{b}": (lv.ONE if bits[b] else lv.ZERO)
+             for b in range(self.k)}
+        )
+
+    def update(self) -> int:
+        code = self.iset.bits_to_code(self.shift_register)
+        if not self.iset.is_valid_code(code):
+            if self.strict:
+                raise ConfigurationError(
+                    f"{self.name}: shifted pattern {code:#x} is not one "
+                    f"of the {self.iset.m} instructions"
+                )
+            code = BYPASS_CODE
+            self.load_code(code)
+        self.sim.set_inputs({"config": lv.ZERO, "update": lv.ONE})
+        self.sim.clock()
+        self.sim.set_inputs({"update": lv.ZERO})
+        return self.active_code
+
+    # -- combinational interface ----------------------------------------------
+
+    def route(self, e, core_returns, config: bool = False) -> BusRouting:
+        if len(e) != self.n:
+            raise SimulationError(
+                f"{self.name}: expected {self.n} bus inputs, got {len(e)}"
+            )
+        if len(core_returns) != self.p:
+            raise SimulationError(
+                f"{self.name}: expected {self.p} core returns, "
+                f"got {len(core_returns)}"
+            )
+        assignment = {"config": lv.ONE if config else lv.ZERO,
+                      "update": lv.ZERO}
+        assignment.update({f"e{w}": e[w] for w in range(self.n)})
+        assignment.update(
+            {f"i{j}": core_returns[j] for j in range(self.p)}
+        )
+        self.sim.set_inputs(assignment)
+        s = tuple(self.sim.read(f"s{w}") for w in range(self.n))
+        o = tuple(self.sim.read(f"o{j}") for j in range(self.p))
+        return BusRouting(s=s, o=o)
+
+    def __repr__(self) -> str:
+        return (
+            f"GateLevelCoreAccessSwitch({self.name!r}, n={self.n}, "
+            f"p={self.p}, active={self.active_instruction.describe()})"
+        )

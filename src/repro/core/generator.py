@@ -1,0 +1,292 @@
+"""CAS generator: from (N, P) to a gate-level netlist, VHDL and area.
+
+This is the reproduction of the paper's CAS architecture generator
+(section 3.2/3.3: a C program emitting VHDL, synthesised with Synopsys).
+Here the flow is:
+
+1. build the instruction set (``m`` instructions, ``k``-bit register);
+2. derive the switch-control functions over the instruction code space
+   (wire-to-port connect signals), with codes ``>= m`` as don't-cares;
+3. minimise each function (:mod:`repro.logic`) -- the stand-in for the
+   commercial synthesiser's logic optimisation;
+4. emit a structural netlist: instruction shift stage, update stage,
+   minimised decoder, tri-state N/P switch, configuration muxes;
+5. report area (:mod:`repro.netlist.area`) and emit VHDL text
+   (:mod:`repro.core.vhdl`).
+
+Netlist port contract (matching figure 3 of the paper):
+
+* inputs: ``e0..e{N-1}``, ``i0..i{P-1}``, ``config``, ``update``;
+* outputs: ``s0..s{N-1}``, ``o0..o{P-1}`` (tri-stated);
+* sequential cells: ``ir_<b>`` (shift stage), ``upd_<b>`` (update stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro import values as lv
+from repro.errors import ConfigurationError
+from repro.logic.cover import Cover
+from repro.logic.minimize import minimize, minimize_heuristic
+from repro.logic.synth import CoverSynthesizer
+from repro.netlist.area import AreaReport, area_report
+from repro.netlist.netlist import Netlist
+from repro.core.cas import CoreAccessSwitch
+from repro.core.instruction import FIRST_TEST_CODE, InstructionSet
+
+#: Above this instruction count the generator uses the heuristic
+#: minimiser; exact QM below.  (Chosen so every Table 1 row, including
+#: the (8,4) CAS with m=1682, is minimised exactly.)
+EXACT_M_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class CasDesign:
+    """Everything the generator produces for one (N, P) CAS.
+
+    Attributes:
+        iset: the instruction set (carries m, k, schemes).
+        netlist: structural gate-level netlist.
+        connect_covers: minimised covers, keyed ``(wire, port)``.
+        area: mapped-cell / GE area report.
+    """
+
+    iset: InstructionSet
+    netlist: Netlist
+    connect_covers: dict[tuple[int, int], Cover]
+    area: AreaReport
+
+    @property
+    def n(self) -> int:
+        return self.iset.n
+
+    @property
+    def p(self) -> int:
+        return self.iset.p
+
+    @property
+    def m(self) -> int:
+        return self.iset.m
+
+    @property
+    def k(self) -> int:
+        return self.iset.k
+
+    @cached_property
+    def vhdl(self) -> str:
+        """VHDL text for this CAS (generated lazily)."""
+        from repro.core.vhdl import emit_vhdl
+
+        return emit_vhdl(self)
+
+    def table1_row(self) -> tuple[int, int, int, int, int]:
+        """The quantities of one Table 1 row: (N, P, m, k, gates)."""
+        return (self.n, self.p, self.m, self.k, self.area.cell_count)
+
+
+@dataclass
+class CasGenerator:
+    """Parameterised CAS generator.
+
+    Attributes:
+        n: test bus width (paper's N).
+        p: switched wires for this core (paper's P).
+        policy: scheme enumeration policy (see
+            :mod:`repro.core.switch`); ``"all"`` reproduces Table 1.
+        minimizer: ``"auto"`` | ``"exact"`` | ``"heuristic"``.
+    """
+
+    n: int
+    p: int
+    policy: str = "all"
+    minimizer: str = "auto"
+    _iset: InstructionSet = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._iset = InstructionSet(self.n, self.p, self.policy)
+        if self.minimizer not in ("auto", "exact", "heuristic"):
+            raise ConfigurationError(
+                f"minimizer must be auto/exact/heuristic, got {self.minimizer!r}"
+            )
+
+    @property
+    def iset(self) -> InstructionSet:
+        return self._iset
+
+    # -- decoder specification ----------------------------------------------
+
+    def connect_on_sets(self) -> dict[tuple[int, int], list[int]]:
+        """On-set (instruction codes) of each wire-to-port connect signal.
+
+        ``con[(i, j)]`` is active for every TEST instruction whose scheme
+        routes bus wire ``i`` to core port ``j``.  Pairs never used by
+        the policy are omitted (their signal is constant 0).
+        """
+        on_sets: dict[tuple[int, int], list[int]] = {}
+        for index, scheme in enumerate(self._iset.schemes):
+            code = FIRST_TEST_CODE + index
+            for port, wire in enumerate(scheme.wire_of_port):
+                on_sets.setdefault((wire, port), []).append(code)
+        return on_sets
+
+    def dont_care_codes(self) -> list[int]:
+        """Bit patterns that fit the register but name no instruction."""
+        return list(range(self._iset.m, 1 << self._iset.k))
+
+    def minimize_covers(self) -> dict[tuple[int, int], Cover]:
+        """Minimise every connect function over the code space."""
+        dc = self.dont_care_codes()
+        use_exact = self.minimizer == "exact" or (
+            self.minimizer == "auto" and self._iset.m <= EXACT_M_LIMIT
+        )
+        covers: dict[tuple[int, int], Cover] = {}
+        for key, on_set in sorted(self.connect_on_sets().items()):
+            if use_exact:
+                covers[key] = minimize(on_set, self._iset.k, dc)
+            else:
+                covers[key] = minimize_heuristic(on_set, self._iset.k, dc)
+        return covers
+
+    # -- netlist construction ----------------------------------------------
+
+    def generate(self) -> CasDesign:
+        """Produce the full design bundle for this (N, P) CAS."""
+        covers = self.minimize_covers()
+        netlist = self._build_netlist(covers)
+        netlist.validate()
+        return CasDesign(
+            iset=self._iset,
+            netlist=netlist,
+            connect_covers=covers,
+            area=area_report(netlist),
+        )
+
+    def _build_netlist(self, covers: dict[tuple[int, int], Cover]) -> Netlist:
+        n, p, k = self.n, self.p, self._iset.k
+        nl = Netlist(name=f"cas_{n}_{p}")
+        e_nets = [nl.add_input(f"e{w}") for w in range(n)]
+        i_nets = [nl.add_input(f"i{j}") for j in range(p)]
+        config = nl.add_input("config")
+        update = nl.add_input("update")
+        s_nets = [nl.add_output(f"s{w}") for w in range(n)]
+        o_nets = [nl.add_output(f"o{j}") for j in range(p)]
+
+        # Instruction shift stage: stage 0 is the serial-out end; the
+        # serial input (bus wire e0) enters at stage k-1.
+        ir_q = [f"ir_q{b}" for b in range(k)]
+        for b in range(k):
+            shift_source = ir_q[b + 1] if b + 1 < k else e_nets[0]
+            d_net = nl.fresh_net(f"ir_d{b}")
+            nl.add_gate("MUX2", (ir_q[b], shift_source, config), d_net)
+            nl.add_gate("DFF", (d_net,), ir_q[b], name=f"ir_{b}")
+
+        # Update stage: captures the shift stage when `update` pulses.
+        upd_q = [f"upd_q{b}" for b in range(k)]
+        for b in range(k):
+            nl.add_gate("DFFE", (ir_q[b], update), upd_q[b], name=f"upd_{b}")
+
+        # Decoder: minimised connect signals over the update stage.
+        synthesizer = CoverSynthesizer(nl, upd_q)
+        con_nets: dict[tuple[int, int], str] = {}
+        for (wire, port), cover in covers.items():
+            net = f"con_{wire}_{port}"
+            synthesizer.synthesize(cover, net)
+            con_nets[(wire, port)] = net
+
+        config_n = nl.fresh_net("config_n")
+        nl.add_gate("INV", (config,), config_n)
+
+        # Core-side outputs: tri-state drivers, one per candidate wire,
+        # gated off during configuration.
+        for port in range(p):
+            drivers = [
+                (wire, con_nets[(wire, port)])
+                for wire in range(n)
+                if (wire, port) in con_nets
+            ]
+            if not drivers:
+                raise ConfigurationError(
+                    f"policy {self.policy!r} leaves core port o{port} unreachable"
+                )
+            for wire, con in drivers:
+                enable = nl.fresh_net(f"en_{wire}_{port}")
+                nl.add_gate("AND", (con, config_n), enable)
+                nl.add_gate("TRIBUF", (e_nets[wire], enable), o_nets[port])
+
+        # Bus outputs: test return when switched, else bypass; wire 0
+        # additionally carries the serial chain during configuration.
+        for wire in range(n):
+            terms = []
+            for port in range(p):
+                con = con_nets.get((wire, port))
+                if con is not None:
+                    term = nl.fresh_net(f"ret_{wire}_{port}")
+                    nl.add_gate("AND", (con, i_nets[port]), term)
+                    terms.append(term)
+            if terms:
+                ret_net = terms[0]
+                if len(terms) > 1:
+                    ret_net = nl.fresh_net(f"ret_{wire}")
+                    nl.add_gate("OR", tuple(terms), ret_net)
+                any_con = nl.fresh_net(f"anycon_{wire}")
+                sources = [con_nets[(wire, port)]
+                           for port in range(p) if (wire, port) in con_nets]
+                if len(sources) == 1:
+                    nl.add_gate("BUF", (sources[0],), any_con)
+                else:
+                    nl.add_gate("OR", tuple(sources), any_con)
+                normal = nl.fresh_net(f"snorm_{wire}")
+                nl.add_gate("MUX2", (e_nets[wire], ret_net, any_con), normal)
+            else:
+                normal = e_nets[wire]
+            if wire == 0:
+                nl.add_gate("MUX2", (normal, ir_q[0], config), s_nets[0])
+            elif normal == e_nets[wire]:
+                nl.add_gate("BUF", (e_nets[wire],), s_nets[wire])
+            else:
+                nl.add_gate("MUX2", (normal, e_nets[wire], config), s_nets[wire])
+        return nl
+
+
+def generate_cas(
+    n: int,
+    p: int,
+    policy: str = "all",
+    minimizer: str = "auto",
+) -> CasDesign:
+    """One-call convenience wrapper around :class:`CasGenerator`."""
+    return CasGenerator(n=n, p=p, policy=policy, minimizer=minimizer).generate()
+
+
+def behavioral_reference(
+    design: CasDesign,
+    active_code: int,
+):
+    """Build a reference function for netlist equivalence checking.
+
+    Returns ``reference(assignment) -> expected outputs`` evaluating the
+    behavioural CAS with ``active_code`` loaded, suitable for
+    :func:`repro.netlist.verify.check_combinational_equivalence`.
+    """
+    cas = CoreAccessSwitch(design.iset, name=design.netlist.name)
+    cas.load_code(active_code)
+    cas.update()
+    # Park the shift stage at zero (matching a netlist whose ir_* cells
+    # are cleared) so the config-mode serial output compares equal.
+    cas.load_code(0)
+
+    def reference(assignment: dict[str, int]) -> dict[str, int]:
+        e = [assignment[f"e{w}"] for w in range(design.n)]
+        returns = [assignment[f"i{j}"] for j in range(design.p)]
+        config = assignment["config"] == lv.ONE
+        routing = cas.route(e, returns, config=config)
+        expected: dict[str, int] = {}
+        for wire in range(design.n):
+            expected[f"s{wire}"] = routing.s[wire]
+        for port in range(design.p):
+            expected[f"o{port}"] = routing.o[port]
+        return expected
+
+    return reference

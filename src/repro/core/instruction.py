@@ -1,0 +1,202 @@
+"""CAS instruction sets: codes, encodings and the Table 1 quantities.
+
+Every CAS instruction set contains, in this fixed code order:
+
+* code 0 -- **BYPASS** (paper: "when all the instruction register bits
+  are 0, the CAS is in a BYPASS mode"),
+* code 1 -- **CHAIN**, the optional tri-state mechanism of section 3.1
+  that inserts the core's wrapper instruction register into the serial
+  configuration chain behind the CAS instruction register,
+* codes 2 .. m-1 -- one **TEST** instruction per switch scheme, in
+  canonical scheme order.
+
+Under the default ``"all"`` policy this gives ``m = N!/(N-P)! + 2``,
+which matches all twelve (N, P, m) rows of Table 1, and the register
+width follows the paper's formula ``k = ceil(log2(m))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import ConfigurationError
+from repro.core.switch import (
+    SwitchScheme,
+    enumerate_schemes,
+    scheme_count,
+    validate_width,
+)
+
+#: Fixed instruction codes.
+BYPASS_CODE = 0
+CHAIN_CODE = 1
+FIRST_TEST_CODE = 2
+
+#: Instruction kind tags.
+KIND_BYPASS = "bypass"
+KIND_CHAIN = "chain"
+KIND_TEST = "test"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded CAS instruction.
+
+    Attributes:
+        code: integer encoding (what the instruction register holds).
+        kind: one of ``"bypass"``, ``"chain"``, ``"test"``.
+        scheme: the switch scheme for TEST instructions, else ``None``.
+    """
+
+    code: int
+    kind: str
+    scheme: SwitchScheme | None = None
+
+    def describe(self) -> str:
+        if self.kind == KIND_TEST:
+            assert self.scheme is not None
+            return f"TEST[{self.code}] {self.scheme.describe()}"
+        return self.kind.upper()
+
+
+def register_width(m: int) -> int:
+    """The paper's formula ``k = ceil(log2(m))`` (at least 1 bit)."""
+    if m < 1:
+        raise ConfigurationError(f"instruction count must be >= 1, got {m}")
+    return max(1, math.ceil(math.log2(m)))
+
+
+def instruction_count(n: int, p: int, policy: str = "all") -> int:
+    """Closed-form m for an (N, P) CAS: scheme count + BYPASS + CHAIN."""
+    return scheme_count(n, p, policy) + 2
+
+
+def practical_policy(n: int, p: int, m_budget: int = 256) -> str:
+    """The scheme policy a designer would pick for an (N, P) CAS.
+
+    Section 3.2: "other heuristics are used to limit the total number m
+    of combinations".  The full permutation set is kept while it fits
+    ``m_budget`` instructions; otherwise enumeration degrades to
+    order-preserving mappings, then to contiguous windows.
+    """
+    if instruction_count(n, p, "all") <= m_budget:
+        return "all"
+    if instruction_count(n, p, "order_preserving") <= m_budget:
+        return "order_preserving"
+    return "contiguous"
+
+
+class InstructionSet:
+    """The complete instruction set of one (N, P) CAS.
+
+    Instances are immutable and hashable on ``(n, p, policy)``; the
+    scheme list is derived deterministically.
+    """
+
+    def __init__(self, n: int, p: int, policy: str = "all") -> None:
+        validate_width(n, p)
+        self.n = n
+        self.p = p
+        self.policy = policy
+        self._schemes = enumerate_schemes(n, p, policy)
+        self._code_of_scheme = {
+            scheme: FIRST_TEST_CODE + index
+            for index, scheme in enumerate(self._schemes)
+        }
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Total number of instructions (Table 1 column m)."""
+        return len(self._schemes) + 2
+
+    @property
+    def k(self) -> int:
+        """Instruction register width (Table 1 column k)."""
+        return register_width(self.m)
+
+    @cached_property
+    def schemes(self) -> tuple[SwitchScheme, ...]:
+        """All TEST schemes in canonical (code) order."""
+        return tuple(self._schemes)
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, scheme: SwitchScheme) -> int:
+        """Instruction code selecting a given switch scheme."""
+        try:
+            return self._code_of_scheme[scheme]
+        except KeyError:
+            raise ConfigurationError(
+                f"scheme {scheme.wire_of_port} is not in the "
+                f"{self.policy!r} instruction set of CAS({self.n},{self.p})"
+            ) from None
+
+    def decode(self, code: int) -> Instruction:
+        """Decode an instruction register value.
+
+        Raises :class:`~repro.errors.ConfigurationError` for codes
+        outside ``[0, m)`` -- those bit patterns exist whenever ``m`` is
+        not a power of two but are never legal to load.
+        """
+        if code == BYPASS_CODE:
+            return Instruction(code=code, kind=KIND_BYPASS)
+        if code == CHAIN_CODE:
+            return Instruction(code=code, kind=KIND_CHAIN)
+        index = code - FIRST_TEST_CODE
+        if 0 <= index < len(self._schemes):
+            return Instruction(code=code, kind=KIND_TEST, scheme=self._schemes[index])
+        raise ConfigurationError(
+            f"code {code} out of range for CAS({self.n},{self.p}) with m={self.m}"
+        )
+
+    def is_valid_code(self, code: int) -> bool:
+        """True when ``code`` names a real instruction."""
+        return 0 <= code < self.m
+
+    def instructions(self) -> list[Instruction]:
+        """All instructions in code order."""
+        return [self.decode(code) for code in range(self.m)]
+
+    def code_to_bits(self, code: int) -> tuple[int, ...]:
+        """Little-endian bit expansion of a code, ``k`` bits wide.
+
+        Bit 0 of the result is register stage 0, which is the stage
+        nearest the serial output (see
+        :class:`repro.core.cas.CoreAccessSwitch`).
+        """
+        if not 0 <= code < (1 << self.k):
+            raise ConfigurationError(
+                f"code {code} does not fit in a {self.k}-bit register"
+            )
+        return tuple((code >> bit) & 1 for bit in range(self.k))
+
+    def bits_to_code(self, bits: tuple[int, ...]) -> int:
+        """Inverse of :meth:`code_to_bits`."""
+        if len(bits) != self.k:
+            raise ConfigurationError(
+                f"expected {self.k} bits, got {len(bits)}"
+            )
+        code = 0
+        for index, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ConfigurationError(f"bit {index} is {bit!r}, not 0/1")
+            code |= bit << index
+        return code
+
+    def __repr__(self) -> str:
+        return (
+            f"InstructionSet(n={self.n}, p={self.p}, policy={self.policy!r}, "
+            f"m={self.m}, k={self.k})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InstructionSet):
+            return NotImplemented
+        return (self.n, self.p, self.policy) == (other.n, other.p, other.policy)
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.p, self.policy))

@@ -1,0 +1,132 @@
+"""Switch schemes: the N/P wire-to-port mappings a CAS can adopt.
+
+A scheme assigns each of the core's ``P`` test ports a distinct test-bus
+wire.  The paper's routing heuristic (section 3.2) is baked into the
+scheme semantics: when bus input ``e_i`` feeds core input ``o_j``, the
+core output ``i_j`` returns on bus output ``s_i`` -- so a bus wire keeps
+its index across a tested core and a single control word describes a
+complete source-to-sink path.
+
+Scheme enumeration *policies* model the paper's instruction-count
+heuristics:
+
+* ``"all"`` -- every injective mapping: ``N!/(N-P)!`` schemes.  Combined
+  with the two fixed instructions this reproduces every Table 1 row.
+* ``"order_preserving"`` -- wires assigned in increasing order (ports
+  cannot cross): ``C(N, P)`` schemes.  One of the paper's "other
+  heuristics ... to limit the total number m".
+* ``"contiguous"`` -- a window of ``P`` adjacent wires, in order:
+  ``N - P + 1`` schemes.
+* ``"identity"`` -- the single scheme wiring port ``j`` to wire ``j``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Recognised enumeration policies, cheapest-last.
+POLICIES = ("all", "order_preserving", "contiguous", "identity")
+
+
+@dataclass(frozen=True, order=True)
+class SwitchScheme:
+    """One N/P switch configuration.
+
+    Attributes:
+        n: test bus width.
+        p: number of core test ports.
+        wire_of_port: tuple where entry ``j`` is the bus wire feeding
+            core port ``j``; entries are distinct.
+    """
+
+    n: int
+    p: int
+    wire_of_port: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        validate_width(self.n, self.p)
+        if len(self.wire_of_port) != self.p:
+            raise ConfigurationError(
+                f"scheme maps {len(self.wire_of_port)} ports, expected {self.p}"
+            )
+        seen = set()
+        for wire in self.wire_of_port:
+            if not 0 <= wire < self.n:
+                raise ConfigurationError(
+                    f"wire index {wire} out of range for bus width {self.n}"
+                )
+            if wire in seen:
+                raise ConfigurationError(f"wire {wire} assigned to two ports")
+            seen.add(wire)
+
+    @property
+    def port_of_wire(self) -> dict[int, int]:
+        """Inverse mapping: bus wire -> core port, for switched wires only."""
+        return {wire: port for port, wire in enumerate(self.wire_of_port)}
+
+    @property
+    def switched_wires(self) -> frozenset[int]:
+        """Bus wires routed to the core under this scheme."""
+        return frozenset(self.wire_of_port)
+
+    @property
+    def bypassed_wires(self) -> tuple[int, ...]:
+        """Bus wires that pass straight through the CAS."""
+        switched = self.switched_wires
+        return tuple(w for w in range(self.n) if w not in switched)
+
+    def describe(self) -> str:
+        """Human-readable routing, e.g. ``e2->o0/i0->s2, e0->o1/i1->s0``."""
+        parts = [
+            f"e{wire}->o{port}/i{port}->s{wire}"
+            for port, wire in enumerate(self.wire_of_port)
+        ]
+        return ", ".join(parts)
+
+
+def validate_width(n: int, p: int) -> None:
+    """Enforce the paper's constraints: N >= 1 and 1 <= P <= N."""
+    if n < 1:
+        raise ConfigurationError(f"test bus width N must be >= 1, got {n}")
+    if not 1 <= p <= n:
+        raise ConfigurationError(f"P must satisfy 1 <= P <= N, got P={p}, N={n}")
+
+
+def enumerate_schemes(n: int, p: int, policy: str = "all") -> list[SwitchScheme]:
+    """All switch schemes for an (N, P) CAS under a policy, in canonical
+    (lexicographic) order.  Canonical order is what instruction encodings
+    are assigned from, so it must be stable across runs."""
+    validate_width(n, p)
+    if policy == "all":
+        mappings = itertools.permutations(range(n), p)
+    elif policy == "order_preserving":
+        mappings = itertools.combinations(range(n), p)
+    elif policy == "contiguous":
+        mappings = (tuple(range(start, start + p)) for start in range(n - p + 1))
+    elif policy == "identity":
+        mappings = (tuple(range(p)),)
+    else:
+        raise ConfigurationError(
+            f"unknown scheme policy {policy!r}; choose from {POLICIES}"
+        )
+    return [SwitchScheme(n=n, p=p, wire_of_port=m) for m in mappings]
+
+
+def scheme_count(n: int, p: int, policy: str = "all") -> int:
+    """Closed-form count of schemes under a policy (no enumeration)."""
+    validate_width(n, p)
+    if policy == "all":
+        return math.factorial(n) // math.factorial(n - p)
+    if policy == "order_preserving":
+        return math.comb(n, p)
+    if policy == "contiguous":
+        return n - p + 1
+    if policy == "identity":
+        return 1
+    raise ConfigurationError(
+        f"unknown scheme policy {policy!r}; choose from {POLICIES}"
+    )

@@ -1,0 +1,167 @@
+"""SoC-level CAS-BUS assembly: the one-stop facade.
+
+:class:`CasBusTamDesign` ties the whole flow together for a given SoC:
+CAS generation per core (area/VHDL), schedule computation, behavioural
+system construction and plan execution.  The examples and several
+benchmarks drive everything through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ScheduleError
+from repro.core.generator import CasDesign, generate_cas
+from repro.soc.core import CoreSpec, TestMethod
+from repro.soc.soc import SocSpec
+from repro.schedule.scheduler import Schedule, ScheduledSession, schedule_greedy
+from repro.sim.plan import CoreAssignment, SessionPlan, TestPlan
+
+
+@dataclass
+class CasBusTamDesign:
+    """A complete CAS-BUS TAM for one SoC."""
+
+    soc: SocSpec
+    cas_designs: dict[str, CasDesign] = field(default_factory=dict)
+
+    @classmethod
+    def for_soc(cls, soc: SocSpec) -> "CasBusTamDesign":
+        """Generate the per-core CAS hardware for an SoC."""
+        soc.validate()
+        designs: dict[str, CasDesign] = {}
+
+        def visit(spec_soc: SocSpec, prefix: str) -> None:
+            for core in spec_soc.cores:
+                path = f"{prefix}{core.name}"
+                designs[path] = generate_cas(spec_soc.bus_width, core.p)
+                if core.method == TestMethod.HIERARCHICAL:
+                    assert core.inner is not None
+                    visit(core.inner, f"{path}/")
+
+        visit(soc, "")
+        return cls(soc=soc, cas_designs=designs)
+
+    # -- hardware cost -----------------------------------------------------
+
+    @property
+    def total_cas_cells(self) -> int:
+        return sum(d.area.cell_count for d in self.cas_designs.values())
+
+    @property
+    def total_cas_ge(self) -> float:
+        return round(
+            sum(d.area.area_ge for d in self.cas_designs.values()), 2
+        )
+
+    @property
+    def total_config_bits(self) -> int:
+        """Length of the full serial configuration chain (CAS IRs)."""
+        return sum(d.k for d in self.cas_designs.values())
+
+    def vhdl_bundle(self) -> dict[str, str]:
+        """VHDL text for every distinct (N, P) CAS in the design."""
+        seen: dict[tuple[int, int], str] = {}
+        for design in self.cas_designs.values():
+            seen.setdefault((design.n, design.p), design.vhdl)
+        return {
+            f"cas_{n}_{p}.vhd": text for (n, p), text in sorted(seen.items())
+        }
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(self) -> Schedule:
+        """Greedy schedule over the SoC's top-level cores."""
+        params = [core.test_params() for core in self.soc.cores]
+        return schedule_greedy(params, self.soc.bus_width)
+
+    def executable_plan(self) -> TestPlan:
+        """An executor-ready plan covering every core once.
+
+        Flat cores follow the greedy schedule; each hierarchical core
+        expands into per-inner-core sessions (the inner bus usually
+        cannot host all inner cores at once).
+        """
+        sessions: list[SessionPlan] = []
+        flat_params = [
+            core.test_params()
+            for core in self.soc.cores
+            if core.method != TestMethod.HIERARCHICAL
+        ]
+        if flat_params:
+            schedule = schedule_greedy(
+                flat_params, self.soc.bus_width, exact_wires=True
+            )
+            for scheduled in schedule.sessions:
+                sessions.append(
+                    self._flat_session(scheduled, label="flat")
+                )
+        for core in self.soc.cores:
+            if core.method != TestMethod.HIERARCHICAL:
+                continue
+            sessions.extend(self._hierarchical_sessions(core))
+        if not sessions:
+            raise ScheduleError(f"{self.soc.name}: nothing to test")
+        return TestPlan(sessions=tuple(sessions), label=self.soc.name)
+
+    def _flat_session(self, scheduled: ScheduledSession,
+                      label: str) -> SessionPlan:
+        assignments = []
+        cursor = 0
+        for entry in scheduled.entries:
+            spec = self.soc.core_named(entry.params.name)
+            wires = tuple(range(cursor, cursor + spec.p))
+            cursor += spec.p
+            assignments.append(
+                CoreAssignment(path=(spec.name,), levels=(wires,))
+            )
+        return SessionPlan(assignments=tuple(assignments), label=label)
+
+    def _hierarchical_sessions(
+        self, core: CoreSpec
+    ) -> list[SessionPlan]:
+        assert core.inner is not None
+        outer_wires = tuple(range(core.p))
+        sessions = []
+        inner_params = [c.test_params() for c in core.inner.cores]
+        inner_schedule = schedule_greedy(
+            inner_params, core.inner.bus_width, exact_wires=True
+        )
+        for scheduled in inner_schedule.sessions:
+            assignments = []
+            cursor = 0
+            for entry in scheduled.entries:
+                inner_spec = core.inner.core_named(entry.params.name)
+                inner_wires = tuple(range(cursor, cursor + inner_spec.p))
+                cursor += inner_spec.p
+                assignments.append(
+                    CoreAssignment(
+                        path=(core.name, inner_spec.name),
+                        levels=(outer_wires, inner_wires),
+                    )
+                )
+            sessions.append(
+                SessionPlan(assignments=tuple(assignments),
+                            label=f"{core.name}-inner")
+            )
+        return sessions
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        inject_faults: Mapping[str, tuple[int, int]] | None = None,
+        plan: TestPlan | None = None,
+    ):
+        """Build the behavioural system and execute a plan.
+
+        Returns the :class:`~repro.sim.session.ProgramResult`.
+        """
+        from repro.sim.session import SessionExecutor
+        from repro.sim.system import build_system
+
+        system = build_system(self.soc, inject_faults=inject_faults)
+        executor = SessionExecutor(system)
+        return executor.run_plan(plan or self.executable_plan())

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the CAS-BUS reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still discriminating the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was built or driven with inconsistent parameters.
+
+    Examples: a CAS asked for ``P > N``, a core demanding more test wires
+    than the bus provides, an instruction register loaded with an encoding
+    outside the instruction set.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached a state it cannot resolve.
+
+    Examples: two strong drivers fighting on a net, stepping a session
+    that was never configured, reading a port that does not exist.
+    """
+
+
+class SynthesisError(ReproError):
+    """Netlist generation or logic minimisation failed.
+
+    Examples: a cover that does not implement its specification, a cell
+    instantiated with the wrong pin count.
+    """
+
+
+class ScheduleError(ReproError):
+    """Test scheduling could not satisfy its constraints.
+
+    Examples: a session whose cores need more wires than the bus width,
+    a core that can never be placed because ``P > N``.
+    """
+
+
+class VerificationError(ReproError):
+    """An equivalence or invariant check between two models failed."""

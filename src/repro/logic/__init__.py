@@ -1,0 +1,23 @@
+"""Two-level logic minimisation substrate.
+
+The CAS instruction decoder maps a ``k``-bit instruction code to the
+switch control signals.  A naive one-hot decode of ``m`` instructions is
+far larger than the synthesised gate counts the paper reports (Table 1),
+because Synopsys minimises the decode logic.  This package supplies the
+equivalent mechanism: cube/cover data structures, an exact
+Quine-McCluskey minimiser with greedy covering, an espresso-style
+heuristic minimiser for larger spaces, and cover-to-netlist synthesis
+with shared product terms.
+"""
+
+from repro.logic.cube import Cube
+from repro.logic.cover import Cover
+from repro.logic.minimize import minimize, minimize_exact, minimize_heuristic
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "minimize",
+    "minimize_exact",
+    "minimize_heuristic",
+]

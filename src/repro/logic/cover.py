@@ -1,0 +1,84 @@
+"""Covers: sums of product terms implementing a single boolean function."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.logic.cube import Cube
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A sum-of-products cover of a single-output boolean function.
+
+    Attributes:
+        num_vars: width of the input space.
+        cubes: the product terms, OR-ed together.
+    """
+
+    num_vars: int
+    cubes: tuple[Cube, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        full = (1 << self.num_vars) - 1
+        for cube in self.cubes:
+            if cube.mask & ~full:
+                raise ValueError(
+                    f"cube {cube} uses variables beyond num_vars={self.num_vars}"
+                )
+
+    @classmethod
+    def from_minterms(cls, minterms: Iterable[int], num_vars: int) -> "Cover":
+        """Build the canonical (one cube per minterm) cover."""
+        cubes = tuple(Cube.minterm(m, num_vars) for m in sorted(set(minterms)))
+        return cls(num_vars=num_vars, cubes=cubes)
+
+    @classmethod
+    def constant(cls, value: bool, num_vars: int) -> "Cover":
+        """The constant-0 (empty) or constant-1 (universe) cover."""
+        if value:
+            return cls(num_vars=num_vars, cubes=(Cube.universe(),))
+        return cls(num_vars=num_vars, cubes=())
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def evaluate(self, point: int) -> bool:
+        """Evaluate the function at one input point."""
+        return any(cube.covers_point(point) for cube in self.cubes)
+
+    def on_set(self) -> set[int]:
+        """Enumerate all covered minterms.  Intended for small spaces."""
+        points: set[int] = set()
+        for cube in self.cubes:
+            points.update(cube.points(self.num_vars))
+        return points
+
+    def num_literals(self) -> int:
+        """Total literal count -- the standard two-level cost metric."""
+        return sum(cube.num_literals() for cube in self.cubes)
+
+    def is_constant_false(self) -> bool:
+        return not self.cubes
+
+    def is_constant_true(self) -> bool:
+        return any(cube.mask == 0 for cube in self.cubes)
+
+    def covers_minterms(self, minterms: Iterable[int]) -> bool:
+        """True when every given minterm is covered."""
+        return all(self.evaluate(m) for m in minterms)
+
+    def agrees_with(
+        self,
+        on_minterms: Sequence[int],
+        off_minterms: Sequence[int],
+    ) -> bool:
+        """Check the cover implements a (possibly incompletely specified)
+        function: covers the whole on-set, touches none of the off-set."""
+        if not self.covers_minterms(on_minterms):
+            return False
+        return not any(self.evaluate(m) for m in off_minterms)

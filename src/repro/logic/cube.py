@@ -1,0 +1,150 @@
+"""Cubes (product terms) over a fixed set of boolean variables.
+
+A cube is stored as a ``(mask, value)`` pair of bit vectors: bit ``i`` of
+``mask`` is 1 when variable ``i`` is specified in the product term, and in
+that case bit ``i`` of ``value`` gives the required polarity.  Unspecified
+positions of ``value`` are kept at 0 so cubes hash and compare canonically.
+
+This representation makes the two operations minimisation cares about --
+containment tests and distance-1 merging -- single bitwise expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def popcount(x: int) -> int:
+    """Number of set bits in a non-negative int."""
+    return bin(x).count("1")
+
+
+@dataclass(frozen=True, order=True)
+class Cube:
+    """A product term over ``num_vars`` boolean variables.
+
+    Attributes:
+        mask: bit ``i`` set means variable ``i`` appears in the term.
+        value: required polarity for the variables present in ``mask``.
+    """
+
+    mask: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.mask < 0 or self.value < 0:
+            raise ValueError("cube fields must be non-negative")
+        if self.value & ~self.mask:
+            raise ValueError(
+                f"cube value {self.value:#x} sets bits outside mask {self.mask:#x}"
+            )
+
+    @classmethod
+    def minterm(cls, point: int, num_vars: int) -> "Cube":
+        """The fully specified cube for one point of the input space."""
+        full = (1 << num_vars) - 1
+        if point & ~full:
+            raise ValueError(f"minterm {point} out of range for {num_vars} vars")
+        return cls(mask=full, value=point)
+
+    @classmethod
+    def universe(cls) -> "Cube":
+        """The tautological cube (no literals)."""
+        return cls(mask=0, value=0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse ``'01-'`` notation; index 0 of the string is variable 0."""
+        mask = 0
+        value = 0
+        for index, char in enumerate(text):
+            if char == "-":
+                continue
+            if char == "1":
+                mask |= 1 << index
+                value |= 1 << index
+            elif char == "0":
+                mask |= 1 << index
+            else:
+                raise ValueError(f"bad cube character {char!r} in {text!r}")
+        return cls(mask=mask, value=value)
+
+    def to_string(self, num_vars: int) -> str:
+        """Render as ``'01-'`` notation, variable 0 first."""
+        chars = []
+        for index in range(num_vars):
+            bit = 1 << index
+            if not self.mask & bit:
+                chars.append("-")
+            elif self.value & bit:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def num_literals(self) -> int:
+        """Number of literals (specified variables) in the term."""
+        return popcount(self.mask)
+
+    def size(self, num_vars: int) -> int:
+        """Number of minterms covered within a ``num_vars``-wide space."""
+        return 1 << (num_vars - self.num_literals())
+
+    def covers_point(self, point: int) -> bool:
+        """True when the minterm ``point`` satisfies this product term."""
+        return (point & self.mask) == self.value
+
+    def covers_cube(self, other: "Cube") -> bool:
+        """True when every minterm of ``other`` is covered by ``self``."""
+        if self.mask & ~other.mask:
+            return False
+        return (other.value & self.mask) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True when the two terms share at least one minterm."""
+        common = self.mask & other.mask
+        return (self.value & common) == (other.value & common)
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        """The cube of shared minterms, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(mask=self.mask | other.mask, value=self.value | other.value)
+
+    def merge_distance(self, other: "Cube") -> int:
+        """Hamming distance usable by the QM merge step.
+
+        Returns 1 exactly when the cubes have identical masks and differ
+        in a single specified bit (so they merge); any other relation
+        returns a value != 1.
+        """
+        if self.mask != other.mask:
+            return -1
+        return popcount(self.value ^ other.value)
+
+    def merged(self, other: "Cube") -> "Cube":
+        """Combine two distance-1 cubes, dropping the differing variable."""
+        diff = self.value ^ other.value
+        if self.mask != other.mask or popcount(diff) != 1:
+            raise ValueError("cubes are not distance-1 mergeable")
+        new_mask = self.mask & ~diff
+        return Cube(mask=new_mask, value=self.value & new_mask)
+
+    def expand_bit(self, bit_index: int) -> "Cube":
+        """Drop variable ``bit_index`` from the term (cover more points)."""
+        bit = 1 << bit_index
+        if not self.mask & bit:
+            return self
+        new_mask = self.mask & ~bit
+        return Cube(mask=new_mask, value=self.value & new_mask)
+
+    def points(self, num_vars: int):
+        """Iterate every minterm covered by this cube (small spaces only)."""
+        free_bits = [i for i in range(num_vars) if not self.mask & (1 << i)]
+        count = 1 << len(free_bits)
+        for assignment in range(count):
+            point = self.value
+            for j, bit_index in enumerate(free_bits):
+                if assignment & (1 << j):
+                    point |= 1 << bit_index
+            yield point

@@ -1,0 +1,212 @@
+"""Two-level minimisation: exact Quine-McCluskey and an espresso-style
+heuristic, with a size-based dispatcher.
+
+The CAS generator uses this to shrink the instruction decoder: each
+switch-control signal is an incompletely specified function of the
+``k``-bit instruction code (codes ``>= m`` never occur and form the
+don't-care set).  The paper's gate counts come from a commercial
+synthesiser; this module is the reproduction's stand-in for that
+optimisation step.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.errors import SynthesisError
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube, popcount
+
+#: Above this many care minterms the dispatcher switches to the heuristic.
+EXACT_MINTERM_LIMIT = 4096
+
+
+def minimize(
+    on_minterms: Iterable[int],
+    num_vars: int,
+    dc_minterms: Iterable[int] = (),
+) -> Cover:
+    """Minimise an incompletely specified single-output function.
+
+    Chooses the exact algorithm when the care space is small enough,
+    otherwise the heuristic.  The returned cover is always verified to
+    agree with the specification; failure raises
+    :class:`~repro.errors.SynthesisError`.
+    """
+    on = sorted(set(on_minterms))
+    dc = sorted(set(dc_minterms))
+    _check_inputs(on, dc, num_vars)
+    if not on:
+        return Cover.constant(False, num_vars)
+    space = 1 << num_vars
+    if len(on) + len(dc) >= space:
+        cover = Cover.constant(True, num_vars)
+        return cover
+    if len(on) + len(dc) <= EXACT_MINTERM_LIMIT:
+        cover = minimize_exact(on, num_vars, dc)
+    else:
+        cover = minimize_heuristic(on, num_vars, dc)
+    off = _off_set(on, dc, num_vars)
+    if not cover.agrees_with(on, off):
+        raise SynthesisError("minimised cover does not implement its function")
+    return cover
+
+
+def minimize_exact(
+    on_minterms: Iterable[int],
+    num_vars: int,
+    dc_minterms: Iterable[int] = (),
+) -> Cover:
+    """Quine-McCluskey prime generation + essential/greedy covering."""
+    on = sorted(set(on_minterms))
+    dc = sorted(set(dc_minterms))
+    _check_inputs(on, dc, num_vars)
+    if not on:
+        return Cover.constant(False, num_vars)
+    primes = prime_implicants(on, dc, num_vars)
+    chosen = select_cover(primes, on, num_vars)
+    return Cover(num_vars=num_vars, cubes=tuple(chosen))
+
+
+def minimize_heuristic(
+    on_minterms: Iterable[int],
+    num_vars: int,
+    dc_minterms: Iterable[int] = (),
+) -> Cover:
+    """Espresso-style expand + irredundant pass over the on-set.
+
+    Each on-minterm is expanded greedily against the off-set (largest
+    cube that stays legal), then redundant cubes are removed.  Not
+    guaranteed minimal, but safe for spaces where QM would blow up.
+    """
+    on = sorted(set(on_minterms))
+    dc = set(dc_minterms)
+    _check_inputs(on, sorted(dc), num_vars)
+    if not on:
+        return Cover.constant(False, num_vars)
+    off = _off_set(on, sorted(dc), num_vars)
+    expanded: list[Cube] = []
+    covered: set[int] = set()
+    for point in on:
+        if point in covered:
+            continue
+        cube = _expand_against_off(Cube.minterm(point, num_vars), off, num_vars)
+        expanded.append(cube)
+        covered.update(p for p in cube.points(num_vars) if p in set(on) or p in dc)
+    pruned = _irredundant(expanded, on, num_vars)
+    return Cover(num_vars=num_vars, cubes=tuple(pruned))
+
+
+def prime_implicants(
+    on_minterms: Sequence[int],
+    dc_minterms: Sequence[int],
+    num_vars: int,
+) -> list[Cube]:
+    """All prime implicants of the function (QM iterative merging)."""
+    current: set[Cube] = {
+        Cube.minterm(m, num_vars) for m in set(on_minterms) | set(dc_minterms)
+    }
+    primes: set[Cube] = set()
+    while current:
+        merged_away: set[Cube] = set()
+        next_level: set[Cube] = set()
+        by_key: dict[tuple[int, int], list[Cube]] = defaultdict(list)
+        for cube in current:
+            by_key[(cube.mask, popcount(cube.value))].append(cube)
+        for (mask, ones), group in by_key.items():
+            partners = by_key.get((mask, ones + 1), ())
+            for a in group:
+                for b in partners:
+                    if popcount(a.value ^ b.value) == 1:
+                        next_level.add(a.merged(b))
+                        merged_away.add(a)
+                        merged_away.add(b)
+        primes.update(current - merged_away)
+        current = next_level
+    return sorted(primes)
+
+
+def select_cover(
+    primes: Sequence[Cube],
+    on_minterms: Sequence[int],
+    num_vars: int,
+) -> list[Cube]:
+    """Pick a small subset of primes covering the on-set.
+
+    Essential primes are taken first; the remainder is covered greedily
+    by (most new minterms, fewest literals).
+    """
+    remaining = set(on_minterms)
+    coverage: dict[Cube, set[int]] = {
+        prime: {m for m in remaining if prime.covers_point(m)} for prime in primes
+    }
+    chosen: list[Cube] = []
+
+    minterm_owners: dict[int, list[Cube]] = defaultdict(list)
+    for prime, points in coverage.items():
+        for m in points:
+            minterm_owners[m].append(prime)
+    essentials = {owners[0] for owners in minterm_owners.values() if len(owners) == 1}
+    for prime in sorted(essentials):
+        chosen.append(prime)
+        remaining -= coverage[prime]
+
+    while remaining:
+        best = max(
+            (p for p in primes if p not in chosen),
+            key=lambda p: (len(coverage[p] & remaining), -p.num_literals()),
+            default=None,
+        )
+        if best is None or not coverage[best] & remaining:
+            raise SynthesisError("primes cannot cover the on-set")
+        chosen.append(best)
+        remaining -= coverage[best]
+    return chosen
+
+
+def _expand_against_off(cube: Cube, off: set[int], num_vars: int) -> Cube:
+    """Greedily drop literals while the cube stays off the off-set."""
+    for bit_index in range(num_vars):
+        candidate = cube.expand_bit(bit_index)
+        if candidate is cube:
+            continue
+        if not any(candidate.covers_point(point) for point in off):
+            cube = candidate
+    return cube
+
+
+def _irredundant(cubes: list[Cube], on: Sequence[int], num_vars: int) -> list[Cube]:
+    """Remove cubes whose on-set contribution is covered by the others."""
+    kept = list(cubes)
+    changed = True
+    while changed:
+        changed = False
+        for index, cube in enumerate(kept):
+            others = kept[:index] + kept[index + 1 :]
+            if all(
+                any(o.covers_point(m) for o in others)
+                for m in on
+                if cube.covers_point(m)
+            ):
+                kept = others
+                changed = True
+                break
+    return kept
+
+
+def _off_set(on: Sequence[int], dc: Sequence[int], num_vars: int) -> list[int]:
+    care = set(on) | set(dc)
+    return [m for m in range(1 << num_vars) if m not in care]
+
+
+def _check_inputs(on: Sequence[int], dc: Sequence[int], num_vars: int) -> None:
+    if num_vars < 0:
+        raise ValueError("num_vars must be non-negative")
+    space = 1 << num_vars
+    for m in list(on) + list(dc):
+        if not 0 <= m < space:
+            raise ValueError(f"minterm {m} out of range for {num_vars} variables")
+    overlap = set(on) & set(dc)
+    if overlap:
+        raise ValueError(f"minterms both on and don't-care: {sorted(overlap)[:5]}")

@@ -1,0 +1,32 @@
+"""Gate-level netlist substrate.
+
+The CAS generator emits structural netlists in this IR (the reproduction's
+stand-in for the paper's synthesised VHDL).  The package provides:
+
+* a small standard-cell library with four-valued evaluation semantics
+  (:mod:`repro.netlist.cells`),
+* the netlist container (:mod:`repro.netlist.netlist`),
+* an event-driven four-valued simulator with tri-state resolution
+  (:mod:`repro.netlist.simulate`),
+* a technology-mapping area model reporting cell counts and
+  NAND2-equivalents (:mod:`repro.netlist.area`),
+* equivalence checking of a netlist against a Python reference model
+  (:mod:`repro.netlist.verify`).
+"""
+
+from repro.netlist.cells import CELL_LIBRARY, CellSpec
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.simulate import NetlistSimulator
+from repro.netlist.area import AreaReport, area_report
+from repro.netlist.verify import check_combinational_equivalence
+
+__all__ = [
+    "CELL_LIBRARY",
+    "CellSpec",
+    "Gate",
+    "Netlist",
+    "NetlistSimulator",
+    "AreaReport",
+    "area_report",
+    "check_combinational_equivalence",
+]

@@ -1,0 +1,76 @@
+"""Area model: technology-map a netlist and report its size.
+
+Two figures are reported, mirroring how synthesis results are usually
+quoted:
+
+* **mapped cell count** -- variadic AND/OR/... gates are decomposed into
+  trees of 2-input cells first, the way a mapper would;  this is the
+  number comparable to the paper's Table 1 "# of gates" column (cell
+  counts from Synopsys Design Analyzer);
+* **NAND2-equivalent area (GE)** -- the weighted figure used for the
+  bus-width trade-off experiment (C1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import cell_spec
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Size summary of one netlist after technology mapping.
+
+    Attributes:
+        name: netlist name.
+        cell_count: number of mapped (2-input) library cells.
+        area_ge: NAND2-equivalent area.
+        by_kind: mapped cell count per cell kind.
+    """
+
+    name: str
+    cell_count: int
+    area_ge: float
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kinds = ", ".join(f"{k}:{v}" for k, v in sorted(self.by_kind.items()))
+        return (
+            f"AreaReport({self.name}: {self.cell_count} cells, "
+            f"{self.area_ge:.1f} GE; {kinds})"
+        )
+
+
+def mapped_cell_units(kind: str, fanin: int) -> int:
+    """How many 2-input library cells one IR gate maps to.
+
+    A variadic f-input AND/OR/NAND/NOR/XOR/XNOR maps to a balanced tree
+    of ``f - 1`` two-input cells; fixed-arity cells map to themselves.
+    Degenerate one-input variadic gates map to a buffer (1 cell).
+    """
+    spec = cell_spec(kind)
+    if spec.num_inputs is not None:
+        return 1
+    return max(1, fanin - 1)
+
+
+def area_report(netlist: Netlist) -> AreaReport:
+    """Compute the mapped cell count and GE area of a netlist."""
+    by_kind: dict[str, int] = defaultdict(int)
+    total_cells = 0
+    total_ge = 0.0
+    for gate in netlist.gates:
+        spec = cell_spec(gate.kind)
+        units = mapped_cell_units(gate.kind, len(gate.inputs))
+        by_kind[gate.kind] += units
+        total_cells += units
+        total_ge += units * spec.area_ge
+    return AreaReport(
+        name=netlist.name,
+        cell_count=total_cells,
+        area_ge=round(total_ge, 2),
+        by_kind=dict(by_kind),
+    )

@@ -1,0 +1,133 @@
+"""Standard-cell library for generated CAS netlists.
+
+Each cell kind carries its evaluation function over four-valued logic and
+an area in NAND2 gate equivalents (GE).  Variadic kinds (AND/OR/...) are
+stored as single gates in the IR; the area model decomposes them into
+two-input trees, which matches how a synthesiser would map them.
+
+The GE figures are the usual textbook values for a 1990s-era standard
+cell library; absolute numbers only need to be *consistent*, since the
+reproduction compares shapes against Table 1, not a silicon library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro import values as lv
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static description of one library cell kind.
+
+    Attributes:
+        name: cell kind identifier used by :class:`~repro.netlist.netlist.Gate`.
+        num_inputs: fixed pin count, or ``None`` for variadic kinds.
+        area_ge: NAND2-equivalent area of the 2-input / base form.
+        sequential: True for state elements (evaluated on clock edges).
+        tristate: True when the cell may emit ``Z``.
+        evaluate: four-valued evaluation ``inputs -> output`` for
+            combinational cells; sequential cells are handled by the
+            simulator directly.
+    """
+
+    name: str
+    num_inputs: int | None
+    area_ge: float
+    sequential: bool = False
+    tristate: bool = False
+    evaluate: Callable[[Sequence[int]], int] | None = None
+
+
+def _eval_const0(_: Sequence[int]) -> int:
+    return lv.ZERO
+
+
+def _eval_const1(_: Sequence[int]) -> int:
+    return lv.ONE
+
+
+def _eval_buf(inputs: Sequence[int]) -> int:
+    return lv.v_buf(inputs[0])
+
+
+def _eval_inv(inputs: Sequence[int]) -> int:
+    return lv.v_not(inputs[0])
+
+
+def _eval_and(inputs: Sequence[int]) -> int:
+    return lv.v_and(inputs)
+
+
+def _eval_or(inputs: Sequence[int]) -> int:
+    return lv.v_or(inputs)
+
+
+def _eval_nand(inputs: Sequence[int]) -> int:
+    return lv.v_not(lv.v_and(inputs))
+
+
+def _eval_nor(inputs: Sequence[int]) -> int:
+    return lv.v_not(lv.v_or(inputs))
+
+
+def _eval_xor(inputs: Sequence[int]) -> int:
+    return lv.v_xor(inputs)
+
+
+def _eval_xnor(inputs: Sequence[int]) -> int:
+    return lv.v_not(lv.v_xor(inputs))
+
+
+def _eval_mux2(inputs: Sequence[int]) -> int:
+    d0, d1, sel = inputs
+    return lv.v_mux(d0, d1, sel)
+
+
+def _eval_tribuf(inputs: Sequence[int]) -> int:
+    data, enable = inputs
+    return lv.v_tristate(data, enable)
+
+
+#: The library, keyed by cell kind name.
+CELL_LIBRARY: dict[str, CellSpec] = {
+    spec.name: spec
+    for spec in (
+        CellSpec("CONST0", 0, 0.0, evaluate=_eval_const0),
+        CellSpec("CONST1", 0, 0.0, evaluate=_eval_const1),
+        CellSpec("BUF", 1, 0.75, evaluate=_eval_buf),
+        CellSpec("INV", 1, 0.5, evaluate=_eval_inv),
+        CellSpec("AND", None, 1.5, evaluate=_eval_and),
+        CellSpec("OR", None, 1.5, evaluate=_eval_or),
+        CellSpec("NAND", None, 1.0, evaluate=_eval_nand),
+        CellSpec("NOR", None, 1.0, evaluate=_eval_nor),
+        CellSpec("XOR", None, 2.5, evaluate=_eval_xor),
+        CellSpec("XNOR", None, 2.5, evaluate=_eval_xnor),
+        CellSpec("MUX2", 3, 2.25, evaluate=_eval_mux2),
+        CellSpec("TRIBUF", 2, 1.25, tristate=True, evaluate=_eval_tribuf),
+        # DFF pins: (d,).  DFFE pins: (d, enable) -- holds when enable=0.
+        CellSpec("DFF", 1, 4.25, sequential=True),
+        CellSpec("DFFE", 2, 5.0, sequential=True),
+    )
+}
+
+#: Cell kinds that hold state across clock edges.
+SEQUENTIAL_KINDS = frozenset(
+    name for name, spec in CELL_LIBRARY.items() if spec.sequential
+)
+
+#: Cell kinds whose outputs may be high impedance.
+TRISTATE_KINDS = frozenset(
+    name for name, spec in CELL_LIBRARY.items() if spec.tristate
+)
+
+
+def cell_spec(kind: str) -> CellSpec:
+    """Look up a cell kind, raising ``KeyError`` with a helpful message."""
+    try:
+        return CELL_LIBRARY[kind]
+    except KeyError:
+        known = ", ".join(sorted(CELL_LIBRARY))
+        raise KeyError(f"unknown cell kind {kind!r}; known kinds: {known}") from None

@@ -1,0 +1,187 @@
+"""Netlist container: named nets, gates, ports.
+
+Rules enforced at construction time:
+
+* every gate output drives exactly one net;
+* a net may have multiple drivers only when *all* of them are tri-state
+  cells (the CAS switch relies on this for its ``o`` terminals);
+* pin counts must match the cell library;
+* primary inputs cannot also be driven by a gate.
+
+The container is deliberately dumb -- evaluation lives in
+:mod:`repro.netlist.simulate`, area in :mod:`repro.netlist.area`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import SynthesisError
+from repro.netlist.cells import SEQUENTIAL_KINDS, TRISTATE_KINDS, cell_spec
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One cell instance.
+
+    Attributes:
+        kind: cell kind name from :data:`repro.netlist.cells.CELL_LIBRARY`.
+        inputs: input net names, in pin order.
+        output: the single output net name.
+        name: instance name, unique within the netlist.
+    """
+
+    kind: str
+    inputs: tuple[str, ...]
+    output: str
+    name: str
+
+
+@dataclass
+class Netlist:
+    """A flat structural netlist."""
+
+    name: str
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+    _drivers: dict[str, list[Gate]] = field(default_factory=lambda: defaultdict(list))
+    _instance_names: set[str] = field(default_factory=set)
+    _counter: int = 0
+
+    # -- construction -----------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._drivers and self._drivers[net]:
+            raise SynthesisError(f"net {net!r} already driven by a gate")
+        if net in self.inputs:
+            raise SynthesisError(f"duplicate primary input {net!r}")
+        self.inputs.append(net)
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare a primary output net (must eventually be driven)."""
+        if net in self.outputs:
+            raise SynthesisError(f"duplicate primary output {net!r}")
+        self.outputs.append(net)
+        return net
+
+    def add_gate(
+        self,
+        kind: str,
+        inputs: tuple[str, ...] | list[str],
+        output: str,
+        name: str | None = None,
+    ) -> Gate:
+        """Instantiate a cell; returns the created :class:`Gate`."""
+        spec = cell_spec(kind)
+        inputs = tuple(inputs)
+        if spec.num_inputs is not None and len(inputs) != spec.num_inputs:
+            raise SynthesisError(
+                f"{kind} needs {spec.num_inputs} inputs, got {len(inputs)}"
+            )
+        if spec.num_inputs is None and len(inputs) < 1:
+            raise SynthesisError(f"variadic cell {kind} needs at least one input")
+        if output in self.inputs:
+            raise SynthesisError(f"gate may not drive primary input {output!r}")
+        existing = self._drivers[output]
+        if existing:
+            all_tristate = kind in TRISTATE_KINDS and all(
+                g.kind in TRISTATE_KINDS for g in existing
+            )
+            if not all_tristate:
+                raise SynthesisError(
+                    f"net {output!r} would have multiple non-tristate drivers"
+                )
+        if name is None:
+            self._counter += 1
+            name = f"{kind.lower()}_{self._counter}"
+        if name in self._instance_names:
+            raise SynthesisError(f"duplicate instance name {name!r}")
+        gate = Gate(kind=kind, inputs=inputs, output=output, name=name)
+        self.gates.append(gate)
+        self._drivers[output].append(gate)
+        self._instance_names.add(name)
+        return gate
+
+    def fresh_net(self, prefix: str = "n") -> str:
+        """Return a new unique internal net name."""
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    # -- queries -----------------------------------------------------------
+
+    def drivers_of(self, net: str) -> list[Gate]:
+        """All gates driving ``net`` (empty for inputs/floating nets)."""
+        return list(self._drivers.get(net, ()))
+
+    def nets(self) -> set[str]:
+        """All net names referenced anywhere in the design."""
+        result = set(self.inputs) | set(self.outputs)
+        for gate in self.gates:
+            result.add(gate.output)
+            result.update(gate.inputs)
+        return result
+
+    def sequential_gates(self) -> list[Gate]:
+        """All state elements, in instantiation order."""
+        return [g for g in self.gates if g.kind in SEQUENTIAL_KINDS]
+
+    def combinational_gates(self) -> list[Gate]:
+        """All non-state cells, in instantiation order."""
+        return [g for g in self.gates if g.kind not in SEQUENTIAL_KINDS]
+
+    def cell_counts(self) -> dict[str, int]:
+        """Histogram of cell kinds."""
+        counts: dict[str, int] = defaultdict(int)
+        for gate in self.gates:
+            counts[gate.kind] += 1
+        return dict(counts)
+
+    def validate(self) -> None:
+        """Structural sanity: outputs driven, no combinational cycles.
+
+        Raises :class:`~repro.errors.SynthesisError` on violation.
+        """
+        for net in self.outputs:
+            if net not in self._drivers and net not in self.inputs:
+                raise SynthesisError(f"primary output {net!r} is undriven")
+        self._check_no_combinational_cycles()
+
+    def _check_no_combinational_cycles(self) -> None:
+        # Sequential cell outputs break cycles: only walk comb. gates.
+        comb_driver: dict[str, list[Gate]] = defaultdict(list)
+        for gate in self.combinational_gates():
+            comb_driver[gate.output].append(gate)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[str, int] = defaultdict(int)
+
+        def visit(net: str, stack: list[str]) -> None:
+            if colour[net] == BLACK:
+                return
+            if colour[net] == GREY:
+                cycle = " -> ".join(stack[stack.index(net):] + [net])
+                raise SynthesisError(f"combinational cycle: {cycle}")
+            colour[net] = GREY
+            stack.append(net)
+            for gate in comb_driver.get(net, ()):
+                for source in gate.inputs:
+                    visit(source, stack)
+            stack.pop()
+            colour[net] = BLACK
+
+        for net in list(comb_driver):
+            visit(net, [])
+
+    def stats(self) -> dict[str, int]:
+        """Quick size summary used by reports and tests."""
+        return {
+            "gates": len(self.gates),
+            "sequential": len(self.sequential_gates()),
+            "combinational": len(self.combinational_gates()),
+            "nets": len(self.nets()),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+        }

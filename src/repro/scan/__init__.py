@@ -1,0 +1,35 @@
+"""Scan-test substrate: synthetic scannable cores, stuck-at faults,
+parallel-pattern fault simulation and random-pattern ATPG.
+
+The paper tests scannable cores through the CAS-BUS with ``P`` equal to
+the number of integrated scan chains (figure 2a).  This package supplies
+real cores to test: seeded random combinational clouds with scan
+flip-flops partitioned into chains, a single-stuck-at fault model, a
+64-way bit-parallel fault simulator, and an ATPG loop producing compact
+test sets with known expected responses -- the data that actually
+travels over the test bus in the system simulation.
+"""
+
+from repro.scan.core_model import CombCloud, CombOp, ScannableCore
+from repro.scan.chain import ScanChain
+from repro.scan.faults import Fault, all_stuck_at_faults
+from repro.scan.fault_sim import FaultSimResult, run_fault_simulation
+from repro.scan.atpg import ScanPattern, TestSet, generate_test_set
+from repro.scan.podem import PodemAtpg, PodemResult, podem_pattern
+
+__all__ = [
+    "CombCloud",
+    "CombOp",
+    "ScannableCore",
+    "ScanChain",
+    "Fault",
+    "all_stuck_at_faults",
+    "FaultSimResult",
+    "run_fault_simulation",
+    "ScanPattern",
+    "TestSet",
+    "generate_test_set",
+    "PodemAtpg",
+    "PodemResult",
+    "podem_pattern",
+]

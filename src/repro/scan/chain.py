@@ -1,0 +1,58 @@
+"""Stand-alone scan chain: an ordered shift register of named bits.
+
+Used wherever a shiftable register that is *not* backed by a
+:class:`~repro.scan.core_model.ScannableCore` is needed -- e.g. the
+wrapper's serial concatenation of boundary cells and core chains, or
+the wrapped system bus's boundary chain.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+class ScanChain:
+    """A plain shift register with position 0 at the scan-in side."""
+
+    def __init__(self, length: int, name: str = "chain") -> None:
+        if length < 0:
+            raise SimulationError(f"{name}: negative length {length}")
+        self.name = name
+        self.bits = [0] * length
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def shift(self, bit_in: int) -> int:
+        """Shift one position towards scan-out; returns the bit out."""
+        if bit_in not in (0, 1):
+            raise SimulationError(
+                f"{self.name}: scan input must be 0/1, got {bit_in!r}"
+            )
+        if not self.bits:
+            return bit_in
+        out_bit = self.bits[-1]
+        self.bits = [bit_in] + self.bits[:-1]
+        return out_bit
+
+    def scan_out_bit(self) -> int:
+        """Bit presented at scan-out before the next shift."""
+        if not self.bits:
+            raise SimulationError(f"{self.name}: empty chain has no output")
+        return self.bits[-1]
+
+    def load(self, values: Sequence[int]) -> None:
+        if len(values) != len(self.bits):
+            raise SimulationError(
+                f"{self.name}: loading {len(values)} bits into "
+                f"{len(self.bits)}-bit chain"
+            )
+        self.bits = list(values)
+
+    def read(self) -> list[int]:
+        return list(self.bits)
+
+    def reset(self) -> None:
+        self.bits = [0] * len(self.bits)

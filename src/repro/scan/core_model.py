@@ -1,0 +1,320 @@
+"""Synthetic scannable cores.
+
+A core is a random (but seeded, hence reproducible) combinational cloud
+whose inputs are the core's primary inputs plus the scan flip-flop
+outputs, and whose outputs are the flip-flop next-state functions plus
+the primary outputs.  Flip-flops are partitioned into scan chains.
+
+The cloud evaluator is *bit-parallel*: every node value is a Python int
+holding one bit per test pattern, so 64 (or any number of) patterns are
+simulated in one pass -- the standard trick that makes stuck-at fault
+simulation tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Supported cloud operators.
+_BINARY_OPS = ("AND", "OR", "XOR", "NAND", "NOR")
+_UNARY_OPS = ("NOT", "BUF")
+
+
+@dataclass(frozen=True)
+class CombOp:
+    """One cloud node: ``op`` over node ids ``a`` (and ``b`` if binary)."""
+
+    op: str
+    a: int
+    b: int = -1
+
+    def is_unary(self) -> bool:
+        return self.op in _UNARY_OPS
+
+
+class CombCloud:
+    """A random combinational network in topological order.
+
+    Node ids: ``0 .. num_inputs-1`` are inputs; node ``num_inputs + i``
+    is the output of ``ops[i]``.
+    """
+
+    def __init__(
+        self,
+        num_inputs: int,
+        ops: Sequence[CombOp],
+        outputs: Sequence[int],
+    ) -> None:
+        if num_inputs < 1:
+            raise ConfigurationError("cloud needs at least one input")
+        self.num_inputs = num_inputs
+        self.ops = list(ops)
+        self.num_nodes = num_inputs + len(self.ops)
+        for index, op in enumerate(self.ops):
+            node_id = num_inputs + index
+            if not 0 <= op.a < node_id:
+                raise ConfigurationError(f"op {index}: input a out of order")
+            if not op.is_unary() and not 0 <= op.b < node_id:
+                raise ConfigurationError(f"op {index}: input b out of order")
+            if op.op not in _BINARY_OPS and op.op not in _UNARY_OPS:
+                raise ConfigurationError(f"op {index}: unknown op {op.op!r}")
+        self.outputs = list(outputs)
+        for node in self.outputs:
+            if not 0 <= node < self.num_nodes:
+                raise ConfigurationError(f"output node {node} out of range")
+
+    @classmethod
+    def random(
+        cls,
+        num_inputs: int,
+        num_ops: int,
+        num_outputs: int,
+        seed: int,
+    ) -> "CombCloud":
+        """Seeded random cloud with locality-biased connectivity."""
+        rng = random.Random(seed)
+        ops: list[CombOp] = []
+        for index in range(num_ops):
+            node_id = num_inputs + index
+            kind = rng.choice(_BINARY_OPS + _UNARY_OPS
+                              if index % 7 == 6 else _BINARY_OPS)
+            # Bias towards recent nodes for depth, keep some fan-in from
+            # primary inputs so they stay relevant.
+            def pick() -> int:
+                if node_id > num_inputs and rng.random() < 0.7:
+                    low = max(0, node_id - 3 * num_inputs)
+                    return rng.randrange(low, node_id)
+                return rng.randrange(0, node_id)
+
+            a = pick()
+            if kind in _UNARY_OPS:
+                ops.append(CombOp(kind, a))
+            else:
+                b = pick()
+                ops.append(CombOp(kind, a, b))
+        total = num_inputs + num_ops
+        # Prefer late nodes as outputs so logic is observable.
+        population = list(range(total))
+        weights = [1 + 3 * node / total for node in population]
+        outputs = rng.choices(population, weights=weights, k=num_outputs)
+        return cls(num_inputs=num_inputs, ops=ops, outputs=outputs)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate_words(
+        self,
+        input_words: Sequence[int],
+        mask: int,
+        fault: "tuple[int, int] | None" = None,
+    ) -> list[int]:
+        """Evaluate all nodes bit-parallel; returns output-node words.
+
+        Args:
+            input_words: one word per input node (bit ``v`` = pattern v).
+            mask: ``(1 << num_patterns) - 1``, for complementation.
+            fault: optional ``(node_id, stuck_value)`` single stuck-at
+                fault forced onto a node's output.
+        """
+        if len(input_words) != self.num_inputs:
+            raise SimulationError(
+                f"cloud has {self.num_inputs} inputs, got {len(input_words)}"
+            )
+        values = list(input_words) + [0] * len(self.ops)
+        if fault is not None and fault[0] < self.num_inputs:
+            values[fault[0]] = mask if fault[1] else 0
+        base = self.num_inputs
+        for index, op in enumerate(self.ops):
+            node_id = base + index
+            a = values[op.a]
+            if op.op == "AND":
+                out = a & values[op.b]
+            elif op.op == "OR":
+                out = a | values[op.b]
+            elif op.op == "XOR":
+                out = a ^ values[op.b]
+            elif op.op == "NAND":
+                out = ~(a & values[op.b]) & mask
+            elif op.op == "NOR":
+                out = ~(a | values[op.b]) & mask
+            elif op.op == "NOT":
+                out = ~a & mask
+            else:  # BUF
+                out = a
+            if fault is not None and fault[0] == node_id:
+                out = mask if fault[1] else 0
+            values[node_id] = out
+        return [values[node] for node in self.outputs]
+
+
+class ScannableCore:
+    """A scan-testable core: cloud + scan flip-flops in chains.
+
+    Cloud inputs are ordered ``[PI_0..PI_{npi-1}, FF_0..FF_{nff-1}]``;
+    cloud outputs ``[D_0..D_{nff-1}, PO_0..PO_{npo-1}]``.
+
+    The single-pattern interface (:meth:`scan_shift`, :meth:`capture`)
+    drives the system simulation; the word-parallel path is used by
+    fault simulation and ATPG.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cloud: CombCloud,
+        num_pis: int,
+        num_pos: int,
+        chains: Sequence[Sequence[int]],
+    ) -> None:
+        self.name = name
+        self.cloud = cloud
+        self.num_pis = num_pis
+        self.num_pos = num_pos
+        self.chains = [list(chain) for chain in chains]
+        flat = [ff for chain in self.chains for ff in chain]
+        self.num_ffs = len(flat)
+        if sorted(flat) != list(range(self.num_ffs)):
+            raise ConfigurationError(
+                f"{name}: chains must partition flip-flops 0..{self.num_ffs - 1}"
+            )
+        if cloud.num_inputs != num_pis + self.num_ffs:
+            raise ConfigurationError(
+                f"{name}: cloud has {cloud.num_inputs} inputs, expected "
+                f"{num_pis} PIs + {self.num_ffs} FFs"
+            )
+        if len(cloud.outputs) != self.num_ffs + num_pos:
+            raise ConfigurationError(
+                f"{name}: cloud has {len(cloud.outputs)} outputs, expected "
+                f"{self.num_ffs} D + {num_pos} POs"
+            )
+        self.ff_values = [0] * self.num_ffs
+        #: Optional injected stuck-at fault ``(node, value)`` applied by
+        #: :meth:`capture` -- lets a system instance be defective while
+        #: expected responses come from a clean build of the same spec.
+        self.fault: tuple[int, int] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        name: str,
+        *,
+        seed: int,
+        num_pis: int = 4,
+        num_pos: int = 4,
+        num_ffs: int = 24,
+        num_chains: int = 2,
+        num_gates: int | None = None,
+        chain_lengths: Sequence[int] | None = None,
+    ) -> "ScannableCore":
+        """Generate a seeded random scannable core.
+
+        ``chain_lengths`` overrides the default balanced partition --
+        used by the scan-balancing experiment (C2) to build deliberately
+        skewed chains.
+        """
+        if num_ffs < 1 or num_chains < 1 or num_chains > num_ffs:
+            raise ConfigurationError(
+                f"{name}: bad scan parameters "
+                f"(ffs={num_ffs}, chains={num_chains})"
+            )
+        if num_gates is None:
+            num_gates = 4 * (num_pis + num_ffs)
+        cloud = CombCloud.random(
+            num_inputs=num_pis + num_ffs,
+            num_ops=num_gates,
+            num_outputs=num_ffs + num_pos,
+            seed=seed,
+        )
+        if chain_lengths is None:
+            base, extra = divmod(num_ffs, num_chains)
+            chain_lengths = [
+                base + (1 if index < extra else 0)
+                for index in range(num_chains)
+            ]
+        if sum(chain_lengths) != num_ffs or len(chain_lengths) != num_chains:
+            raise ConfigurationError(
+                f"{name}: chain lengths {chain_lengths} do not partition "
+                f"{num_ffs} flip-flops into {num_chains} chains"
+            )
+        chains = []
+        next_ff = 0
+        for length in chain_lengths:
+            chains.append(list(range(next_ff, next_ff + length)))
+            next_ff += length
+        return cls(name=name, cloud=cloud, num_pis=num_pis,
+                   num_pos=num_pos, chains=chains)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    @property
+    def chain_lengths(self) -> tuple[int, ...]:
+        return tuple(len(chain) for chain in self.chains)
+
+    @property
+    def max_chain_length(self) -> int:
+        return max(self.chain_lengths)
+
+    # -- single-pattern behavioural interface ----------------------------------
+
+    def reset(self) -> None:
+        self.ff_values = [0] * self.num_ffs
+
+    def scan_shift(self, chain_index: int, bit_in: int) -> int:
+        """Shift one chain by one bit; returns the scan-out bit."""
+        if bit_in not in (0, 1):
+            raise SimulationError(
+                f"{self.name}: scan input must be 0/1, got {bit_in!r}"
+            )
+        chain = self.chains[chain_index]
+        out_bit = self.ff_values[chain[-1]]
+        for position in range(len(chain) - 1, 0, -1):
+            self.ff_values[chain[position]] = self.ff_values[chain[position - 1]]
+        self.ff_values[chain[0]] = bit_in
+        return out_bit
+
+    def scan_out_bit(self, chain_index: int) -> int:
+        """The bit currently presented at a chain's scan-out."""
+        return self.ff_values[self.chains[chain_index][-1]]
+
+    def capture(self, pi_values: Sequence[int]) -> list[int]:
+        """One functional clock: FFs load their next state; returns POs."""
+        if len(pi_values) != self.num_pis:
+            raise SimulationError(
+                f"{self.name}: expected {self.num_pis} PI values, "
+                f"got {len(pi_values)}"
+            )
+        inputs = list(pi_values) + self.ff_values
+        outputs = self.cloud.evaluate_words(inputs, mask=1, fault=self.fault)
+        self.ff_values = [v & 1 for v in outputs[: self.num_ffs]]
+        return [v & 1 for v in outputs[self.num_ffs:]]
+
+    def load_chain(self, chain_index: int, bits: Sequence[int]) -> None:
+        """Directly load a chain (``bits[i]`` lands in chain position i)."""
+        chain = self.chains[chain_index]
+        if len(bits) != len(chain):
+            raise SimulationError(
+                f"{self.name}: chain {chain_index} holds {len(chain)} bits, "
+                f"got {len(bits)}"
+            )
+        for position, bit in enumerate(bits):
+            self.ff_values[chain[position]] = bit
+
+    def read_chain(self, chain_index: int) -> list[int]:
+        """Chain contents, position 0 (scan-in side) first."""
+        return [self.ff_values[ff] for ff in self.chains[chain_index]]
+
+    def __repr__(self) -> str:
+        return (
+            f"ScannableCore({self.name!r}, pis={self.num_pis}, "
+            f"pos={self.num_pos}, ffs={self.num_ffs}, "
+            f"chains={list(self.chain_lengths)})"
+        )

@@ -1,0 +1,37 @@
+"""Single stuck-at fault model over combinational clouds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scan.core_model import CombCloud, ScannableCore
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault on one cloud node's output.
+
+    Attributes:
+        node: cloud node id (input node or op output).
+        stuck_value: 0 or 1.
+    """
+
+    node: int
+    stuck_value: int
+
+    def describe(self) -> str:
+        return f"node{self.node}/SA{self.stuck_value}"
+
+
+def all_stuck_at_faults(cloud: CombCloud) -> list[Fault]:
+    """The collapsed-naive full fault list: SA0 and SA1 on every node."""
+    return [
+        Fault(node=node, stuck_value=value)
+        for node in range(cloud.num_nodes)
+        for value in (0, 1)
+    ]
+
+
+def core_fault_list(core: ScannableCore) -> list[Fault]:
+    """All single stuck-at faults of a scannable core's logic."""
+    return all_stuck_at_faults(core.cloud)

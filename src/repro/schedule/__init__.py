@@ -1,0 +1,54 @@
+"""Test scheduling over the CAS-BUS.
+
+Quantifies the section 4 claims: test time as a function of bus width,
+scan-chain balancing, session reconfiguration, and concurrent
+(maintenance) test.  Works over abstract
+:class:`~repro.soc.core.CoreTestParams` so it scales to ITC'02-sized
+workloads, while the timing formulas are validated cycle-for-cycle
+against the behavioural simulator on small SoCs.
+"""
+
+from repro.schedule.timing import (
+    cas_config_bits,
+    config_cycles,
+    core_test_cycles,
+    scan_test_cycles,
+    session_config_cycles,
+)
+from repro.schedule.balance import (
+    balanced_lengths,
+    partition_lpt,
+    partition_optimal,
+)
+from repro.schedule.assign import assign_wires
+from repro.schedule.scheduler import (
+    Schedule,
+    ScheduledEntry,
+    ScheduledSession,
+    lower_bound,
+    schedule_exhaustive,
+    schedule_greedy,
+)
+from repro.schedule.reconfig import ReconfigComparison, compare_reconfiguration
+from repro.schedule.concurrent import maintenance_session
+
+__all__ = [
+    "cas_config_bits",
+    "config_cycles",
+    "core_test_cycles",
+    "scan_test_cycles",
+    "session_config_cycles",
+    "balanced_lengths",
+    "partition_lpt",
+    "partition_optimal",
+    "assign_wires",
+    "Schedule",
+    "ScheduledEntry",
+    "ScheduledSession",
+    "lower_bound",
+    "schedule_exhaustive",
+    "schedule_greedy",
+    "ReconfigComparison",
+    "compare_reconfiguration",
+    "maintenance_session",
+]

@@ -1,0 +1,54 @@
+"""Wire assignment: turning abstract wire *counts* into concrete bus
+wire *indices* for one session.
+
+The CAS supports every injective wire-to-port mapping, so any disjoint
+index choice works; contiguous ranges are used for readability of
+reports and traces.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ScheduleError
+from repro.sim.plan import CoreAssignment, flat_assignment
+
+
+def assign_wires(
+    requests: Sequence[tuple[str, int]],
+    bus_width: int,
+) -> dict[str, tuple[int, ...]]:
+    """Allocate disjoint wire index ranges for one session.
+
+    Args:
+        requests: ``(core_name, wire_count)`` pairs.
+        bus_width: total wires available.
+
+    Returns:
+        core name -> tuple of wire indices (contiguous, ascending).
+    """
+    total = sum(count for _, count in requests)
+    if total > bus_width:
+        names = [name for name, _ in requests]
+        raise ScheduleError(
+            f"session needs {total} wires for {names} but the bus has "
+            f"{bus_width}"
+        )
+    result: dict[str, tuple[int, ...]] = {}
+    cursor = 0
+    for name, count in requests:
+        if count < 1:
+            raise ScheduleError(f"{name}: wire count must be >= 1")
+        result[name] = tuple(range(cursor, cursor + count))
+        cursor += count
+    return result
+
+
+def session_assignments(
+    wire_map: Mapping[str, tuple[int, ...]],
+) -> list[CoreAssignment]:
+    """Wrap an assign_wires result into executor-ready assignments
+    (top-level cores only)."""
+    return [
+        flat_assignment(name, wires) for name, wires in wire_map.items()
+    ]

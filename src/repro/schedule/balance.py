@@ -1,0 +1,122 @@
+"""Scan-chain balancing (paper section 4: "the test programmer can
+balance the length of the scan chains within the test programs, in
+order to reduce the test time").
+
+Two problems appear:
+
+* **free balancing** -- the flip-flops can be re-chained arbitrarily:
+  optimal is the ceil/floor split (:func:`balanced_lengths`);
+* **grouping fixed chains onto wires** -- the multiprocessor-scheduling
+  problem: LPT heuristic (:func:`partition_lpt`) with an exact
+  branch-and-bound (:func:`partition_optimal`) for small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ScheduleError
+
+
+def balanced_lengths(total: int, wires: int) -> list[int]:
+    """The optimal chain lengths when flip-flops re-chain freely."""
+    if wires < 1:
+        raise ScheduleError(f"wires must be >= 1, got {wires}")
+    if total < 0:
+        raise ScheduleError(f"negative flop count {total}")
+    base, extra = divmod(total, wires)
+    return [base + (1 if index < extra else 0) for index in range(wires)]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Assignment of chains to wires.
+
+    Attributes:
+        groups: ``groups[w]`` lists the indices of chains on wire w.
+        loads: total scan length per wire.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    loads: tuple[int, ...]
+
+    @property
+    def makespan(self) -> int:
+        return max(self.loads) if self.loads else 0
+
+
+def partition_lpt(lengths: Sequence[int], wires: int) -> Partition:
+    """Longest-processing-time grouping of fixed chains onto wires.
+
+    Classic 4/3-approximation for minimising the longest wire load.
+    """
+    if wires < 1:
+        raise ScheduleError(f"wires must be >= 1, got {wires}")
+    order = sorted(range(len(lengths)), key=lambda i: -lengths[i])
+    groups: list[list[int]] = [[] for _ in range(wires)]
+    loads = [0] * wires
+    for index in order:
+        target = loads.index(min(loads))
+        groups[target].append(index)
+        loads[target] += lengths[index]
+    return Partition(
+        groups=tuple(tuple(group) for group in groups),
+        loads=tuple(loads),
+    )
+
+
+def partition_optimal(
+    lengths: Sequence[int],
+    wires: int,
+    *,
+    max_items: int = 16,
+) -> Partition:
+    """Exact minimum-makespan grouping via branch and bound.
+
+    Exponential in the worst case; guarded by ``max_items``.  Used by
+    tests to certify LPT quality and by the balancing experiment for
+    small cores.
+    """
+    if len(lengths) > max_items:
+        raise ScheduleError(
+            f"{len(lengths)} chains exceed the exact-solver limit "
+            f"{max_items}; use partition_lpt"
+        )
+    if wires < 1:
+        raise ScheduleError(f"wires must be >= 1, got {wires}")
+    order = sorted(range(len(lengths)), key=lambda i: -lengths[i])
+    best = partition_lpt(lengths, wires)
+    best_makespan = best.makespan
+    assignment = [0] * len(lengths)
+    loads = [0] * wires
+
+    def descend(position: int) -> None:
+        nonlocal best, best_makespan
+        if position == len(order):
+            makespan = max(loads)
+            if makespan < best_makespan:
+                best_makespan = makespan
+                groups: list[list[int]] = [[] for _ in range(wires)]
+                for rank, wire in enumerate(assignment):
+                    groups[wire].append(order[rank])
+                best = Partition(
+                    groups=tuple(tuple(g) for g in groups),
+                    loads=tuple(loads),
+                )
+            return
+        item = order[position]
+        seen_loads: set[int] = set()
+        for wire in range(wires):
+            if loads[wire] in seen_loads:
+                continue  # symmetric branch
+            seen_loads.add(loads[wire])
+            if loads[wire] + lengths[item] >= best_makespan:
+                continue  # bound
+            loads[wire] += lengths[item]
+            assignment[position] = wire
+            descend(position + 1)
+            loads[wire] -= lengths[item]
+
+    descend(0)
+    return best

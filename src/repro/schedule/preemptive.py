@@ -1,0 +1,200 @@
+"""Preemptive (staircase) scheduling: reconfigure whenever a core
+finishes.
+
+Section 4: the CAS-BUS "can be easily modified, even during test
+sessions".  Session-based schedules waste wires whenever a short core
+shares a session with a long one; the preemptive schedule instead
+reallocates a finished core's wires to waiting (or running) cores at
+pattern granularity, paying one serial reconfiguration per boundary.
+
+Scan tests are preemptible at pattern boundaries: a partially tested
+core resumes with its remaining patterns, possibly on a different wire
+count (the chains regroup onto the new wires).  BIST tests run to
+completion once started (fixed duration, single wire).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ScheduleError
+from repro.soc.core import CoreTestParams
+from repro.schedule.timing import cas_config_bits, config_cycles
+
+
+@dataclass
+class _Job:
+    params: CoreTestParams
+    remaining_patterns: int
+    started: bool = False
+    finished: bool = False
+    #: Wire count of the previous segment (progress carries over while
+    #: it stays constant -- chains hold state through a configuration).
+    last_wires: int = 0
+    #: Cycles already spent inside the current pattern.
+    partial_cycles: int = 0
+
+    def chain_length(self, wires: int) -> int:
+        effective = max(1, min(wires, self.params.max_wires))
+        if self.params.flops == 0:
+            return 0
+        return math.ceil(self.params.flops / effective)
+
+    def remaining_cycles(self, wires: int) -> int:
+        if self.params.fixed_cycles is not None:
+            return self.params.fixed_cycles
+        length = self.chain_length(wires)
+        tail = length if self.remaining_patterns else 0
+        carry = self.partial_cycles if wires == self.last_wires else 0
+        return max(
+            0, (length + 1) * self.remaining_patterns + tail - carry
+        )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One constant-configuration stretch of the preemptive schedule."""
+
+    duration: int
+    allocations: tuple[tuple[str, int], ...]  # (core, wires)
+
+
+@dataclass
+class PreemptiveSchedule:
+    """Outcome of :func:`schedule_preemptive`."""
+
+    bus_width: int
+    segments: list[Segment] = field(default_factory=list)
+    config_cycles_total: int = 0
+
+    @property
+    def test_cycles(self) -> int:
+        return sum(segment.duration for segment in self.segments)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.test_cycles + self.config_cycles_total
+
+    def describe(self) -> str:
+        lines = [
+            f"preemptive schedule on N={self.bus_width}: "
+            f"{len(self.segments)} segments, {self.test_cycles} test + "
+            f"{self.config_cycles_total} config cycles"
+        ]
+        for index, segment in enumerate(self.segments):
+            body = ", ".join(f"{name}(w={w})"
+                             for name, w in segment.allocations)
+            lines.append(f"  seg{index}: {segment.duration:>8} [{body}]")
+        return "\n".join(lines)
+
+
+def schedule_preemptive(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+    *,
+    charge_config: bool = True,
+    cas_policy: str | None = "all",
+) -> PreemptiveSchedule:
+    """Event-driven wire reallocation at completion boundaries."""
+    if bus_width < 1:
+        raise ScheduleError(f"bus width must be >= 1, got {bus_width}")
+    jobs = [_Job(params=core, remaining_patterns=core.patterns)
+            for core in cores]
+    for job in jobs:
+        if (job.params.fixed_cycles is None
+                and job.params.patterns == 0):
+            job.finished = True  # nothing to do
+    schedule = PreemptiveSchedule(bus_width=bus_width)
+    reconfigurations = 0
+    cas_bits = sum(
+        cas_config_bits(bus_width, min(core.max_wires, bus_width),
+                        cas_policy)
+        for core in cores
+    )
+    while any(not job.finished for job in jobs):
+        allocation = _allocate(jobs, bus_width)
+        if not allocation:
+            raise ScheduleError("no allocatable job (all need > N wires?)")
+        reconfigurations += 1
+        # Segment runs until the earliest completion.
+        duration = min(
+            job.remaining_cycles(wires) for job, wires in allocation
+        )
+        segment = Segment(
+            duration=duration,
+            allocations=tuple(
+                (job.params.name, wires) for job, wires in allocation
+            ),
+        )
+        schedule.segments.append(segment)
+        for job, wires in allocation:
+            job.started = True
+            if job.params.fixed_cycles is not None:
+                if duration >= job.params.fixed_cycles:
+                    job.finished = True
+                else:
+                    # BIST is not preemptible: it keeps running into the
+                    # next segment with its remaining duration.
+                    job.params = CoreTestParams(
+                        name=job.params.name,
+                        method=job.params.method,
+                        flops=job.params.flops,
+                        patterns=job.params.patterns,
+                        max_wires=job.params.max_wires,
+                        fixed_cycles=job.params.fixed_cycles - duration,
+                    )
+                continue
+            length = job.chain_length(wires)
+            spent = duration
+            if wires == job.last_wires:
+                spent += job.partial_cycles
+            done_patterns = spent // (length + 1)
+            job.partial_cycles = spent % (length + 1)
+            job.last_wires = wires
+            job.remaining_patterns = max(
+                0, job.remaining_patterns - done_patterns
+            )
+            if job.remaining_patterns == 0:
+                job.finished = True
+    if charge_config:
+        wir_bits = 3  # at least the started/stopped core's wrapper
+        per_boundary = (config_cycles(cas_bits)
+                        + config_cycles(cas_bits + wir_bits))
+        schedule.config_cycles_total = reconfigurations * per_boundary
+    return schedule
+
+
+def _allocate(jobs: list[_Job], bus_width: int) -> list[tuple[_Job, int]]:
+    """Wire allocation for the next segment.
+
+    Longest-remaining jobs get a wire first; spare wires then go to
+    whichever allocated job currently bounds the segment (the same
+    feed-the-bottleneck rule a static designer uses, so the first
+    segment is never worse than the static partition).
+    """
+    pending = [job for job in jobs if not job.finished]
+    pending.sort(key=lambda job: -job.remaining_cycles(1))
+    allocation: list[tuple[_Job, int]] = [
+        (job, 1) for job in pending[:bus_width]
+    ]
+    available = bus_width - len(allocation)
+    while available > 0:
+        candidates = [
+            index for index, (job, wires) in enumerate(allocation)
+            if job.params.fixed_cycles is None
+            and wires < job.params.max_wires
+        ]
+        if not candidates:
+            break
+        slowest = max(
+            candidates,
+            key=lambda index: allocation[index][0].remaining_cycles(
+                allocation[index][1]
+            ),
+        )
+        job, wires = allocation[slowest]
+        allocation[slowest] = (job, wires + 1)
+        available -= 1
+    return allocation

@@ -1,0 +1,167 @@
+"""Reconfiguration study (section 4: "the CAS-BUS architecture can be
+easily modified, even during test sessions, in order to optimize test
+performances" / section 5: "Different TAM architectures can be
+addressed, in sequential order, within the same test program").
+
+Compares, on the same workload and bus width:
+
+* **reconfigured CAS-BUS** -- a fresh wire assignment every session
+  (the scheduler's output), paying serial reconfiguration each time;
+* **static TAM** -- one wire partition fixed for the whole program
+  (what a non-reconfigurable distribution architecture offers): every
+  core keeps its statically assigned wires; cores than share wires
+  (when cores outnumber wires) serialise on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ScheduleError
+from repro.soc.core import CoreTestParams
+from repro.schedule.preemptive import PreemptiveSchedule, schedule_preemptive
+from repro.schedule.scheduler import Schedule, schedule_greedy
+from repro.schedule.timing import core_test_cycles
+
+
+@dataclass(frozen=True)
+class StaticPlan:
+    """A fixed wire partition: group index -> cores sharing it."""
+
+    groups: tuple[tuple[CoreTestParams, ...], ...]
+    wires_per_group: tuple[int, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        """Groups run in parallel; cores inside a group serialise."""
+        return max(
+            (
+                sum(core_test_cycles(core, wires) for core in group)
+                for group, wires in zip(self.groups, self.wires_per_group)
+            ),
+            default=0,
+        )
+
+
+@dataclass(frozen=True)
+class ReconfigComparison:
+    """Side-by-side of reconfigured vs static operation.
+
+    Two reconfiguration granularities are built -- session-based
+    (coarse) and preemptive (reallocate on every completion) -- and the
+    better one represents the CAS-BUS, since the architecture supports
+    both.
+    """
+
+    bus_width: int
+    reconfigured: Schedule
+    preemptive: PreemptiveSchedule
+    static: StaticPlan
+
+    @property
+    def reconfig_total(self) -> int:
+        candidates = [self.reconfigured.total_cycles,
+                      self.preemptive.total_cycles]
+        copied = self.static_copy_total
+        if copied is not None:
+            candidates.append(copied)
+        return min(candidates)
+
+    @property
+    def static_copy_total(self) -> int | None:
+        """The CAS-BUS emulating the static plan with one configuration.
+
+        Feasible when every static group holds one core (all cores run
+        concurrently): one two-stage configuration pass, then the
+        static makespan.  Proves the reconfigurable TAM subsumes the
+        static design.
+        """
+        if any(len(group) != 1 for group in self.static.groups):
+            return None
+        from repro.schedule.timing import cas_config_bits, config_cycles
+
+        cores = [group[0] for group in self.static.groups]
+        cas_bits = sum(
+            cas_config_bits(self.bus_width,
+                            min(core.max_wires, self.bus_width))
+            for core in cores
+        )
+        one_config = (config_cycles(cas_bits)
+                      + config_cycles(cas_bits + 3 * len(cores)))
+        return self.static.total_cycles + one_config
+
+    @property
+    def static_total(self) -> int:
+        return self.static.total_cycles
+
+    @property
+    def speedup(self) -> float:
+        if self.reconfig_total == 0:
+            return 1.0
+        return self.static_total / self.reconfig_total
+
+    @property
+    def config_overhead_fraction(self) -> float:
+        best = (self.reconfigured
+                if self.reconfigured.total_cycles
+                <= self.preemptive.total_cycles
+                else self.preemptive)
+        if best.total_cycles == 0:
+            return 0.0
+        return best.config_cycles_total / best.total_cycles
+
+
+def static_partition(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+) -> StaticPlan:
+    """A sensible static design: balance total work across wire groups.
+
+    Greedy: sort cores by single-wire work, assign each to the
+    currently least-loaded group.  Groups get one wire each; leftover
+    wires go to the heaviest groups.  This is what a designer would
+    freeze at tape-out without reconfigurability.
+    """
+    if bus_width < 1:
+        raise ScheduleError(f"bus width must be >= 1, got {bus_width}")
+    num_groups = min(bus_width, len(cores))
+    groups: list[list[CoreTestParams]] = [[] for _ in range(num_groups)]
+    loads = [0] * num_groups
+    for core in sorted(cores, key=lambda c: -core_test_cycles(c, 1)):
+        target = loads.index(min(loads))
+        groups[target].append(core)
+        loads[target] += core_test_cycles(core, 1)
+    wires = [1] * num_groups
+    spare = bus_width - num_groups
+    while spare > 0:
+        # Give an extra wire to the group that currently dominates.
+        def group_time(index: int) -> int:
+            return sum(
+                core_test_cycles(core, wires[index])
+                for core in groups[index]
+            )
+
+        slowest = max(range(num_groups), key=group_time)
+        wires[slowest] += 1
+        spare -= 1
+    return StaticPlan(
+        groups=tuple(tuple(group) for group in groups),
+        wires_per_group=tuple(wires),
+    )
+
+
+def compare_reconfiguration(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+) -> ReconfigComparison:
+    """Build both designs and report the section 4 comparison."""
+    reconfigured = schedule_greedy(cores, bus_width, charge_config=True)
+    preemptive = schedule_preemptive(cores, bus_width, charge_config=True)
+    static = static_partition(cores, bus_width)
+    return ReconfigComparison(
+        bus_width=bus_width,
+        reconfigured=reconfigured,
+        preemptive=preemptive,
+        static=static,
+    )

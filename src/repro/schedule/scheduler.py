@@ -1,0 +1,300 @@
+"""Session scheduling: pack core tests onto N bus wires over time.
+
+This is the rectangle-packing view of TAM scheduling (cores are
+rectangles: wires x time).  The CAS-BUS reconfigures between sessions,
+so the scheduler's job is to choose session groups and per-core wire
+counts minimising total time, configuration overhead included.
+
+Algorithms:
+
+* :func:`schedule_greedy` -- sort by single-wire test time, open a
+  session around the biggest unscheduled core at its best useful
+  width, fill leftover wires with the next cores, iterate.  Then a
+  local improvement pass widens cores into idle wires.
+* :func:`schedule_exhaustive` -- optimal over all session partitions
+  and wire splits for small instances (tests and ablations).
+* :func:`lower_bound` -- max of the work-conservation bound and the
+  widest-core bound; used to sanity-check schedule quality.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ScheduleError
+from repro.soc.core import CoreTestParams
+from repro.schedule.timing import (
+    cas_config_bits,
+    config_cycles,
+    core_test_cycles,
+)
+
+
+@dataclass(frozen=True)
+class ScheduledEntry:
+    """One core inside one session."""
+
+    params: CoreTestParams
+    wires: int
+
+    @property
+    def cycles(self) -> int:
+        return core_test_cycles(self.params, self.wires)
+
+
+@dataclass(frozen=True)
+class ScheduledSession:
+    """A group of cores tested concurrently."""
+
+    entries: tuple[ScheduledEntry, ...]
+
+    @property
+    def wires_used(self) -> int:
+        return sum(entry.wires for entry in self.entries)
+
+    @property
+    def cycles(self) -> int:
+        return max((entry.cycles for entry in self.entries), default=0)
+
+    def names(self) -> list[str]:
+        return [entry.params.name for entry in self.entries]
+
+
+@dataclass
+class Schedule:
+    """A complete test program in the abstract timing model."""
+
+    bus_width: int
+    sessions: list[ScheduledSession] = field(default_factory=list)
+    config_cycles_total: int = 0
+
+    @property
+    def test_cycles(self) -> int:
+        return sum(session.cycles for session in self.sessions)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.test_cycles + self.config_cycles_total
+
+    def describe(self) -> str:
+        lines = [
+            f"schedule on N={self.bus_width}: {len(self.sessions)} sessions, "
+            f"{self.test_cycles} test + {self.config_cycles_total} config "
+            f"cycles"
+        ]
+        for index, session in enumerate(self.sessions):
+            entries = ", ".join(
+                f"{e.params.name}(w={e.wires},t={e.cycles})"
+                for e in session.entries
+            )
+            lines.append(
+                f"  s{index}: [{entries}] -> {session.cycles} cycles"
+            )
+        return "\n".join(lines)
+
+
+def _useful_wires(params: CoreTestParams, available: int) -> int:
+    """Widest allocation that still helps (capped by the core's P)."""
+    return max(1, min(available, params.max_wires))
+
+
+def _session_config_cost(
+    all_cores: Sequence[CoreTestParams],
+    bus_width: int,
+    tested: Sequence[CoreTestParams],
+    cas_policy: str | None = "all",
+) -> int:
+    """Config cost of one session in the abstract model.
+
+    One stage-A pass (splice) and one stage-B pass with the tested
+    cores' WIRs spliced -- matching the executor's protocol.
+    """
+    cas_bits = sum(
+        cas_config_bits(bus_width, min(core.max_wires, bus_width),
+                        cas_policy)
+        for core in all_cores
+    )
+    wir_bits = 3 * len(tested)
+    return config_cycles(cas_bits) + config_cycles(cas_bits + wir_bits)
+
+
+def schedule_greedy(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+    *,
+    charge_config: bool = True,
+    exact_wires: bool = False,
+    cas_policy: str | None = "all",
+) -> Schedule:
+    """Greedy session packing with a widening improvement pass.
+
+    ``exact_wires=True`` allocates every core exactly ``max_wires``
+    (its P): a CAS in TEST mode always switches P wires, so executable
+    plans are rigid; elastic allocation models design-time freedom in
+    the chain count (trade-off experiments).  ``cas_policy`` sets the
+    instruction-register sizing rule for configuration costs
+    (``None`` = the designer rule of
+    :func:`repro.core.instruction.practical_policy`).
+    """
+    if bus_width < 1:
+        raise ScheduleError(f"bus width must be >= 1, got {bus_width}")
+    if exact_wires:
+        for core in cores:
+            if core.max_wires > bus_width:
+                raise ScheduleError(
+                    f"{core.name}: P={core.max_wires} exceeds bus "
+                    f"width {bus_width}"
+                )
+
+    def allocation(params: CoreTestParams, available: int) -> int:
+        if exact_wires:
+            return params.max_wires
+        return _useful_wires(params, available)
+
+    remaining = sorted(
+        cores,
+        key=lambda c: -core_test_cycles(c, 1),
+    )
+    schedule = Schedule(bus_width=bus_width)
+    while remaining:
+        available = bus_width
+        entries: list[ScheduledEntry] = []
+        # Anchor: the longest core, as wide as useful.
+        anchor = remaining.pop(0)
+        anchor_wires = allocation(anchor, available)
+        entries.append(ScheduledEntry(params=anchor, wires=anchor_wires))
+        available -= anchor_wires
+        # Fill: next-longest cores that still fit.
+        index = 0
+        while index < len(remaining) and available > 0:
+            candidate = remaining[index]
+            wires = allocation(candidate, available)
+            if wires <= available:
+                entries.append(
+                    ScheduledEntry(params=candidate, wires=wires)
+                )
+                available -= wires
+                remaining.pop(index)
+            else:
+                index += 1
+        if not exact_wires:
+            entries = _widen(entries, bus_width)
+        schedule.sessions.append(ScheduledSession(entries=tuple(entries)))
+    if charge_config:
+        schedule.config_cycles_total = sum(
+            _session_config_cost(cores, bus_width,
+                                 [e.params for e in session.entries],
+                                 cas_policy)
+            for session in schedule.sessions
+        )
+    return schedule
+
+
+def _widen(entries: list[ScheduledEntry],
+           bus_width: int) -> list[ScheduledEntry]:
+    """Give leftover wires to whichever core bounds the session."""
+    current = list(entries)
+    while True:
+        used = sum(entry.wires for entry in current)
+        spare = bus_width - used
+        if spare <= 0:
+            return current
+        # The session is as long as its slowest entry; widening anyone
+        # else is useless.
+        slowest = max(range(len(current)), key=lambda i: current[i].cycles)
+        entry = current[slowest]
+        if (entry.wires >= entry.params.max_wires
+                or entry.params.fixed_cycles is not None):
+            return current
+        improved = ScheduledEntry(params=entry.params, wires=entry.wires + 1)
+        if improved.cycles >= entry.cycles:
+            return current
+        current[slowest] = improved
+
+
+def schedule_exhaustive(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+    *,
+    charge_config: bool = True,
+    max_cores: int = 6,
+) -> Schedule:
+    """Optimal schedule by enumeration (small instances only)."""
+    if len(cores) > max_cores:
+        raise ScheduleError(
+            f"{len(cores)} cores exceed the exhaustive limit {max_cores}"
+        )
+    best: Schedule | None = None
+    for partition in _set_partitions(list(cores)):
+        sessions: list[ScheduledSession] = []
+        feasible = True
+        for group in partition:
+            session = _best_session(group, bus_width)
+            if session is None:
+                feasible = False
+                break
+            sessions.append(session)
+        if not feasible:
+            continue
+        candidate = Schedule(bus_width=bus_width, sessions=sessions)
+        if charge_config:
+            candidate.config_cycles_total = sum(
+                _session_config_cost(cores, bus_width,
+                                     [e.params for e in s.entries])
+                for s in sessions
+            )
+        if best is None or candidate.total_cycles < best.total_cycles:
+            best = candidate
+    assert best is not None  # singleton partition is always feasible
+    return best
+
+
+def _best_session(group: list[CoreTestParams],
+                  bus_width: int) -> ScheduledSession | None:
+    """Optimal wire split for one concurrent group, or None if unfit."""
+    if sum(1 for _ in group) > bus_width:
+        return None
+    options = [
+        range(1, min(core.max_wires, bus_width) + 1) for core in group
+    ]
+    best: ScheduledSession | None = None
+    for split in itertools.product(*options):
+        if sum(split) > bus_width:
+            continue
+        entries = tuple(
+            ScheduledEntry(params=core, wires=wires)
+            for core, wires in zip(group, split)
+        )
+        session = ScheduledSession(entries=entries)
+        if best is None or session.cycles < best.cycles:
+            best = session
+    return best
+
+
+def _set_partitions(items: list):
+    """All partitions of a list into non-empty groups."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        for index in range(len(partition)):
+            yield (partition[:index]
+                   + [[first] + partition[index]]
+                   + partition[index + 1:])
+        yield [[first]] + partition
+
+
+def lower_bound(cores: Sequence[CoreTestParams], bus_width: int) -> int:
+    """Test-cycle lower bound: work conservation vs widest core."""
+    work = 0
+    widest = 0
+    for core in cores:
+        best_time = core_test_cycles(core, bus_width)
+        widest = max(widest, best_time)
+        wires = min(core.max_wires, bus_width)
+        work += best_time * wires
+    return max(widest, math.ceil(work / bus_width))

@@ -1,0 +1,123 @@
+"""Test-time formulas.
+
+The classic scan-test timing (load/unload pipelined across patterns):
+
+    T = (L + 1) * V + L      cycles
+
+with ``L`` the longest chain among the wires used and ``V`` the pattern
+count -- exactly what the behavioural session executor measures, which
+the integration tests assert.
+
+Configuration cost: one serial chain reload is ``(sum of register
+widths) + 1`` cycles.  Per the paper this "does not affect the test
+time, since the ... configuration will only occur once at the beginning
+of a SoC testing session" -- but every *re*-configuration pays it again,
+so the reconfiguration experiment charges it explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ScheduleError
+from repro.core.instruction import instruction_count, register_width
+from repro.soc.core import CoreTestParams
+
+
+def scan_test_cycles(max_chain_length: int, patterns: int) -> int:
+    """Pipelined scan time: ``(L + 1) * V + L``."""
+    if max_chain_length < 0 or patterns < 0:
+        raise ScheduleError("negative scan parameters")
+    if patterns == 0:
+        return 0
+    return (max_chain_length + 1) * patterns + max_chain_length
+
+
+def core_test_cycles(params: CoreTestParams, wires: int) -> int:
+    """Test time of one core given a wire allocation.
+
+    Scan cores rebalance their ``flops`` across ``min(wires,
+    max_wires)`` chains (the paper's "the test programmer can balance
+    the length of the scan chains"); BIST cores take their fixed
+    duration regardless of wires.
+    """
+    if wires < 1:
+        raise ScheduleError(f"{params.name}: needs at least one wire")
+    if params.fixed_cycles is not None:
+        return params.fixed_cycles
+    effective = min(wires, params.max_wires)
+    if effective < 1:
+        raise ScheduleError(f"{params.name}: max_wires must be >= 1")
+    longest = math.ceil(params.flops / effective) if params.flops else 0
+    return scan_test_cycles(longest, params.patterns)
+
+
+def core_test_cycles_fixed_chains(
+    chain_lengths: Sequence[int],
+    wires: int,
+    patterns: int,
+) -> int:
+    """Test time when chains are frozen (no rebalancing).
+
+    Chains are grouped onto ``wires`` bus wires (longest-processing-time
+    heuristic); the longest wire-load dominates.  This is the
+    "unbalanced" side of experiment C2.
+    """
+    from repro.schedule.balance import partition_lpt
+
+    if not chain_lengths:
+        return 0
+    wires = min(wires, len(chain_lengths))
+    loads = partition_lpt(chain_lengths, wires).loads
+    return scan_test_cycles(max(loads), patterns)
+
+
+def cas_config_bits(n: int, p: int, policy: str | None = "all") -> int:
+    """Instruction register width k of one (N, P) CAS (closed form).
+
+    ``policy=None`` applies the designer rule
+    :func:`repro.core.instruction.practical_policy`.
+    """
+    from repro.core.instruction import practical_policy
+
+    if policy is None:
+        policy = practical_policy(n, p)
+    return register_width(instruction_count(n, p, policy))
+
+
+def config_cycles(total_register_bits: int) -> int:
+    """One serial configuration pass: shift everything + update."""
+    if total_register_bits < 0:
+        raise ScheduleError("negative register bits")
+    return total_register_bits + 1
+
+
+def session_config_cycles(
+    all_cas_np: Iterable[tuple[int, int]],
+    num_mode_changes: int,
+    wir_width: int = 3,
+) -> int:
+    """Cycle cost of the executor's two-stage session configuration.
+
+    Args:
+        all_cas_np: ``(bus_width, p)`` of every CAS on the chain,
+            including hierarchical inner CASes (whose bus width is the
+            inner one).
+        num_mode_changes: wrappers whose instruction changes this
+            session (spliced in stage B).
+        wir_width: wrapper instruction register width.
+
+    Stage A (splice): one chain pass over all CAS registers -- only
+    needed when any wrapper instruction changes.  Stage B: another pass
+    with ``num_mode_changes`` WIR registers spliced in.
+
+    Mirrors :class:`repro.sim.session.SessionExecutor`; the integration
+    suite asserts exact agreement on simulated SoCs.
+    """
+    cas_bits = sum(cas_config_bits(n, p) for n, p in all_cas_np)
+    total = 0
+    if num_mode_changes:
+        total += config_cycles(cas_bits)  # stage A
+    total += config_cycles(cas_bits + num_mode_changes * wir_width)
+    return total

@@ -1,0 +1,33 @@
+"""Cycle-accurate system simulation of a complete CAS-BUS SoC.
+
+Binds the behavioural CASes, P1500 wrappers and core models into one
+clocked system: the test bus threads every node (figure 1), the serial
+configuration chain rides wire 0 with CHAIN splices and hierarchical
+descent, and a session executor applies real test data and decides
+pass/fail per core.
+"""
+
+from repro.sim.plan import CoreAssignment, SessionPlan, TestPlan
+from repro.sim.system import CasBusSystem, build_system
+from repro.sim.session import (
+    CoreResult,
+    SessionExecutor,
+    SessionResult,
+    ProgramResult,
+)
+from repro.sim.trace import TraceRecorder
+from repro.sim.vcd import write_vcd
+
+__all__ = [
+    "CoreAssignment",
+    "SessionPlan",
+    "TestPlan",
+    "CasBusSystem",
+    "build_system",
+    "CoreResult",
+    "SessionExecutor",
+    "SessionResult",
+    "ProgramResult",
+    "TraceRecorder",
+    "write_vcd",
+]

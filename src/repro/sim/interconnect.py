@@ -1,0 +1,171 @@
+"""SoC interconnect test over the CAS-BUS (EXTEST).
+
+Paper section 4: "SoC interconnect test time can be optimized when
+adopting a good configuration of the test chains."  Interconnect test
+is the boundary-scan classic: wrappers go to EXTEST, test patterns are
+shifted into the *driver* cores' output boundary cells, a transfer
+cycle launches them across the SoC wiring, the *sink* cores' input
+boundary cells capture, and the captured values are shifted out and
+compared.
+
+This module supplies:
+
+* :class:`Interconnect` -- one core-to-core net;
+* :func:`counting_patterns` -- the standard modified counting sequence
+  (detects all stuck-ats/opens and every pairwise short, because every
+  net pair sees differing values in some pattern);
+* fault models applied at transfer time by the system executor:
+  stuck-at, open (reads as 0), and pairwise wired-AND shorts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Fault kinds for interconnect nets.
+FAULT_STUCK_AT_0 = "sa0"
+FAULT_STUCK_AT_1 = "sa1"
+FAULT_OPEN = "open"
+FAULT_SHORT = "short"  # keyed by a (net_a, net_b) tuple
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """One point-to-point SoC net between two wrapped cores.
+
+    Attributes:
+        name: net name (unique within the SoC).
+        source: ``(core_name, po_index)`` -- the driving core output.
+        sink: ``(core_name, pi_index)`` -- the receiving core input.
+    """
+
+    name: str
+    source: tuple[str, int]
+    sink: tuple[str, int]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("interconnect needs a name")
+        for role, (core, pin) in (("source", self.source),
+                                  ("sink", self.sink)):
+            if pin < 0:
+                raise ConfigurationError(
+                    f"{self.name}: negative {role} pin {pin}"
+                )
+        if self.source[0] == self.sink[0]:
+            raise ConfigurationError(
+                f"{self.name}: source and sink on the same core "
+                f"(feedthroughs are not modelled)"
+            )
+
+
+def validate_interconnects(
+    nets: Sequence[Interconnect],
+    core_shapes: Mapping[str, tuple[int, int]],
+) -> None:
+    """Check nets against the cores' (num_pis, num_pos) shapes."""
+    names = [net.name for net in nets]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate interconnect names in {names}")
+    sinks_seen: set[tuple[str, int]] = set()
+    for net in nets:
+        source_core, po_index = net.source
+        sink_core, pi_index = net.sink
+        for core, label in ((source_core, "source"), (sink_core, "sink")):
+            if core not in core_shapes:
+                raise ConfigurationError(
+                    f"{net.name}: unknown {label} core {core!r}"
+                )
+        num_pis, num_pos = core_shapes[source_core]
+        if po_index >= num_pos:
+            raise ConfigurationError(
+                f"{net.name}: source pin {po_index} out of range "
+                f"({source_core} has {num_pos} outputs)"
+            )
+        num_pis, num_pos = core_shapes[sink_core]
+        if pi_index >= num_pis:
+            raise ConfigurationError(
+                f"{net.name}: sink pin {pi_index} out of range "
+                f"({sink_core} has {num_pis} inputs)"
+            )
+        if (sink_core, pi_index) in sinks_seen:
+            raise ConfigurationError(
+                f"{net.name}: sink {sink_core}.pi{pi_index} driven twice"
+            )
+        sinks_seen.add((sink_core, pi_index))
+
+
+def counting_patterns(nets: Sequence[Interconnect]) -> list[dict[str, int]]:
+    """The true/complement counting sequence over a set of nets.
+
+    Net ``i`` receives the bits of ``i + 1`` (avoiding the all-zero
+    code) across ``ceil(log2(n + 2))`` patterns, each followed by its
+    complement, plus the all-zeros and all-ones patterns.  Every net
+    sees both values, and every ordered pair of nets has a pattern
+    where they differ in *each direction* -- required to catch
+    wired-AND (and wired-OR) shorts on both participants, as well as
+    all stuck-ats and opens.
+    """
+    if not nets:
+        return []
+    width = max(1, math.ceil(math.log2(len(nets) + 2)))
+    patterns: list[dict[str, int]] = []
+    for bit in range(width):
+        true_pattern = {
+            net.name: (index + 1 >> bit) & 1
+            for index, net in enumerate(nets)
+        }
+        patterns.append(true_pattern)
+        patterns.append({
+            name: 1 - value for name, value in true_pattern.items()
+        })
+    patterns.append({net.name: 0 for net in nets})
+    patterns.append({net.name: 1 for net in nets})
+    return patterns
+
+
+def apply_faults(
+    driven: dict[str, int],
+    faults: Mapping[object, str],
+) -> dict[str, int]:
+    """Fault-transform the driver-side values into sink-side values.
+
+    ``faults`` maps a net name to ``sa0``/``sa1``/``open``, or a
+    ``(net_a, net_b)`` tuple to ``short`` (wired-AND).
+    """
+    received = dict(driven)
+    for key, kind in faults.items():
+        if kind == FAULT_SHORT:
+            if not (isinstance(key, tuple) and len(key) == 2):
+                raise ConfigurationError(
+                    f"short faults need a (net, net) key, got {key!r}"
+                )
+            net_a, net_b = key
+            if net_a not in received or net_b not in received:
+                raise ConfigurationError(
+                    f"short {key} references unknown nets"
+                )
+            wired = received[net_a] & received[net_b]
+            received[net_a] = wired
+            received[net_b] = wired
+        elif kind == FAULT_STUCK_AT_0:
+            _check_net(key, received)
+            received[key] = 0  # type: ignore[index]
+        elif kind == FAULT_STUCK_AT_1:
+            _check_net(key, received)
+            received[key] = 1  # type: ignore[index]
+        elif kind == FAULT_OPEN:
+            _check_net(key, received)
+            received[key] = 0  # floating input, pulled down
+        else:
+            raise ConfigurationError(f"unknown fault kind {kind!r}")
+    return received
+
+
+def _check_net(key: object, received: dict[str, int]) -> None:
+    if key not in received:
+        raise ConfigurationError(f"fault on unknown net {key!r}")

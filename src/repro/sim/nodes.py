@@ -1,0 +1,327 @@
+"""System-simulation nodes: one CAS + wrapper + core per testable core.
+
+A node owns everything between two points of the test bus (figure 1):
+its CAS, the P1500 wrapper and the core model.  Nodes expose
+
+* the **serial configuration segment** -- the CAS instruction register,
+  optionally spliced with the wrapper's WIR (CHAIN instruction, paper
+  section 3.1), and, for hierarchical cores, the whole inner chain;
+* the **bus evaluation** -- combinational routing of the N wires
+  through the CAS with the node's core-side return values;
+* the **clock edge** -- scan shifting / capturing / BIST counting,
+  controlled per-cycle by the session executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro import values as lv
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.cas import CoreAccessSwitch
+from repro.core.instruction import CHAIN_CODE, KIND_TEST
+from repro.bist.engine import BistEngine
+from repro.soc.core import CoreSpec, TestMethod
+from repro.wrapper.wrapper import P1500Wrapper
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.sim.system import CasBusSystem
+
+
+@dataclass
+class NodeControls:
+    """Per-cycle test controls the executor asserts for one node."""
+
+    shift: bool = False
+    capture: bool = False
+
+
+@dataclass(frozen=True)
+class SerialRegister:
+    """One register on the serial configuration chain."""
+
+    path: str      # e.g. "core1.cas", "core1.wir", "core5/core5a.cas"
+    kind: str      # "cas" | "wir"
+    width: int
+
+
+def _to_bit(value: int) -> int:
+    """Collapse a four-valued wire sample to the bit a register stores.
+
+    Registers sampling X or Z store an unpredictable level; modelling it
+    as 0 keeps runs deterministic (the executor never relies on such
+    samples for pass/fail data).
+    """
+    return 1 if value == lv.ONE else 0
+
+
+class CasNode:
+    """Base node: CAS + wrapper + (subclass-specific) core."""
+
+    def __init__(
+        self,
+        spec: CoreSpec,
+        cas: CoreAccessSwitch,
+        wrapper: P1500Wrapper | None,
+        path: str,
+    ) -> None:
+        self.spec = spec
+        self.cas = cas
+        self.wrapper = wrapper
+        self.path = path
+        self.controls = NodeControls()
+        self.pending_core_inputs: tuple[int, ...] = (lv.Z,) * cas.p
+
+    # -- serial configuration chain --------------------------------------
+
+    @property
+    def chain_spliced(self) -> bool:
+        """True when the wrapper WIR sits on the serial chain."""
+        return self.wrapper is not None and self.cas.active_code == CHAIN_CODE
+
+    def serial_layout(self) -> list[SerialRegister]:
+        """Registers this node contributes, in chain order."""
+        layout = [SerialRegister(path=f"{self.path}.cas", kind="cas",
+                                 width=self.cas.k)]
+        if self.chain_spliced:
+            assert self.wrapper is not None
+            layout.append(SerialRegister(path=f"{self.path}.wir",
+                                         kind="wir",
+                                         width=self.wrapper.wir.width))
+        return layout
+
+    def serial_shift(self, bit_in: int) -> int:
+        """Shift the node's segment; returns the displaced output bit."""
+        bit = self.cas.shift(bit_in)
+        if self.chain_spliced:
+            assert self.wrapper is not None
+            bit = self.wrapper.serial_shift(bit)
+        return bit
+
+    def serial_out(self) -> int:
+        """The segment's serial output before the next shift."""
+        if self.chain_spliced:
+            assert self.wrapper is not None
+            return self.wrapper.serial_out()
+        return self.cas.serial_out()
+
+    def config_update(self) -> None:
+        """Update pulse: activate shifted CAS code and, when the WIR was
+        spliced, the shifted wrapper instruction."""
+        spliced = self.chain_spliced
+        self.cas.update()
+        if spliced:
+            assert self.wrapper is not None
+            self.wrapper.serial_update()
+
+    # -- bus ------------------------------------------------------------------
+
+    def core_returns(self) -> tuple[int, ...]:
+        """Values on the node's ``i`` pins this cycle (pre-clock)."""
+        if self.wrapper is not None and self.wrapper.mode in (
+            "INTEST", "EXTEST"
+        ):
+            return self.wrapper.test_returns()
+        return (0,) * self.cas.p
+
+    def process_bus(self, e_values: tuple[int, ...],
+                    config: bool) -> tuple[int, ...]:
+        """Route the bus through this node; stash core-side inputs."""
+        routing = self.cas.route(e_values, self.core_returns(), config=config)
+        if config:
+            serial_value = lv.ONE if self.serial_out() else lv.ZERO
+            return (serial_value,) + routing.s[1:]
+        self.pending_core_inputs = routing.o
+        return routing.s
+
+    # -- clock -------------------------------------------------------------------
+
+    def tick(self, config: bool) -> None:
+        """Clock edge outside the serial chain (test-data side)."""
+        if config or self.wrapper is None:
+            return
+        if self.controls.capture:
+            self.wrapper.test_capture()
+        elif self.controls.shift:
+            bits = tuple(_to_bit(v) for v in self.pending_core_inputs)
+            self.wrapper.test_shift(bits)
+
+    def reset(self) -> None:
+        self.cas.reset()
+        self.controls = NodeControls()
+        self.pending_core_inputs = (lv.Z,) * self.cas.p
+        if self.wrapper is not None:
+            self.wrapper.reset()
+
+    # -- introspection ------------------------------------------------------------
+
+    def describe(self) -> str:
+        mode = self.wrapper.mode if self.wrapper is not None else "-"
+        return (
+            f"{self.path}: cas={self.cas.active_instruction.describe()} "
+            f"wir={mode}"
+        )
+
+
+class ScanNode(CasNode):
+    """A scannable core behind an INTEST-capable wrapper (fig 2a)."""
+
+    def __init__(self, spec: CoreSpec, cas: CoreAccessSwitch,
+                 wrapper: P1500Wrapper, path: str) -> None:
+        if spec.method not in (TestMethod.SCAN, TestMethod.EXTERNAL):
+            raise ConfigurationError(
+                f"{path}: ScanNode needs a scan/external spec"
+            )
+        super().__init__(spec, cas, wrapper, path)
+
+    @property
+    def core(self):
+        assert self.wrapper is not None
+        return self.wrapper.core
+
+
+class ExternalNode(ScanNode):
+    """A core tested from off-chip LFSR/MISR (fig 2c).
+
+    Structurally identical to a scan node with one chain; the stimulus
+    source and signature sink live controller-side in the executor.
+    """
+
+
+class BistNode(CasNode):
+    """A self-testable core (fig 2b): P = 1.
+
+    Protocol: when the WIR activates BIST the engine starts; after
+    ``bist_cycles`` clocks the signature streams out on the return
+    wire, LSB first.
+    """
+
+    def __init__(self, spec: CoreSpec, cas: CoreAccessSwitch,
+                 wrapper: P1500Wrapper, engine: BistEngine,
+                 path: str) -> None:
+        if spec.method != TestMethod.BIST:
+            raise ConfigurationError(f"{path}: BistNode needs a BIST spec")
+        super().__init__(spec, cas, wrapper, path)
+        self.engine = engine
+        self._counter = 0
+        self._signature_bits: list[int] | None = None
+
+    def config_update(self) -> None:
+        # A WIR update that lands on BIST (re)starts the engine -- the
+        # update pulse is the start command, so a spliced reload of the
+        # same instruction restarts a fresh self-test run.
+        updated = self.chain_spliced
+        super().config_update()
+        if (updated and self.wrapper is not None
+                and self.wrapper.mode == "BIST"):
+            self._counter = 0
+            self._signature_bits = None
+
+    def core_returns(self) -> tuple[int, ...]:
+        if self.wrapper is None or self.wrapper.mode != "BIST":
+            return (0,)
+        done = self._counter - self.spec.bist_cycles
+        if done < 0:
+            return (0,)
+        if self._signature_bits is None:
+            report = self.engine.run(self.spec.bist_cycles)
+            bits = [(report.signature >> i) & 1
+                    for i in range(self.spec.signature_width)]
+            self._signature_bits = bits
+        if done < len(self._signature_bits):
+            return (self._signature_bits[done],)
+        return (0,)
+
+    def tick(self, config: bool) -> None:
+        if config:
+            return
+        if self.wrapper is not None and self.wrapper.mode == "BIST":
+            self._counter += 1
+
+    def golden_signature_bits(self) -> list[int]:
+        """What a healthy instance would stream out, LSB first."""
+        golden = self.engine.golden_signature(self.spec.bist_cycles)
+        return [(golden >> i) & 1
+                for i in range(self.spec.signature_width)]
+
+    def reset(self) -> None:
+        super().reset()
+        self._counter = 0
+        self._signature_bits = None
+
+
+class HierNode(CasNode):
+    """A hierarchical core embedding its own CAS-BUS (fig 2d).
+
+    The node's ``P`` core-side terminals *are* the inner test bus; the
+    serial configuration chain physically threads the CAS instruction
+    register and then every inner node's segment.
+    """
+
+    def __init__(self, spec: CoreSpec, cas: CoreAccessSwitch,
+                 inner: "CasBusSystem", path: str) -> None:
+        if spec.method != TestMethod.HIERARCHICAL:
+            raise ConfigurationError(
+                f"{path}: HierNode needs a hierarchical spec"
+            )
+        super().__init__(spec, cas, wrapper=None, path=path)
+        self.inner = inner
+
+    # -- serial chain: CAS IR then the whole inner chain -------------------
+
+    def serial_layout(self) -> list[SerialRegister]:
+        layout = [SerialRegister(path=f"{self.path}.cas", kind="cas",
+                                 width=self.cas.k)]
+        layout.extend(self.inner.serial_layout())
+        return layout
+
+    def serial_shift(self, bit_in: int) -> int:
+        bit = self.cas.shift(bit_in)
+        return self.inner.serial_shift(bit)
+
+    def serial_out(self) -> int:
+        return self.inner.serial_out()
+
+    def config_update(self) -> None:
+        self.cas.update()
+        self.inner.config_update()
+
+    # -- bus: descend into the inner system --------------------------------------
+
+    def process_bus(self, e_values: tuple[int, ...],
+                    config: bool) -> tuple[int, ...]:
+        if config:
+            routing = self.cas.route(e_values, (0,) * self.cas.p,
+                                     config=True)
+            serial_value = lv.ONE if self.serial_out() else lv.ZERO
+            return (serial_value,) + routing.s[1:]
+        instruction = self.cas.active_instruction
+        if instruction.kind != KIND_TEST:
+            return tuple(e_values)
+        scheme = instruction.scheme
+        assert scheme is not None
+        inner_in = tuple(
+            lv.v_buf(e_values[wire]) for wire in scheme.wire_of_port
+        )
+        inner_out = self.inner.route_bus(inner_in, config=False)
+        port_of_wire = scheme.port_of_wire
+        return tuple(
+            lv.v_buf(inner_out[port_of_wire[wire]])
+            if wire in port_of_wire
+            else e_values[wire]
+            for wire in range(self.cas.n)
+        )
+
+    def tick(self, config: bool) -> None:
+        self.inner.tick_all(config)
+
+    def reset(self) -> None:
+        self.cas.reset()
+        self.controls = NodeControls()
+        self.inner.reset()
+
+    def core_returns(self) -> tuple[int, ...]:  # pragma: no cover
+        raise SimulationError(
+            f"{self.path}: hierarchical nodes route through process_bus"
+        )

@@ -1,0 +1,79 @@
+"""Controller-program compilation and replay.
+
+The paper's central SoC test controller "synchroniz[es] test data and
+control".  This module turns system-level intents into the concrete
+per-cycle control stream (:class:`~repro.core.controller.ControllerProgram`)
+that such a controller would issue -- the artefact a test programmer
+would review -- and can replay a program against a live system,
+proving the stream is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro import values as lv
+from repro.errors import SimulationError
+from repro.core.controller import ControllerProgram, SoCTestController
+from repro.sim.system import CasBusSystem
+
+
+def compile_configuration_program(
+    system: CasBusSystem,
+    targets: Mapping[str, int],
+    *,
+    phase: str = "configuration",
+) -> ControllerProgram:
+    """The controller program for one serial reconfiguration.
+
+    The program is pure data: shifting it into the system (see
+    :func:`replay_program`) is equivalent to
+    :meth:`~repro.sim.system.CasBusSystem.run_configuration`.
+    """
+    controller = SoCTestController(system.n)
+    program = controller.new_program()
+    controller.add_configuration(
+        program, system.config_stream(targets), phase=phase
+    )
+    return program
+
+
+def replay_program(
+    system: CasBusSystem,
+    program: ControllerProgram,
+) -> int:
+    """Drive a system cycle by cycle from a controller program.
+
+    Returns the number of cycles executed.  Only the configuration
+    machinery reacts here (test-phase payloads are driver-specific and
+    produced by the session executor); the point is that the serial
+    streams are complete and ordering-correct on their own.
+    """
+    cycles = 0
+    for cycle in program:
+        if cycle.config:
+            bit = 1 if cycle.bus_in[0] == lv.ONE else 0
+            system.serial_shift(bit)
+        if cycle.update:
+            system.config_update()
+        if cycle.config and cycle.update:
+            raise SimulationError(
+                "a controller cycle cannot shift and update at once"
+            )
+        cycles += 1
+    return cycles
+
+
+def configuration_report(program: ControllerProgram) -> str:
+    """Human-readable summary of a controller program."""
+    total = len(program)
+    phases = ", ".join(
+        f"{name}: {count}" for name, count in program.phase_lengths.items()
+    )
+    shifts = sum(1 for cycle in program if cycle.config)
+    updates = sum(1 for cycle in program if cycle.update)
+    return (
+        f"controller program: {total} cycles ({phases}); "
+        f"{shifts} shift cycles, {updates} update pulses on an "
+        f"{program.n}-wire bus"
+    )

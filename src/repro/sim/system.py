@@ -1,0 +1,281 @@
+"""The complete CAS-BUS system: nodes on a shared test bus.
+
+Owns the two transport mechanisms of the architecture:
+
+* **bus routing** -- each cycle, the N wires thread every node in
+  physical order; nodes in TEST mode switch their P wires to the core,
+  everything else bypasses (combinationally, as in the paper);
+* **the serial configuration chain** -- during CONFIGURATION, wire 0
+  carries a bit stream through every CAS instruction register, every
+  spliced wrapper WIR, and (recursively) every inner chain of
+  hierarchical cores.  :meth:`CasBusSystem.run_configuration` computes
+  the stream for a target state and shifts it in, returning the cycle
+  cost -- the quantity the reconfiguration experiments charge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro import values as lv
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.cas import CoreAccessSwitch
+from repro.core.instruction import InstructionSet
+from repro.bist.engine import BistEngine
+from repro.soc.core import CoreSpec, TestMethod
+from repro.soc.soc import SocSpec
+from repro.sim.nodes import (
+    BistNode,
+    CasNode,
+    ExternalNode,
+    HierNode,
+    ScanNode,
+    SerialRegister,
+)
+from repro.wrapper.wrapper import P1500Wrapper
+
+
+class CasBusSystem:
+    """All nodes of one (sub-)SoC on one test bus."""
+
+    def __init__(self, soc: SocSpec, nodes: list[CasNode]) -> None:
+        self.soc = soc
+        self.nodes = nodes
+        self.n = soc.bus_width
+        #: Interconnect fault injection: net name -> "sa0"/"sa1"/"open",
+        #: or (net_a, net_b) -> "short".  Applied at EXTEST transfer.
+        self.interconnect_faults: dict = {}
+
+    # -- construction: see build_system() below ---------------------------
+
+    # -- node lookup -------------------------------------------------------
+
+    def node_at(self, path: tuple[str, ...]) -> CasNode:
+        """Resolve a hierarchical core path to its node."""
+        current: CasBusSystem = self
+        node: CasNode | None = None
+        for depth, name in enumerate(path):
+            node = next(
+                (n for n in current.nodes if n.spec.name == name), None
+            )
+            if node is None:
+                raise ConfigurationError(
+                    f"no core named {name!r} at level {depth} "
+                    f"of path {'/'.join(path)}"
+                )
+            if depth < len(path) - 1:
+                if not isinstance(node, HierNode):
+                    raise ConfigurationError(
+                        f"{'/'.join(path[:depth + 1])} is not hierarchical"
+                    )
+                current = node.inner
+        assert node is not None
+        return node
+
+    def walk(self) -> Iterator[CasNode]:
+        """All nodes, depth-first, in chain order."""
+        for node in self.nodes:
+            yield node
+            if isinstance(node, HierNode):
+                yield from node.inner.walk()
+
+    # -- bus transport ------------------------------------------------------
+
+    def route_bus(self, bus_in: tuple[int, ...],
+                  config: bool) -> tuple[int, ...]:
+        """Combinational pass of the bus through every node."""
+        if len(bus_in) != self.n:
+            raise SimulationError(
+                f"{self.soc.name}: bus is {self.n} wires, "
+                f"got {len(bus_in)} values"
+            )
+        values = tuple(bus_in)
+        for node in self.nodes:
+            values = node.process_bus(values, config)
+        return values
+
+    def tick_all(self, config: bool) -> None:
+        for node in self.nodes:
+            node.tick(config)
+
+    # -- serial configuration chain ---------------------------------------------
+
+    def serial_layout(self) -> list[SerialRegister]:
+        """Every register currently on the chain, in chain order.
+
+        The layout depends on the *current* state (CHAIN splices), which
+        is why reconfiguration is staged: first splice, then program.
+        """
+        layout: list[SerialRegister] = []
+        for node in self.nodes:
+            layout.extend(node.serial_layout())
+        return layout
+
+    def serial_shift(self, bit_in: int) -> int:
+        """One configuration clock through the whole chain."""
+        bit = bit_in
+        for node in self.nodes:
+            bit = node.serial_shift(bit)
+        return bit
+
+    def serial_out(self) -> int:
+        if not self.nodes:
+            raise SimulationError(f"{self.soc.name}: empty system")
+        return self.nodes[-1].serial_out()
+
+    def config_update(self) -> None:
+        for node in self.nodes:
+            node.config_update()
+
+    def current_codes(self) -> dict[str, int]:
+        """Current contents to re-load for registers without new targets."""
+        codes: dict[str, int] = {}
+        for node in self.walk():
+            codes[f"{node.path}.cas"] = node.cas.active_code
+            if node.wrapper is not None:
+                codes[f"{node.path}.wir"] = node.wrapper.wir.active_code
+        return codes
+
+    def config_stream(self, targets: Mapping[str, int]) -> list[int]:
+        """Serial stream loading ``targets`` (register path -> code).
+
+        Registers not named keep their current code (they must still be
+        re-shifted -- the chain disturbs everything it threads).  Bits
+        for the register farthest from the controller come first; each
+        code is expanded LSB first.
+        """
+        layout = self.serial_layout()
+        known = {register.path for register in layout}
+        unknown = set(targets) - known
+        if unknown:
+            raise ConfigurationError(
+                f"targets for registers not on the chain: {sorted(unknown)} "
+                f"(is the WIR spliced?)"
+            )
+        current = self.current_codes()
+        stream: list[int] = []
+        cas_isets = {
+            f"{node.path}.cas": node.cas.iset for node in self.walk()
+        }
+        for register in reversed(layout):
+            code = targets.get(register.path, current[register.path])
+            if register.kind == "cas":
+                iset = cas_isets[register.path]
+                if not iset.is_valid_code(code):
+                    raise ConfigurationError(
+                        f"{register.path}: invalid code {code}"
+                    )
+                bits = iset.code_to_bits(code)
+            else:
+                bits = tuple(
+                    (code >> b) & 1 for b in range(register.width)
+                )
+            stream.extend(bits)
+        return stream
+
+    def run_configuration(self, targets: Mapping[str, int]) -> int:
+        """Shift a configuration and pulse update; returns cycle cost."""
+        stream = self.config_stream(targets)
+        for bit in stream:
+            self.serial_shift(bit)
+        self.config_update()
+        return len(stream) + 1
+
+    def reset(self) -> None:
+        for node in self.nodes:
+            node.reset()
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"system {self.soc.name}: N={self.n}"]
+        for node in self.walk():
+            lines.append("  " + node.describe())
+        return "\n".join(lines)
+
+    def idle_bus(self) -> tuple[int, ...]:
+        return (lv.ZERO,) * self.n
+
+
+def build_system(
+    soc: SocSpec,
+    *,
+    inject_faults: Mapping[str, tuple[int, int]] | None = None,
+    interconnect_faults: Mapping | None = None,
+    gate_level: "set[str] | frozenset[str] | None" = None,
+    strict_cas: bool = True,
+    path_prefix: str = "",
+) -> CasBusSystem:
+    """Instantiate the behavioural system for an SoC spec.
+
+    Args:
+        soc: the validated SoC description.
+        inject_faults: optional map of core path (e.g. ``"core1"`` or
+            ``"core5/core5a"``) to a stuck-at fault injected into that
+            instance's logic.  Expected test data always comes from
+            clean builds, so injected faults surface as mismatches.
+        interconnect_faults: optional interconnect fault injection
+            (see :mod:`repro.sim.interconnect`).
+        gate_level: core paths whose CAS is instantiated from its
+            *generated netlist* instead of the behavioural model --
+            the cross-layer validation hook.
+        strict_cas: propagate to CAS models (reject invalid codes).
+        path_prefix: internal, for hierarchical naming.
+    """
+    soc.validate()
+    faults = dict(inject_faults or {})
+    gate_paths = set(gate_level or ())
+    nodes: list[CasNode] = []
+    for spec in soc.cores:
+        path = f"{path_prefix}{spec.name}"
+        if path in gate_paths:
+            from repro.core.gatelevel import GateLevelCoreAccessSwitch
+            from repro.core.generator import generate_cas
+
+            design = generate_cas(soc.bus_width, spec.p)
+            cas = GateLevelCoreAccessSwitch(
+                design, name=f"{path}.cas", strict=strict_cas
+            )
+        else:
+            iset = InstructionSet(soc.bus_width, spec.p)
+            cas = CoreAccessSwitch(
+                iset, name=f"{path}.cas", strict=strict_cas
+            )
+        if spec.method == TestMethod.HIERARCHICAL:
+            assert spec.inner is not None
+            inner = build_system(
+                spec.inner,
+                inject_faults={
+                    key.split("/", 1)[1]: value
+                    for key, value in faults.items()
+                    if key.startswith(f"{spec.name}/")
+                },
+                gate_level={
+                    key.split("/", 1)[1]
+                    for key in gate_paths
+                    if key.startswith(f"{spec.name}/")
+                },
+                strict_cas=strict_cas,
+                path_prefix=f"{path}/",
+            )
+            nodes.append(HierNode(spec, cas, inner, path))
+            continue
+        core = spec.build_scannable()
+        if spec.name in faults:
+            core.fault = faults[spec.name]
+        wrapper = P1500Wrapper(core, name=f"{path}.wrapper")
+        if spec.method == TestMethod.SCAN:
+            nodes.append(ScanNode(spec, cas, wrapper, path))
+        elif spec.method == TestMethod.EXTERNAL:
+            nodes.append(ExternalNode(spec, cas, wrapper, path))
+        else:
+            engine = BistEngine(
+                core,
+                signature_width=spec.signature_width,
+                fault=core.fault,
+            )
+            nodes.append(BistNode(spec, cas, wrapper, engine, path))
+    system = CasBusSystem(soc, nodes)
+    if interconnect_faults:
+        system.interconnect_faults = dict(interconnect_faults)
+    return system

@@ -1,0 +1,50 @@
+"""Signal trace recording for system simulations."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceRecorder:
+    """Records named signal values over cycles (change-compressed).
+
+    Only changes are stored, so long idle stretches cost nothing.  The
+    recorder is intentionally permissive: any hashable value can be
+    recorded, though VCD export expects logic values.
+    """
+
+    changes: dict[str, list[tuple[int, int]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    last: dict[str, int] = field(default_factory=dict)
+    max_cycle: int = 0
+
+    def record(self, name: str, cycle: int, value: int) -> None:
+        """Record one signal's value at a cycle (no-op if unchanged)."""
+        self.max_cycle = max(self.max_cycle, cycle)
+        if self.last.get(name) == value:
+            return
+        self.last[name] = value
+        self.changes[name].append((cycle, value))
+
+    def record_vector(self, prefix: str, cycle: int, values) -> None:
+        """Record an indexed bundle, e.g. ``bus[0..n-1]``."""
+        for index, value in enumerate(values):
+            self.record(f"{prefix}{index}", cycle, value)
+
+    def signals(self) -> list[str]:
+        return sorted(self.changes)
+
+    def value_at(self, name: str, cycle: int) -> int | None:
+        """The recorded value of a signal at (or before) a cycle."""
+        history = self.changes.get(name)
+        if not history:
+            return None
+        result = None
+        for when, value in history:
+            if when > cycle:
+                break
+            result = value
+        return result

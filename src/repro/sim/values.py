@@ -1,0 +1,29 @@
+"""Four-valued logic re-export.
+
+The canonical module is :mod:`repro.values` (kept at top level so the
+netlist substrate can use it without importing the simulation package);
+this alias preserves the layout promised in DESIGN.md.
+"""
+
+from repro.values import (  # noqa: F401
+    DRIVEN,
+    ONE,
+    VALUES,
+    X,
+    Z,
+    ZERO,
+    from_char,
+    from_string,
+    is_known,
+    resolve,
+    resolve_all,
+    to_char,
+    to_string,
+    v_and,
+    v_buf,
+    v_mux,
+    v_not,
+    v_or,
+    v_tristate,
+    v_xor,
+)

@@ -1,0 +1,33 @@
+"""SoC workload descriptors and benchmark designs.
+
+Separates *specification* (what cores an SoC contains, how each is
+tested, every parameter seeded and explicit) from *instantiation* (the
+behavioural objects built by the system simulator).  Includes the
+reconstructed Figure 1 six-core SoC and an ITC'02-style synthetic suite
+for scheduling experiments.
+"""
+
+from repro.soc.core import (
+    TestMethod,
+    CoreSpec,
+    CoreTestParams,
+)
+from repro.soc.soc import SocSpec
+from repro.soc.library import (
+    fig1_soc,
+    small_soc,
+    make_synthetic_soc,
+)
+from repro.soc.itc02 import d695_like, random_test_params
+
+__all__ = [
+    "TestMethod",
+    "CoreSpec",
+    "CoreTestParams",
+    "SocSpec",
+    "fig1_soc",
+    "small_soc",
+    "make_synthetic_soc",
+    "d695_like",
+    "random_test_params",
+]

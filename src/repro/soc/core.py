@@ -1,0 +1,275 @@
+"""Core descriptors: how one embedded core is tested through the CAS-BUS.
+
+A :class:`CoreSpec` is a frozen, seeded specification; the behavioural
+objects (scannable core, BIST engine, inner SoC system) are built from
+it on demand, so identical specs always produce identical cores.
+
+The paper's four core test types (figure 2) map to ``method``:
+
+* ``SCAN`` -- P = number of scan chains (fig 2a);
+* ``BIST`` -- P = 1 (fig 2b);
+* ``EXTERNAL`` -- off-chip LFSR source / MISR sink, P = 1 (fig 2c);
+* ``HIERARCHICAL`` -- the core embeds its own CAS-BUS; P = the inner
+  test bus width (fig 2d).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.soc.soc import SocSpec
+
+
+class TestMethod(enum.Enum):
+    """The four CAS-BUS core test types of paper figure 2."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    SCAN = "scan"
+    BIST = "bist"
+    EXTERNAL = "external"
+    HIERARCHICAL = "hierarchical"
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Specification of one testable core.
+
+    Only the fields relevant to ``method`` are meaningful; the
+    classmethod constructors (:meth:`scan`, :meth:`bist`,
+    :meth:`external`, :meth:`hierarchical`) set the rest to defaults
+    and :meth:`validate` cross-checks.
+    """
+
+    name: str
+    method: TestMethod
+    seed: int = 0
+    # Scan / external structure.
+    num_pis: int = 4
+    num_pos: int = 4
+    num_ffs: int = 24
+    num_chains: int = 1
+    num_gates: int | None = None
+    chain_lengths: tuple[int, ...] | None = None
+    # ATPG budget (scan) / stream length (external).
+    atpg_target: float = 0.90
+    atpg_max_patterns: int = 96
+    #: Run PODEM after random saturation (higher coverage, proves
+    #: redundant faults untestable).
+    atpg_deterministic: bool = False
+    external_stream_patterns: int = 32
+    # BIST.
+    bist_cycles: int = 128
+    signature_width: int = 16
+    # Hierarchy.
+    inner: "SocSpec | None" = None
+    # The wrapped system bus of figure 1 is modelled as a testable
+    # element too ("it also has its dedicated CAS").
+    is_system_bus: bool = False
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def scan(
+        cls,
+        name: str,
+        *,
+        seed: int,
+        num_ffs: int,
+        num_chains: int,
+        num_pis: int = 4,
+        num_pos: int = 4,
+        num_gates: int | None = None,
+        chain_lengths: tuple[int, ...] | None = None,
+        atpg_target: float = 0.90,
+        atpg_max_patterns: int = 96,
+        atpg_deterministic: bool = False,
+        is_system_bus: bool = False,
+    ) -> "CoreSpec":
+        """A scannable core (fig 2a): P = ``num_chains``."""
+        return cls(
+            name=name, method=TestMethod.SCAN, seed=seed,
+            num_pis=num_pis, num_pos=num_pos, num_ffs=num_ffs,
+            num_chains=num_chains, num_gates=num_gates,
+            chain_lengths=chain_lengths, atpg_target=atpg_target,
+            atpg_max_patterns=atpg_max_patterns,
+            atpg_deterministic=atpg_deterministic,
+            is_system_bus=is_system_bus,
+        )
+
+    @classmethod
+    def bist(
+        cls,
+        name: str,
+        *,
+        seed: int,
+        num_ffs: int = 16,
+        bist_cycles: int = 128,
+        signature_width: int = 16,
+        num_pis: int = 4,
+        num_pos: int = 4,
+    ) -> "CoreSpec":
+        """A self-testable core (fig 2b): P = 1."""
+        return cls(
+            name=name, method=TestMethod.BIST, seed=seed,
+            num_pis=num_pis, num_pos=num_pos, num_ffs=num_ffs,
+            num_chains=1, bist_cycles=bist_cycles,
+            signature_width=signature_width,
+        )
+
+    @classmethod
+    def external(
+        cls,
+        name: str,
+        *,
+        seed: int,
+        num_ffs: int = 16,
+        stream_patterns: int = 32,
+        num_pis: int = 4,
+        num_pos: int = 4,
+    ) -> "CoreSpec":
+        """A core tested by an off-chip LFSR/MISR pair (fig 2c): P = 1."""
+        return cls(
+            name=name, method=TestMethod.EXTERNAL, seed=seed,
+            num_pis=num_pis, num_pos=num_pos, num_ffs=num_ffs,
+            num_chains=1, external_stream_patterns=stream_patterns,
+        )
+
+    @classmethod
+    def hierarchical(cls, name: str, inner: "SocSpec") -> "CoreSpec":
+        """A core embedding its own CAS-BUS (fig 2d): P = inner width."""
+        return cls(name=name, method=TestMethod.HIERARCHICAL, inner=inner)
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        """Test terminals this core's CAS must switch (paper section 2)."""
+        if self.method == TestMethod.SCAN:
+            return self.num_chains
+        if self.method in (TestMethod.BIST, TestMethod.EXTERNAL):
+            return 1
+        assert self.inner is not None
+        return self.inner.bus_width
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on nonsense."""
+        if not self.name:
+            raise ConfigurationError("core needs a name")
+        if self.method == TestMethod.HIERARCHICAL:
+            if self.inner is None:
+                raise ConfigurationError(
+                    f"{self.name}: hierarchical core needs an inner SoC"
+                )
+            self.inner.validate()
+            return
+        if self.inner is not None:
+            raise ConfigurationError(
+                f"{self.name}: only hierarchical cores embed an inner SoC"
+            )
+        if self.num_ffs < 1:
+            raise ConfigurationError(f"{self.name}: needs at least one FF")
+        if not 1 <= self.num_chains <= self.num_ffs:
+            raise ConfigurationError(
+                f"{self.name}: bad chain count {self.num_chains}"
+            )
+        if self.chain_lengths is not None:
+            if (len(self.chain_lengths) != self.num_chains
+                    or sum(self.chain_lengths) != self.num_ffs):
+                raise ConfigurationError(
+                    f"{self.name}: chain_lengths {self.chain_lengths} "
+                    f"inconsistent with {self.num_chains} chains / "
+                    f"{self.num_ffs} FFs"
+                )
+        if self.method == TestMethod.BIST and self.bist_cycles < 1:
+            raise ConfigurationError(f"{self.name}: bist_cycles must be >= 1")
+
+    def build_scannable(self):
+        """Instantiate the behavioural scannable core (SCAN/EXTERNAL/BIST)."""
+        from repro.scan.core_model import ScannableCore
+
+        if self.method == TestMethod.HIERARCHICAL:
+            raise ConfigurationError(
+                f"{self.name}: hierarchical cores have no flat core model"
+            )
+        return ScannableCore.generate(
+            self.name,
+            seed=self.seed,
+            num_pis=self.num_pis,
+            num_pos=self.num_pos,
+            num_ffs=self.num_ffs,
+            num_chains=self.num_chains,
+            num_gates=self.num_gates,
+            chain_lengths=self.chain_lengths,
+        )
+
+    def test_params(self) -> "CoreTestParams":
+        """Abstract quantities for the scheduling layer."""
+        if self.method == TestMethod.SCAN:
+            return CoreTestParams(
+                name=self.name,
+                method=self.method,
+                flops=self.num_ffs + self.num_pis + self.num_pos,
+                patterns=self.atpg_max_patterns,
+                max_wires=self.num_chains,
+            )
+        if self.method == TestMethod.EXTERNAL:
+            return CoreTestParams(
+                name=self.name,
+                method=self.method,
+                flops=self.num_ffs + self.num_pis + self.num_pos,
+                patterns=self.external_stream_patterns,
+                max_wires=1,
+            )
+        if self.method == TestMethod.BIST:
+            return CoreTestParams(
+                name=self.name,
+                method=self.method,
+                flops=0,
+                patterns=0,
+                max_wires=1,
+                fixed_cycles=self.bist_cycles + self.signature_width,
+            )
+        assert self.inner is not None
+        inner_params = [core.test_params() for core in self.inner.cores]
+        total = sum(
+            params.flops * max(1, params.patterns) or
+            (params.fixed_cycles or 0)
+            for params in inner_params
+        )
+        return CoreTestParams(
+            name=self.name,
+            method=self.method,
+            flops=sum(params.flops for params in inner_params),
+            patterns=max(
+                (params.patterns for params in inner_params), default=0
+            ),
+            max_wires=self.inner.bus_width,
+            fixed_cycles=None if total else 0,
+        )
+
+
+@dataclass(frozen=True)
+class CoreTestParams:
+    """What the scheduler needs to know about one core's test.
+
+    Attributes:
+        name: core name.
+        method: test method (drives the timing formula choice).
+        flops: total scan cells (core FFs + boundary cells).
+        patterns: test vector count.
+        max_wires: the most bus wires the core can exploit (its P).
+        fixed_cycles: wire-independent test length (BIST cores).
+    """
+
+    name: str
+    method: TestMethod
+    flops: int
+    patterns: int
+    max_wires: int
+    fixed_cycles: int | None = None

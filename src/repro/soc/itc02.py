@@ -1,0 +1,87 @@
+"""ITC'02-style scheduling workloads.
+
+The paper predates the ITC'02 SoC test benchmarks (Marinissen, Iyengar,
+Chakrabarty, 2002), but those benchmarks became the standard workload
+for exactly the TAM-width/test-time trade-off the paper's section 4
+argues about.  This module ships a *synthetic, d695-proportioned* core
+table -- the real d695 is a collection of ISCAS cores; our numbers keep
+the relative magnitudes (a mix of small glue cores and a few large
+scan-heavy cores) so scheduling results show the same qualitative
+behaviour, without claiming to be the published benchmark.
+
+These are abstract :class:`~repro.soc.core.CoreTestParams` records: the
+scheduling layer needs only flop counts, pattern counts and wire
+limits, not simulatable netlists.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.soc.core import CoreTestParams, TestMethod
+
+#: Synthetic d695-proportioned cores: (name, flops, patterns, max_wires).
+_D695_LIKE_TABLE: tuple[tuple[str, int, int, int], ...] = (
+    ("c1", 6, 12, 1),
+    ("c2", 1416, 73, 8),
+    ("c3", 1593, 75, 8),
+    ("c4", 756, 105, 4),
+    ("c5", 613, 110, 4),
+    ("c6", 2317, 234, 16),
+    ("c7", 1056, 95, 8),
+    ("c8", 1464, 97, 8),
+    ("c9", 2539, 12, 16),
+    ("c10", 1242, 68, 8),
+)
+
+
+def d695_like() -> list[CoreTestParams]:
+    """The synthetic d695-proportioned ten-core workload."""
+    return [
+        CoreTestParams(
+            name=name,
+            method=TestMethod.SCAN,
+            flops=flops,
+            patterns=patterns,
+            max_wires=max_wires,
+        )
+        for name, flops, patterns, max_wires in _D695_LIKE_TABLE
+    ]
+
+
+def random_test_params(
+    seed: int,
+    *,
+    num_cores: int = 8,
+    max_flops: int = 2000,
+    max_patterns: int = 200,
+    bist_fraction: float = 0.2,
+) -> list[CoreTestParams]:
+    """A seeded random scheduling workload.
+
+    Mixes scan cores (wire-elastic) with a fraction of BIST cores
+    (fixed-duration, single wire), matching the heterogeneity the
+    CAS-BUS is designed for.
+    """
+    rng = random.Random(seed)
+    cores: list[CoreTestParams] = []
+    for index in range(num_cores):
+        name = f"r{seed}_{index}"
+        if rng.random() < bist_fraction:
+            cores.append(CoreTestParams(
+                name=name,
+                method=TestMethod.BIST,
+                flops=0,
+                patterns=0,
+                max_wires=1,
+                fixed_cycles=rng.randint(200, 4000),
+            ))
+        else:
+            cores.append(CoreTestParams(
+                name=name,
+                method=TestMethod.SCAN,
+                flops=rng.randint(40, max_flops),
+                patterns=rng.randint(10, max_patterns),
+                max_wires=rng.choice((1, 2, 2, 4, 4, 8, 16)),
+            ))
+    return cores

@@ -1,0 +1,174 @@
+"""Benchmark SoCs.
+
+:func:`fig1_soc` reconstructs the six-core system of paper figure 1
+with the full mix of core test types (plus the wrapped system bus with
+its own CAS).  Sizes are chosen so a complete end-to-end test session
+simulates in well under a second while still moving thousands of real
+scan bits.  :func:`make_synthetic_soc` produces seeded random SoCs for
+property tests and sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.soc.core import CoreSpec, TestMethod
+from repro.soc.soc import SocSpec
+
+
+def fig1_soc(bus_width: int = 4) -> SocSpec:
+    """The paper's figure 1 SoC: six cores plus the wrapped system bus.
+
+    Core 1-2: scannable (multi-chain); core 3: BISTed; core 4:
+    externally tested; core 5: hierarchical with an embedded two-core
+    CAS-BUS; core 6: scannable (single chain).  The system bus is a
+    boundary-only scannable element with its dedicated CAS.
+    """
+    if bus_width < 3:
+        raise ConfigurationError(
+            f"fig1 SoC needs a bus of width >= 3 (core1 has 3 chains), "
+            f"got {bus_width}"
+        )
+    inner = SocSpec(
+        name="core5_inner",
+        bus_width=2,
+        cores=(
+            CoreSpec.scan("core5a", seed=51, num_ffs=10, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=16),
+            CoreSpec.scan("core5b", seed=52, num_ffs=12, num_chains=2,
+                          num_pis=2, num_pos=2, atpg_max_patterns=16),
+        ),
+    )
+    soc = SocSpec(
+        name="fig1",
+        bus_width=bus_width,
+        cores=(
+            CoreSpec.scan("core1", seed=11, num_ffs=18, num_chains=3,
+                          num_pis=3, num_pos=3, atpg_max_patterns=24),
+            CoreSpec.scan("core2", seed=12, num_ffs=14, num_chains=2,
+                          num_pis=3, num_pos=3, atpg_max_patterns=24),
+            CoreSpec.bist("core3", seed=13, num_ffs=12, bist_cycles=64,
+                          signature_width=8),
+            CoreSpec.external("core4", seed=14, num_ffs=10,
+                              stream_patterns=12),
+            CoreSpec.hierarchical("core5", inner=inner),
+            CoreSpec.scan("core6", seed=16, num_ffs=12, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=24),
+            CoreSpec.scan("sysbus", seed=17, num_ffs=8, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=8,
+                          is_system_bus=True),
+        ),
+    )
+    soc.validate()
+    return soc
+
+
+def small_soc(bus_width: int = 3) -> SocSpec:
+    """A two-core scan-only SoC for fast integration tests."""
+    soc = SocSpec(
+        name="small",
+        bus_width=bus_width,
+        cores=(
+            CoreSpec.scan("alpha", seed=1, num_ffs=8, num_chains=2,
+                          num_pis=2, num_pos=2, atpg_max_patterns=12),
+            CoreSpec.scan("beta", seed=2, num_ffs=6, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=12),
+        ),
+    )
+    soc.validate()
+    return soc
+
+
+def interconnect_demo_soc() -> SocSpec:
+    """Three wrapped cores joined by four SoC nets, for EXTEST tests.
+
+    net topology:  producer.po0 -> hub.pi0      (n0)
+                   producer.po1 -> hub.pi1      (n1)
+                   hub.po0      -> consumer.pi0 (n2)
+                   hub.po1      -> consumer.pi1 (n3)
+    """
+    from repro.sim.interconnect import Interconnect
+
+    soc = SocSpec(
+        name="interconnect_demo",
+        bus_width=3,
+        cores=(
+            CoreSpec.scan("producer", seed=61, num_ffs=6, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=8),
+            CoreSpec.scan("hub", seed=62, num_ffs=8, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=8),
+            CoreSpec.scan("consumer", seed=63, num_ffs=6, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=8),
+        ),
+        interconnects=(
+            Interconnect("n0", source=("producer", 0), sink=("hub", 0)),
+            Interconnect("n1", source=("producer", 1), sink=("hub", 1)),
+            Interconnect("n2", source=("hub", 0), sink=("consumer", 0)),
+            Interconnect("n3", source=("hub", 1), sink=("consumer", 1)),
+        ),
+    )
+    soc.validate()
+    return soc
+
+
+def make_synthetic_soc(
+    seed: int,
+    *,
+    num_cores: int = 5,
+    bus_width: int = 4,
+    allow_hierarchy: bool = True,
+) -> SocSpec:
+    """A seeded random SoC mixing all four core test types."""
+    if num_cores < 1:
+        raise ConfigurationError(f"need at least one core, got {num_cores}")
+    rng = random.Random(seed)
+    cores: list[CoreSpec] = []
+    for index in range(num_cores):
+        kind = rng.choice(
+            [TestMethod.SCAN, TestMethod.SCAN, TestMethod.BIST,
+             TestMethod.EXTERNAL]
+            + ([TestMethod.HIERARCHICAL] if allow_hierarchy
+               and bus_width >= 2 else [])
+        )
+        name = f"core{index}"
+        core_seed = seed * 1000 + index
+        if kind == TestMethod.SCAN:
+            chains = rng.randint(1, min(3, bus_width))
+            ffs = rng.randint(chains * 3, chains * 8)
+            cores.append(CoreSpec.scan(
+                name, seed=core_seed, num_ffs=ffs, num_chains=chains,
+                num_pis=rng.randint(1, 4), num_pos=rng.randint(1, 4),
+                atpg_max_patterns=16,
+            ))
+        elif kind == TestMethod.BIST:
+            cores.append(CoreSpec.bist(
+                name, seed=core_seed, num_ffs=rng.randint(6, 16),
+                bist_cycles=rng.choice((32, 64, 96)),
+                signature_width=8,
+            ))
+        elif kind == TestMethod.EXTERNAL:
+            cores.append(CoreSpec.external(
+                name, seed=core_seed, num_ffs=rng.randint(6, 14),
+                stream_patterns=rng.randint(6, 16),
+            ))
+        else:
+            inner_width = rng.randint(1, min(2, bus_width))
+            inner = SocSpec(
+                name=f"{name}_inner",
+                bus_width=inner_width,
+                cores=(
+                    CoreSpec.scan(
+                        f"{name}_inner0", seed=core_seed + 1,
+                        num_ffs=rng.randint(4, 10),
+                        num_chains=min(inner_width, rng.randint(1, 2)),
+                        num_pis=2, num_pos=2, atpg_max_patterns=8,
+                    ),
+                ),
+            )
+            cores.append(CoreSpec.hierarchical(name, inner=inner))
+    soc = SocSpec(
+        name=f"synthetic{seed}", bus_width=bus_width, cores=tuple(cores)
+    )
+    soc.validate()
+    return soc

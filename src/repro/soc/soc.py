@@ -1,0 +1,92 @@
+"""SoC descriptors: a named set of cores sharing one test bus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ConfigurationError
+from repro.soc.core import CoreSpec, TestMethod
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.interconnect import Interconnect
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """A system-on-chip from the TAM's point of view.
+
+    Attributes:
+        name: design name.
+        bus_width: the test bus width N (paper: "N is greater or
+            equal to 1").
+        cores: the testable cores, in CAS chain order (the physical
+            order the test bus threads them, figure 1).
+        interconnects: optional core-to-core SoC nets, testable in
+            EXTEST over the CAS-BUS (section 4's interconnect test).
+    """
+
+    name: str
+    bus_width: int
+    cores: tuple[CoreSpec, ...]
+    interconnects: "tuple[Interconnect, ...]" = field(default=())
+
+    def validate(self) -> None:
+        if self.bus_width < 1:
+            raise ConfigurationError(
+                f"{self.name}: bus width must be >= 1, got {self.bus_width}"
+            )
+        if not self.cores:
+            raise ConfigurationError(f"{self.name}: an SoC needs cores")
+        names = [core.name for core in self.cores]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"{self.name}: duplicate core names in {names}"
+            )
+        for core in self.cores:
+            core.validate()
+            if core.p > self.bus_width:
+                raise ConfigurationError(
+                    f"{self.name}: core {core.name} needs P={core.p} wires "
+                    f"but the bus is only {self.bus_width} wide "
+                    f"(paper requires P <= N)"
+                )
+            if core.method == TestMethod.HIERARCHICAL:
+                assert core.inner is not None
+                if core.inner.bus_width != core.p:
+                    raise ConfigurationError(
+                        f"{self.name}: hierarchical core {core.name} "
+                        f"must expose P equal to its inner bus width"
+                    )
+        if self.interconnects:
+            from repro.sim.interconnect import validate_interconnects
+
+            shapes = {
+                core.name: (core.num_pis, core.num_pos)
+                for core in self.cores
+                if core.method != TestMethod.HIERARCHICAL
+            }
+            validate_interconnects(self.interconnects, shapes)
+
+    def core_named(self, name: str) -> CoreSpec:
+        for core in self.cores:
+            if core.name == name:
+                return core
+        raise ConfigurationError(f"{self.name}: no core named {name!r}")
+
+    def __iter__(self) -> Iterator[CoreSpec]:
+        return iter(self.cores)
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def describe(self) -> str:
+        """One-line-per-core summary used by reports."""
+        lines = [f"SoC {self.name}: N={self.bus_width}, "
+                 f"{len(self.cores)} cores"]
+        for core in self.cores:
+            lines.append(
+                f"  {core.name:<10} {core.method.value:<12} P={core.p}"
+                + (" (system bus)" if core.is_system_bus else "")
+            )
+        return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Four-valued logic for test-architecture simulation.
+
+The CAS switches its core-side terminals to high impedance during the
+configuration phase (paper, section 3), so every simulation layer in this
+library works over the classic four-valued IEEE-1164 subset:
+
+* ``ZERO`` / ``ONE`` -- strong driven values,
+* ``X``  -- unknown (conflict, uninitialised, or unknown-select),
+* ``Z``  -- high impedance (undriven).
+
+Values are plain ints so they pack into tuples cheaply and compare fast.
+All gate evaluation helpers below treat ``Z`` *as an input* like an
+unknown: sampling a floating wire yields an unknown logic level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+ZERO = 0
+ONE = 1
+X = 2
+Z = 3
+
+#: All legal logic values, in canonical order.
+VALUES = (ZERO, ONE, X, Z)
+
+#: Values that represent an actively driven, known level.
+DRIVEN = (ZERO, ONE)
+
+_CHAR = {ZERO: "0", ONE: "1", X: "X", Z: "Z"}
+_FROM_CHAR = {"0": ZERO, "1": ONE, "x": X, "X": X, "z": Z, "Z": Z}
+
+
+def to_char(value: int) -> str:
+    """Render a logic value as one of ``0 1 X Z``."""
+    return _CHAR[value]
+
+
+def from_char(char: str) -> int:
+    """Parse a logic value from one of ``0 1 x X z Z``."""
+    try:
+        return _FROM_CHAR[char]
+    except KeyError:
+        raise ValueError(f"not a logic value character: {char!r}") from None
+
+
+def to_string(values: Iterable[int]) -> str:
+    """Render a sequence of logic values as a compact string."""
+    return "".join(_CHAR[v] for v in values)
+
+
+def from_string(text: str) -> tuple[int, ...]:
+    """Parse a string of ``0 1 X Z`` characters into logic values."""
+    return tuple(from_char(c) for c in text)
+
+
+def is_known(value: int) -> bool:
+    """True for strongly driven ``ZERO``/``ONE``; False for ``X``/``Z``."""
+    return value == ZERO or value == ONE
+
+
+def v_not(value: int) -> int:
+    """Four-valued inverter."""
+    if value == ZERO:
+        return ONE
+    if value == ONE:
+        return ZERO
+    return X
+
+
+def v_buf(value: int) -> int:
+    """Four-valued buffer: passes driven values, maps X/Z to X."""
+    return value if is_known(value) else X
+
+
+def v_and(values: Iterable[int]) -> int:
+    """Four-valued AND: any 0 dominates, otherwise any unknown yields X."""
+    result = ONE
+    for value in values:
+        if value == ZERO:
+            return ZERO
+        if value != ONE:
+            result = X
+    return result
+
+
+def v_or(values: Iterable[int]) -> int:
+    """Four-valued OR: any 1 dominates, otherwise any unknown yields X."""
+    result = ZERO
+    for value in values:
+        if value == ONE:
+            return ONE
+        if value != ZERO:
+            result = X
+    return result
+
+
+def v_xor(values: Iterable[int]) -> int:
+    """Four-valued XOR: parity when all inputs known, else X."""
+    parity = ZERO
+    for value in values:
+        if not is_known(value):
+            return X
+        parity ^= value
+    return parity
+
+
+def v_mux(d0: int, d1: int, sel: int) -> int:
+    """Four-valued 2:1 multiplexer.
+
+    An unknown select still yields a known output when both data inputs
+    agree on a driven value, mirroring how synthesised muxes behave.
+    """
+    if sel == ZERO:
+        return v_buf(d0)
+    if sel == ONE:
+        return v_buf(d1)
+    if d0 == d1 and is_known(d0):
+        return d0
+    return X
+
+
+def v_tristate(data: int, enable: int) -> int:
+    """Tri-state buffer: drives ``data`` when enabled, else ``Z``.
+
+    An unknown enable produces X (the buffer may or may not drive).
+    """
+    if enable == ONE:
+        return v_buf(data)
+    if enable == ZERO:
+        return Z
+    return X
+
+
+def resolve(a: int, b: int) -> int:
+    """Wired resolution of two drivers on one net.
+
+    ``Z`` is the identity; two agreeing drivers keep their value;
+    disagreeing or unknown drivers produce ``X`` (bus contention).
+    """
+    if a == Z:
+        return b
+    if b == Z:
+        return a
+    if a == b and is_known(a):
+        return a
+    return X
+
+
+def resolve_all(drivers: Iterable[int]) -> int:
+    """Resolve any number of drivers; an undriven net floats to ``Z``."""
+    result = Z
+    for value in drivers:
+        result = resolve(result, value)
+        if result == X:
+            return X
+    return result

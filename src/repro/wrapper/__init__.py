@@ -1,0 +1,26 @@
+"""P1500-style core test wrapper substrate.
+
+The paper relies on the (then-draft) IEEE P1500 wrapper as "the
+interface between the embedded core and the TAM".  This package models
+the parts the CAS-BUS interacts with:
+
+* a **WIR** (wrapper instruction register) with shift/update stages --
+  serially loadable through the CAS CHAIN splice (paper section 3.1);
+* a **WBY** single-bit bypass register;
+* a **WBR** boundary register (input cells hold core inputs during
+  INTEST; output cells capture core outputs);
+* wrapper modes: NORMAL, BYPASS, INTEST, EXTEST, plus a BIST-launch
+  mode for self-testable cores.
+"""
+
+from repro.wrapper.wir import WIR_INSTRUCTIONS, Wir
+from repro.wrapper.boundary import BoundaryCell, BoundaryRegister
+from repro.wrapper.wrapper import P1500Wrapper
+
+__all__ = [
+    "WIR_INSTRUCTIONS",
+    "Wir",
+    "BoundaryCell",
+    "BoundaryRegister",
+    "P1500Wrapper",
+]

@@ -1,0 +1,99 @@
+"""Wrapper boundary register (WBR) cells.
+
+Input cells sit between the SoC interconnect and a core input: in
+INTEST they *drive* the core input from their update latch; in EXTEST
+they *capture* the interconnect value.  Output cells mirror this for
+core outputs.  Cells are shiftable so boundary contents travel on the
+wrapper scan path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+#: Cell directions.
+INPUT_CELL = "input"
+OUTPUT_CELL = "output"
+
+
+@dataclass
+class BoundaryCell:
+    """One WBC: a shift flop plus an update latch.
+
+    Attributes:
+        direction: ``"input"`` (drives a core input) or ``"output"``
+            (observes a core output).
+        shift_value: content of the shift flop.
+        held_value: content of the update latch (what drives the core
+            side in INTEST for input cells).
+    """
+
+    direction: str
+    shift_value: int = 0
+    held_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.direction not in (INPUT_CELL, OUTPUT_CELL):
+            raise SimulationError(f"bad boundary direction {self.direction!r}")
+
+
+@dataclass
+class BoundaryRegister:
+    """An ordered chain of boundary cells (inputs first, then outputs)."""
+
+    cells: list[BoundaryCell] = field(default_factory=list)
+
+    @classmethod
+    def for_core(cls, num_inputs: int, num_outputs: int) -> "BoundaryRegister":
+        cells = [BoundaryCell(INPUT_CELL) for _ in range(num_inputs)]
+        cells += [BoundaryCell(OUTPUT_CELL) for _ in range(num_outputs)]
+        return cls(cells=cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def input_cells(self) -> list[BoundaryCell]:
+        return [c for c in self.cells if c.direction == INPUT_CELL]
+
+    @property
+    def output_cells(self) -> list[BoundaryCell]:
+        return [c for c in self.cells if c.direction == OUTPUT_CELL]
+
+    def shift(self, serial_in: int) -> int:
+        """Shift the whole register by one bit; returns the bit out."""
+        if serial_in not in (0, 1):
+            raise SimulationError(f"boundary shift input {serial_in!r} not 0/1")
+        if not self.cells:
+            return serial_in
+        out_bit = self.cells[-1].shift_value
+        for index in range(len(self.cells) - 1, 0, -1):
+            self.cells[index].shift_value = self.cells[index - 1].shift_value
+        self.cells[0].shift_value = serial_in
+        return out_bit
+
+    def update_inputs(self) -> None:
+        """Transfer input-cell shift flops into their update latches."""
+        for cell in self.input_cells:
+            cell.held_value = cell.shift_value
+
+    def capture_outputs(self, values: list[int]) -> None:
+        """Capture core outputs into output-cell shift flops."""
+        outputs = self.output_cells
+        if len(values) != len(outputs):
+            raise SimulationError(
+                f"capturing {len(values)} values into {len(outputs)} cells"
+            )
+        for cell, value in zip(outputs, values):
+            cell.shift_value = value
+
+    def driven_inputs(self) -> list[int]:
+        """The values input cells present to the core in INTEST."""
+        return [cell.held_value for cell in self.input_cells]
+
+    def reset(self) -> None:
+        for cell in self.cells:
+            cell.shift_value = 0
+            cell.held_value = 0

@@ -1,0 +1,99 @@
+"""The Wrapper Instruction Register (WIR).
+
+Shift/update mechanics mirror the CAS instruction register so the two
+can be spliced into one serial chain by the CHAIN instruction: stage 0
+is the serial-out end, codes travel LSB first, and an update pulse
+transfers the shift stage into the active stage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Wrapper instruction encoding, fixed across all wrappers.
+WIR_INSTRUCTIONS: dict[str, int] = {
+    "NORMAL": 0,
+    "BYPASS": 1,
+    "INTEST": 2,
+    "EXTEST": 3,
+    "BIST": 4,
+}
+
+_NAME_OF_CODE = {code: name for name, code in WIR_INSTRUCTIONS.items()}
+
+#: WIR width: enough bits for every instruction.
+WIR_WIDTH = max(1, math.ceil(math.log2(len(WIR_INSTRUCTIONS))))
+
+
+class Wir:
+    """One wrapper instruction register (shift + update stages)."""
+
+    def __init__(self, name: str = "wir") -> None:
+        self.name = name
+        self.width = WIR_WIDTH
+        self._shift_reg: list[int] = [0] * self.width
+        self._active_code: int = WIR_INSTRUCTIONS["NORMAL"]
+
+    @property
+    def active_code(self) -> int:
+        return self._active_code
+
+    @property
+    def active_name(self) -> str:
+        return _NAME_OF_CODE[self._active_code]
+
+    @property
+    def shift_register(self) -> tuple[int, ...]:
+        return tuple(self._shift_reg)
+
+    def reset(self) -> None:
+        self._shift_reg = [0] * self.width
+        self._active_code = WIR_INSTRUCTIONS["NORMAL"]
+
+    def serial_out(self) -> int:
+        """Bit presented at WSO before the next shift."""
+        return self._shift_reg[0]
+
+    def shift(self, serial_in: int) -> int:
+        """One shift cycle; returns the bit moved out (WSO)."""
+        if serial_in not in (0, 1):
+            raise SimulationError(
+                f"{self.name}: serial input must be 0/1, got {serial_in!r}"
+            )
+        out_bit = self._shift_reg[0]
+        self._shift_reg = self._shift_reg[1:] + [serial_in]
+        return out_bit
+
+    def load_code(self, code: int) -> None:
+        """Directly load the shift stage (test convenience)."""
+        self._shift_reg = list(self.code_to_bits(code))
+
+    def update(self) -> str:
+        """Activate the shifted instruction; returns its name."""
+        code = 0
+        for index, bit in enumerate(self._shift_reg):
+            code |= bit << index
+        if code not in _NAME_OF_CODE:
+            raise ConfigurationError(
+                f"{self.name}: {code:#x} is not a wrapper instruction"
+            )
+        self._active_code = code
+        return _NAME_OF_CODE[code]
+
+    def code_to_bits(self, code: int) -> tuple[int, ...]:
+        """Little-endian bits of an instruction code."""
+        if code not in _NAME_OF_CODE:
+            raise ConfigurationError(f"unknown WIR code {code}")
+        return tuple((code >> bit) & 1 for bit in range(self.width))
+
+    @staticmethod
+    def code_of(name: str) -> int:
+        try:
+            return WIR_INSTRUCTIONS[name]
+        except KeyError:
+            known = ", ".join(sorted(WIR_INSTRUCTIONS))
+            raise ConfigurationError(
+                f"unknown wrapper instruction {name!r}; known: {known}"
+            ) from None

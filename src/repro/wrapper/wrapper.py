@@ -1,0 +1,311 @@
+"""The P1500-style wrapper around one core.
+
+Composition (paper figure 3 shows the CAS attached to the "P1500
+WRAPPER" terminals):
+
+* **WIR** -- serially loadable through the CAS CHAIN splice;
+* **WBY** -- one-bit bypass between WSI and WSO;
+* **WBR** -- boundary cells for the core's PIs and POs;
+* **parallel test port** of width P = number of wrapper scan chains.
+
+In INTEST, wrapper scan chain ``c`` is the concatenation
+
+    scan-in -> [input boundary cells] -> core chain c -> [output cells] -> scan-out
+
+with boundary cells distributed across chains to balance lengths (the
+wrapper-side half of the paper's scan-balancing story).  At a capture
+clock the core's PIs are driven from the input cells, the core captures,
+and POs land in the output cells.
+
+In EXTEST, the whole boundary register is one serial chain on parallel
+port 0 (P effectively 1), which is how SoC interconnect test rides the
+CAS-BUS.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.scan.core_model import ScannableCore
+from repro.wrapper.boundary import BoundaryCell, BoundaryRegister
+from repro.wrapper.wir import Wir
+
+
+class P1500Wrapper:
+    """Wrapper for a scannable core (or a boundary-only element).
+
+    Args:
+        core: the wrapped scannable core, or ``None`` for boundary-only
+            wrappers (e.g. the wrapped system bus), in which case
+            ``num_inputs``/``num_outputs`` size the boundary register.
+        name: instance name for diagnostics.
+        num_inputs / num_outputs: boundary sizes for boundary-only
+            wrappers; ignored when ``core`` is given.
+    """
+
+    def __init__(
+        self,
+        core: ScannableCore | None,
+        name: str = "wrapper",
+        *,
+        num_inputs: int = 0,
+        num_outputs: int = 0,
+    ) -> None:
+        self.name = name
+        self.core = core
+        self.wir = Wir(name=f"{name}.wir")
+        self.wby = 0
+        if core is not None:
+            num_inputs = core.num_pis
+            num_outputs = core.num_pos
+        self.boundary = BoundaryRegister.for_core(num_inputs, num_outputs)
+        self._in_cells: list[list[BoundaryCell]] = []
+        self._out_cells: list[list[BoundaryCell]] = []
+        self._distribute_boundary_cells()
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        """Parallel test port width (number of wrapper chains)."""
+        if self.core is None:
+            return 1
+        return self.core.num_chains
+
+    def wrapper_chain_lengths(self) -> tuple[int, ...]:
+        """INTEST chain lengths: boundary cells + core chain, per port."""
+        if self.core is None:
+            return (len(self.boundary),)
+        return tuple(
+            len(self._in_cells[c]) + len(self.core.chains[c])
+            + len(self._out_cells[c])
+            for c in range(self.p)
+        )
+
+    @property
+    def max_chain_length(self) -> int:
+        return max(self.wrapper_chain_lengths())
+
+    def _distribute_boundary_cells(self) -> None:
+        """Assign boundary cells to wrapper chains, balancing lengths."""
+        if self.core is None:
+            self._in_cells = [list(self.boundary.input_cells)]
+            self._out_cells = [list(self.boundary.output_cells)]
+            return
+        chains = self.core.num_chains
+        lengths = [len(chain) for chain in self.core.chains]
+        self._in_cells = [[] for _ in range(chains)]
+        self._out_cells = [[] for _ in range(chains)]
+        for cell in self.boundary.input_cells:
+            target = min(range(chains), key=lambda c: lengths[c])
+            self._in_cells[target].append(cell)
+            lengths[target] += 1
+        for cell in self.boundary.output_cells:
+            target = min(range(chains), key=lambda c: lengths[c])
+            self._out_cells[target].append(cell)
+            lengths[target] += 1
+
+    # -- modes ---------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        return self.wir.active_name
+
+    def set_mode(self, name: str) -> None:
+        """Directly select a wrapper mode (bypasses the serial protocol;
+        session code uses the CHAIN splice instead)."""
+        self.wir.load_code(Wir.code_of(name))
+        self.wir.update()
+
+    def reset(self) -> None:
+        self.wir.reset()
+        self.wby = 0
+        self.boundary.reset()
+        if self.core is not None:
+            self.core.reset()
+
+    # -- serial port (WSI/WSO), used by the CHAIN splice -------------------------
+
+    def serial_out(self) -> int:
+        """WSO value before the next shift (the WIR's stage 0)."""
+        return self.wir.serial_out()
+
+    def serial_shift(self, bit_in: int) -> int:
+        """Shift the WIR by one bit; returns the displaced WSO bit."""
+        return self.wir.shift(bit_in)
+
+    def serial_update(self) -> str:
+        """Activate the shifted wrapper instruction."""
+        return self.wir.update()
+
+    # -- parallel test port -----------------------------------------------------
+
+    def test_returns(self) -> tuple[int, ...]:
+        """Values presented on the parallel outputs this cycle (pre-clock).
+
+        Only meaningful in INTEST/EXTEST; other modes present zeros
+        (the CAS does not route them anyway).
+        """
+        mode = self.mode
+        if mode == "INTEST" and self.core is not None:
+            return tuple(
+                self._chain_out_bit(c) for c in range(self.p)
+            )
+        if mode == "EXTEST":
+            if not len(self.boundary):
+                return (0,) * self.p
+            out = self.boundary.cells[-1].shift_value
+            return (out,) + (0,) * (self.p - 1)
+        return (0,) * self.p
+
+    def _chain_out_bit(self, c: int) -> int:
+        if self._out_cells[c]:
+            return self._out_cells[c][-1].shift_value
+        assert self.core is not None
+        if self.core.chains[c]:
+            return self.core.scan_out_bit(c)
+        if self._in_cells[c]:
+            return self._in_cells[c][-1].shift_value
+        return 0
+
+    def test_shift(self, inputs: Sequence[int]) -> tuple[int, ...]:
+        """One shift clock on the parallel port; returns the out bits."""
+        if len(inputs) != self.p:
+            raise SimulationError(
+                f"{self.name}: expected {self.p} parallel inputs, "
+                f"got {len(inputs)}"
+            )
+        mode = self.mode
+        if mode == "INTEST" and self.core is not None:
+            return tuple(
+                self._shift_chain(c, inputs[c]) for c in range(self.p)
+            )
+        if mode == "EXTEST":
+            out = self.boundary.shift(inputs[0])
+            return (out,) + (0,) * (self.p - 1)
+        raise SimulationError(
+            f"{self.name}: test_shift in mode {mode} (need INTEST/EXTEST)"
+        )
+
+    def _shift_chain(self, c: int, bit_in: int) -> int:
+        assert self.core is not None
+        bit = bit_in
+        for cell in self._in_cells[c]:
+            bit, cell.shift_value = cell.shift_value, bit
+        bit = self.core.scan_shift(c, bit)
+        for cell in self._out_cells[c]:
+            bit, cell.shift_value = cell.shift_value, bit
+        return bit
+
+    def test_capture(self) -> None:
+        """One capture clock: apply boundary inputs, capture the core."""
+        if self.mode != "INTEST":
+            raise SimulationError(
+                f"{self.name}: capture in mode {self.mode} (need INTEST)"
+            )
+        if self.core is None:
+            raise SimulationError(f"{self.name}: no core to capture")
+        pi_values = [cell.shift_value for cell in self.boundary.input_cells]
+        po_values = self.core.capture(pi_values)
+        self.boundary.capture_outputs(po_values)
+
+    # -- EXTEST interconnect hooks ------------------------------------------
+
+    def extest_driven_output(self, po_index: int) -> int:
+        """Value an output boundary cell drives onto the SoC net."""
+        if self.mode != "EXTEST":
+            raise SimulationError(
+                f"{self.name}: driving interconnect in mode {self.mode}"
+            )
+        return self.boundary.output_cells[po_index].shift_value
+
+    def extest_capture_inputs(self, values: dict[int, int]) -> None:
+        """Capture interconnect values into input boundary cells.
+
+        ``values`` maps PI index to the net value arriving at that pin;
+        unconnected inputs keep their content.
+        """
+        if self.mode != "EXTEST":
+            raise SimulationError(
+                f"{self.name}: capturing interconnect in mode {self.mode}"
+            )
+        input_cells = self.boundary.input_cells
+        for pi_index, value in values.items():
+            if not 0 <= pi_index < len(input_cells):
+                raise SimulationError(
+                    f"{self.name}: no input boundary cell {pi_index}"
+                )
+            input_cells[pi_index].shift_value = value
+
+    # -- pattern/response mapping --------------------------------------------
+
+    def pattern_streams(self, pattern) -> list[list[int]]:
+        """Scan-in bit streams (per wrapper chain) loading one pattern.
+
+        The stream for chain ``c`` is ordered first-bit-shifted-first
+        and sized to the *wrapper* chain length; shorter chains are the
+        caller's concern (the session pads to the session's max length).
+
+        After ``len(stream)`` shifts the chain holds: input cells = the
+        pattern's PI values (for the cells assigned to this chain), core
+        chain = the pattern's chain load, output cells = don't-care (0).
+        """
+        if self.core is None:
+            raise SimulationError(f"{self.name}: boundary-only wrapper")
+        streams: list[list[int]] = []
+        for c in range(self.p):
+            in_cells = self._in_cells[c]
+            out_cells = self._out_cells[c]
+            pi_of_cell = {
+                id(cell): pattern.pi[index]
+                for index, cell in enumerate(self.boundary.input_cells)
+            }
+            # Shift order: a bit entering at scan-in traverses input
+            # cells, then the core chain, then output cells.  After L
+            # shifts the FIRST bit shifted ends in the LAST position
+            # (nearest scan-out).  Build target contents scan-in-first,
+            # then reverse into a stream.
+            target: list[int] = []
+            target.extend(pi_of_cell[id(cell)] for cell in in_cells)
+            target.extend(pattern.chains[c])
+            target.extend([0] * len(out_cells))
+            streams.append(list(reversed(target)))
+        return streams
+
+    def expected_response_streams(self, response) -> list[list[int | None]]:
+        """Scan-out bit streams (per wrapper chain) after a capture.
+
+        Bit 0 of a stream is what emerges on the *first* shift after
+        capture: the value nearest scan-out, i.e. the last output cell
+        (or the core chain tail when a chain has no output cells).
+        Input-cell positions carry ``None`` (don't-care): they echo the
+        previous pattern's PI values and observe no core logic.
+        """
+        if self.core is None:
+            raise SimulationError(f"{self.name}: boundary-only wrapper")
+        streams: list[list[int | None]] = []
+        for c in range(self.p):
+            contents: list[int | None] = []
+            # Post-capture chain contents, scan-in side first: input
+            # cells keep their shifted PI values (don't-care here), core
+            # FFs hold the captured next state, output cells captured POs.
+            po_of_cell = {
+                id(cell): response.po_values[index]
+                for index, cell in enumerate(self.boundary.output_cells)
+            }
+            contents.extend(None for _ in self._in_cells[c])
+            contents.extend(
+                response.ff_values[ff] for ff in self.core.chains[c]
+            )
+            for cell in self._out_cells[c]:
+                contents.append(po_of_cell[id(cell)])
+            # Scan-out order: last content first.
+            streams.append(list(reversed(contents)))
+        return streams
+
+    def __repr__(self) -> str:
+        return (
+            f"P1500Wrapper({self.name!r}, mode={self.mode}, p={self.p}, "
+            f"chains={list(self.wrapper_chain_lengths())})"
+        )

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instruction import InstructionSet
+
+
+@pytest.fixture(scope="session")
+def iset_4_2() -> InstructionSet:
+    """The workhorse small instruction set: N=4, P=2, m=14, k=4."""
+    return InstructionSet(4, 2)
+
+
+@pytest.fixture(scope="session")
+def iset_3_1() -> InstructionSet:
+    """The smallest Table 1 configuration: N=3, P=1, m=5, k=3."""
+    return InstructionSet(3, 1)

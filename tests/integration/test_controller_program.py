@@ -1,0 +1,69 @@
+"""Integration: compiled controller programs configure real systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instruction import CHAIN_CODE
+from repro.sim.program import (
+    compile_configuration_program,
+    configuration_report,
+    replay_program,
+)
+from repro.sim.system import build_system
+from repro.soc.library import fig1_soc, small_soc
+
+
+class TestCompileAndReplay:
+    def test_program_equivalent_to_direct_configuration(self):
+        targets = {"alpha.cas": 3, "beta.cas": 2}
+        direct = build_system(small_soc())
+        direct_cycles = direct.run_configuration(targets)
+
+        replayed = build_system(small_soc())
+        program = compile_configuration_program(replayed, targets)
+        replay_cycles = replay_program(replayed, program)
+
+        assert replay_cycles == direct_cycles == len(program)
+        for path, want in targets.items():
+            name = path.split(".")[0]
+            assert replayed.node_at((name,)).cas.active_code == want
+            assert direct.node_at((name,)).cas.active_code == want
+
+    def test_program_reaches_hierarchy(self):
+        system = build_system(fig1_soc())
+        targets = {"core5/core5a.cas": 2}
+        program = compile_configuration_program(system, targets)
+        replay_program(system, program)
+        assert system.node_at(("core5", "core5a")).cas.active_code == 2
+
+    def test_two_stage_splice_via_programs(self):
+        """The CHAIN splice works as two compiled programs."""
+        system = build_system(small_soc())
+        stage_a = compile_configuration_program(
+            system, {"alpha.cas": CHAIN_CODE}
+        )
+        replay_program(system, stage_a)
+        assert system.node_at(("alpha",)).cas.active_code == CHAIN_CODE
+        stage_b = compile_configuration_program(
+            system, {"alpha.cas": 0, "alpha.wir": 2}
+        )
+        # Stage B's chain is longer: alpha's WIR is spliced in.
+        assert len(stage_b) == len(stage_a) + 3
+        replay_program(system, stage_b)
+        node = system.node_at(("alpha",))
+        assert node.wrapper.mode == "INTEST"
+        assert node.cas.active_code == 0
+
+    def test_report_mentions_shifts_and_updates(self):
+        system = build_system(small_soc())
+        program = compile_configuration_program(system, {"alpha.cas": 1})
+        text = configuration_report(program)
+        assert "shift cycles" in text
+        assert "update pulses" in text
+
+    def test_program_length_is_chain_plus_update(self):
+        system = build_system(fig1_soc())
+        program = compile_configuration_program(system, {})
+        chain_bits = sum(r.width for r in system.serial_layout())
+        assert len(program) == chain_bits + 1

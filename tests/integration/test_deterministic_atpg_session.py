@@ -1,0 +1,55 @@
+"""Integration: PODEM-backed test sets through the simulated CAS-BUS."""
+
+from __future__ import annotations
+
+from repro.sim.plan import PlanBuilder, flat_assignment
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.core import CoreSpec
+from repro.soc.soc import SocSpec
+
+
+def _soc(deterministic: bool) -> SocSpec:
+    soc = SocSpec(
+        name="det",
+        bus_width=3,
+        cores=(
+            CoreSpec.scan("dut", seed=7, num_ffs=12, num_chains=2,
+                          num_pis=3, num_pos=3, atpg_max_patterns=48,
+                          atpg_deterministic=deterministic),
+        ),
+    )
+    soc.validate()
+    return soc
+
+
+class TestDeterministicAtpgThroughTam:
+    def test_session_passes_with_podem_patterns(self):
+        executor = SessionExecutor(build_system(_soc(True)))
+        plan = PlanBuilder().add_session(
+            flat_assignment("dut", (0, 1))
+        ).build()
+        result = executor.run_plan(plan)
+        assert result.passed
+        test_set = executor._test_sets["dut"]
+        assert test_set.untestable_faults > 0
+        assert test_set.effective_coverage >= 0.9
+
+    def test_fault_detected_with_podem_patterns(self):
+        from repro.bist.engine import random_detectable_fault
+
+        soc = _soc(True)
+        clean = soc.core_named("dut").build_scannable()
+        fault = random_detectable_fault(clean, seed=5)
+        executor = SessionExecutor(
+            build_system(soc, inject_faults={"dut": fault})
+        )
+        plan = PlanBuilder().add_session(
+            flat_assignment("dut", (0, 1))
+        ).build()
+        result = executor.run_plan(plan)
+        assert not result.passed
+
+    def test_deterministic_spec_flag_round_trips(self):
+        assert _soc(True).core_named("dut").atpg_deterministic
+        assert not _soc(False).core_named("dut").atpg_deterministic

@@ -1,0 +1,130 @@
+"""Integration: sessions run identically with gate-level CASes.
+
+The strongest cross-layer check: selected CASes are instantiated from
+their generated netlists (four-valued gate simulation) inside the live
+system, and whole test programs must produce bit-identical outcomes
+and cycle counts versus the behavioural models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import values as lv
+from repro.bist.engine import random_detectable_fault
+from repro.core.gatelevel import GateLevelCoreAccessSwitch
+from repro.core.generator import generate_cas
+from repro.errors import ConfigurationError
+from repro.sim.plan import PlanBuilder, flat_assignment
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.library import small_soc
+
+
+class TestGateLevelCasUnit:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.core.cas import CoreAccessSwitch
+
+        design = generate_cas(3, 1)
+        return (CoreAccessSwitch(design.iset, name="beh"),
+                GateLevelCoreAccessSwitch(design, name="gate"))
+
+    def test_power_on_state_matches(self, pair):
+        behavioural, gates = pair
+        behavioural.reset()
+        gates.reset()
+        assert gates.active_code == behavioural.active_code == 0
+        assert gates.shift_register == behavioural.shift_register
+
+    def test_shift_sequence_matches(self, pair):
+        behavioural, gates = pair
+        behavioural.reset()
+        gates.reset()
+        stream = [1, 0, 1, 1, 0, 0, 1]
+        for bit in stream:
+            assert gates.shift(bit) == behavioural.shift(bit)
+        assert gates.shift_register == behavioural.shift_register
+
+    def test_update_and_route_match(self, pair):
+        behavioural, gates = pair
+        for code in range(gates.iset.m):
+            behavioural.reset()
+            gates.reset()
+            behavioural.load_code(code)
+            gates.load_code(code)
+            assert gates.update() == behavioural.update() == code
+            for e_pattern in range(8):
+                e = tuple(
+                    lv.ONE if e_pattern >> w & 1 else lv.ZERO
+                    for w in range(3)
+                )
+                for ret in (lv.ZERO, lv.ONE):
+                    got = gates.route(e, (ret,))
+                    want = behavioural.route(e, (ret,))
+                    assert got == want, (code, e, ret)
+
+    def test_config_mode_routes_serial_chain(self, pair):
+        behavioural, gates = pair
+        behavioural.reset()
+        gates.reset()
+        behavioural.load_code(0b101)
+        gates.load_code(0b101)
+        e = (lv.ONE, lv.ZERO, lv.ONE)
+        got = gates.route(e, (lv.ZERO,), config=True)
+        want = behavioural.route(e, (lv.ZERO,), config=True)
+        assert got.s[0] == want.s[0] == lv.ONE
+        assert got.o == want.o == (lv.Z,)
+
+    def test_strict_update_rejects_invalid(self):
+        design = generate_cas(4, 2)  # m=14 < 16: codes 14,15 invalid
+        gates = GateLevelCoreAccessSwitch(design, strict=True)
+        gates.load_code(15)
+        with pytest.raises(ConfigurationError):
+            gates.update()
+
+    def test_lenient_update_degrades_to_bypass(self):
+        design = generate_cas(4, 2)
+        gates = GateLevelCoreAccessSwitch(design, strict=False)
+        gates.load_code(15)
+        assert gates.update() == 0
+
+
+class TestGateLevelInSystem:
+    def _run(self, gate_level):
+        soc = small_soc()
+        system = build_system(soc, gate_level=gate_level)
+        executor = SessionExecutor(system)
+        plan = (PlanBuilder()
+                .add_session(flat_assignment("alpha", (0, 1)),
+                             flat_assignment("beta", (2,)))
+                .add_session(flat_assignment("alpha", (2, 0)))
+                .build())
+        return executor.run_plan(plan)
+
+    def test_session_identical_with_gate_level_cas(self):
+        behavioural = self._run(gate_level=None)
+        gate_backed = self._run(gate_level={"alpha"})
+        assert gate_backed.passed
+        assert gate_backed.total_cycles == behavioural.total_cycles
+        for a, b in zip(behavioural.core_results(),
+                        gate_backed.core_results()):
+            assert (a.name, a.passed, a.bits_compared, a.mismatches) == \
+                (b.name, b.passed, b.bits_compared, b.mismatches)
+
+    def test_all_cas_gate_level(self):
+        result = self._run(gate_level={"alpha", "beta"})
+        assert result.passed
+
+    def test_fault_detected_through_gate_level_cas(self):
+        soc = small_soc()
+        clean = soc.core_named("alpha").build_scannable()
+        fault = random_detectable_fault(clean, seed=1)
+        system = build_system(soc, inject_faults={"alpha": fault},
+                              gate_level={"alpha"})
+        executor = SessionExecutor(system)
+        plan = PlanBuilder().add_session(
+            flat_assignment("alpha", (0, 1))
+        ).build()
+        result = executor.run_plan(plan)
+        assert not result.passed

@@ -1,0 +1,137 @@
+"""Integration: EXTEST interconnect test through the simulated CAS-BUS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.core import CoreSpec
+from repro.soc.library import interconnect_demo_soc, small_soc
+from repro.soc.soc import SocSpec
+from repro.sim.interconnect import Interconnect
+
+
+def _executor(faults=None):
+    soc = interconnect_demo_soc()
+    return SessionExecutor(
+        build_system(soc, interconnect_faults=faults or {})
+    )
+
+
+class TestCleanInterconnect:
+    def test_all_nets_pass(self):
+        result = _executor().run_interconnect_test()
+        assert result.passed
+        assert {r.name for r in result.core_results} == {
+            "n0", "n1", "n2", "n3"
+        }
+        for net_result in result.core_results:
+            assert net_result.method == "interconnect"
+            assert net_result.bits_compared > 0
+
+    def test_cycle_accounting(self):
+        result = _executor().run_interconnect_test()
+        assert result.config_cycles > 0
+        assert result.test_cycles > 0
+
+    def test_no_interconnects_rejected(self):
+        executor = SessionExecutor(build_system(small_soc()))
+        with pytest.raises(ConfigurationError, match="no interconnects"):
+            executor.run_interconnect_test()
+
+
+class TestFaultDetection:
+    @pytest.mark.parametrize("net,kind", [
+        ("n0", "sa0"), ("n0", "sa1"), ("n1", "sa0"),
+        ("n2", "open"), ("n3", "sa1"),
+    ])
+    def test_single_net_faults_localised(self, net, kind):
+        result = _executor({net: kind}).run_interconnect_test()
+        failing = {r.name for r in result.core_results if not r.passed}
+        assert failing == {net}
+
+    def test_short_hits_both_nets(self):
+        result = _executor(
+            {("n0", "n1"): "short"}
+        ).run_interconnect_test()
+        failing = {r.name for r in result.core_results if not r.passed}
+        assert failing == {"n0", "n1"}
+
+    def test_short_across_cores(self):
+        result = _executor(
+            {("n1", "n2"): "short"}
+        ).run_interconnect_test()
+        failing = {r.name for r in result.core_results if not r.passed}
+        assert failing == {"n1", "n2"}
+
+    def test_multiple_faults(self):
+        result = _executor(
+            {"n0": "sa1", "n3": "open"}
+        ).run_interconnect_test()
+        failing = {r.name for r in result.core_results if not r.passed}
+        assert failing == {"n0", "n3"}
+
+
+class TestPhasing:
+    def test_narrow_bus_forces_phases(self):
+        """Cores that cannot share the bus are tested in phases."""
+        soc = SocSpec(
+            name="narrow",
+            bus_width=2,
+            cores=(
+                CoreSpec.scan("a", seed=1, num_ffs=4, num_chains=1,
+                              num_pis=1, num_pos=1, atpg_max_patterns=4),
+                CoreSpec.scan("b", seed=2, num_ffs=4, num_chains=1,
+                              num_pis=2, num_pos=2, atpg_max_patterns=4),
+                CoreSpec.scan("c", seed=3, num_ffs=4, num_chains=1,
+                              num_pis=1, num_pos=1, atpg_max_patterns=4),
+            ),
+            interconnects=(
+                Interconnect("ab", source=("a", 0), sink=("b", 0)),
+                Interconnect("bc", source=("b", 0), sink=("c", 0)),
+            ),
+        )
+        soc.validate()
+        executor = SessionExecutor(build_system(soc))
+        result = executor.run_interconnect_test()
+        assert result.passed
+        assert {r.name for r in result.core_results} == {"ab", "bc"}
+
+    def test_impossible_pair_rejected(self):
+        soc = SocSpec(
+            name="impossible",
+            bus_width=2,
+            cores=(
+                CoreSpec.scan("wide1", seed=1, num_ffs=4, num_chains=2,
+                              num_pis=1, num_pos=1, atpg_max_patterns=4),
+                CoreSpec.scan("wide2", seed=2, num_ffs=4, num_chains=2,
+                              num_pis=1, num_pos=1, atpg_max_patterns=4),
+            ),
+            interconnects=(
+                Interconnect("x", source=("wide1", 0), sink=("wide2", 0)),
+            ),
+        )
+        soc.validate()
+        executor = SessionExecutor(build_system(soc))
+        with pytest.raises(ConfigurationError, match="need 4 wires"):
+            executor.run_interconnect_test()
+
+
+class TestInteroperation:
+    def test_interconnect_then_core_test(self):
+        """EXTEST session followed by a normal INTEST session works --
+        the executor reverts wrapper modes between sessions."""
+        from repro.sim.plan import PlanBuilder, flat_assignment
+
+        executor = _executor()
+        interconnect = executor.run_interconnect_test()
+        assert interconnect.passed
+        plan = PlanBuilder().add_session(
+            flat_assignment("producer", (0,)),
+            flat_assignment("hub", (1,)),
+            flat_assignment("consumer", (2,)),
+        ).build()
+        cores = executor.run_plan(plan)
+        assert cores.passed

@@ -1,0 +1,232 @@
+"""Integration tests: full test sessions through the simulated CAS-BUS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bist.engine import random_detectable_fault
+from repro.errors import ConfigurationError
+from repro.soc.core import CoreSpec
+from repro.soc.library import fig1_soc, make_synthetic_soc, small_soc
+from repro.soc.soc import SocSpec
+from repro.sim.plan import CoreAssignment, PlanBuilder, flat_assignment
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+
+
+def _executor(soc, **kwargs):
+    return SessionExecutor(build_system(soc, **kwargs))
+
+
+class TestSmallSoc:
+    def test_concurrent_scan_cores_pass(self):
+        executor = _executor(small_soc())
+        plan = (PlanBuilder()
+                .add_session(flat_assignment("alpha", (0, 1)),
+                             flat_assignment("beta", (2,)))
+                .build())
+        result = executor.run_plan(plan)
+        assert result.passed
+        assert result.total_cycles > 0
+        assert {c.name for c in result.core_results()} == {"alpha", "beta"}
+
+    def test_sequential_sessions_pass(self):
+        executor = _executor(small_soc())
+        plan = (PlanBuilder()
+                .add_session(flat_assignment("alpha", (0, 1)))
+                .add_session(flat_assignment("beta", (0,)))
+                .build())
+        result = executor.run_plan(plan)
+        assert result.passed
+        assert len(result.sessions) == 2
+
+    def test_wire_choice_does_not_matter(self):
+        """Any injective wire choice gives identical pass results and
+        cycle counts -- the CAS routing makes wires interchangeable."""
+        results = []
+        for wires in ((0, 1), (2, 0), (1, 2)):
+            executor = _executor(small_soc())
+            plan = PlanBuilder().add_session(
+                flat_assignment("alpha", wires)
+            ).build()
+            result = executor.run_plan(plan)
+            assert result.passed
+            results.append(result.total_cycles)
+        assert len(set(results)) == 1
+
+    def test_faulty_core_detected(self):
+        soc = small_soc()
+        clean = soc.core_named("alpha").build_scannable()
+        fault = random_detectable_fault(clean, seed=1)
+        executor = _executor(soc, inject_faults={"alpha": fault})
+        plan = (PlanBuilder()
+                .add_session(flat_assignment("alpha", (0, 1)),
+                             flat_assignment("beta", (2,)))
+                .build())
+        result = executor.run_plan(plan)
+        by_name = {c.name: c for c in result.core_results()}
+        assert not by_name["alpha"].passed
+        assert by_name["alpha"].mismatches > 0
+        assert by_name["beta"].passed
+
+    def test_config_cycles_counted(self):
+        executor = _executor(small_soc())
+        plan = PlanBuilder().add_session(
+            flat_assignment("alpha", (0, 1))
+        ).build()
+        result = executor.run_plan(plan)
+        session = result.sessions[0]
+        # Two chain passes (splice + program): CAS bits are fixed by
+        # the SoC; alpha's WIR (3 bits) joins stage B.
+        system = build_system(small_soc())
+        cas_bits = sum(r.width for r in system.serial_layout())
+        assert session.config_cycles == (cas_bits + 1) + (cas_bits + 3 + 1)
+
+
+class TestFig1Soc:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.core.tam import CasBusTamDesign
+
+        tam = CasBusTamDesign.for_soc(fig1_soc())
+        return tam.run()
+
+    def test_every_core_tested_and_passed(self, result):
+        names = {c.name for c in result.core_results()}
+        assert names == {
+            "core1", "core2", "core3", "core4", "core5/core5a",
+            "core5/core5b", "core6", "sysbus",
+        }
+        assert result.passed
+
+    def test_methods_exercised(self, result):
+        methods = {c.method for c in result.core_results()}
+        assert methods == {"scan", "bist", "external"}
+
+    def test_cycle_accounting(self, result):
+        assert result.total_cycles == sum(
+            s.total_cycles for s in result.sessions
+        )
+        assert result.config_cycles > 0
+        assert result.test_cycles > result.config_cycles
+
+    def test_bist_core_bits(self, result):
+        bist = next(c for c in result.core_results() if c.method == "bist")
+        assert bist.bits_compared == 8  # signature width of core3
+
+
+class TestHierarchy:
+    def test_inner_core_tested_through_two_cas_levels(self):
+        executor = _executor(fig1_soc())
+        plan = PlanBuilder().add_session(
+            CoreAssignment(path=("core5", "core5a"),
+                           levels=((0, 1), (0,))),
+        ).build()
+        result = executor.run_plan(plan)
+        assert result.passed
+
+    def test_inner_wire_choice_free(self):
+        executor = _executor(fig1_soc())
+        plan = PlanBuilder().add_session(
+            CoreAssignment(path=("core5", "core5a"),
+                           levels=((3, 2), (1,))),
+        ).build()
+        assert executor.run_plan(plan).passed
+
+    def test_inner_fault_detected_through_hierarchy(self):
+        soc = fig1_soc()
+        clean = soc.core_named("core5").inner.core_named(
+            "core5b").build_scannable()
+        fault = random_detectable_fault(clean, seed=9)
+        executor = _executor(soc,
+                             inject_faults={"core5/core5b": fault})
+        plan = PlanBuilder().add_session(
+            CoreAssignment(path=("core5", "core5b"),
+                           levels=((0, 1), (0, 1))),
+        ).build()
+        result = executor.run_plan(plan)
+        assert not result.passed
+
+    def test_concurrent_inner_and_flat(self):
+        executor = _executor(fig1_soc())
+        plan = PlanBuilder().add_session(
+            CoreAssignment(path=("core5", "core5a"),
+                           levels=((0, 1), (0,))),
+            flat_assignment("core6", (2,)),
+            flat_assignment("core3", (3,)),
+        ).build()
+        result = executor.run_plan(plan)
+        assert result.passed
+        assert len(result.sessions[0].core_results) == 3
+
+
+class TestValidationErrors:
+    def test_conflicting_shared_parent_assignment(self):
+        executor = _executor(fig1_soc())
+        plan = PlanBuilder().add_session(
+            CoreAssignment(path=("core5", "core5a"),
+                           levels=((0, 1), (0,))),
+            CoreAssignment(path=("core5", "core5b"),
+                           levels=((1, 0), (0, 1))),
+        ).build()
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            executor.run_plan(plan)
+
+    def test_terminal_must_not_be_hierarchical(self):
+        executor = _executor(fig1_soc())
+        plan = PlanBuilder().add_session(
+            flat_assignment("core5", (0, 1)),
+        ).build()
+        with pytest.raises(ConfigurationError, match="inner cores"):
+            executor.run_plan(plan)
+
+    def test_wrong_wire_count_for_p(self):
+        executor = _executor(small_soc())
+        plan = PlanBuilder().add_session(
+            flat_assignment("alpha", (0,)),  # alpha has P=2
+        ).build()
+        with pytest.raises(ConfigurationError, match="P="):
+            executor.run_plan(plan)
+
+
+class TestSyntheticSweep:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_synthetic_socs_pass_full_plans(self, seed):
+        from repro.core.tam import CasBusTamDesign
+
+        soc = make_synthetic_soc(seed, num_cores=4, bus_width=4)
+        tam = CasBusTamDesign.for_soc(soc)
+        result = tam.run()
+        assert result.passed, soc.describe()
+
+
+class TestExternalCore:
+    def test_external_only_soc(self):
+        soc = SocSpec(
+            name="ext", bus_width=2,
+            cores=(CoreSpec.external("e1", seed=4, num_ffs=8,
+                                     stream_patterns=10),),
+        )
+        executor = _executor(soc)
+        plan = PlanBuilder().add_session(
+            flat_assignment("e1", (1,))
+        ).build()
+        result = executor.run_plan(plan)
+        assert result.passed
+        ext = result.core_results()[0]
+        assert "signature" in ext.detail
+
+    def test_external_fault_breaks_signature(self):
+        soc = SocSpec(
+            name="ext", bus_width=2,
+            cores=(CoreSpec.external("e1", seed=4, num_ffs=8,
+                                     stream_patterns=10),),
+        )
+        clean = soc.core_named("e1").build_scannable()
+        fault = random_detectable_fault(clean, seed=2)
+        executor = _executor(soc, inject_faults={"e1": fault})
+        plan = PlanBuilder().add_session(
+            flat_assignment("e1", (0,))
+        ).build()
+        result = executor.run_plan(plan)
+        assert not result.passed

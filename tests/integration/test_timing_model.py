@@ -1,0 +1,116 @@
+"""Integration: the abstract timing model must agree with the
+cycle-accurate simulator.
+
+These tests are the reproduction's keystone: every section 4 experiment
+(trade-off, balancing, reconfiguration) runs on the abstract model for
+ITC'02-scale workloads, so the model must be *exactly* right where the
+simulator can check it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.core import CoreSpec
+from repro.soc.library import fig1_soc, small_soc
+from repro.soc.soc import SocSpec
+from repro.schedule.timing import (
+    config_cycles,
+    scan_test_cycles,
+    session_config_cycles,
+)
+from repro.sim.plan import PlanBuilder, flat_assignment
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+
+
+def _scan_soc(num_ffs, num_chains, patterns, bus_width=None, seed=5):
+    core = CoreSpec.scan(
+        "dut", seed=seed, num_ffs=num_ffs, num_chains=num_chains,
+        num_pis=2, num_pos=2, atpg_max_patterns=patterns,
+        atpg_target=1.0,
+    )
+    soc = SocSpec(name="timing", bus_width=bus_width or num_chains + 1,
+                  cores=(core,))
+    soc.validate()
+    return soc
+
+
+class TestScanTiming:
+    @pytest.mark.parametrize("num_ffs,num_chains", [
+        (8, 1), (8, 2), (12, 3), (15, 2),
+    ])
+    def test_simulated_test_cycles_match_formula(self, num_ffs, num_chains):
+        soc = _scan_soc(num_ffs, num_chains, patterns=16)
+        system = build_system(soc)
+        executor = SessionExecutor(system)
+        plan = PlanBuilder().add_session(
+            flat_assignment("dut", tuple(range(num_chains)))
+        ).build()
+        result = executor.run_plan(plan)
+        assert result.passed
+        node = system.node_at(("dut",))
+        longest = max(node.wrapper.wrapper_chain_lengths())
+        patterns = len(executor._test_sets["dut"].patterns)
+        predicted = scan_test_cycles(longest, patterns)
+        assert result.sessions[0].test_cycles == predicted
+
+    def test_config_cycles_match_model(self):
+        soc = fig1_soc()
+        system = build_system(soc)
+        executor = SessionExecutor(system)
+        plan = PlanBuilder().add_session(
+            flat_assignment("core1", (0, 1, 2)),
+            flat_assignment("core3", (3,)),
+        ).build()
+        result = executor.run_plan(plan)
+        # Model: stage A over all CAS bits, stage B adds 2 spliced WIRs.
+        all_np = []
+        for node in system.walk():
+            all_np.append((node.cas.n, node.cas.p))
+        predicted = session_config_cycles(all_np, num_mode_changes=2)
+        assert result.sessions[0].config_cycles == predicted
+
+    def test_chain_bits_equal_sum_of_k(self):
+        system = build_system(fig1_soc())
+        layout_bits = sum(r.width for r in system.serial_layout())
+        expected = sum(node.cas.k for node in system.walk())
+        assert layout_bits == expected
+        assert config_cycles(layout_bits) == layout_bits + 1
+
+
+class TestBistTiming:
+    def test_bist_session_length(self):
+        soc = fig1_soc()
+        system = build_system(soc)
+        executor = SessionExecutor(system)
+        plan = PlanBuilder().add_session(
+            flat_assignment("core3", (0,))
+        ).build()
+        result = executor.run_plan(plan)
+        spec = soc.core_named("core3")
+        assert result.sessions[0].test_cycles == (
+            spec.bist_cycles + spec.signature_width
+        )
+
+
+class TestSessionMaxRule:
+    def test_concurrent_session_is_max_not_sum(self):
+        soc = small_soc()
+        system = build_system(soc)
+        executor = SessionExecutor(system)
+        both = PlanBuilder().add_session(
+            flat_assignment("alpha", (0, 1)),
+            flat_assignment("beta", (2,)),
+        ).build()
+        result = executor.run_plan(both)
+        solo_times = []
+        for name, wires in (("alpha", (0, 1)), ("beta", (2,))):
+            solo_system = build_system(soc)
+            solo_exec = SessionExecutor(solo_system)
+            solo = PlanBuilder().add_session(
+                flat_assignment(name, wires)
+            ).build()
+            solo_times.append(solo_exec.run_plan(solo).test_cycles)
+        assert result.test_cycles == max(solo_times)
+        assert result.test_cycles < sum(solo_times)

@@ -1,0 +1,106 @@
+"""Unit tests for the baseline TAM architectures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.core import CoreTestParams, TestMethod
+from repro.soc.itc02 import d695_like
+from repro.baselines import (
+    CasBusTam,
+    DaisyChain,
+    DirectAccess,
+    MultiplexedBus,
+    StaticDistribution,
+    SystemBusTam,
+    all_baselines,
+)
+
+
+def _workload():
+    return d695_like()
+
+
+class TestInterfaces:
+    def test_every_baseline_reports(self):
+        for baseline in all_baselines():
+            report = baseline.evaluate(_workload(), 8)
+            assert report.test_cycles > 0
+            assert report.total_cycles >= report.test_cycles
+            assert report.extra_pins >= 0
+            assert report.area_proxy >= 0
+            assert report.name == baseline.name
+
+    def test_names_unique(self):
+        names = [b.name for b in all_baselines()]
+        assert len(set(names)) == len(names)
+
+
+class TestOrderings:
+    """The qualitative relations the paper's section 4 argues for."""
+
+    def test_direct_access_is_fastest(self):
+        direct = DirectAccess().evaluate(_workload(), 8)
+        for baseline in (MultiplexedBus(), DaisyChain(),
+                         StaticDistribution(), CasBusTam()):
+            report = baseline.evaluate(_workload(), 8)
+            assert direct.test_cycles <= report.test_cycles
+
+    def test_direct_access_is_pin_hungry(self):
+        direct = DirectAccess().evaluate(_workload(), 8)
+        cas = CasBusTam().evaluate(_workload(), 8)
+        assert direct.extra_pins > cas.extra_pins
+
+    def test_daisy_chain_minimal_pins_slowest(self):
+        daisy = DaisyChain().evaluate(_workload(), 8)
+        cas = CasBusTam().evaluate(_workload(), 8)
+        assert daisy.extra_pins == 1
+        assert daisy.test_cycles > cas.test_cycles
+
+    def test_casbus_beats_mux_bus_on_heterogeneous_load(self):
+        # Multiplexed bus serialises everything; CAS-BUS overlaps
+        # narrow cores, winning on workloads with wire-limited cores.
+        cores = _workload()
+        mux = MultiplexedBus().evaluate(cores, 8)
+        cas = CasBusTam().evaluate(cores, 8)
+        assert cas.total_cycles < mux.total_cycles
+
+    def test_casbus_not_worse_than_static(self):
+        cores = _workload()
+        static = StaticDistribution().evaluate(cores, 8)
+        cas = CasBusTam().evaluate(cores, 8)
+        assert cas.test_cycles <= static.test_cycles
+
+    def test_sysbus_zero_pins(self):
+        assert SystemBusTam().evaluate(_workload(), 8).extra_pins == 0
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_casbus_time_monotone_in_width(self, n):
+        report = CasBusTam().evaluate(_workload(), n)
+        assert report.test_cycles > 0
+
+    def test_widths_improve_casbus(self):
+        times = [
+            CasBusTam().evaluate(_workload(), n).test_cycles
+            for n in (2, 4, 8, 16)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_casbus_area_grows_with_width(self):
+        # Under a fixed enumeration policy, wider buses always cost
+        # more area (the auto policy may dip at a policy switch, which
+        # is the designer's m-limiting heuristic working as intended).
+        tam = CasBusTam(policy="contiguous")
+        small = tam.evaluate(_workload(), 4).area_proxy
+        large = tam.evaluate(_workload(), 8).area_proxy
+        assert large > small
+
+    def test_bist_core_unaffected_by_bus(self):
+        cores = [CoreTestParams(name="b", method=TestMethod.BIST,
+                                flops=0, patterns=0, max_wires=1,
+                                fixed_cycles=777)]
+        narrow = CasBusTam().evaluate(cores, 2)
+        wide = CasBusTam().evaluate(cores, 8)
+        assert narrow.test_cycles == wide.test_cycles == 777

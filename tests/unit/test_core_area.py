@@ -1,0 +1,44 @@
+"""Unit tests for the section 3.3 area-style comparison models."""
+
+from __future__ import annotations
+
+from repro.core.area import (
+    compare_styles,
+    decoder_literals,
+    optimized_gate_estimate,
+    pass_transistor_estimate,
+)
+from repro.core.generator import generate_cas
+
+
+class TestStyleComparison:
+    def test_pass_transistor_beats_cells_when_large(self):
+        # Section 3.3: pass transistors "solve the CAS area problem for
+        # large width test busses".
+        design = generate_cas(6, 3)
+        comparison = compare_styles(design)
+        assert comparison.pass_transistor_ge < comparison.cell_ge
+        assert comparison.optimized_ge < comparison.cell_ge
+
+    def test_fields_propagated(self):
+        design = generate_cas(4, 2)
+        comparison = compare_styles(design)
+        assert (comparison.n, comparison.p) == (4, 2)
+        assert comparison.m == design.m
+        assert comparison.k == design.k
+        assert comparison.cell_count == design.area.cell_count
+
+    def test_monotone_in_p(self):
+        small = compare_styles(generate_cas(5, 1))
+        large = compare_styles(generate_cas(5, 3))
+        assert small.pass_transistor_ge < large.pass_transistor_ge
+        assert small.optimized_ge < large.optimized_ge
+
+    def test_decoder_literals_positive(self):
+        design = generate_cas(4, 2)
+        assert decoder_literals(design) > 0
+
+    def test_estimates_positive(self):
+        design = generate_cas(3, 1)
+        assert optimized_gate_estimate(design) > 0
+        assert pass_transistor_estimate(design) > 0

@@ -1,0 +1,169 @@
+"""Unit and property tests for the test bus and CAS chains."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import values as lv
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.bus import CasChain
+from repro.core.bus import TestBus as Bus  # alias dodges pytest collection
+from repro.core.cas import CoreAccessSwitch
+from repro.core.instruction import InstructionSet
+
+
+def _chain(specs):
+    """Build a chain from (n, p) pairs sharing bus width n."""
+    cases = [
+        CoreAccessSwitch(InstructionSet(n, p), name=f"cas{i}")
+        for i, (n, p) in enumerate(specs)
+    ]
+    return CasChain(cases)
+
+
+class TestBusBasics:
+    def test_wire_names(self):
+        assert Bus(3).wire_names() == ["w0", "w1", "w2"]
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bus(0)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CasChain([])
+
+    def test_mixed_widths_rejected(self):
+        a = CoreAccessSwitch(InstructionSet(3, 1))
+        b = CoreAccessSwitch(InstructionSet(4, 1))
+        with pytest.raises(ConfigurationError, match="share N"):
+            CasChain([a, b])
+
+
+class TestConfigurationChain:
+    def test_total_ir_bits(self):
+        chain = _chain([(4, 2), (4, 1), (4, 3)])  # k = 4, 3, 5
+        assert chain.total_ir_bits() == 12
+
+    def test_run_configuration_loads_codes(self):
+        chain = _chain([(4, 2), (4, 1), (4, 3)])
+        codes = [5, 3, 7]
+        cycles = chain.run_configuration(codes)
+        assert [cas.active_code for cas in chain.cases] == codes
+        assert cycles == chain.total_ir_bits() + 1
+
+    def test_bitstream_length(self):
+        chain = _chain([(4, 2), (4, 2)])
+        stream = chain.config_bitstream([0, 1])
+        assert len(stream) == 8
+
+    def test_invalid_code_rejected_early(self):
+        chain = _chain([(4, 2)])
+        with pytest.raises(ConfigurationError, match="invalid"):
+            chain.config_bitstream([99])
+
+    def test_wrong_code_count_rejected(self):
+        chain = _chain([(4, 2), (4, 2)])
+        with pytest.raises(ConfigurationError):
+            chain.config_bitstream([1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_configuration_round_trip_property(self, data):
+        """Any code vector shifted through any chain lands correctly --
+        this pins down the stream ordering rules."""
+        n = data.draw(st.integers(2, 5))
+        count = data.draw(st.integers(1, 4))
+        specs = [(n, data.draw(st.integers(1, n))) for _ in range(count)]
+        chain = _chain(specs)
+        codes = [
+            data.draw(st.integers(0, cas.iset.m - 1)) for cas in chain.cases
+        ]
+        chain.run_configuration(codes)
+        assert [cas.active_code for cas in chain.cases] == codes
+
+    def test_reconfiguration_overwrites(self):
+        chain = _chain([(4, 2), (4, 2)])
+        chain.run_configuration([2, 3])
+        chain.run_configuration([0, 5])
+        assert [cas.active_code for cas in chain.cases] == [0, 5]
+
+    def test_reset_all(self):
+        chain = _chain([(4, 2), (4, 2)])
+        chain.run_configuration([4, 5])
+        chain.reset_all()
+        assert [cas.active_code for cas in chain.cases] == [0, 0]
+
+
+class TestTransport:
+    def test_all_bypass_is_transparent(self):
+        chain = _chain([(4, 2), (4, 1), (4, 3)])
+        bus_in = (lv.ONE, lv.ZERO, lv.ONE, lv.ONE)
+        returns = [(lv.ZERO,) * cas.p for cas in chain.cases]
+        routing = chain.route(bus_in, returns)
+        assert routing.bus_out == bus_in
+        for o in routing.core_outputs:
+            assert all(v == lv.Z for v in o)
+
+    def test_two_cores_on_disjoint_wires(self):
+        """Concurrent test: CAS0 uses wires {0,1}, CAS1 uses wires {2,3}."""
+        chain = _chain([(4, 2), (4, 2)])
+        iset = chain.cases[0].iset
+        scheme0 = next(s for s in iset.schemes if s.wire_of_port == (0, 1))
+        scheme1 = next(s for s in iset.schemes if s.wire_of_port == (2, 3))
+        chain.run_configuration(
+            [iset.encode(scheme0), iset.encode(scheme1)]
+        )
+        bus_in = (lv.ONE, lv.ZERO, lv.ZERO, lv.ONE)
+        returns = [(lv.ONE, lv.ONE), (lv.ZERO, lv.ZERO)]
+        routing = chain.route(bus_in, returns)
+        # CAS0 sees wires 0,1 and returns its values on them.
+        assert routing.core_outputs[0] == (lv.ONE, lv.ZERO)
+        assert routing.bus_out[0] == lv.ONE
+        assert routing.bus_out[1] == lv.ONE
+        # CAS1 sees wires 2,3 (untouched by CAS0's returns).
+        assert routing.core_outputs[1] == (lv.ZERO, lv.ONE)
+        assert routing.bus_out[2] == lv.ZERO
+        assert routing.bus_out[3] == lv.ZERO
+
+    def test_serial_path_through_two_tested_cores(self):
+        """Same wire switched by two CASes in sequence: the wire forms a
+        path source -> core A -> core B -> sink (the paper's path
+        construction property)."""
+        chain = _chain([(3, 1), (3, 1)])
+        iset = chain.cases[0].iset
+        scheme_w1 = next(s for s in iset.schemes if s.wire_of_port == (1,))
+        code = iset.encode(scheme_w1)
+        chain.run_configuration([code, code])
+        bus_in = (lv.ZERO, lv.ONE, lv.ZERO)
+        # Core A returns 0, core B returns 1.
+        routing = chain.route(bus_in, [(lv.ZERO,), (lv.ONE,)])
+        # CAS0 forwarded e1 to its core; its return (0) became CAS1's e1.
+        assert routing.core_outputs[0] == (lv.ONE,)
+        assert routing.core_outputs[1] == (lv.ZERO,)
+        assert routing.bus_out[1] == lv.ONE
+
+    def test_route_validates_widths(self):
+        chain = _chain([(3, 1)])
+        with pytest.raises(SimulationError):
+            chain.route((lv.ZERO,) * 2, [(lv.ZERO,)])
+        with pytest.raises(SimulationError):
+            chain.route((lv.ZERO,) * 3, [])
+
+    def test_idle_bus(self):
+        chain = _chain([(3, 1)])
+        assert chain.idle_bus() == (lv.ZERO, lv.ZERO, lv.ZERO)
+
+    def test_config_mode_exposes_serial_chain(self):
+        chain = _chain([(3, 1), (3, 1)])
+        chain.cases[0].load_code(0b001)
+        chain.cases[1].load_code(0b000)
+        routing = chain.route(
+            (lv.ONE, lv.ZERO, lv.ZERO),
+            [(lv.ZERO,), (lv.ZERO,)],
+            config=True,
+        )
+        # s0 of the chain is the last CAS's serial out (0 here).
+        assert routing.bus_out[0] == lv.ZERO

@@ -1,0 +1,195 @@
+"""Unit and property tests for the behavioural Core Access Switch."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import values as lv
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.cas import (
+    MODE_BYPASS,
+    MODE_CHAIN,
+    MODE_CONFIGURATION,
+    MODE_TEST,
+    CoreAccessSwitch,
+)
+from repro.core.instruction import BYPASS_CODE, CHAIN_CODE, InstructionSet
+
+
+def _cas(n=4, p=2, policy="all") -> CoreAccessSwitch:
+    return CoreAccessSwitch(InstructionSet(n, p, policy), name=f"cas{n}{p}")
+
+
+def _bits(width, pattern=0):
+    return tuple((pattern >> i) & 1 for i in range(width))
+
+
+class TestModes:
+    def test_power_on_is_bypass(self):
+        cas = _cas()
+        assert cas.active_code == BYPASS_CODE
+        assert cas.mode() == MODE_BYPASS
+
+    def test_config_signal_wins(self):
+        cas = _cas()
+        assert cas.mode(config=True) == MODE_CONFIGURATION
+
+    def test_test_mode_after_update(self):
+        cas = _cas()
+        cas.load_code(2)
+        cas.update()
+        assert cas.mode() == MODE_TEST
+
+    def test_chain_mode(self):
+        cas = _cas()
+        cas.load_code(CHAIN_CODE)
+        cas.update()
+        assert cas.mode() == MODE_CHAIN
+
+    def test_reset_restores_bypass(self):
+        cas = _cas()
+        cas.load_code(3)
+        cas.update()
+        cas.reset()
+        assert cas.active_code == BYPASS_CODE
+        assert cas.shift_register == (0,) * cas.k
+
+
+class TestShifting:
+    def test_shift_k_bits_loads_code(self):
+        cas = _cas(4, 2)
+        code = 9
+        for bit in cas.iset.code_to_bits(code):
+            cas.shift(bit)
+        assert cas.update() == code
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 1000))
+    def test_shift_round_trip_property(self, n, raw):
+        p = 1 + raw % n
+        cas = _cas(n, p)
+        code = raw % cas.iset.m
+        for bit in cas.iset.code_to_bits(code):
+            cas.shift(bit)
+        assert cas.update() == code
+
+    def test_shift_returns_displaced_bit(self):
+        cas = _cas(3, 1)  # k = 3
+        cas.load_code(0b101)
+        out = [cas.shift(0) for _ in range(3)]
+        assert out == [1, 0, 1]  # LSB leaves first
+
+    def test_serial_out_is_stage_zero(self):
+        cas = _cas(3, 1)
+        cas.load_code(0b001)
+        assert cas.serial_out() == 1
+
+    def test_shift_non_binary_rejected(self):
+        cas = _cas()
+        with pytest.raises(SimulationError):
+            cas.shift(2)
+
+    def test_update_invalid_pattern_strict(self):
+        cas = _cas(4, 2)  # m=14, k=4 -> patterns 14, 15 invalid
+        cas.load_code(15)
+        with pytest.raises(ConfigurationError):
+            cas.update()
+
+    def test_update_invalid_pattern_lenient(self):
+        iset = InstructionSet(4, 2)
+        cas = CoreAccessSwitch(iset, strict=False)
+        cas.load_code(15)
+        assert cas.update() == BYPASS_CODE
+
+    def test_shifting_does_not_disturb_active_instruction(self):
+        cas = _cas()
+        cas.load_code(5)
+        cas.update()
+        for bit in (1, 0, 1, 1):
+            cas.shift(bit)
+        assert cas.active_code == 5  # update stage untouched
+
+
+class TestRouting:
+    def test_bypass_passes_everything(self):
+        cas = _cas(4, 2)
+        e = (lv.ONE, lv.ZERO, lv.ONE, lv.X)
+        routing = cas.route(e, (lv.ZERO, lv.ZERO))
+        assert routing.s == e
+        assert routing.o == (lv.Z, lv.Z)
+
+    def test_chain_routes_like_bypass(self):
+        cas = _cas(4, 2)
+        cas.load_code(CHAIN_CODE)
+        cas.update()
+        e = (lv.ONE, lv.ONE, lv.ZERO, lv.ZERO)
+        routing = cas.route(e, (lv.ONE, lv.ONE))
+        assert routing.s == e
+        assert routing.o == (lv.Z, lv.Z)
+
+    def test_test_mode_routing_heuristic(self):
+        # Scheme (2, 0): e2 -> o0 / i0 -> s2 and e0 -> o1 / i1 -> s0.
+        cas = _cas(4, 2)
+        scheme = next(
+            s for s in cas.iset.schemes if s.wire_of_port == (2, 0)
+        )
+        cas.load_code(cas.iset.encode(scheme))
+        cas.update()
+        e = (lv.ONE, lv.ZERO, lv.ZERO, lv.ONE)
+        returns = (lv.ONE, lv.ZERO)
+        routing = cas.route(e, returns)
+        assert routing.o == (e[2], e[0])
+        assert routing.s[2] == returns[0]
+        assert routing.s[0] == returns[1]
+        # Non-switched wires bypass.
+        assert routing.s[1] == e[1]
+        assert routing.s[3] == e[3]
+
+    def test_configuration_mode_routing(self):
+        cas = _cas(4, 2)
+        cas.load_code(0b1001)
+        e = (lv.ONE, lv.ZERO, lv.ONE, lv.ZERO)
+        routing = cas.route(e, (lv.ZERO, lv.ZERO), config=True)
+        # s0 carries the serial out (stage 0 = LSB of loaded pattern).
+        assert routing.s[0] == lv.ONE
+        assert routing.s[1:] == e[1:]
+        assert routing.o == (lv.Z, lv.Z)
+
+    def test_wrong_bus_width_rejected(self):
+        cas = _cas(4, 2)
+        with pytest.raises(SimulationError):
+            cas.route((lv.ZERO,) * 3, (lv.ZERO, lv.ZERO))
+
+    def test_wrong_return_width_rejected(self):
+        cas = _cas(4, 2)
+        with pytest.raises(SimulationError):
+            cas.route((lv.ZERO,) * 4, (lv.ZERO,))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 5), st.data())
+    def test_pairing_heuristic_property(self, n, data):
+        """Paper 3.2: e_i -> o_j implies i_j -> s_i, for every scheme."""
+        p = data.draw(st.integers(1, n))
+        iset = InstructionSet(n, p)
+        cas = CoreAccessSwitch(iset)
+        scheme = data.draw(st.sampled_from(list(iset.schemes)))
+        cas.load_code(iset.encode(scheme))
+        cas.update()
+        e = tuple(
+            data.draw(st.sampled_from((lv.ZERO, lv.ONE))) for _ in range(n)
+        )
+        returns = tuple(
+            data.draw(st.sampled_from((lv.ZERO, lv.ONE))) for _ in range(p)
+        )
+        routing = cas.route(e, returns)
+        for port, wire in enumerate(scheme.wire_of_port):
+            assert routing.o[port] == e[wire]
+            assert routing.s[wire] == returns[port]
+        for wire in scheme.bypassed_wires:
+            assert routing.s[wire] == e[wire]
+
+    def test_repr_shows_active_instruction(self):
+        cas = _cas()
+        assert "BYPASS" in repr(cas)

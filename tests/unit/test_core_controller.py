@@ -1,0 +1,95 @@
+"""Unit tests for the SoC test controller program generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import values as lv
+from repro.errors import ConfigurationError
+from repro.core.bus import CasChain
+from repro.core.cas import CoreAccessSwitch
+from repro.core.controller import ControlCycle, SoCTestController
+from repro.core.instruction import InstructionSet
+
+
+class TestProgramConstruction:
+    def test_configuration_phase_length(self):
+        ctl = SoCTestController(4)
+        program = ctl.new_program()
+        ctl.add_configuration(program, [1, 0, 1])
+        assert len(program) == 4  # 3 shifts + 1 update
+        assert program.phase_lengths["configuration"] == 4
+
+    def test_configuration_drives_wire_zero_only(self):
+        ctl = SoCTestController(3)
+        program = ctl.new_program()
+        ctl.add_configuration(program, [1, 0])
+        shift_cycles = [c for c in program if c.config]
+        assert [c.bus_in[0] for c in shift_cycles] == [lv.ONE, lv.ZERO]
+        for cycle in shift_cycles:
+            assert cycle.bus_in[1:] == (lv.ZERO, lv.ZERO)
+
+    def test_update_cycle_is_last(self):
+        ctl = SoCTestController(2)
+        program = ctl.new_program()
+        ctl.add_configuration(program, [1])
+        last = program.cycles[-1]
+        assert last.update and not last.config
+
+    def test_bad_bit_rejected(self):
+        ctl = SoCTestController(2)
+        program = ctl.new_program()
+        with pytest.raises(ConfigurationError):
+            ctl.add_configuration(program, [2])
+
+    def test_test_cycles(self):
+        ctl = SoCTestController(2)
+        program = ctl.new_program()
+        ctl.add_test_cycles(program, [(lv.ONE, lv.ZERO), (lv.ZERO, lv.ONE)])
+        assert len(program) == 2
+        assert all(not c.config and not c.update for c in program)
+
+    def test_test_cycle_width_checked(self):
+        ctl = SoCTestController(3)
+        program = ctl.new_program()
+        with pytest.raises(ConfigurationError):
+            ctl.add_test_cycles(program, [(lv.ONE,)])
+
+    def test_idle_cycles(self):
+        ctl = SoCTestController(2)
+        program = ctl.new_program()
+        ctl.add_idle_cycles(program, 5)
+        assert len(program) == 5
+        assert all(c.bus_in == (lv.ZERO, lv.ZERO) for c in program)
+
+    def test_program_rejects_wrong_width_cycle(self):
+        ctl = SoCTestController(3)
+        program = ctl.new_program()
+        with pytest.raises(ConfigurationError):
+            program.append(
+                ControlCycle(config=False, update=False, bus_in=(lv.ZERO,)),
+                "x",
+            )
+
+    def test_zero_width_controller_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoCTestController(0)
+
+
+class TestControllerDrivesChain:
+    def test_program_configures_chain(self):
+        """Integration: a controller configuration program, executed
+        cycle by cycle against a CAS chain, loads the intended codes."""
+        iset = InstructionSet(4, 2)
+        cases = [CoreAccessSwitch(iset, name=f"c{i}") for i in range(3)]
+        chain = CasChain(cases)
+        codes = [2, 7, 0]
+        ctl = SoCTestController(4)
+        program = ctl.new_program()
+        ctl.add_configuration(program, chain.config_bitstream(codes))
+        for cycle in program:
+            if cycle.config:
+                chain.shift_cycle(1 if cycle.bus_in[0] == lv.ONE else 0)
+            if cycle.update:
+                chain.update_all()
+        assert [cas.active_code for cas in cases] == codes

@@ -1,0 +1,195 @@
+"""Unit tests for the CAS generator: structure, equivalence, area."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import values as lv
+from repro.errors import ConfigurationError
+from repro.netlist.simulate import NetlistSimulator
+from repro.netlist.verify import check_combinational_equivalence
+from repro.core.cas import CoreAccessSwitch
+from repro.core.generator import CasGenerator, behavioral_reference, generate_cas
+from repro.core.instruction import FIRST_TEST_CODE
+
+
+def _state_for_code(design, code):
+    """Update-stage register contents holding ``code``."""
+    bits = design.iset.code_to_bits(code)
+    state = {f"upd_{b}": bits[b] for b in range(design.k)}
+    # Park the shift stage at zero so s0's config mux reads 0.
+    state.update({f"ir_{b}": 0 for b in range(design.k)})
+    return state
+
+
+class TestStructure:
+    def test_netlist_ports_match_figure3(self):
+        design = generate_cas(4, 2)
+        nl = design.netlist
+        assert set(nl.inputs) == {"e0", "e1", "e2", "e3", "i0", "i1",
+                                  "config", "update"}
+        assert set(nl.outputs) == {"s0", "s1", "s2", "s3", "o0", "o1"}
+
+    def test_register_stages_present(self):
+        design = generate_cas(4, 2)  # k = 4
+        names = {g.name for g in design.netlist.sequential_gates()}
+        assert names == {f"ir_{b}" for b in range(4)} | {
+            f"upd_{b}" for b in range(4)
+        }
+
+    def test_tristate_drivers_per_port(self):
+        design = generate_cas(4, 2)
+        tribufs = [g for g in design.netlist.gates if g.kind == "TRIBUF"]
+        by_port = {}
+        for gate in tribufs:
+            by_port.setdefault(gate.output, []).append(gate)
+        # Under the "all" policy every wire can reach every port.
+        assert len(by_port["o0"]) == 4
+        assert len(by_port["o1"]) == 4
+
+    def test_connect_covers_keyed_by_pair(self):
+        design = generate_cas(3, 1)
+        assert set(design.connect_covers) == {(0, 0), (1, 0), (2, 0)}
+
+    def test_table1_row_tuple(self):
+        design = generate_cas(3, 1)
+        n, p, m, k, gates = design.table1_row()
+        assert (n, p, m, k) == (3, 1, 5, 3)
+        assert gates == design.area.cell_count
+
+    def test_bad_minimizer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CasGenerator(3, 1, minimizer="magic")
+
+    def test_restricted_policy_smaller(self):
+        full = generate_cas(5, 2, policy="all")
+        window = generate_cas(5, 2, policy="contiguous")
+        assert window.area.cell_count < full.area.cell_count
+        assert window.k < full.k
+
+
+class TestDecoderSpecification:
+    def test_connect_on_sets_partition_test_codes(self):
+        gen = CasGenerator(4, 2)
+        on_sets = gen.connect_on_sets()
+        # Each TEST code appears in exactly P connect functions.
+        from collections import Counter
+
+        appearances = Counter()
+        for codes in on_sets.values():
+            appearances.update(codes)
+        for code in range(FIRST_TEST_CODE, gen.iset.m):
+            assert appearances[code] == 2
+
+    def test_bypass_and_chain_in_no_on_set(self):
+        gen = CasGenerator(4, 2)
+        for codes in gen.connect_on_sets().values():
+            assert 0 not in codes
+            assert 1 not in codes
+
+    def test_dont_cares_above_m(self):
+        gen = CasGenerator(4, 2)  # m=14, k=4
+        assert gen.dont_care_codes() == [14, 15]
+
+    def test_covers_respect_specification(self):
+        gen = CasGenerator(4, 2)
+        covers = gen.minimize_covers()
+        on_sets = gen.connect_on_sets()
+        for key, cover in covers.items():
+            on = set(on_sets[key])
+            for code in range(gen.iset.m):
+                assert cover.evaluate(code) == (code in on), (key, code)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n,p", [(3, 1), (4, 2), (4, 3), (5, 2)])
+    def test_netlist_matches_behavioral_every_instruction(self, n, p):
+        design = generate_cas(n, p)
+        input_nets = design.netlist.inputs
+        output_nets = design.netlist.outputs
+        for code in range(design.m):
+            reference = behavioral_reference(design, code)
+            checked = check_combinational_equivalence(
+                design.netlist,
+                reference,
+                input_nets,
+                output_nets,
+                state=_state_for_code(design, code),
+                samples=64,
+                seed=code,
+            )
+            assert checked > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_instruction_random_stimuli(self, seed):
+        design = generate_cas(4, 2)
+        code = seed % design.m
+        reference = behavioral_reference(design, code)
+        check_combinational_equivalence(
+            design.netlist,
+            design_reference := reference,
+            design.netlist.inputs,
+            design.netlist.outputs,
+            state=_state_for_code(design, code),
+            samples=32,
+            seed=seed,
+        )
+
+
+class TestSequentialBehaviourOfNetlist:
+    def test_full_configuration_sequence_in_gates(self):
+        """Shift a code serially into the gate-level CAS and verify the
+        switch routes like the behavioural model afterwards."""
+        design = generate_cas(3, 1)
+        sim = NetlistSimulator(design.netlist)
+        sim.load_state({f"ir_{b}": 0 for b in range(design.k)})
+        sim.load_state({f"upd_{b}": 0 for b in range(design.k)})
+        # Pick the TEST instruction routing wire 1 to port 0.
+        scheme = next(
+            s for s in design.iset.schemes if s.wire_of_port == (1,)
+        )
+        code = design.iset.encode(scheme)
+        # Shift LSB-first on e0 with config asserted.
+        sim.set_inputs({"config": lv.ONE, "update": lv.ZERO,
+                        "i0": lv.ZERO, "e1": lv.ZERO, "e2": lv.ZERO})
+        for bit in design.iset.code_to_bits(code):
+            sim.set_inputs({"e0": lv.ONE if bit else lv.ZERO})
+            sim.clock()
+        # Update pulse.
+        sim.set_inputs({"config": lv.ZERO, "update": lv.ONE})
+        sim.clock()
+        sim.set_inputs({"update": lv.ZERO})
+        # Now drive the bus and watch the switch.
+        sim.set_inputs({"e0": lv.ZERO, "e1": lv.ONE, "e2": lv.ZERO,
+                        "i0": lv.ONE})
+        assert sim.read("o0") == lv.ONE   # e1 forwarded to the core
+        assert sim.read("s1") == lv.ONE   # i0 returned on s1
+        assert sim.read("s0") == lv.ZERO  # bypassed
+        assert sim.read("s2") == lv.ZERO
+
+    def test_core_side_floats_during_config(self):
+        design = generate_cas(3, 1)
+        sim = NetlistSimulator(design.netlist)
+        sim.load_state({f"upd_{b}": b == 1 for b in range(design.k)})
+        sim.set_inputs({"config": lv.ONE, "update": lv.ZERO,
+                        "e0": lv.ONE, "e1": lv.ONE, "e2": lv.ONE,
+                        "i0": lv.ONE})
+        assert sim.read("o0") == lv.Z
+
+
+class TestVhdlAndArea:
+    def test_vhdl_contains_every_instruction(self):
+        design = generate_cas(3, 1)
+        text = design.vhdl
+        for index in range(len(design.iset.schemes)):
+            code = FIRST_TEST_CODE + index
+            assert format(code, f"0{design.k}b") in text
+
+    def test_area_nonzero_and_monotone_in_p(self):
+        small = generate_cas(4, 1)
+        large = generate_cas(4, 3)
+        assert 0 < small.area.cell_count < large.area.cell_count
+        assert small.area.area_ge < large.area.area_ge

@@ -1,0 +1,168 @@
+"""Unit and property tests for CAS instruction sets (Table 1 quantities)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core.instruction import (
+    BYPASS_CODE,
+    CHAIN_CODE,
+    FIRST_TEST_CODE,
+    InstructionSet,
+    instruction_count,
+    register_width,
+)
+
+np_pairs = st.tuples(st.integers(1, 6), st.integers(1, 6)).filter(
+    lambda t: t[1] <= t[0]
+)
+
+#: The complete Table 1 (N, P) -> (m, k) record from the paper.
+TABLE1_MK = {
+    (3, 1): (5, 3),
+    (4, 1): (6, 3),
+    (4, 2): (14, 4),
+    (4, 3): (26, 5),
+    (5, 1): (7, 3),
+    (5, 2): (22, 5),
+    (5, 3): (62, 6),
+    (6, 1): (8, 3),
+    (6, 2): (32, 5),
+    (6, 3): (122, 7),
+    (6, 5): (722, 10),
+    (8, 4): (1682, 11),
+}
+
+
+class TestTable1Quantities:
+    @pytest.mark.parametrize("np,mk", sorted(TABLE1_MK.items()))
+    def test_m_and_k_match_paper(self, np, mk):
+        n, p = np
+        m, k = mk
+        iset = InstructionSet(n, p)
+        assert iset.m == m
+        assert iset.k == k
+
+    def test_m_closed_form(self):
+        for (n, p), (m, _) in TABLE1_MK.items():
+            assert instruction_count(n, p) == m
+            assert m == math.factorial(n) // math.factorial(n - p) + 2
+
+    def test_k_formula(self):
+        assert register_width(5) == 3
+        assert register_width(1682) == 11
+        assert register_width(1) == 1  # degenerate, still one bit
+        assert register_width(2) == 1
+        assert register_width(3) == 2
+
+    def test_register_width_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            register_width(0)
+
+
+class TestCodeLayout:
+    def test_bypass_is_all_zeros(self, iset_4_2):
+        # Paper: "When all the instruction register bits are 0, the CAS
+        # is in a BYPASS mode".
+        assert BYPASS_CODE == 0
+        assert iset_4_2.decode(0).kind == "bypass"
+        assert iset_4_2.code_to_bits(0) == (0,) * iset_4_2.k
+
+    def test_chain_is_code_one(self, iset_4_2):
+        assert iset_4_2.decode(CHAIN_CODE).kind == "chain"
+
+    def test_test_codes_are_dense(self, iset_4_2):
+        for code in range(FIRST_TEST_CODE, iset_4_2.m):
+            instruction = iset_4_2.decode(code)
+            assert instruction.kind == "test"
+            assert instruction.scheme is not None
+
+    def test_out_of_range_rejected(self, iset_4_2):
+        with pytest.raises(ConfigurationError):
+            iset_4_2.decode(iset_4_2.m)
+        with pytest.raises(ConfigurationError):
+            iset_4_2.decode(-1)
+
+    def test_describe(self, iset_4_2):
+        assert iset_4_2.decode(0).describe() == "BYPASS"
+        assert iset_4_2.decode(1).describe() == "CHAIN"
+        assert "TEST" in iset_4_2.decode(2).describe()
+
+
+class TestEncodeDecode:
+    @settings(max_examples=40, deadline=None)
+    @given(np_pairs)
+    def test_round_trip_all_schemes(self, np):
+        n, p = np
+        iset = InstructionSet(n, p)
+        for scheme in iset.schemes:
+            code = iset.encode(scheme)
+            assert iset.decode(code).scheme == scheme
+
+    def test_encode_foreign_scheme_rejected(self):
+        iset = InstructionSet(4, 2, policy="contiguous")
+        from repro.core.switch import SwitchScheme
+
+        foreign = SwitchScheme(n=4, p=2, wire_of_port=(3, 0))
+        with pytest.raises(ConfigurationError):
+            iset.encode(foreign)
+
+    @settings(max_examples=40, deadline=None)
+    @given(np_pairs, st.integers(0, 5000))
+    def test_bits_round_trip(self, np, code):
+        n, p = np
+        iset = InstructionSet(n, p)
+        code = code % (1 << iset.k)
+        bits = iset.code_to_bits(code)
+        assert len(bits) == iset.k
+        assert iset.bits_to_code(bits) == code
+
+    def test_bits_wrong_length_rejected(self, iset_4_2):
+        with pytest.raises(ConfigurationError):
+            iset_4_2.bits_to_code((0, 1))
+
+    def test_bits_non_binary_rejected(self, iset_4_2):
+        with pytest.raises(ConfigurationError):
+            iset_4_2.bits_to_code((0, 1, 2, 0))
+
+    def test_code_too_wide_rejected(self, iset_4_2):
+        with pytest.raises(ConfigurationError):
+            iset_4_2.code_to_bits(1 << iset_4_2.k)
+
+
+class TestPolicies:
+    def test_policy_changes_m(self):
+        full = InstructionSet(6, 3, "all")
+        ordered = InstructionSet(6, 3, "order_preserving")
+        window = InstructionSet(6, 3, "contiguous")
+        single = InstructionSet(6, 3, "identity")
+        assert full.m == 122
+        assert ordered.m == 22
+        assert window.m == 6
+        assert single.m == 3
+        assert full.k > ordered.k > window.k
+
+    def test_instruction_count_matches_iset(self):
+        for policy in ("all", "order_preserving", "contiguous", "identity"):
+            iset = InstructionSet(5, 2, policy)
+            assert iset.m == instruction_count(5, 2, policy)
+
+    def test_equality_and_hash(self):
+        assert InstructionSet(4, 2) == InstructionSet(4, 2)
+        assert InstructionSet(4, 2) != InstructionSet(4, 2, "contiguous")
+        assert hash(InstructionSet(4, 2)) == hash(InstructionSet(4, 2))
+
+    def test_is_valid_code(self, iset_3_1):
+        assert iset_3_1.is_valid_code(0)
+        assert iset_3_1.is_valid_code(iset_3_1.m - 1)
+        assert not iset_3_1.is_valid_code(iset_3_1.m)
+
+    def test_instructions_enumeration(self, iset_3_1):
+        instructions = iset_3_1.instructions()
+        assert len(instructions) == iset_3_1.m
+        assert [i.code for i in instructions] == list(range(iset_3_1.m))

@@ -1,0 +1,131 @@
+"""Unit and property tests for switch schemes and enumeration policies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core.switch import (
+    POLICIES,
+    SwitchScheme,
+    enumerate_schemes,
+    scheme_count,
+    validate_width,
+)
+
+np_pairs = st.tuples(st.integers(1, 6), st.integers(1, 6)).filter(
+    lambda t: t[1] <= t[0]
+)
+
+
+class TestSchemeValidation:
+    def test_valid_scheme(self):
+        scheme = SwitchScheme(n=4, p=2, wire_of_port=(2, 0))
+        assert scheme.port_of_wire == {2: 0, 0: 1}
+        assert scheme.switched_wires == {0, 2}
+        assert scheme.bypassed_wires == (1, 3)
+
+    def test_duplicate_wire_rejected(self):
+        with pytest.raises(ConfigurationError, match="two ports"):
+            SwitchScheme(n=4, p=2, wire_of_port=(1, 1))
+
+    def test_out_of_range_wire_rejected(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            SwitchScheme(n=3, p=1, wire_of_port=(3,))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError, match="maps"):
+            SwitchScheme(n=4, p=2, wire_of_port=(0, 1, 2))
+
+    def test_p_greater_than_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_width(2, 3)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_width(0, 0)
+
+    def test_describe_mentions_heuristic_pairing(self):
+        scheme = SwitchScheme(n=3, p=1, wire_of_port=(2,))
+        assert scheme.describe() == "e2->o0/i0->s2"
+
+
+class TestEnumeration:
+    def test_all_policy_is_permutations(self):
+        schemes = enumerate_schemes(4, 2, "all")
+        assert len(schemes) == 12
+        assert len(set(schemes)) == 12
+
+    def test_order_preserving_is_combinations(self):
+        schemes = enumerate_schemes(5, 2, "order_preserving")
+        assert len(schemes) == math.comb(5, 2)
+        for scheme in schemes:
+            assert list(scheme.wire_of_port) == sorted(scheme.wire_of_port)
+
+    def test_contiguous_windows(self):
+        schemes = enumerate_schemes(5, 3, "contiguous")
+        assert [s.wire_of_port for s in schemes] == [
+            (0, 1, 2), (1, 2, 3), (2, 3, 4)
+        ]
+
+    def test_identity_single_scheme(self):
+        schemes = enumerate_schemes(6, 4, "identity")
+        assert len(schemes) == 1
+        assert schemes[0].wire_of_port == (0, 1, 2, 3)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme policy"):
+            enumerate_schemes(3, 1, "random")
+        with pytest.raises(ConfigurationError, match="unknown scheme policy"):
+            scheme_count(3, 1, "random")
+
+    def test_enumeration_is_deterministic(self):
+        assert enumerate_schemes(5, 3) == enumerate_schemes(5, 3)
+
+
+class TestCounts:
+    @settings(max_examples=50, deadline=None)
+    @given(np_pairs, st.sampled_from(POLICIES))
+    def test_count_matches_enumeration(self, np, policy):
+        n, p = np
+        assert scheme_count(n, p, policy) == len(enumerate_schemes(n, p, policy))
+
+    @settings(max_examples=50, deadline=None)
+    @given(np_pairs)
+    def test_policy_ordering(self, np):
+        n, p = np
+        # all >= order_preserving >= contiguous >= identity
+        counts = [scheme_count(n, p, policy) for policy in POLICIES]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] == 1
+
+    def test_table1_permutation_counts(self):
+        # The scheme counts behind every Table 1 row.
+        expected = {
+            (3, 1): 3, (4, 1): 4, (4, 2): 12, (4, 3): 24,
+            (5, 1): 5, (5, 2): 20, (5, 3): 60,
+            (6, 1): 6, (6, 2): 30, (6, 3): 120, (6, 5): 720,
+            (8, 4): 1680,
+        }
+        for (n, p), count in expected.items():
+            assert scheme_count(n, p) == count
+
+    @settings(max_examples=30, deadline=None)
+    @given(np_pairs)
+    def test_all_schemes_injective(self, np):
+        n, p = np
+        for scheme in enumerate_schemes(n, p):
+            assert len(set(scheme.wire_of_port)) == p
+
+    @settings(max_examples=30, deadline=None)
+    @given(np_pairs)
+    def test_bypassed_plus_switched_partition_bus(self, np):
+        n, p = np
+        for scheme in enumerate_schemes(n, p, "order_preserving"):
+            wires = set(scheme.bypassed_wires) | scheme.switched_wires
+            assert wires == set(range(n))
+            assert not set(scheme.bypassed_wires) & scheme.switched_wires

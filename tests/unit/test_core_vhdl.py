@@ -1,0 +1,66 @@
+"""Unit tests for VHDL emission and the structural linter."""
+
+from __future__ import annotations
+
+from repro.core.generator import generate_cas
+from repro.core.vhdl import lint_vhdl
+
+
+class TestEmission:
+    def test_entity_name_matches_netlist(self):
+        design = generate_cas(4, 2)
+        assert "entity cas_4_2 is" in design.vhdl
+        assert "end entity cas_4_2;" in design.vhdl
+
+    def test_port_widths(self):
+        design = generate_cas(5, 3)
+        assert "std_logic_vector(4 downto 0)" in design.vhdl  # e and s
+        assert "std_logic_vector(2 downto 0)" in design.vhdl  # o and i
+
+    def test_processes_present(self):
+        text = generate_cas(3, 1).vhdl
+        for name in ("shift_proc", "update_proc", "decode_proc"):
+            assert f"{name} : process" in text
+            assert f"end process {name};" in text
+
+    def test_tristate_default(self):
+        text = generate_cas(3, 1).vhdl
+        assert "'Z';" in text
+
+    def test_bypass_instruction_not_in_case(self):
+        # BYPASS (all zeros) must fall into the default arm.
+        design = generate_cas(3, 1)
+        zero_literal = f'when "{0:0{design.k}b}"'
+        assert zero_literal not in design.vhdl
+        assert "when others => null;" in design.vhdl
+
+    def test_decoder_arm_count(self):
+        design = generate_cas(4, 2)
+        arms = design.vhdl.count("when \"")
+        assert arms == len(design.iset.schemes)
+
+    def test_serial_chain_comment_present(self):
+        assert "e0/s0" in generate_cas(3, 1).vhdl
+
+
+class TestLint:
+    def test_generated_vhdl_is_clean(self):
+        for n, p in ((3, 1), (4, 2), (5, 3)):
+            report = lint_vhdl(generate_cas(n, p).vhdl)
+            assert report.ok, report.issues
+
+    def test_missing_end_detected(self):
+        text = generate_cas(3, 1).vhdl.replace("end process shift_proc;", "")
+        report = lint_vhdl(text)
+        assert not report.ok
+        assert any("process" in issue for issue in report.issues)
+
+    def test_missing_default_arm_detected(self):
+        text = generate_cas(3, 1).vhdl.replace("when others => null;", "")
+        report = lint_vhdl(text)
+        assert not report.ok
+
+    def test_case_balance_detected(self):
+        text = generate_cas(3, 1).vhdl.replace("end case;", "")
+        report = lint_vhdl(text)
+        assert not report.ok

@@ -1,0 +1,64 @@
+"""Unit tests for the generic-VHDL generation alternative (section 3.3)."""
+
+from __future__ import annotations
+
+from repro.core.generator import generate_cas
+from repro.core.instruction import FIRST_TEST_CODE
+from repro.core.vhdl import emit_generic_vhdl, emit_scheme_package
+
+
+class TestGenericEntity:
+    def test_entity_present_once(self):
+        text = emit_generic_vhdl()
+        assert text.count("entity cas_generic is") == 1
+        assert text.count("end entity cas_generic;") == 1
+
+    def test_generics_declared(self):
+        text = emit_generic_vhdl()
+        for generic in ("G_N", "G_P", "G_K"):
+            assert generic in text
+
+    def test_processes_balanced(self):
+        text = emit_generic_vhdl()
+        assert text.count("process (") == text.count("end process")
+
+    def test_tristate_default(self):
+        assert "'Z';" in emit_generic_vhdl()
+
+    def test_stable_output(self):
+        assert emit_generic_vhdl() == emit_generic_vhdl()
+
+
+class TestSchemePackage:
+    def test_constants_match_design(self):
+        design = generate_cas(4, 2)
+        text = emit_scheme_package(design)
+        assert "constant C_N : natural := 4;" in text
+        assert "constant C_P : natural := 2;" in text
+        assert f"constant C_K : natural := {design.k};" in text
+        assert f"constant C_M : natural := {design.m};" in text
+
+    def test_one_row_per_instruction(self):
+        design = generate_cas(4, 2)
+        text = emit_scheme_package(design)
+        for code in range(design.m):
+            assert f"    {code} => " in text
+
+    def test_rows_encode_schemes(self):
+        design = generate_cas(3, 1)
+        text = emit_scheme_package(design)
+        for index, scheme in enumerate(design.iset.schemes):
+            code = FIRST_TEST_CODE + index
+            assert f"{code} => (0 => {scheme.wire_of_port[0]})" in text
+
+    def test_multiport_row_format(self):
+        design = generate_cas(4, 2)
+        text = emit_scheme_package(design)
+        first = design.iset.schemes[0]
+        expected = f"({first.wire_of_port[0]}, {first.wire_of_port[1]})"
+        assert expected in text
+
+    def test_package_name_carries_configuration(self):
+        text = emit_scheme_package(generate_cas(5, 3))
+        assert "package cas_schemes_5_3 is" in text
+        assert "end package cas_schemes_5_3;" in text

@@ -1,0 +1,132 @@
+"""Unit tests for the EXTEST interconnect-test machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.interconnect import (
+    Interconnect,
+    apply_faults,
+    counting_patterns,
+    validate_interconnects,
+)
+
+
+def _nets(count=4):
+    return [
+        Interconnect(f"n{i}", source=("a", i), sink=("b", i))
+        for i in range(count)
+    ]
+
+
+class TestInterconnectModel:
+    def test_basic_construction(self):
+        net = Interconnect("x", source=("a", 0), sink=("b", 1))
+        assert net.name == "x"
+
+    def test_same_core_rejected(self):
+        with pytest.raises(ConfigurationError, match="same core"):
+            Interconnect("x", source=("a", 0), sink=("a", 1))
+
+    def test_negative_pin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interconnect("x", source=("a", -1), sink=("b", 0))
+
+    def test_validation_against_shapes(self):
+        nets = [Interconnect("x", source=("a", 0), sink=("b", 0))]
+        validate_interconnects(nets, {"a": (2, 2), "b": (2, 2)})
+
+    def test_out_of_range_pin_caught(self):
+        nets = [Interconnect("x", source=("a", 5), sink=("b", 0))]
+        with pytest.raises(ConfigurationError, match="out of range"):
+            validate_interconnects(nets, {"a": (2, 2), "b": (2, 2)})
+
+    def test_unknown_core_caught(self):
+        nets = [Interconnect("x", source=("a", 0), sink=("zz", 0))]
+        with pytest.raises(ConfigurationError, match="unknown"):
+            validate_interconnects(nets, {"a": (2, 2), "b": (2, 2)})
+
+    def test_double_driven_sink_caught(self):
+        nets = [
+            Interconnect("x", source=("a", 0), sink=("b", 0)),
+            Interconnect("y", source=("c", 0), sink=("b", 0)),
+        ]
+        with pytest.raises(ConfigurationError, match="driven twice"):
+            validate_interconnects(
+                nets, {"a": (2, 2), "b": (2, 2), "c": (2, 2)}
+            )
+
+    def test_duplicate_names_caught(self):
+        nets = [
+            Interconnect("x", source=("a", 0), sink=("b", 0)),
+            Interconnect("x", source=("a", 1), sink=("b", 1)),
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            validate_interconnects(nets, {"a": (2, 2), "b": (2, 2)})
+
+
+class TestCountingPatterns:
+    def test_every_net_sees_both_values(self):
+        patterns = counting_patterns(_nets(5))
+        for net in _nets(5):
+            values = {p[net.name] for p in patterns}
+            assert values == {0, 1}
+
+    def test_every_pair_differs_somewhere(self):
+        nets = _nets(6)
+        patterns = counting_patterns(nets)
+        for i, a in enumerate(nets):
+            for b in nets[i + 1:]:
+                assert any(p[a.name] != p[b.name] for p in patterns), (
+                    a.name, b.name
+                )
+
+    def test_pattern_count_logarithmic(self):
+        assert len(counting_patterns(_nets(4))) <= 8
+        assert len(counting_patterns(_nets(30))) <= 12
+
+    def test_each_direction_of_every_pair_covered(self):
+        """Needed so wired-AND shorts damage both participants."""
+        nets = _nets(6)
+        patterns = counting_patterns(nets)
+        for a in nets:
+            for b in nets:
+                if a.name == b.name:
+                    continue
+                assert any(p[a.name] == 1 and p[b.name] == 0
+                           for p in patterns), (a.name, b.name)
+
+    def test_empty(self):
+        assert counting_patterns([]) == []
+
+
+class TestFaultApplication:
+    def test_stuck_at(self):
+        received = apply_faults({"a": 1, "b": 0}, {"a": "sa0", "b": "sa1"})
+        assert received == {"a": 0, "b": 1}
+
+    def test_open_reads_zero(self):
+        assert apply_faults({"a": 1}, {"a": "open"}) == {"a": 0}
+
+    def test_short_is_wired_and(self):
+        received = apply_faults({"a": 1, "b": 0}, {("a", "b"): "short"})
+        assert received == {"a": 0, "b": 0}
+        received = apply_faults({"a": 1, "b": 1}, {("a", "b"): "short"})
+        assert received == {"a": 1, "b": 1}
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_faults({"a": 1}, {"zz": "sa0"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_faults({"a": 1}, {"a": "wiggle"})
+
+    def test_bad_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_faults({"a": 1}, {"a": "short"})
+
+    def test_no_faults_identity(self):
+        driven = {"a": 1, "b": 0}
+        assert apply_faults(driven, {}) == driven

@@ -1,0 +1,52 @@
+"""Unit tests for covers (sums of products)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+class TestConstruction:
+    def test_from_minterms_exact(self):
+        cover = Cover.from_minterms([0, 3, 3], 2)
+        assert len(cover) == 2
+        assert cover.on_set() == {0, 3}
+
+    def test_out_of_range_cube_rejected(self):
+        with pytest.raises(ValueError):
+            Cover(num_vars=2, cubes=(Cube.from_string("--1"),))
+
+    def test_constants(self):
+        false = Cover.constant(False, 3)
+        true = Cover.constant(True, 3)
+        assert false.is_constant_false()
+        assert true.is_constant_true()
+        assert false.on_set() == set()
+        assert true.on_set() == set(range(8))
+
+
+class TestEvaluation:
+    def test_evaluate_matches_on_set(self):
+        cover = Cover(num_vars=3, cubes=(Cube.from_string("1--"),
+                                         Cube.from_string("-11")))
+        on = cover.on_set()
+        for point in range(8):
+            assert cover.evaluate(point) == (point in on)
+
+    def test_num_literals(self):
+        cover = Cover(num_vars=3, cubes=(Cube.from_string("1--"),
+                                         Cube.from_string("-11")))
+        assert cover.num_literals() == 3
+
+    def test_covers_minterms(self):
+        cover = Cover.from_minterms([1, 2], 2)
+        assert cover.covers_minterms([1, 2])
+        assert not cover.covers_minterms([1, 3])
+
+    def test_agrees_with(self):
+        cover = Cover.from_minterms([1, 2], 2)
+        assert cover.agrees_with([1, 2], [0, 3])
+        assert not cover.agrees_with([1, 2], [2])
+        assert not cover.agrees_with([3], [0])

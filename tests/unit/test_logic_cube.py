@@ -1,0 +1,128 @@
+"""Unit tests for cubes (product terms)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube, popcount
+
+NUM_VARS = 5
+
+
+@st.composite
+def cubes(draw, num_vars: int = NUM_VARS) -> Cube:
+    mask = draw(st.integers(min_value=0, max_value=(1 << num_vars) - 1))
+    value = draw(st.integers(min_value=0, max_value=(1 << num_vars) - 1)) & mask
+    return Cube(mask=mask, value=value)
+
+
+points = st.integers(min_value=0, max_value=(1 << NUM_VARS) - 1)
+
+
+class TestConstruction:
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(mask=0b01, value=0b10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(mask=-1, value=0)
+
+    def test_minterm_is_fully_specified(self):
+        cube = Cube.minterm(5, 4)
+        assert cube.num_literals() == 4
+        assert cube.covers_point(5)
+        assert not cube.covers_point(4)
+
+    def test_minterm_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.minterm(16, 4)
+
+    def test_universe_covers_everything(self):
+        cube = Cube.universe()
+        for point in range(8):
+            assert cube.covers_point(point)
+
+
+class TestStringForm:
+    def test_round_trip(self):
+        text = "01--1"
+        assert Cube.from_string(text).to_string(5) == text
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("012")
+
+    @given(cubes())
+    def test_round_trip_property(self, cube):
+        assert Cube.from_string(cube.to_string(NUM_VARS)) == cube
+
+
+class TestCoverage:
+    def test_size(self):
+        assert Cube.from_string("1--").size(3) == 4
+        assert Cube.from_string("111").size(3) == 1
+
+    @given(cubes())
+    def test_points_match_covers_point(self, cube):
+        covered = set(cube.points(NUM_VARS))
+        assert len(covered) == cube.size(NUM_VARS)
+        for point in range(1 << NUM_VARS):
+            assert (point in covered) == cube.covers_point(point)
+
+    @given(cubes(), cubes())
+    def test_covers_cube_is_point_subset(self, a, b):
+        subset = set(b.points(NUM_VARS)) <= set(a.points(NUM_VARS))
+        assert a.covers_cube(b) == subset
+
+    @given(cubes(), cubes())
+    def test_intersects_matches_point_sets(self, a, b):
+        shared = set(a.points(NUM_VARS)) & set(b.points(NUM_VARS))
+        assert a.intersects(b) == bool(shared)
+        inter = a.intersection(b)
+        if shared:
+            assert inter is not None
+            assert set(inter.points(NUM_VARS)) == shared
+        else:
+            assert inter is None
+
+
+class TestMerging:
+    def test_adjacent_minterms_merge(self):
+        a = Cube.minterm(0b000, 3)
+        b = Cube.minterm(0b001, 3)
+        merged = a.merged(b)
+        assert merged.to_string(3) == "-00"
+        assert set(merged.points(3)) == {0, 1}
+
+    def test_non_adjacent_rejected(self):
+        a = Cube.minterm(0b00, 2)
+        b = Cube.minterm(0b11, 2)
+        with pytest.raises(ValueError):
+            a.merged(b)
+
+    def test_different_masks_rejected(self):
+        a = Cube.from_string("0-")
+        b = Cube.from_string("01")
+        with pytest.raises(ValueError):
+            a.merged(b)
+
+    @given(cubes())
+    def test_expand_bit_supersets(self, cube):
+        for bit in range(NUM_VARS):
+            expanded = cube.expand_bit(bit)
+            assert expanded.covers_cube(cube)
+
+    def test_merge_distance(self):
+        a = Cube.from_string("00-")
+        b = Cube.from_string("01-")
+        assert a.merge_distance(b) == 1
+        assert a.merge_distance(Cube.from_string("0-0")) == -1
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount((1 << 40) - 1) == 40

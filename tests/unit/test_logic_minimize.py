@@ -1,0 +1,144 @@
+"""Unit and property tests for two-level minimisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+from repro.logic.minimize import (
+    minimize,
+    minimize_exact,
+    minimize_heuristic,
+    prime_implicants,
+    select_cover,
+)
+
+
+class TestKnownFunctions:
+    def test_classic_qm_example(self):
+        # f = sum m(4, 8, 10, 11, 12, 15) + d(9, 14), the textbook case.
+        on = [4, 8, 10, 11, 12, 15]
+        dc = [9, 14]
+        cover = minimize_exact(on, 4, dc)
+        assert cover.agrees_with(on, [m for m in range(16)
+                                      if m not in set(on) | set(dc)])
+        assert len(cover) <= 3
+
+    def test_full_space_is_tautology(self):
+        cover = minimize(list(range(8)), 3)
+        assert cover.is_constant_true()
+
+    def test_empty_on_set(self):
+        cover = minimize([], 4)
+        assert cover.is_constant_false()
+
+    def test_single_minterm(self):
+        cover = minimize([5], 3)
+        assert len(cover) == 1
+        assert cover.on_set() == {5}
+
+    def test_dc_absorbs_into_tautology(self):
+        cover = minimize([0, 1], 1)
+        assert cover.is_constant_true()
+
+    def test_parity_is_irreducible(self):
+        on = [m for m in range(16) if bin(m).count("1") % 2]
+        cover = minimize_exact(on, 4)
+        assert len(cover) == 8  # parity has no mergeable minterms
+        assert all(cube.num_literals() == 4 for cube in cover)
+
+
+class TestValidation:
+    def test_overlapping_on_dc_rejected(self):
+        with pytest.raises(ValueError):
+            minimize([1], 2, [1])
+
+    def test_out_of_range_minterm_rejected(self):
+        with pytest.raises(ValueError):
+            minimize([4], 2)
+
+
+class TestPrimes:
+    def test_primes_cover_all_on_minterms(self):
+        on = [0, 1, 2, 5, 6, 7]
+        primes = prime_implicants(on, [], 3)
+        for m in on:
+            assert any(p.covers_point(m) for p in primes)
+
+    def test_no_prime_contains_another(self):
+        primes = prime_implicants([0, 1, 2, 3, 5], [], 3)
+        for a in primes:
+            for b in primes:
+                if a != b:
+                    assert not a.covers_cube(b)
+
+    def test_select_cover_stays_within_primes(self):
+        on = [0, 1, 2, 5, 6, 7]
+        primes = prime_implicants(on, [], 3)
+        chosen = select_cover(primes, on, 3)
+        assert set(chosen) <= set(primes)
+
+
+@st.composite
+def incompletely_specified(draw, num_vars: int = 5):
+    space = 1 << num_vars
+    on = draw(st.sets(st.integers(0, space - 1), max_size=space))
+    remaining = sorted(set(range(space)) - on)
+    dc = draw(st.sets(st.sampled_from(remaining), max_size=len(remaining))
+              if remaining else st.just(set()))
+    return sorted(on), sorted(dc), num_vars
+
+
+class TestProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(incompletely_specified())
+    def test_exact_agrees_with_spec(self, spec):
+        on, dc, num_vars = spec
+        cover = minimize_exact(on, num_vars, dc)
+        care_off = [m for m in range(1 << num_vars)
+                    if m not in set(on) | set(dc)]
+        assert cover.agrees_with(on, care_off)
+
+    @settings(max_examples=120, deadline=None)
+    @given(incompletely_specified())
+    def test_heuristic_agrees_with_spec(self, spec):
+        on, dc, num_vars = spec
+        cover = minimize_heuristic(on, num_vars, dc)
+        care_off = [m for m in range(1 << num_vars)
+                    if m not in set(on) | set(dc)]
+        assert cover.agrees_with(on, care_off)
+
+    @settings(max_examples=60, deadline=None)
+    @given(incompletely_specified())
+    def test_exact_not_larger_than_canonical(self, spec):
+        on, dc, num_vars = spec
+        cover = minimize_exact(on, num_vars, dc)
+        assert len(cover) <= max(1, len(on))
+
+    @settings(max_examples=60, deadline=None)
+    @given(incompletely_specified(num_vars=4))
+    def test_dispatcher_matches_exact_on_small_spaces(self, spec):
+        on, dc, num_vars = spec
+        via_dispatch = minimize(on, num_vars, dc)
+        care_off = [m for m in range(1 << num_vars)
+                    if m not in set(on) | set(dc)]
+        assert via_dispatch.agrees_with(on, care_off)
+
+    @settings(max_examples=60, deadline=None)
+    @given(incompletely_specified())
+    def test_primes_are_implicants(self, spec):
+        on, dc, num_vars = spec
+        if not on:
+            return
+        care_on = set(on) | set(dc)
+        for prime in prime_implicants(on, dc, num_vars):
+            assert set(prime.points(num_vars)) <= care_on
+
+
+def test_cube_count_beats_minterm_count_when_mergeable():
+    on = [0, 1, 2, 3]
+    cover = minimize_exact(on, 3)
+    assert len(cover) == 1
+    assert cover.cubes[0] == Cube.from_string("--0")

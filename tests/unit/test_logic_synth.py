@@ -1,0 +1,129 @@
+"""Unit tests for cover-to-netlist synthesis with node sharing."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import values as lv
+from repro.errors import SynthesisError
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.minimize import minimize
+from repro.logic.synth import CoverSynthesizer, synthesize_covers
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import NetlistSimulator
+
+
+def _build(covers: dict[str, Cover], num_vars: int) -> tuple[Netlist, list[str]]:
+    netlist = Netlist(name="dec")
+    inputs = [netlist.add_input(f"a{i}") for i in range(num_vars)]
+    for name in covers:
+        netlist.add_output(name)
+    synthesize_covers(netlist, inputs, covers)
+    netlist.validate()
+    return netlist, inputs
+
+
+def _check_function(netlist: Netlist, inputs: list[str],
+                    outputs: dict[str, Cover]) -> None:
+    sim = NetlistSimulator(netlist)
+    num_vars = len(inputs)
+    for point in range(1 << num_vars):
+        assignment = {
+            inputs[i]: (lv.ONE if point >> i & 1 else lv.ZERO)
+            for i in range(num_vars)
+        }
+        sim.set_inputs(assignment)
+        for name, cover in outputs.items():
+            expected = lv.ONE if cover.evaluate(point) else lv.ZERO
+            assert sim.read(name) == expected, (name, point)
+
+
+class TestSingleCover:
+    def test_simple_function(self):
+        cover = minimize([1, 3, 5, 7], 3)  # = a0
+        netlist, inputs = _build({"f": cover}, 3)
+        _check_function(netlist, inputs, {"f": cover})
+
+    def test_constant_false(self):
+        cover = Cover.constant(False, 2)
+        netlist, inputs = _build({"f": cover}, 2)
+        sim = NetlistSimulator(netlist)
+        sim.set_inputs({"a0": lv.ONE, "a1": lv.ONE})
+        assert sim.read("f") == lv.ZERO
+
+    def test_constant_true(self):
+        cover = Cover.constant(True, 2)
+        netlist, inputs = _build({"f": cover}, 2)
+        sim = NetlistSimulator(netlist)
+        sim.set_inputs({"a0": lv.ZERO, "a1": lv.ZERO})
+        assert sim.read("f") == lv.ONE
+
+    def test_multi_cube_function(self):
+        cover = Cover(num_vars=3, cubes=(Cube.from_string("11-"),
+                                         Cube.from_string("--1")))
+        netlist, inputs = _build({"f": cover}, 3)
+        _check_function(netlist, inputs, {"f": cover})
+
+    def test_wrong_arity_rejected(self):
+        netlist = Netlist(name="bad")
+        inputs = [netlist.add_input("a0")]
+        synthesizer = CoverSynthesizer(netlist, inputs)
+        with pytest.raises(SynthesisError):
+            synthesizer.synthesize(Cover.constant(True, 3), "f")
+
+
+class TestSharing:
+    def test_identical_product_terms_shared(self):
+        cube = Cube.from_string("101")
+        cover_a = Cover(num_vars=3, cubes=(cube,))
+        cover_b = Cover(num_vars=3, cubes=(cube,))
+        netlist, _ = _build({"fa": cover_a, "fb": cover_b}, 3)
+        and_gates = [g for g in netlist.gates if g.kind == "AND"]
+        # One shared AND tree (2 AND2 nodes for 3 literals), not two.
+        assert len(and_gates) == 2
+
+    def test_common_prefix_shared(self):
+        # Terms a0&a1&a2 and a0&a1&a3 share the a0&a1 node.
+        cover = Cover(num_vars=4, cubes=(Cube.from_string("111-"),
+                                         Cube.from_string("11-1")))
+        netlist, inputs = _build({"f": cover}, 4)
+        _check_function(netlist, inputs, {"f": cover})
+        and_gates = [g for g in netlist.gates if g.kind == "AND"]
+        assert len(and_gates) == 3  # (a0&a1), (&a2), (&a3)
+
+    def test_inverter_shared(self):
+        cover = Cover(num_vars=2, cubes=(Cube.from_string("01"),
+                                         Cube.from_string("0-"),))
+        netlist, inputs = _build({"f": cover}, 2)
+        inverters = [g for g in netlist.gates if g.kind == "INV"]
+        assert len(inverters) == 1
+        _check_function(netlist, inputs, {"f": cover})
+
+
+class TestMultiOutputCorrectness:
+    def test_random_multi_output_decoder(self):
+        # A realistic shape: several functions over one 4-bit input.
+        covers = {
+            f"out{i}": minimize(on, 4)
+            for i, on in enumerate(
+                ([0, 1, 2, 3], [3, 7, 11, 15], [5], [0, 15], [6, 7, 14, 15])
+            )
+        }
+        netlist, inputs = _build(covers, 4)
+        _check_function(netlist, inputs, covers)
+
+    def test_exhaustive_small_pairs(self):
+        # Every pair of 2-variable functions synthesises correctly.
+        points = [0, 1, 2, 3]
+        functions = []
+        for bits in range(16):
+            functions.append([p for p in points if bits >> p & 1])
+        for on_a, on_b in itertools.islice(
+            itertools.product(functions, repeat=2), 0, 256, 7
+        ):
+            covers = {"fa": minimize(on_a, 2), "fb": minimize(on_b, 2)}
+            netlist, inputs = _build(covers, 2)
+            _check_function(netlist, inputs, covers)

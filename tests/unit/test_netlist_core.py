@@ -1,0 +1,138 @@
+"""Unit tests for the netlist IR, cell library and area model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import values as lv
+from repro.errors import SynthesisError
+from repro.netlist.area import area_report, mapped_cell_units
+from repro.netlist.cells import CELL_LIBRARY, cell_spec
+from repro.netlist.netlist import Netlist
+
+
+class TestCellLibrary:
+    def test_every_combinational_cell_evaluates(self):
+        for name, spec in CELL_LIBRARY.items():
+            if spec.sequential:
+                continue
+            arity = spec.num_inputs if spec.num_inputs is not None else 2
+            result = spec.evaluate([lv.ONE] * arity)
+            assert result in lv.VALUES, name
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(KeyError, match="unknown cell kind"):
+            cell_spec("FLUXCAP")
+
+    def test_sequential_flags(self):
+        assert cell_spec("DFF").sequential
+        assert cell_spec("DFFE").sequential
+        assert not cell_spec("AND").sequential
+
+    def test_tristate_flag(self):
+        assert cell_spec("TRIBUF").tristate
+        assert not cell_spec("MUX2").tristate
+
+
+class TestNetlistConstruction:
+    def test_basic_build(self):
+        nl = Netlist(name="t")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        y = nl.add_output("y")
+        nl.add_gate("AND", (a, b), y)
+        nl.validate()
+        assert nl.stats()["gates"] == 1
+
+    def test_duplicate_input_rejected(self):
+        nl = Netlist(name="t")
+        nl.add_input("a")
+        with pytest.raises(SynthesisError):
+            nl.add_input("a")
+
+    def test_wrong_pin_count_rejected(self):
+        nl = Netlist(name="t")
+        nl.add_input("a")
+        with pytest.raises(SynthesisError):
+            nl.add_gate("MUX2", ("a",), "y")
+
+    def test_multiple_drivers_rejected_for_plain_gates(self):
+        nl = Netlist(name="t")
+        a = nl.add_input("a")
+        nl.add_gate("BUF", (a,), "y")
+        with pytest.raises(SynthesisError, match="multiple non-tristate"):
+            nl.add_gate("BUF", (a,), "y")
+
+    def test_multiple_tristate_drivers_allowed(self):
+        nl = Netlist(name="t")
+        a = nl.add_input("a")
+        en = nl.add_input("en")
+        nl.add_gate("TRIBUF", (a, en), "y")
+        nl.add_gate("TRIBUF", (a, en), "y")
+        assert len(nl.drivers_of("y")) == 2
+
+    def test_driving_primary_input_rejected(self):
+        nl = Netlist(name="t")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        with pytest.raises(SynthesisError):
+            nl.add_gate("BUF", (b,), a)
+
+    def test_undriven_output_caught_by_validate(self):
+        nl = Netlist(name="t")
+        nl.add_output("y")
+        with pytest.raises(SynthesisError, match="undriven"):
+            nl.validate()
+
+    def test_combinational_cycle_caught(self):
+        nl = Netlist(name="t")
+        nl.add_input("a")
+        nl.add_gate("AND", ("a", "loop"), "x")
+        nl.add_gate("BUF", ("x",), "loop")
+        with pytest.raises(SynthesisError, match="cycle"):
+            nl.validate()
+
+    def test_cycle_through_dff_is_fine(self):
+        nl = Netlist(name="t")
+        a = nl.add_input("a")
+        nl.add_gate("AND", (a, "q"), "d")
+        nl.add_gate("DFF", ("d",), "q")
+        nl.validate()
+
+    def test_duplicate_instance_name_rejected(self):
+        nl = Netlist(name="t")
+        a = nl.add_input("a")
+        nl.add_gate("BUF", (a,), "x", name="u1")
+        with pytest.raises(SynthesisError, match="duplicate instance"):
+            nl.add_gate("BUF", (a,), "y", name="u1")
+
+
+class TestAreaModel:
+    def test_fixed_arity_maps_to_one_cell(self):
+        assert mapped_cell_units("MUX2", 3) == 1
+        assert mapped_cell_units("DFF", 1) == 1
+
+    def test_variadic_maps_to_tree(self):
+        assert mapped_cell_units("AND", 2) == 1
+        assert mapped_cell_units("AND", 5) == 4
+        assert mapped_cell_units("OR", 1) == 1
+
+    def test_report_counts(self):
+        nl = Netlist(name="t")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        c = nl.add_input("c")
+        y = nl.add_output("y")
+        nl.add_gate("AND", (a, b, c), "x")
+        nl.add_gate("DFF", ("x",), y)
+        report = area_report(nl)
+        assert report.cell_count == 3  # 2 AND2 + 1 DFF
+        assert report.by_kind == {"AND": 2, "DFF": 1}
+        assert report.area_ge == pytest.approx(2 * 1.5 + 4.25)
+
+    def test_report_str_mentions_name(self):
+        nl = Netlist(name="mydesign")
+        a = nl.add_input("a")
+        nl.add_output("y")
+        nl.add_gate("BUF", (a,), "y")
+        assert "mydesign" in str(area_report(nl))

@@ -1,0 +1,184 @@
+"""Unit tests for the four-valued event-driven netlist simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import values as lv
+from repro.errors import SimulationError
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import NetlistSimulator
+
+
+def _xor_netlist() -> Netlist:
+    nl = Netlist(name="xor")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    y = nl.add_output("y")
+    nl.add_gate("XOR", (a, b), y)
+    return nl
+
+
+class TestCombinational:
+    def test_xor_truth_table(self):
+        sim = NetlistSimulator(_xor_netlist())
+        for a, b in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            sim.set_inputs({"a": a, "b": b})
+            assert sim.read("y") == a ^ b
+
+    def test_multi_level_propagation(self):
+        nl = Netlist(name="chain")
+        a = nl.add_input("a")
+        nl.add_output("y")
+        nl.add_gate("INV", (a,), "n1")
+        nl.add_gate("INV", ("n1",), "n2")
+        nl.add_gate("INV", ("n2",), "y")
+        sim = NetlistSimulator(nl)
+        sim.set_input("a", lv.ZERO)
+        assert sim.read("y") == lv.ONE
+        sim.set_input("a", lv.ONE)
+        assert sim.read("y") == lv.ZERO
+
+    def test_x_propagates(self):
+        sim = NetlistSimulator(_xor_netlist())
+        sim.set_inputs({"a": lv.X, "b": lv.ONE})
+        assert sim.read("y") == lv.X
+
+    def test_read_unknown_net_raises(self):
+        sim = NetlistSimulator(_xor_netlist())
+        with pytest.raises(SimulationError):
+            sim.read("nope")
+
+    def test_driving_non_input_raises(self):
+        sim = NetlistSimulator(_xor_netlist())
+        with pytest.raises(SimulationError):
+            sim.set_input("y", lv.ONE)
+
+    def test_bad_value_rejected(self):
+        sim = NetlistSimulator(_xor_netlist())
+        with pytest.raises(SimulationError):
+            sim.set_input("a", 7)
+
+
+class TestTristate:
+    def _bus(self) -> Netlist:
+        nl = Netlist(name="bus")
+        for name in ("d0", "d1", "en0", "en1"):
+            nl.add_input(name)
+        nl.add_output("y")
+        nl.add_gate("TRIBUF", ("d0", "en0"), "y")
+        nl.add_gate("TRIBUF", ("d1", "en1"), "y")
+        return nl
+
+    def test_single_driver_wins(self):
+        sim = NetlistSimulator(self._bus())
+        sim.set_inputs({"d0": lv.ONE, "en0": lv.ONE,
+                        "d1": lv.ZERO, "en1": lv.ZERO})
+        assert sim.read("y") == lv.ONE
+
+    def test_no_driver_floats(self):
+        sim = NetlistSimulator(self._bus())
+        sim.set_inputs({"d0": lv.ONE, "en0": lv.ZERO,
+                        "d1": lv.ZERO, "en1": lv.ZERO})
+        assert sim.read("y") == lv.Z
+
+    def test_contention_is_x(self):
+        sim = NetlistSimulator(self._bus())
+        sim.set_inputs({"d0": lv.ONE, "en0": lv.ONE,
+                        "d1": lv.ZERO, "en1": lv.ONE})
+        assert sim.read("y") == lv.X
+
+    def test_agreeing_drivers_keep_value(self):
+        sim = NetlistSimulator(self._bus())
+        sim.set_inputs({"d0": lv.ONE, "en0": lv.ONE,
+                        "d1": lv.ONE, "en1": lv.ONE})
+        assert sim.read("y") == lv.ONE
+
+
+class TestSequential:
+    def _shift_register(self, stages: int = 3) -> Netlist:
+        nl = Netlist(name="sr")
+        nl.add_input("si")
+        nl.add_output("so")
+        previous = "si"
+        for index in range(stages):
+            q = f"q{index}"
+            nl.add_gate("DFF", (previous,), q, name=f"ff{index}")
+            previous = q
+        nl.add_gate("BUF", (previous,), "so")
+        return nl
+
+    def test_shift_register_delay(self):
+        sim = NetlistSimulator(self._shift_register(3))
+        sim.load_state({"ff0": lv.ZERO, "ff1": lv.ZERO, "ff2": lv.ZERO})
+        sequence = [lv.ONE, lv.ZERO, lv.ONE, lv.ONE, lv.ZERO, lv.ZERO]
+        seen = []
+        for bit in sequence:
+            sim.set_input("si", bit)
+            seen.append(sim.read("so"))
+            sim.clock()
+        # Output is the input delayed by 3 cycles.
+        assert seen[3:] == sequence[:3]
+
+    def test_dffe_holds_when_disabled(self):
+        nl = Netlist(name="hold")
+        nl.add_input("d")
+        nl.add_input("en")
+        nl.add_output("q")
+        nl.add_gate("DFFE", ("d", "en"), "q", name="ff")
+        sim = NetlistSimulator(nl)
+        sim.load_state({"ff": lv.ZERO})
+        sim.set_inputs({"d": lv.ONE, "en": lv.ZERO})
+        sim.clock()
+        assert sim.read("q") == lv.ZERO
+        sim.set_inputs({"en": lv.ONE})
+        sim.clock()
+        assert sim.read("q") == lv.ONE
+        sim.set_inputs({"d": lv.ZERO, "en": lv.ZERO})
+        sim.clock(3)
+        assert sim.read("q") == lv.ONE
+
+    def test_state_of_and_load_state(self):
+        nl = Netlist(name="ff")
+        nl.add_input("d")
+        nl.add_output("q")
+        nl.add_gate("DFF", ("d",), "q", name="ff")
+        sim = NetlistSimulator(nl)
+        sim.load_state({"ff": lv.ONE})
+        assert sim.state_of("ff") == lv.ONE
+        assert sim.read("q") == lv.ONE
+        with pytest.raises(SimulationError):
+            sim.state_of("nope")
+        with pytest.raises(SimulationError):
+            sim.load_state({"nope": lv.ONE})
+
+    def test_uninitialised_state_is_x(self):
+        sim = NetlistSimulator(self._shift_register(2))
+        assert sim.read("so") == lv.X
+
+    def test_feedback_counter(self):
+        # q toggles every cycle: d = not q.
+        nl = Netlist(name="toggle")
+        nl.add_input("unused")
+        nl.add_output("q")
+        nl.add_gate("INV", ("q",), "d")
+        nl.add_gate("DFF", ("d",), "q", name="ff")
+        sim = NetlistSimulator(nl)
+        sim.load_state({"ff": lv.ZERO})
+        values = []
+        for _ in range(4):
+            values.append(sim.read("q"))
+            sim.clock()
+        assert values == [lv.ZERO, lv.ONE, lv.ZERO, lv.ONE]
+
+
+class TestOscillationDetection:
+    def test_combinational_loop_without_state_raises_on_validate(self):
+        # A latch-like loop is rejected by validate(), which the
+        # simulator runs at construction.
+        nl = Netlist(name="latch")
+        nl.add_input("a")
+        nl.add_gate("NOR", ("a", "y"), "x")
+        nl.add_gate("NOR", ("x", "a"), "y")
+        with pytest.raises(Exception):
+            NetlistSimulator(nl)

@@ -1,0 +1,190 @@
+"""Unit and property tests for the PODEM deterministic ATPG."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.scan.atpg import generate_test_set
+from repro.scan.core_model import CombCloud, CombOp, ScannableCore
+from repro.scan.fault_sim import run_fault_simulation
+from repro.scan.faults import Fault, all_stuck_at_faults
+from repro.scan.podem import (
+    ABORTED,
+    TESTABLE,
+    UNTESTABLE,
+    PodemAtpg,
+    podem_pattern,
+)
+
+
+def _brute_force_detectable(cloud: CombCloud, fault: Fault) -> bool:
+    for bits in itertools.product((0, 1), repeat=cloud.num_inputs):
+        good = cloud.evaluate_words(list(bits), mask=1)
+        bad = cloud.evaluate_words(
+            list(bits), mask=1, fault=(fault.node, fault.stuck_value)
+        )
+        if good != bad:
+            return True
+    return False
+
+
+def _and_tree_cloud(width: int) -> CombCloud:
+    """A wide AND: the classic random-pattern-resistant structure."""
+    ops = [CombOp("AND", 0, 1)]
+    node = width
+    for index in range(2, width):
+        ops.append(CombOp("AND", node, index))
+        node += 1
+    return CombCloud(num_inputs=width, ops=ops, outputs=[node])
+
+
+class TestKnownStructures:
+    def test_and_output_sa0_needs_all_ones(self):
+        cloud = _and_tree_cloud(6)
+        fault = Fault(node=cloud.num_nodes - 1, stuck_value=0)
+        result = PodemAtpg(cloud).generate(fault)
+        assert result.verdict == TESTABLE
+        # The cube must set every input to 1.
+        assert all(result.assignment.get(i) == 1 for i in range(6))
+
+    def test_redundant_fault_proven_untestable(self):
+        # f = a AND (NOT a): constant 0 -- SA0 at the output is
+        # undetectable.
+        cloud = CombCloud(
+            num_inputs=1,
+            ops=[CombOp("NOT", 0), CombOp("AND", 0, 1)],
+            outputs=[2],
+        )
+        fault = Fault(node=2, stuck_value=0)
+        result = PodemAtpg(cloud).generate(fault)
+        assert result.verdict == UNTESTABLE
+
+    def test_unobservable_node_untestable(self):
+        # Node 1 (NOT a) feeds nothing observable.
+        cloud = CombCloud(
+            num_inputs=2,
+            ops=[CombOp("NOT", 0), CombOp("BUF", 1)],
+            outputs=[3],
+        )
+        result = PodemAtpg(cloud).generate(Fault(node=2, stuck_value=0))
+        assert result.verdict == UNTESTABLE
+
+    def test_xor_path_sensitisation(self):
+        cloud = CombCloud(
+            num_inputs=2,
+            ops=[CombOp("XOR", 0, 1)],
+            outputs=[2],
+        )
+        for stuck in (0, 1):
+            result = PodemAtpg(cloud).generate(Fault(node=0,
+                                                     stuck_value=stuck))
+            assert result.verdict == TESTABLE
+
+    def test_fault_node_out_of_range(self):
+        cloud = _and_tree_cloud(3)
+        with pytest.raises(ConfigurationError):
+            PodemAtpg(cloud).generate(Fault(node=99, stuck_value=0))
+
+
+class TestExactnessProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_verdicts_match_brute_force(self, seed):
+        """PODEM == exhaustive truth on every fault of a random cloud."""
+        cloud = CombCloud.random(num_inputs=4, num_ops=9,
+                                 num_outputs=3, seed=seed)
+        engine = PodemAtpg(cloud, backtrack_limit=512)
+        for fault in all_stuck_at_faults(cloud):
+            result = engine.generate(fault)
+            truth = _brute_force_detectable(cloud, fault)
+            assert result.verdict != ABORTED
+            assert (result.verdict == TESTABLE) == truth, fault
+            if result.verdict == TESTABLE:
+                bits = [result.assignment.get(i, 0)
+                        for i in range(cloud.num_inputs)]
+                good = cloud.evaluate_words(bits, mask=1)
+                bad = cloud.evaluate_words(
+                    bits, mask=1, fault=(fault.node, fault.stuck_value)
+                )
+                assert good != bad, "returned cube does not detect"
+
+
+class TestCoreIntegration:
+    def _resistant_core(self) -> ScannableCore:
+        """A core whose fault universe includes a wide AND cone.
+
+        Inputs: 2 PIs + 10 FFs.  Next-state: each FF reloads itself
+        (BUF); the single PO is the AND of all 12 inputs -- activating
+        a SA0 on the cone output needs the all-ones pattern
+        (probability 2^-12 per random try).
+        """
+        width = 12
+        num_ffs = width - 2
+        ops = [CombOp("AND", 0, 1)]
+        node = width
+        for index in range(2, width):
+            ops.append(CombOp("AND", node, index))
+            node += 1
+        and_output = node
+        d_nodes = []
+        for ff_input in range(2, width):
+            ops.append(CombOp("BUF", ff_input))
+            node += 1
+            d_nodes.append(node)
+        cloud = CombCloud(
+            num_inputs=width,
+            ops=ops,
+            outputs=d_nodes + [and_output],
+        )
+        return ScannableCore(
+            name="resistant",
+            cloud=cloud,
+            num_pis=2,
+            num_pos=1,
+            chains=[list(range(num_ffs))],
+        )
+
+    def test_podem_pattern_detects_target(self):
+        core = self._resistant_core()
+        fault = Fault(node=core.cloud.num_nodes - 1, stuck_value=0)
+        pattern, verdict = podem_pattern(core, fault)
+        assert verdict == TESTABLE
+        sim = run_fault_simulation(core, [pattern], [fault])
+        assert fault in sim.detected
+
+    def test_topup_beats_random_on_resistant_logic(self):
+        core = self._resistant_core()
+        random_only = generate_test_set(core, seed=2, max_patterns=48)
+        topped = generate_test_set(core, seed=2, max_patterns=64,
+                                   deterministic_topup=True)
+        assert topped.fault_coverage > random_only.fault_coverage
+        # The all-ones activation exists, so the AND-cone SA0 faults
+        # are found deterministically.
+        assert topped.effective_coverage == pytest.approx(1.0)
+
+    def test_topup_proves_redundancy_on_random_cores(self):
+        core = ScannableCore.generate(
+            "dut", seed=3, num_pis=3, num_pos=2, num_ffs=12,
+            num_chains=3,
+        )
+        topped = generate_test_set(core, seed=5, max_patterns=128,
+                                   deterministic_topup=True)
+        assert topped.untestable_faults > 0
+        assert topped.effective_coverage >= 0.95
+        # Book-keeping is consistent.
+        assert (topped.detected_faults + topped.untestable_faults
+                + topped.aborted_faults <= topped.total_faults)
+
+    def test_responses_stay_consistent_with_patterns(self):
+        core = ScannableCore.generate(
+            "dut", seed=9, num_pis=2, num_pos=2, num_ffs=8,
+            num_chains=2,
+        )
+        topped = generate_test_set(core, seed=1, max_patterns=64,
+                                   deterministic_topup=True)
+        assert len(topped.patterns) == len(topped.responses)

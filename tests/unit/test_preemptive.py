@@ -1,0 +1,111 @@
+"""Unit tests for the preemptive (staircase) scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.soc.core import CoreTestParams, TestMethod
+from repro.soc.itc02 import d695_like, random_test_params
+from repro.schedule.preemptive import schedule_preemptive
+from repro.schedule.scheduler import lower_bound, schedule_greedy
+from repro.schedule.timing import core_test_cycles
+
+
+def _scan(name, flops, patterns, max_wires):
+    return CoreTestParams(name=name, method=TestMethod.SCAN, flops=flops,
+                          patterns=patterns, max_wires=max_wires)
+
+
+def _bist(name, cycles):
+    return CoreTestParams(name=name, method=TestMethod.BIST, flops=0,
+                          patterns=0, max_wires=1, fixed_cycles=cycles)
+
+
+class TestBasics:
+    def test_single_core_matches_closed_form(self):
+        core = _scan("c", 100, 10, 2)
+        schedule = schedule_preemptive([core], 4, charge_config=False)
+        assert schedule.test_cycles == core_test_cycles(core, 2)
+        assert len(schedule.segments) == 1
+
+    def test_bist_runs_to_completion(self):
+        cores = [_bist("b", 500), _scan("c", 10, 3, 1)]
+        schedule = schedule_preemptive(cores, 2, charge_config=False)
+        names = {name for seg in schedule.segments
+                 for name, _ in seg.allocations}
+        assert names == {"b", "c"}
+        assert schedule.test_cycles >= 500
+
+    def test_wire_capacity_respected(self):
+        cores = [_scan(f"c{i}", 60, 10, 4) for i in range(5)]
+        schedule = schedule_preemptive(cores, 4, charge_config=False)
+        for segment in schedule.segments:
+            assert sum(w for _, w in segment.allocations) <= 4
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_preemptive([_scan("c", 10, 2, 1)], 0)
+
+    def test_config_charged_per_boundary(self):
+        cores = [_scan("a", 50, 10, 2), _scan("b", 20, 4, 1)]
+        charged = schedule_preemptive(cores, 2, charge_config=True)
+        free = schedule_preemptive(cores, 2, charge_config=False)
+        assert charged.test_cycles == free.test_cycles
+        assert charged.config_cycles_total > 0
+        assert (charged.config_cycles_total
+                % len(charged.segments) == 0)
+
+    def test_describe(self):
+        schedule = schedule_preemptive([_scan("a", 50, 10, 2)], 2)
+        assert "segments" in schedule.describe()
+
+
+class TestQuality:
+    def test_not_worse_than_greedy_on_d695(self):
+        cores = d695_like()
+        for n in (4, 8, 16):
+            preemptive = schedule_preemptive(cores, n,
+                                             charge_config=False)
+            greedy = schedule_greedy(cores, n, charge_config=False)
+            assert preemptive.test_cycles <= greedy.test_cycles * 1.05
+
+    def test_respects_lower_bound(self):
+        cores = d695_like()
+        schedule = schedule_preemptive(cores, 8, charge_config=False)
+        assert schedule.test_cycles >= lower_bound(cores, 8)
+
+    def test_unchanged_allocation_loses_no_progress(self):
+        """A core keeping its wires across boundaries finishes in
+        exactly its closed-form time."""
+        # b finishes early; a keeps 2 wires throughout.
+        cores = [_scan("a", 100, 50, 2), _scan("b", 10, 2, 1)]
+        schedule = schedule_preemptive(cores, 3, charge_config=False)
+        assert schedule.test_cycles == core_test_cycles(cores[0], 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 5000), st.integers(1, 16))
+    def test_everything_finishes_property(self, seed, n):
+        cores = random_test_params(seed, num_cores=6)
+        schedule = schedule_preemptive(cores, n, charge_config=False)
+        scheduled = {name for seg in schedule.segments
+                     for name, _ in seg.allocations}
+        expected = {c.name for c in cores
+                    if c.patterns or c.fixed_cycles}
+        assert scheduled == expected
+        for segment in schedule.segments:
+            assert segment.duration > 0
+            assert sum(w for _, w in segment.allocations) <= n
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_preemptive_beats_or_ties_greedy_property(self, seed):
+        cores = random_test_params(seed, num_cores=8)
+        for n in (4, 8):
+            preemptive = schedule_preemptive(cores, n,
+                                             charge_config=False)
+            greedy = schedule_greedy(cores, n, charge_config=False)
+            # Preemption never hurts by more than quantisation noise.
+            assert preemptive.test_cycles <= greedy.test_cycles * 1.10

@@ -1,0 +1,92 @@
+"""Smoke tests of the public API surface and error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SynthesisError,
+    VerificationError,
+)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_surface(self):
+        """The README quickstart names resolve and work."""
+        design = repro.generate_cas(4, 2)
+        assert (design.m, design.k) == (14, 4)
+        soc = repro.fig1_soc()
+        tam = repro.CasBusTamDesign.for_soc(soc)
+        assert tam.total_cas_cells > 0
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_values_alias_matches_canonical(self):
+        from repro import values as canonical
+        from repro.sim import values as alias
+
+        assert alias.ZERO == canonical.ZERO
+        assert alias.resolve is canonical.resolve
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, SimulationError, SynthesisError,
+        ScheduleError, VerificationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_library_raises_its_own_errors(self):
+        with pytest.raises(ConfigurationError):
+            repro.InstructionSet(2, 5)  # P > N
+        with pytest.raises(ConfigurationError):
+            repro.SwitchScheme(n=2, p=1, wire_of_port=(7,))
+
+
+class TestVerifyFailurePaths:
+    def test_equivalence_mismatch_reports_stimulus(self):
+        from repro.netlist.netlist import Netlist
+        from repro.netlist.verify import check_combinational_equivalence
+        from repro import values as lv
+
+        nl = Netlist(name="wrong")
+        a = nl.add_input("a")
+        nl.add_output("y")
+        nl.add_gate("BUF", (a,), "y")
+
+        def reference(assignment):
+            return {"y": lv.v_not(assignment["a"])}  # expects INV
+
+        with pytest.raises(VerificationError, match="output 'y'"):
+            check_combinational_equivalence(nl, reference, ["a"], ["y"])
+
+    def test_equivalence_pass_returns_count(self):
+        from repro.netlist.netlist import Netlist
+        from repro.netlist.verify import check_combinational_equivalence
+        from repro import values as lv
+
+        nl = Netlist(name="right")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.add_output("y")
+        nl.add_gate("AND", (a, b), "y")
+
+        def reference(assignment):
+            return {"y": lv.v_and((assignment["a"], assignment["b"]))}
+
+        assert check_combinational_equivalence(
+            nl, reference, ["a", "b"], ["y"]
+        ) == 4

@@ -1,0 +1,266 @@
+"""Unit and property tests for the scan substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.scan.atpg import (
+    ScanPattern,
+    compute_responses,
+    generate_test_set,
+    random_pattern,
+)
+from repro.scan.chain import ScanChain
+from repro.scan.core_model import CombCloud, CombOp, ScannableCore
+from repro.scan.fault_sim import pack_patterns, run_fault_simulation
+from repro.scan.faults import all_stuck_at_faults, core_fault_list
+
+
+def _core(**kwargs) -> ScannableCore:
+    defaults = dict(seed=3, num_pis=3, num_pos=2, num_ffs=12, num_chains=3)
+    defaults.update(kwargs)
+    return ScannableCore.generate("dut", **defaults)
+
+
+class TestCombCloud:
+    def test_known_network(self):
+        # f0 = a AND b; f1 = NOT a.
+        cloud = CombCloud(
+            num_inputs=2,
+            ops=[CombOp("AND", 0, 1), CombOp("NOT", 0)],
+            outputs=[2, 3],
+        )
+        for a in (0, 1):
+            for b in (0, 1):
+                out = cloud.evaluate_words([a, b], mask=1)
+                assert out[0] == (a & b)
+                assert out[1] == (1 - a)
+
+    def test_word_parallel_matches_serial(self):
+        cloud = CombCloud.random(num_inputs=6, num_ops=30,
+                                 num_outputs=5, seed=9)
+        patterns = [(i * 37) % 64 for i in range(8)]
+        words = [0] * 6
+        for bit_index, pattern in enumerate(patterns):
+            for input_index in range(6):
+                if pattern >> input_index & 1:
+                    words[input_index] |= 1 << bit_index
+        parallel = cloud.evaluate_words(words, mask=(1 << 8) - 1)
+        for bit_index, pattern in enumerate(patterns):
+            serial = cloud.evaluate_words(
+                [(pattern >> i) & 1 for i in range(6)], mask=1
+            )
+            for out_index in range(5):
+                expected = (parallel[out_index] >> bit_index) & 1
+                assert serial[out_index] & 1 == expected
+
+    def test_fault_injection_changes_output(self):
+        cloud = CombCloud(
+            num_inputs=2,
+            ops=[CombOp("AND", 0, 1)],
+            outputs=[2],
+        )
+        healthy = cloud.evaluate_words([1, 1], mask=1)
+        faulty = cloud.evaluate_words([1, 1], mask=1, fault=(2, 0))
+        assert healthy == [1] and faulty == [0]
+
+    def test_fault_on_input_node(self):
+        cloud = CombCloud(num_inputs=2, ops=[CombOp("OR", 0, 1)], outputs=[2])
+        assert cloud.evaluate_words([0, 0], mask=1, fault=(0, 1)) == [1]
+
+    def test_out_of_order_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CombCloud(num_inputs=1, ops=[CombOp("AND", 0, 5)], outputs=[1])
+
+    def test_random_is_deterministic(self):
+        a = CombCloud.random(4, 10, 3, seed=5)
+        b = CombCloud.random(4, 10, 3, seed=5)
+        assert a.ops == b.ops and a.outputs == b.outputs
+
+
+class TestScannableCore:
+    def test_balanced_partition(self):
+        core = _core(num_ffs=10, num_chains=3)
+        assert core.chain_lengths == (4, 3, 3)
+
+    def test_explicit_chain_lengths(self):
+        core = _core(num_ffs=10, num_chains=2, chain_lengths=(8, 2))
+        assert core.chain_lengths == (8, 2)
+        assert core.max_chain_length == 8
+
+    def test_bad_chain_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _core(num_ffs=10, num_chains=2, chain_lengths=(5, 4))
+
+    def test_scan_shift_round_trip(self):
+        core = _core()
+        bits = [1, 0, 1, 1]
+        length = core.chain_lengths[0]
+        loaded = bits + [0] * (length - len(bits))
+        for bit in reversed(loaded):
+            core.scan_shift(0, bit)
+        assert core.read_chain(0) == loaded
+
+    def test_load_and_read_chain(self):
+        core = _core()
+        values = [1] * core.chain_lengths[1]
+        core.load_chain(1, values)
+        assert core.read_chain(1) == values
+
+    def test_capture_changes_state_deterministically(self):
+        core_a = _core()
+        core_b = _core()
+        core_a.load_chain(0, [1] * core_a.chain_lengths[0])
+        core_b.load_chain(0, [1] * core_b.chain_lengths[0])
+        pos_a = core_a.capture([1, 0, 1])
+        pos_b = core_b.capture([1, 0, 1])
+        assert core_a.ff_values == core_b.ff_values
+        assert pos_a == pos_b
+
+    def test_capture_wrong_pi_count(self):
+        with pytest.raises(SimulationError):
+            _core().capture([0])
+
+    def test_scan_shift_validates_bit(self):
+        with pytest.raises(SimulationError):
+            _core().scan_shift(0, 9)
+
+    def test_chains_must_partition(self):
+        cloud = CombCloud.random(num_inputs=4, num_ops=8,
+                                 num_outputs=3, seed=1)
+        with pytest.raises(ConfigurationError, match="partition"):
+            ScannableCore("bad", cloud, num_pis=2, num_pos=1,
+                          chains=[[0, 1], [1]])
+
+
+class TestScanChain:
+    def test_fifo_behaviour(self):
+        chain = ScanChain(3)
+        sent = [1, 0, 1, 1, 0, 1]
+        outs = [chain.shift(bit) for bit in sent]
+        assert outs[3:] == sent[:3]
+
+    def test_zero_length_passthrough(self):
+        chain = ScanChain(0)
+        assert chain.shift(1) == 1
+
+    def test_load_read(self):
+        chain = ScanChain(4)
+        chain.load([1, 0, 0, 1])
+        assert chain.read() == [1, 0, 0, 1]
+        assert chain.scan_out_bit() == 1
+
+
+class TestFaultSim:
+    def test_fault_list_size(self):
+        core = _core()
+        faults = core_fault_list(core)
+        assert len(faults) == 2 * core.cloud.num_nodes
+
+    def test_pack_unpack_consistency(self):
+        core = _core()
+        import random as _random
+
+        rng = _random.Random(0)
+        patterns = [random_pattern(core, rng) for _ in range(5)]
+        batch = pack_patterns(core, patterns)[0]
+        assert batch.count == 5
+        # PI words reproduce the pattern bits.
+        for bit_index, pattern in enumerate(patterns):
+            for pi_index, value in enumerate(pattern.pi):
+                got = (batch.input_words[pi_index] >> bit_index) & 1
+                assert got == value
+
+    def test_detected_faults_are_real(self):
+        """Cross-check the parallel fault simulator against a serial
+        single-pattern evaluation for a handful of faults."""
+        core = _core(num_ffs=8, num_chains=2)
+        import random as _random
+
+        rng = _random.Random(1)
+        patterns = [random_pattern(core, rng) for _ in range(16)]
+        result = run_fault_simulation(core, patterns)
+        checked = 0
+        for fault in sorted(result.detected)[:10]:
+            index = result.detecting_pattern[fault]
+            pattern = patterns[index]
+            inputs = list(pattern.pi)
+            for chain_index, chain_bits in enumerate(pattern.chains):
+                chain = core.chains[chain_index]
+                ff_vals = dict(zip(chain, chain_bits))
+                for ff in chain:
+                    pass
+            # Rebuild full FF vector.
+            ff_vector = [0] * core.num_ffs
+            for chain_index, chain_bits in enumerate(pattern.chains):
+                for position, value in enumerate(chain_bits):
+                    ff_vector[core.chains[chain_index][position]] = value
+            full_inputs = list(pattern.pi) + ff_vector
+            good = core.cloud.evaluate_words(full_inputs, mask=1)
+            bad = core.cloud.evaluate_words(
+                full_inputs, mask=1, fault=(fault.node, fault.stuck_value)
+            )
+            assert good != bad
+            checked += 1
+        assert checked > 0
+
+    def test_no_patterns_no_detection(self):
+        core = _core()
+        result = run_fault_simulation(core, [])
+        assert result.coverage == 0.0
+        assert not result.detected
+
+    def test_coverage_monotone_in_patterns(self):
+        core = _core()
+        import random as _random
+
+        rng = _random.Random(2)
+        patterns = [random_pattern(core, rng) for _ in range(32)]
+        few = run_fault_simulation(core, patterns[:8])
+        many = run_fault_simulation(core, patterns)
+        assert many.coverage >= few.coverage
+        assert few.detected <= many.detected
+
+
+class TestAtpg:
+    def test_test_set_has_responses(self):
+        core = _core()
+        test_set = generate_test_set(core, seed=5, max_patterns=64)
+        assert len(test_set.patterns) == len(test_set.responses)
+        assert len(test_set) > 0
+        assert 0.0 < test_set.fault_coverage <= 1.0
+
+    def test_responses_match_direct_capture(self):
+        core = _core()
+        test_set = generate_test_set(core, seed=5, max_patterns=16)
+        for pattern, response in zip(test_set.patterns, test_set.responses):
+            probe = _core()  # fresh identical core
+            for chain_index, bits in enumerate(pattern.chains):
+                probe.load_chain(chain_index, list(bits))
+            pos = probe.capture(list(pattern.pi))
+            assert tuple(probe.ff_values) == response.ff_values
+            assert tuple(pos) == response.po_values
+
+    def test_deterministic(self):
+        a = generate_test_set(_core(), seed=9, max_patterns=32)
+        b = generate_test_set(_core(), seed=9, max_patterns=32)
+        assert a.patterns == b.patterns
+        assert a.fault_coverage == b.fault_coverage
+
+    def test_target_coverage_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_test_set(_core(), target_coverage=0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_coverage_reported_matches_fault_sim(self, seed):
+        core = ScannableCore.generate(
+            "prop", seed=seed, num_pis=2, num_pos=2,
+            num_ffs=6, num_chains=2,
+        )
+        test_set = generate_test_set(core, seed=seed, max_patterns=32)
+        replay = run_fault_simulation(core, test_set.patterns)
+        assert replay.coverage == pytest.approx(test_set.fault_coverage)

@@ -1,0 +1,105 @@
+"""Unit tests for test plans and wire-path composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.plan import (
+    CoreAssignment,
+    PlanBuilder,
+    SessionPlan,
+    TestPlan,
+    flat_assignment,
+)
+
+
+class TestCoreAssignment:
+    def test_flat_top_wires(self):
+        assignment = flat_assignment("c", (3, 1))
+        assert assignment.top_wires() == (3, 1)
+        assert assignment.name == "c"
+
+    def test_hierarchical_composition(self):
+        # Outer node ports (= inner wires 0,1) fed by top wires (2, 0);
+        # terminal uses inner wires (1, 0).
+        assignment = CoreAssignment(
+            path=("outer", "inner"),
+            levels=((2, 0), (1, 0)),
+        )
+        # Terminal port 0 -> inner wire 1 -> top wire levels[0][1] = 0.
+        assert assignment.top_wire(0) == 0
+        assert assignment.top_wire(1) == 2
+        assert assignment.top_wires() == (0, 2)
+
+    def test_three_level_composition(self):
+        assignment = CoreAssignment(
+            path=("a", "b", "c"),
+            levels=((3, 1), (1, 0), (0,)),
+        )
+        # port 0 -> level2 wire 0 -> level1 maps wire... level1[0] = 1
+        # -> level0[1] = 1.
+        assert assignment.top_wire(0) == 1
+
+    def test_level_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreAssignment(path=("a",), levels=((0,), (1,)))
+
+    def test_duplicate_wires_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreAssignment(path=("a",), levels=((1, 1),))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreAssignment(path=(), levels=())
+
+
+class TestSessionPlan:
+    def test_disjoint_sessions_validate(self):
+        session = SessionPlan(assignments=(
+            flat_assignment("a", (0, 1)),
+            flat_assignment("b", (2,)),
+        ))
+        session.validate(bus_width=3)
+
+    def test_overlap_between_cores_rejected(self):
+        session = SessionPlan(assignments=(
+            flat_assignment("a", (0, 1)),
+            flat_assignment("b", (1,)),
+        ))
+        with pytest.raises(ConfigurationError, match="clash"):
+            session.validate(bus_width=3)
+
+    def test_shared_footprint_within_hierarchy_allowed(self):
+        session = SessionPlan(assignments=(
+            CoreAssignment(path=("h", "x"), levels=((0, 1), (0,))),
+            CoreAssignment(path=("h", "y"), levels=((0, 1), (1,))),
+        ))
+        session.validate(bus_width=2)
+
+    def test_out_of_range_wire_rejected(self):
+        session = SessionPlan(assignments=(flat_assignment("a", (5,)),))
+        with pytest.raises(ConfigurationError, match="outside bus"):
+            session.validate(bus_width=3)
+
+    def test_tested_names(self):
+        session = SessionPlan(assignments=(
+            flat_assignment("a", (0,)),
+            CoreAssignment(path=("h", "x"), levels=((1,), (0,))),
+        ))
+        assert session.tested_names() == ["a", "h/x"]
+
+
+class TestPlanBuilder:
+    def test_builder_round_trip(self):
+        plan = (PlanBuilder()
+                .add_session(flat_assignment("a", (0,)), label="one")
+                .add_session(flat_assignment("b", (1,)), label="two")
+                .build("p"))
+        assert isinstance(plan, TestPlan)
+        assert len(plan.sessions) == 2
+        plan.validate(bus_width=2)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanBuilder().build().validate(bus_width=2)

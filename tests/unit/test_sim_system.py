@@ -1,0 +1,139 @@
+"""Unit tests for the system assembly and the serial config chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import values as lv
+from repro.errors import ConfigurationError
+from repro.core.instruction import BYPASS_CODE, CHAIN_CODE
+from repro.soc.core import CoreSpec
+from repro.soc.library import fig1_soc, small_soc
+from repro.soc.soc import SocSpec
+from repro.sim.nodes import BistNode, HierNode, ScanNode
+from repro.sim.system import build_system
+
+
+class TestBuild:
+    def test_small_soc_nodes(self):
+        system = build_system(small_soc())
+        assert [type(n) for n in system.nodes] == [ScanNode, ScanNode]
+        assert system.n == 3
+
+    def test_fig1_node_types(self):
+        system = build_system(fig1_soc())
+        kinds = {n.path: type(n).__name__ for n in system.nodes}
+        assert kinds["core3"] == "BistNode"
+        assert kinds["core4"] == "ExternalNode"
+        assert kinds["core5"] == "HierNode"
+
+    def test_walk_includes_inner_nodes(self):
+        system = build_system(fig1_soc())
+        paths = [node.path for node in system.walk()]
+        assert "core5/core5a" in paths
+        assert "core5/core5b" in paths
+
+    def test_node_at_hierarchy(self):
+        system = build_system(fig1_soc())
+        node = system.node_at(("core5", "core5b"))
+        assert node.path == "core5/core5b"
+        with pytest.raises(ConfigurationError):
+            system.node_at(("core5", "missing"))
+        with pytest.raises(ConfigurationError):
+            system.node_at(("core1", "oops"))  # core1 not hierarchical
+
+    def test_fault_injection_routing(self):
+        system = build_system(
+            fig1_soc(),
+            inject_faults={"core1": (5, 1), "core5/core5a": (3, 0)},
+        )
+        core1 = system.node_at(("core1",))
+        inner = system.node_at(("core5", "core5a"))
+        assert core1.wrapper.core.fault == (5, 1)
+        assert inner.wrapper.core.fault == (3, 0)
+        clean = system.node_at(("core2",))
+        assert clean.wrapper.core.fault is None
+
+
+class TestSerialChain:
+    def test_layout_without_splices(self):
+        system = build_system(small_soc())
+        layout = system.serial_layout()
+        assert [reg.kind for reg in layout] == ["cas", "cas"]
+
+    def test_layout_grows_when_spliced(self):
+        system = build_system(small_soc())
+        system.run_configuration({"alpha.cas": CHAIN_CODE})
+        layout = system.serial_layout()
+        assert [reg.path for reg in layout] == [
+            "alpha.cas", "alpha.wir", "beta.cas"
+        ]
+
+    def test_hierarchical_layout_order(self):
+        system = build_system(fig1_soc())
+        paths = [reg.path for reg in system.serial_layout()]
+        index_outer = paths.index("core5.cas")
+        index_a = paths.index("core5/core5a.cas")
+        index_next = paths.index("core6.cas")
+        assert index_outer < index_a < index_next
+
+    def test_configuration_loads_all_levels(self):
+        system = build_system(fig1_soc())
+        cycles = system.run_configuration({
+            "core1.cas": BYPASS_CODE,
+            "core5/core5a.cas": 2,
+        })
+        inner = system.node_at(("core5", "core5a"))
+        assert inner.cas.active_code == 2
+        layout_bits = sum(r.width for r in system.serial_layout())
+        assert cycles == layout_bits + 1
+
+    def test_unknown_target_rejected(self):
+        system = build_system(small_soc())
+        with pytest.raises(ConfigurationError, match="not on the chain"):
+            system.config_stream({"alpha.wir": 2})
+
+    def test_wir_target_after_splice(self):
+        system = build_system(small_soc())
+        system.run_configuration({"alpha.cas": CHAIN_CODE})
+        system.run_configuration({"alpha.cas": BYPASS_CODE,
+                                  "alpha.wir": 2})
+        node = system.node_at(("alpha",))
+        assert node.wrapper.mode == "INTEST"
+        assert node.cas.active_code == BYPASS_CODE
+        # Splice gone again.
+        assert len(system.serial_layout()) == 2
+
+    def test_untouched_registers_hold_value(self):
+        system = build_system(small_soc())
+        system.run_configuration({"alpha.cas": 3})
+        system.run_configuration({"beta.cas": 2})
+        assert system.node_at(("alpha",)).cas.active_code == 3
+        assert system.node_at(("beta",)).cas.active_code == 2
+
+
+class TestBusTransport:
+    def test_bypass_system_is_transparent(self):
+        system = build_system(small_soc())
+        bus_in = (lv.ONE, lv.ZERO, lv.ONE)
+        assert system.route_bus(bus_in, config=False) == bus_in
+
+    def test_config_mode_puts_chain_on_wire0(self):
+        system = build_system(small_soc())
+        out = system.route_bus((lv.ONE, lv.ZERO, lv.ZERO), config=True)
+        # Wire 0 carries the chain's serial out (a 0/1, never Z).
+        assert out[0] in (lv.ZERO, lv.ONE)
+        assert out[1:] == (lv.ZERO, lv.ZERO)
+
+    def test_describe_lists_all_nodes(self):
+        text = build_system(fig1_soc()).describe()
+        assert "core5/core5a" in text
+        assert "BYPASS" in text
+
+
+class TestStrictness:
+    def test_duplicate_core_names_rejected_at_build(self):
+        core = CoreSpec.bist("x", seed=1)
+        soc = SocSpec(name="bad", bus_width=2, cores=(core, core))
+        with pytest.raises(ConfigurationError):
+            build_system(soc)

@@ -1,0 +1,147 @@
+"""Unit tests for SoC workload descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.core import CoreSpec, TestMethod
+from repro.soc.itc02 import d695_like, random_test_params
+from repro.soc.library import fig1_soc, make_synthetic_soc, small_soc
+from repro.soc.soc import SocSpec
+
+
+class TestCoreSpec:
+    def test_scan_p_is_chain_count(self):
+        core = CoreSpec.scan("c", seed=1, num_ffs=12, num_chains=3)
+        assert core.p == 3
+        core.validate()
+
+    def test_bist_p_is_one(self):
+        core = CoreSpec.bist("c", seed=1)
+        assert core.p == 1
+        core.validate()
+
+    def test_external_p_is_one(self):
+        core = CoreSpec.external("c", seed=1)
+        assert core.p == 1
+        core.validate()
+
+    def test_hierarchical_p_is_inner_width(self):
+        inner = small_soc(bus_width=3)
+        core = CoreSpec.hierarchical("h", inner=inner)
+        assert core.p == 3
+        core.validate()
+
+    def test_hierarchical_without_inner_rejected(self):
+        core = CoreSpec(name="h", method=TestMethod.HIERARCHICAL)
+        with pytest.raises(ConfigurationError, match="inner"):
+            core.validate()
+
+    def test_chain_length_mismatch_rejected(self):
+        core = CoreSpec.scan("c", seed=1, num_ffs=10, num_chains=2,
+                             chain_lengths=(4, 4))
+        with pytest.raises(ConfigurationError):
+            core.validate()
+
+    def test_build_scannable_deterministic(self):
+        spec = CoreSpec.scan("c", seed=42, num_ffs=10, num_chains=2)
+        a = spec.build_scannable()
+        b = spec.build_scannable()
+        assert a.cloud.ops == b.cloud.ops
+        assert a.chains == b.chains
+
+    def test_hierarchical_has_no_flat_model(self):
+        core = CoreSpec.hierarchical("h", inner=small_soc())
+        with pytest.raises(ConfigurationError):
+            core.build_scannable()
+
+    def test_test_params_scan(self):
+        spec = CoreSpec.scan("c", seed=1, num_ffs=20, num_chains=4,
+                             num_pis=3, num_pos=5, atpg_max_patterns=50)
+        params = spec.test_params()
+        assert params.flops == 28
+        assert params.patterns == 50
+        assert params.max_wires == 4
+        assert params.fixed_cycles is None
+
+    def test_test_params_bist(self):
+        spec = CoreSpec.bist("c", seed=1, bist_cycles=100,
+                             signature_width=16)
+        params = spec.test_params()
+        assert params.fixed_cycles == 116
+        assert params.max_wires == 1
+
+
+class TestSocSpec:
+    def test_fig1_validates(self):
+        soc = fig1_soc()
+        assert len(soc) == 7
+        assert soc.bus_width == 4
+        methods = {core.method for core in soc}
+        assert methods == set(TestMethod)
+
+    def test_fig1_core_p_values(self):
+        soc = fig1_soc()
+        assert soc.core_named("core1").p == 3
+        assert soc.core_named("core3").p == 1
+        assert soc.core_named("core5").p == 2
+
+    def test_fig1_needs_width_three(self):
+        with pytest.raises(ConfigurationError):
+            fig1_soc(bus_width=2)
+
+    def test_p_exceeding_bus_rejected(self):
+        soc = SocSpec(
+            name="bad", bus_width=2,
+            cores=(CoreSpec.scan("c", seed=1, num_ffs=9, num_chains=3),),
+        )
+        with pytest.raises(ConfigurationError, match="P <= N"):
+            soc.validate()
+
+    def test_duplicate_names_rejected(self):
+        core = CoreSpec.bist("dup", seed=1)
+        soc = SocSpec(name="bad", bus_width=2, cores=(core, core))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            soc.validate()
+
+    def test_core_named_missing(self):
+        with pytest.raises(ConfigurationError):
+            small_soc().core_named("nope")
+
+    def test_describe_mentions_cores(self):
+        text = fig1_soc().describe()
+        assert "core5" in text and "hierarchical" in text
+        assert "system bus" in text
+
+    def test_synthetic_socs_validate(self):
+        for seed in range(8):
+            soc = make_synthetic_soc(seed, num_cores=4, bus_width=4)
+            soc.validate()
+
+    def test_synthetic_deterministic(self):
+        a = make_synthetic_soc(3, num_cores=5)
+        b = make_synthetic_soc(3, num_cores=5)
+        assert a == b
+
+
+class TestItc02Workloads:
+    def test_d695_like_shape(self):
+        cores = d695_like()
+        assert len(cores) == 10
+        assert any(core.flops > 2000 for core in cores)
+        assert any(core.flops < 100 for core in cores)
+
+    def test_random_params_deterministic(self):
+        assert random_test_params(5) == random_test_params(5)
+
+    def test_random_params_mixes_methods(self):
+        cores = random_test_params(1, num_cores=30, bist_fraction=0.4)
+        methods = {core.method for core in cores}
+        assert TestMethod.SCAN in methods
+        assert TestMethod.BIST in methods
+
+    def test_bist_cores_have_fixed_cycles(self):
+        for core in random_test_params(2, num_cores=20, bist_fraction=1.0):
+            assert core.fixed_cycles is not None
+            assert core.max_wires == 1

@@ -1,0 +1,146 @@
+"""Unit tests for the four-valued logic primitives."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import values as lv
+
+value_st = st.sampled_from(lv.VALUES)
+
+
+class TestConversions:
+    def test_char_round_trip(self):
+        for value in lv.VALUES:
+            assert lv.from_char(lv.to_char(value)) == value
+
+    def test_string_round_trip(self):
+        seq = (lv.ZERO, lv.ONE, lv.X, lv.Z)
+        assert lv.from_string(lv.to_string(seq)) == seq
+
+    def test_from_char_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            lv.from_char("q")
+
+    def test_lowercase_accepted(self):
+        assert lv.from_char("x") == lv.X
+        assert lv.from_char("z") == lv.Z
+
+
+class TestGates:
+    def test_not_truth_table(self):
+        assert lv.v_not(lv.ZERO) == lv.ONE
+        assert lv.v_not(lv.ONE) == lv.ZERO
+        assert lv.v_not(lv.X) == lv.X
+        assert lv.v_not(lv.Z) == lv.X
+
+    def test_and_dominant_zero(self):
+        for other in lv.VALUES:
+            assert lv.v_and((lv.ZERO, other)) == lv.ZERO
+            assert lv.v_and((other, lv.ZERO)) == lv.ZERO
+
+    def test_or_dominant_one(self):
+        for other in lv.VALUES:
+            assert lv.v_or((lv.ONE, other)) == lv.ONE
+            assert lv.v_or((other, lv.ONE)) == lv.ONE
+
+    def test_and_unknown_propagation(self):
+        assert lv.v_and((lv.ONE, lv.X)) == lv.X
+        assert lv.v_and((lv.ONE, lv.Z)) == lv.X
+        assert lv.v_and((lv.ONE, lv.ONE)) == lv.ONE
+
+    def test_xor_known_parity(self):
+        assert lv.v_xor((lv.ONE, lv.ONE, lv.ONE)) == lv.ONE
+        assert lv.v_xor((lv.ONE, lv.ONE)) == lv.ZERO
+        assert lv.v_xor((lv.ONE, lv.X)) == lv.X
+
+    def test_buf_cleans_floating(self):
+        assert lv.v_buf(lv.Z) == lv.X
+        assert lv.v_buf(lv.ONE) == lv.ONE
+
+    @given(value_st, value_st)
+    def test_de_morgan_two_inputs(self, a, b):
+        left = lv.v_not(lv.v_and((a, b)))
+        right = lv.v_or((lv.v_not(a), lv.v_not(b)))
+        assert left == right
+
+
+class TestMux:
+    def test_select_known(self):
+        assert lv.v_mux(lv.ZERO, lv.ONE, lv.ZERO) == lv.ZERO
+        assert lv.v_mux(lv.ZERO, lv.ONE, lv.ONE) == lv.ONE
+
+    def test_unknown_select_agreeing_data(self):
+        assert lv.v_mux(lv.ONE, lv.ONE, lv.X) == lv.ONE
+        assert lv.v_mux(lv.ZERO, lv.ZERO, lv.Z) == lv.ZERO
+
+    def test_unknown_select_disagreeing_data(self):
+        assert lv.v_mux(lv.ZERO, lv.ONE, lv.X) == lv.X
+
+    @given(value_st, value_st, value_st)
+    def test_mux_never_returns_z(self, d0, d1, sel):
+        assert lv.v_mux(d0, d1, sel) != lv.Z
+
+
+class TestTristate:
+    def test_enabled_passes_data(self):
+        assert lv.v_tristate(lv.ONE, lv.ONE) == lv.ONE
+        assert lv.v_tristate(lv.ZERO, lv.ONE) == lv.ZERO
+
+    def test_disabled_floats(self):
+        for data in lv.VALUES:
+            assert lv.v_tristate(data, lv.ZERO) == lv.Z
+
+    def test_unknown_enable_is_x(self):
+        assert lv.v_tristate(lv.ONE, lv.X) == lv.X
+
+
+class TestResolution:
+    def test_z_is_identity(self):
+        for value in lv.VALUES:
+            assert lv.resolve(value, lv.Z) == value
+            assert lv.resolve(lv.Z, value) == value
+
+    def test_contention_is_x(self):
+        assert lv.resolve(lv.ZERO, lv.ONE) == lv.X
+
+    def test_agreement_keeps_value(self):
+        assert lv.resolve(lv.ONE, lv.ONE) == lv.ONE
+        assert lv.resolve(lv.ZERO, lv.ZERO) == lv.ZERO
+
+    def test_empty_net_floats(self):
+        assert lv.resolve_all(()) == lv.Z
+
+    @given(value_st, value_st)
+    def test_resolve_commutative(self, a, b):
+        assert lv.resolve(a, b) == lv.resolve(b, a)
+
+    @given(value_st, value_st, value_st)
+    def test_resolve_associative(self, a, b, c):
+        left = lv.resolve(lv.resolve(a, b), c)
+        right = lv.resolve(a, lv.resolve(b, c))
+        assert left == right
+
+    @given(st.lists(value_st, max_size=6))
+    def test_resolve_all_matches_pairwise(self, drivers):
+        expected = lv.Z
+        for d in drivers:
+            expected = lv.resolve(expected, d)
+        assert lv.resolve_all(drivers) == expected
+
+    def test_exhaustive_resolution_table(self):
+        # X wins over everything except when both sides agree.
+        for a, b in itertools.product(lv.VALUES, repeat=2):
+            result = lv.resolve(a, b)
+            if a == lv.Z:
+                assert result == b
+            elif b == lv.Z:
+                assert result == a
+            elif a == b and a in lv.DRIVEN:
+                assert result == a
+            else:
+                assert result == lv.X

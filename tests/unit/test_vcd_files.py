@@ -1,0 +1,52 @@
+"""Unit tests for VCD file output and traced sessions."""
+
+from __future__ import annotations
+
+from repro import values as lv
+from repro.sim.plan import PlanBuilder, flat_assignment
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.sim.trace import TraceRecorder
+from repro.sim.vcd import render_vcd, write_vcd
+from repro.soc.library import small_soc
+
+
+class TestVcdFile:
+    def test_write_and_parse_back(self, tmp_path):
+        trace = TraceRecorder()
+        trace.record("clk", 0, lv.ZERO)
+        trace.record("clk", 1, lv.ONE)
+        trace.record("data", 0, lv.Z)
+        path = tmp_path / "out.vcd"
+        write_vcd(trace, str(path), design_name="unit")
+        text = path.read_text()
+        assert text == render_vcd(trace, design_name="unit")
+        assert text.startswith("$date")
+        assert "$enddefinitions $end" in text
+
+    def test_traced_session_produces_bus_signals(self, tmp_path):
+        trace = TraceRecorder()
+        system = build_system(small_soc())
+        executor = SessionExecutor(system, trace=trace)
+        plan = PlanBuilder().add_session(
+            flat_assignment("alpha", (0, 1))
+        ).build()
+        result = executor.run_plan(plan)
+        assert result.passed
+        signals = trace.signals()
+        assert any(name.startswith("bus_in") for name in signals)
+        assert any(name.startswith("bus_out") for name in signals)
+        path = tmp_path / "session.vcd"
+        write_vcd(trace, str(path))
+        assert path.stat().st_size > 0
+
+    def test_trace_covers_test_cycles(self):
+        trace = TraceRecorder()
+        system = build_system(small_soc())
+        executor = SessionExecutor(system, trace=trace)
+        plan = PlanBuilder().add_session(
+            flat_assignment("beta", (0,))
+        ).build()
+        result = executor.run_plan(plan)
+        # Trace is recorded during test phases (config phases excluded).
+        assert trace.max_cycle >= result.test_cycles - 1

@@ -1,0 +1,194 @@
+"""Unit tests for the P1500-style wrapper (WIR, WBR, modes, chains)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.scan.core_model import ScannableCore
+from repro.scan.atpg import ScanPattern
+from repro.wrapper.boundary import BoundaryRegister
+from repro.wrapper.wir import WIR_INSTRUCTIONS, Wir
+from repro.wrapper.wrapper import P1500Wrapper
+
+
+def _core(**kwargs) -> ScannableCore:
+    defaults = dict(seed=7, num_pis=3, num_pos=2, num_ffs=10, num_chains=2)
+    defaults.update(kwargs)
+    return ScannableCore.generate("dut", **defaults)
+
+
+class TestWir:
+    def test_power_on_normal(self):
+        wir = Wir()
+        assert wir.active_name == "NORMAL"
+
+    def test_shift_and_update(self):
+        wir = Wir()
+        for bit in wir.code_to_bits(WIR_INSTRUCTIONS["INTEST"]):
+            wir.shift(bit)
+        assert wir.update() == "INTEST"
+
+    def test_every_instruction_round_trips(self):
+        for name, code in WIR_INSTRUCTIONS.items():
+            wir = Wir()
+            wir.load_code(code)
+            assert wir.update() == name
+
+    def test_unknown_pattern_rejected(self):
+        wir = Wir()
+        wir._shift_reg = [1, 1, 1]  # 7: not an instruction
+        with pytest.raises(ConfigurationError):
+            wir.update()
+
+    def test_code_of_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            Wir.code_of("SELFDESTRUCT")
+
+    def test_shift_rejects_non_binary(self):
+        with pytest.raises(SimulationError):
+            Wir().shift(3)
+
+    def test_reset(self):
+        wir = Wir()
+        wir.load_code(WIR_INSTRUCTIONS["EXTEST"])
+        wir.update()
+        wir.reset()
+        assert wir.active_name == "NORMAL"
+
+
+class TestBoundaryRegister:
+    def test_shift_order(self):
+        reg = BoundaryRegister.for_core(2, 1)
+        outs = [reg.shift(bit) for bit in (1, 0, 1, 0, 0)]
+        # 3 cells: first bit emerges after 3 shifts.
+        assert outs == [0, 0, 0, 1, 0]
+
+    def test_capture_outputs(self):
+        reg = BoundaryRegister.for_core(1, 3)
+        reg.capture_outputs([1, 0, 1])
+        assert [c.shift_value for c in reg.output_cells] == [1, 0, 1]
+
+    def test_capture_wrong_count(self):
+        reg = BoundaryRegister.for_core(1, 2)
+        with pytest.raises(SimulationError):
+            reg.capture_outputs([1])
+
+    def test_update_inputs(self):
+        reg = BoundaryRegister.for_core(2, 0)
+        reg.cells[0].shift_value = 1
+        reg.update_inputs()
+        assert reg.driven_inputs() == [1, 0]
+
+    def test_empty_register_passthrough(self):
+        reg = BoundaryRegister.for_core(0, 0)
+        assert reg.shift(1) == 1
+
+
+class TestWrapperGeometry:
+    def test_p_matches_chains(self):
+        wrapper = P1500Wrapper(_core(num_chains=3, num_ffs=12))
+        assert wrapper.p == 3
+
+    def test_boundary_balancing(self):
+        # 10 FFs in chains (5,5); 3 PIs + 2 POs spread to balance.
+        wrapper = P1500Wrapper(_core())
+        lengths = wrapper.wrapper_chain_lengths()
+        assert sum(lengths) == 10 + 3 + 2
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_boundary_only_wrapper(self):
+        wrapper = P1500Wrapper(None, num_inputs=4, num_outputs=4)
+        assert wrapper.p == 1
+        assert wrapper.wrapper_chain_lengths() == (8,)
+
+
+class TestWrapperModes:
+    def test_default_normal(self):
+        wrapper = P1500Wrapper(_core())
+        assert wrapper.mode == "NORMAL"
+
+    def test_serial_protocol_sets_mode(self):
+        wrapper = P1500Wrapper(_core())
+        for bit in wrapper.wir.code_to_bits(WIR_INSTRUCTIONS["INTEST"]):
+            wrapper.serial_shift(bit)
+        assert wrapper.serial_update() == "INTEST"
+        assert wrapper.mode == "INTEST"
+
+    def test_shift_outside_test_mode_rejected(self):
+        wrapper = P1500Wrapper(_core())
+        with pytest.raises(SimulationError, match="mode NORMAL"):
+            wrapper.test_shift((0, 0))
+
+    def test_capture_outside_intest_rejected(self):
+        wrapper = P1500Wrapper(_core())
+        wrapper.set_mode("EXTEST")
+        with pytest.raises(SimulationError, match="need INTEST"):
+            wrapper.test_capture()
+
+    def test_wrong_parallel_width_rejected(self):
+        wrapper = P1500Wrapper(_core())
+        wrapper.set_mode("INTEST")
+        with pytest.raises(SimulationError):
+            wrapper.test_shift((0,))
+
+
+class TestIntestDataPath:
+    def test_pattern_load_and_capture_round_trip(self):
+        """Shift a pattern in, capture, and verify the response stream
+        matches the ATPG-computed expectation."""
+        from repro.scan.atpg import compute_responses
+
+        core = _core()
+        wrapper = P1500Wrapper(core)
+        wrapper.set_mode("INTEST")
+        pattern = ScanPattern(
+            pi=(1, 0, 1),
+            chains=tuple(
+                tuple((i + j) % 2 for j in range(length))
+                for i, length in enumerate(core.chain_lengths)
+            ),
+        )
+        golden_core = _core()
+        response = compute_responses(golden_core, [pattern])[0]
+
+        streams = wrapper.pattern_streams(pattern)
+        max_len = max(len(s) for s in streams)
+        padded = [[0] * (max_len - len(s)) + s for s in streams]
+        for cycle in range(max_len):
+            wrapper.test_shift(tuple(s[cycle] for s in padded))
+        wrapper.test_capture()
+
+        expected = wrapper.expected_response_streams(response)
+        depth = max(len(stream) for stream in expected)
+        for position in range(depth):
+            returns = wrapper.test_returns()
+            for c in range(wrapper.p):
+                if position < len(expected[c]):
+                    want = expected[c][position]
+                    if want is not None:
+                        assert returns[c] == want, (c, position)
+            wrapper.test_shift((0,) * wrapper.p)
+
+    def test_extest_boundary_chain(self):
+        core = _core()
+        wrapper = P1500Wrapper(core)
+        wrapper.set_mode("EXTEST")
+        total = len(wrapper.boundary)
+        sent = [(i * 3) % 2 for i in range(total)]
+        outs = []
+        for bit in sent:
+            outs.append(wrapper.test_shift((bit,) + (0,) * (wrapper.p - 1))[0])
+        # After `total` more shifts the sent bits re-emerge in order.
+        for bit in sent:
+            outs.append(wrapper.test_shift((0,) * wrapper.p)[0])
+        assert outs[total:] == sent
+
+    def test_reset_clears_everything(self):
+        core = _core()
+        wrapper = P1500Wrapper(core)
+        wrapper.set_mode("INTEST")
+        wrapper.test_shift((1, 1))
+        wrapper.reset()
+        assert wrapper.mode == "NORMAL"
+        assert all(v == 0 for v in core.ff_values)
