@@ -1,26 +1,23 @@
 """Experiment A2 -- scheduler-quality ablation.
 
 The paper leaves scheduling to "a good collaboration between the test
-designer and the test programmer"; the library implements three
-policies.  This ablation certifies them against each other and against
-the information-theoretic lower bound:
+designer and the test programmer"; the library implements the policies
+as registered :class:`~repro.api.schedulers.SchedulerStrategy` plugins.
+This ablation certifies them against each other and against the
+information-theoretic lower bound:
 
-* greedy session packing (fast, the default);
-* preemptive wire reallocation (the reconfigurability ceiling);
-* exhaustive enumeration (optimal, small instances only).
+* ``greedy`` session packing (fast, the default);
+* ``preemptive`` wire reallocation (the reconfigurability ceiling);
+* ``exhaustive`` enumeration (optimal, small instances only).
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
+from repro.api import get_scheduler
 from repro.soc.core import CoreTestParams, TestMethod
 from repro.soc.itc02 import d695_like, random_test_params
-from repro.schedule.preemptive import schedule_preemptive
-from repro.schedule.scheduler import (
-    lower_bound,
-    schedule_exhaustive,
-    schedule_greedy,
-)
+from repro.schedule.scheduler import lower_bound
 
 from conftest import emit
 
@@ -38,16 +35,18 @@ def _small_instances():
 
 def test_greedy_vs_optimal(benchmark):
     cores = _small_instances()
+    greedy = get_scheduler("greedy")
+    optimal = get_scheduler("exhaustive")
 
     def compare():
         rows = []
         for n in (2, 4, 6):
-            greedy = schedule_greedy(cores, n, charge_config=False)
-            optimal = schedule_exhaustive(cores, n, charge_config=False)
+            fast = greedy.schedule(cores, n, charge_config=False)
+            best = optimal.schedule(cores, n, charge_config=False)
             bound = lower_bound(cores, n)
             rows.append((
-                n, bound, optimal.test_cycles, greedy.test_cycles,
-                f"{greedy.test_cycles / optimal.test_cycles:.3f}",
+                n, bound, best.test_cycles, fast.test_cycles,
+                f"{fast.test_cycles / best.test_cycles:.3f}",
             ))
         return rows
 
@@ -57,9 +56,9 @@ def test_greedy_vs_optimal(benchmark):
         rows,
         title="A2 -- greedy vs exhaustive (4-core instance)",
     ))
-    for _, bound, optimal, greedy, _ in rows:
-        assert bound <= optimal <= greedy
-        assert greedy <= 1.5 * optimal
+    for _, bound, optimal_cycles, greedy_cycles, _ in rows:
+        assert bound <= optimal_cycles <= greedy_cycles
+        assert greedy_cycles <= 1.5 * optimal_cycles
 
 
 def test_preemption_gain(benchmark):
@@ -67,20 +66,22 @@ def test_preemption_gain(benchmark):
         "d695-like": d695_like(),
         "random-c": random_test_params(314, num_cores=14),
     }
+    greedy = get_scheduler("greedy")
+    preemptive = get_scheduler("preemptive")
 
     def sweep():
         rows = []
         for name, cores in workloads.items():
             for n in (4, 8, 16):
-                greedy = schedule_greedy(cores, n, charge_config=False)
-                preemptive = schedule_preemptive(cores, n,
-                                                 charge_config=False)
+                packed = greedy.schedule(cores, n, charge_config=False)
+                staircase = preemptive.schedule(cores, n,
+                                                charge_config=False)
                 bound = lower_bound(cores, n)
                 rows.append((
                     name, n, bound,
-                    greedy.test_cycles, preemptive.test_cycles,
-                    f"{greedy.test_cycles / preemptive.test_cycles:.3f}",
-                    f"{preemptive.test_cycles / bound:.3f}",
+                    packed.test_cycles, staircase.test_cycles,
+                    f"{packed.test_cycles / staircase.test_cycles:.3f}",
+                    f"{staircase.test_cycles / bound:.3f}",
                 ))
         return rows
 
@@ -92,10 +93,10 @@ def test_preemption_gain(benchmark):
         title="A2 -- preemptive reconfiguration gain",
     ))
     for row in rows:
-        bound, greedy, preemptive = row[2], row[3], row[4]
-        assert preemptive >= bound
+        bound, greedy_cycles, preemptive_cycles = row[2], row[3], row[4]
+        assert preemptive_cycles >= bound
         # Preemption never loses more than quantisation noise.
-        assert preemptive <= greedy * 1.10
+        assert preemptive_cycles <= greedy_cycles * 1.10
     # Somewhere the staircase buys a real margin.
     gains = [float(row[5]) for row in rows]
     assert max(gains) > 1.10

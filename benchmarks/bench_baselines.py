@@ -2,16 +2,22 @@
 
 The paper positions CAS-BUS against system-bus TAMs [3], merged
 wrapper/TAM test buses [4], multiplexed test buses [5] and implicitly
-against daisy chains and direct access.  All baselines run on the same
-workloads under one timing interface; the reproduction target is the
-qualitative ordering (who wins, where, at what pin/area cost), not
-absolute cycle counts.
+against daisy chains and direct access.  All architectures run on the
+same workloads through the :mod:`repro.api` experiment layer -- one
+registry, one :class:`~repro.api.results.RunResult` shape -- and the
+reproduction target is the qualitative ordering (who wins, where, at
+what pin/area cost), not absolute cycle counts.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.baselines import all_baselines
+from repro.api import (
+    BASELINE_ORDER,
+    Experiment,
+    run_many,
+    run_sweep,
+)
 from repro.soc.itc02 import d695_like, random_test_params
 
 from conftest import emit
@@ -22,13 +28,21 @@ def test_baseline_comparison(benchmark):
     bus_width = 8
 
     def evaluate_all():
-        return [b.evaluate(cores, bus_width) for b in all_baselines()]
+        return run_many(
+            [
+                Experiment(cores)
+                .with_architecture(key)
+                .with_bus_width(bus_width)
+                for key in BASELINE_ORDER
+            ],
+            parallel=False,
+        )
 
-    reports = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    results = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
     rows = [
-        (r.name, r.test_cycles, r.config_cycles, r.extra_pins,
-         f"{r.area_proxy:.0f}")
-        for r in sorted(reports, key=lambda r: r.total_cycles)
+        (r.architecture, r.test_cycles, r.config_cycles, r.extra_pins,
+         f"{r.area_ge:.0f}")
+        for r in sorted(results, key=lambda r: r.total_cycles)
     ]
     emit(format_table(
         ("architecture", "test cycles", "config", "extra pins",
@@ -36,43 +50,46 @@ def test_baseline_comparison(benchmark):
         rows,
         title=f"C5 -- TAM architectures on the d695-like SoC, N={bus_width}",
     ))
-    by_name = {r.name: r for r in reports}
+    by_name = {r.architecture: r for r in results}
     # Qualitative ordering claims:
     assert by_name["direct-access"].test_cycles <= min(
-        r.test_cycles for r in reports
+        r.test_cycles for r in results
     )
     assert by_name["daisy-chain"].test_cycles == max(
-        r.test_cycles for r in reports
+        r.test_cycles for r in results
     )
-    assert (by_name["cas-bus"].test_cycles
+    assert (by_name["casbus"].test_cycles
             < by_name["mux-bus"].test_cycles)
-    assert (by_name["cas-bus"].test_cycles
+    assert (by_name["casbus"].test_cycles
             <= by_name["static-distribution"].test_cycles)
-    assert (by_name["cas-bus"].extra_pins
+    assert (by_name["casbus"].extra_pins
             < by_name["direct-access"].extra_pins)
 
 
 def test_crossover_with_width(benchmark):
     """Where the architectures cross over as the pin budget moves."""
     cores = random_test_params(7, num_cores=10)
+    widths = (1, 2, 4, 8, 16, 32)
 
     def sweep():
-        rows = []
-        for n in (1, 2, 4, 8, 16, 32):
-            row = [n]
-            for baseline in all_baselines():
-                row.append(baseline.evaluate(cores, n).total_cycles)
-            rows.append(row)
-        return rows
+        return run_sweep(
+            cores,
+            architectures=BASELINE_ORDER,
+            bus_widths=widths,
+            parallel=True,
+        )
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    headers = ["N"] + [b.name for b in all_baselines()]
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_key = {(r.architecture, r.bus_width): r for r in results}
+    rows = [
+        [n] + [by_key[key, n].total_cycles for key in BASELINE_ORDER]
+        for n in widths
+    ]
+    headers = ["N"] + list(BASELINE_ORDER)
     emit(format_table(headers, rows,
                       title="C5 -- total cycles vs pin budget "
                             "(random 10-core workload)"))
     # At generous widths the flexible bus closes on direct access.
-    names = [b.name for b in all_baselines()]
-    cas_index = names.index("cas-bus") + 1
-    direct_index = names.index("direct-access") + 1
-    widest = rows[-1]
-    assert widest[cas_index] <= 1.6 * widest[direct_index]
+    widest = max(widths)
+    assert (by_key["casbus", widest].total_cycles
+            <= 1.6 * by_key["direct-access", widest].total_cycles)

@@ -6,9 +6,10 @@ the width of the test bus becomes important, the induced CAS-BUS
 overhead can be significant.  A good trade-off ... allows to choose an
 optimal width for the test bus."
 
-Sweeps N on the d695-proportioned workload: test time falls with N,
-CAS-BUS area rises with N, and the area x time product exposes an
-interior optimum.
+Sweeps N on the d695-proportioned workload through the
+:mod:`repro.api` experiment layer: test time falls with N, CAS-BUS
+area rises with N, and the area x time product exposes an interior
+optimum.
 
 The scheme-enumeration policy is pinned to ``contiguous`` across the
 sweep so the area trend reflects bus width, not the discrete policy
@@ -19,7 +20,7 @@ exercised in C5 and A1).
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.baselines.casbus import CasBusTam
+from repro.api import Experiment, RunConfig, run_sweep
 from repro.soc.itc02 import d695_like
 
 from conftest import emit
@@ -29,23 +30,29 @@ WIDTHS = (2, 3, 4, 6, 8, 12, 16)
 
 def test_bus_width_tradeoff(benchmark):
     cores = d695_like()
-    tam = CasBusTam(policy="contiguous")
 
     def sweep_widths():
-        return {n: tam.evaluate(cores, n) for n in WIDTHS}
+        results = run_sweep(
+            cores,
+            architectures=("casbus",),
+            bus_widths=WIDTHS,
+            base_config=RunConfig(cas_policy="contiguous"),
+            parallel=True,
+        )
+        return {result.bus_width: result for result in results}
 
     reports = benchmark.pedantic(sweep_widths, rounds=1, iterations=1)
     rows = []
     products = {}
     for n in WIDTHS:
         report = reports[n]
-        product = report.total_cycles * report.area_proxy
+        product = report.total_cycles * report.area_ge
         products[n] = product
         rows.append((
             n,
             report.test_cycles,
             report.config_cycles,
-            f"{report.area_proxy:.0f}",
+            f"{report.area_ge:.0f}",
             f"{product / 1e9:.2f}",
         ))
     emit(format_table(
@@ -55,7 +62,7 @@ def test_bus_width_tradeoff(benchmark):
         title="C1 -- bus width trade-off on the d695-like SoC",
     ))
     times = [reports[n].test_cycles for n in WIDTHS]
-    areas = [reports[n].area_proxy for n in WIDTHS]
+    areas = [reports[n].area_ge for n in WIDTHS]
     # Paper claims: time monotone down, area monotone up...
     assert times == sorted(times, reverse=True)
     assert areas == sorted(areas)
@@ -72,11 +79,14 @@ def test_config_overhead_negligible_once(benchmark):
     when it is large, does not affect the test time, since the SoC test
     architecture configuration will only occur once'."""
     cores = d695_like()
+    experiment = (Experiment(cores)
+                  .with_architecture("casbus")
+                  .with_policy("contiguous"))
 
     def fractions():
         result = {}
         for n in (4, 8, 16):
-            report = CasBusTam(policy="contiguous").evaluate(cores, n)
+            report = experiment.with_bus_width(n).evaluate()
             result[n] = report.config_cycles / report.total_cycles
         return result
 

@@ -5,8 +5,7 @@ section 4 claim) and prints the reproduced rows, so running
 
     pytest benchmarks/ --benchmark-only -s
 
-produces the full paper-versus-measured record on stdout (also archived
-in EXPERIMENTS.md).
+produces the full paper-versus-measured record on stdout.
 """
 
 from __future__ import annotations

@@ -1,36 +1,46 @@
 """TAM design-space exploration: choosing N and the architecture.
 
 Walks the decisions the paper leaves to "the test designer and the
-test programmer":
+test programmer", entirely through the :mod:`repro.api` experiment
+layer:
 
 1. bus width N -- test time falls, CAS area rises, an interior optimum
-   appears (section 3.3's trade-off);
+   appears (section 3.3's trade-off); one parallel sweep call;
 2. architecture -- CAS-BUS versus multiplexed bus, daisy chain, static
    distribution, direct access and system-bus reuse on the same
-   workload;
-3. reconfiguration granularity -- session-based versus preemptive
-   wire reallocation.
+   workload, all plucked from the registry by name;
+3. scheduler strategy -- session-based, LPT-static, preemptive and
+   best-reconfiguration granularities, also by name.
 
 Run:  python examples/tam_design_space.py
 """
 
 from repro.analysis.tables import format_table
-from repro.baselines import all_baselines
-from repro.baselines.casbus import CasBusTam
-from repro.schedule.preemptive import schedule_preemptive
-from repro.schedule.scheduler import schedule_greedy
+from repro.errors import ScheduleError
+from repro.api import (
+    Experiment,
+    RunConfig,
+    list_architectures,
+    list_schedulers,
+    results_table,
+    run_sweep,
+)
 from repro.soc.itc02 import d695_like
 
 
 def width_sweep(cores) -> None:
-    rows = []
-    tam = CasBusTam(policy="contiguous")
-    for n in (2, 3, 4, 6, 8, 12, 16):
-        report = tam.evaluate(cores, n)
-        rows.append((
-            n, report.test_cycles, f"{report.area_proxy:.0f}",
-            f"{report.total_cycles * report.area_proxy / 1e9:.2f}",
-        ))
+    results = run_sweep(
+        cores,
+        architectures=("casbus",),
+        bus_widths=(2, 3, 4, 6, 8, 12, 16),
+        base_config=RunConfig(cas_policy="contiguous"),
+        parallel=True,
+    )
+    rows = [
+        (r.bus_width, r.test_cycles, f"{r.area_ge:.0f}",
+         f"{r.total_cycles * r.area_ge / 1e9:.2f}")
+        for r in results
+    ]
     print(format_table(
         ("N", "test cycles", "TAM area (GE)", "area x time (1e9)"),
         rows,
@@ -39,37 +49,40 @@ def width_sweep(cores) -> None:
 
 
 def architecture_comparison(cores, n=8) -> None:
-    rows = []
-    for baseline in all_baselines():
-        report = baseline.evaluate(cores, n)
-        rows.append((
-            report.name, report.total_cycles, report.extra_pins,
-            f"{report.area_proxy:.0f}",
-        ))
-    rows.sort(key=lambda row: row[1])
+    results = run_sweep(
+        cores,
+        architectures=list_architectures(),
+        bus_widths=(n,),
+        parallel=True,
+    )
+    results = sorted(results, key=lambda r: r.total_cycles)
+    headers, rows = results_table(results)
     print("\n" + format_table(
-        ("architecture", "total cycles", "extra pins", "area (GE)"),
-        rows,
-        title=f"2) architectures at N={n}",
+        headers, rows, title=f"2) architectures at N={n}",
     ))
 
 
-def granularity(cores, n=8) -> None:
-    greedy = schedule_greedy(cores, n)
-    preemptive = schedule_preemptive(cores, n)
-    print("\n3) reconfiguration granularity at N=8")
-    print(f"   session-based: {greedy.total_cycles} cycles "
-          f"({len(greedy.sessions)} sessions)")
-    print(f"   preemptive   : {preemptive.total_cycles} cycles "
-          f"({len(preemptive.segments)} segments)")
-    print("\n" + greedy.describe())
+def scheduler_comparison(cores, n=8) -> None:
+    print(f"\n3) scheduler strategies on the CAS-BUS at N={n}")
+    base = (Experiment(cores)
+            .with_architecture("casbus")
+            .with_bus_width(n))
+    for name in list_schedulers():
+        try:
+            outcome = base.with_scheduler(name).schedule()
+        except ScheduleError as exc:  # e.g. exhaustive on 10 cores
+            print(f"   {name:<13} n/a ({exc})")
+            continue
+        print(f"   {name:<13} {outcome.test_cycles:>8} test "
+              f"+ {outcome.config_cycles:>5} config cycles")
+    print("\n" + base.with_scheduler("greedy").schedule().describe())
 
 
 def main() -> None:
     cores = d695_like()
     width_sweep(cores)
     architecture_comparison(cores)
-    granularity(cores)
+    scheduler_comparison(cores)
 
 
 if __name__ == "__main__":

@@ -6,19 +6,22 @@ The package implements the paper's Core Access Switch (CAS) and test
 bus, the P1500-style wrapper, scan/BIST/external/hierarchical core test
 substrates, a cycle-accurate four-valued system simulator, a test
 scheduler exploiting the TAM's reconfigurability, and baseline TAM
-architectures for comparison.  See DESIGN.md for the system inventory
-and EXPERIMENTS.md for the paper-versus-measured record.
+architectures for comparison.  See README.md for the system tour and
+the :mod:`repro.api` quickstart.
 
 Quickstart::
 
-    from repro import generate_cas, fig1_soc, CasBusTamDesign
+    from repro import Experiment, fig1_soc, generate_cas, run_sweep
 
     design = generate_cas(4, 2)          # Table 1 quantities + netlist
     print(design.m, design.k, design.area.cell_count)
 
-    tam = CasBusTamDesign.for_soc(fig1_soc())
-    result = tam.run()                   # full cycle-accurate test
-    assert result.passed
+    result = Experiment(fig1_soc()).with_architecture("casbus").run()
+    assert result.passed                 # full cycle-accurate test
+
+    from repro.api import list_architectures
+    results = run_sweep(fig1_soc(), architectures=list_architectures(),
+                        bus_widths=(4,))  # every TAM style, in parallel
 """
 
 __version__ = "1.0.0"
@@ -49,6 +52,17 @@ from repro.sim import (
     TestPlan,
     build_system,
 )
+from repro.api import (
+    Experiment,
+    RunConfig,
+    RunResult,
+    get_architecture,
+    get_scheduler,
+    list_architectures,
+    list_schedulers,
+    run_many,
+    run_sweep,
+)
 
 __all__ = [
     "values",
@@ -74,5 +88,14 @@ __all__ = [
     "SessionPlan",
     "TestPlan",
     "build_system",
+    "Experiment",
+    "RunConfig",
+    "RunResult",
+    "get_architecture",
+    "get_scheduler",
+    "list_architectures",
+    "list_schedulers",
+    "run_many",
+    "run_sweep",
     "__version__",
 ]

@@ -1,4 +1,13 @@
-"""Parameter sweeps with tabulated results."""
+"""Parameter sweeps with tabulated results.
+
+For experiment work (architectures x bus widths x schedulers) this
+module is superseded by :func:`repro.api.runner.run_many` /
+:func:`repro.api.runner.run_sweep`, which run on every core and return
+structured :class:`~repro.api.results.RunResult` records
+(:func:`repro.api.results.results_table` feeds them into
+:func:`repro.analysis.tables.format_table`).  :func:`sweep` remains for
+tabulating arbitrary callables over one parameter.
+"""
 
 from __future__ import annotations
 

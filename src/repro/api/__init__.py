@@ -1,0 +1,85 @@
+"""``repro.api`` -- the unified experiment layer.
+
+This package is the canonical way to drive the library.  It puts the
+paper's central comparison -- CAS-BUS versus the alternative TAM
+styles, under one timing model -- behind one composable surface:
+
+* a **registry** of :class:`TamArchitecture` implementations
+  (:func:`get_architecture` / :func:`list_architectures`) wrapping
+  CAS-BUS and every baseline behind the same
+  ``design(soc) -> schedule(config) -> evaluate()/run()`` lifecycle;
+* a **registry** of :class:`SchedulerStrategy` implementations
+  (:func:`get_scheduler` / :func:`list_schedulers`) over the policies
+  in :mod:`repro.schedule`;
+* the :class:`Experiment` builder returning uniform
+  :class:`RunResult` records;
+* the batch runner :func:`run_many` / :func:`run_sweep` for parallel
+  design-space exploration.
+
+Quickstart::
+
+    from repro.api import Experiment, run_sweep, list_architectures
+
+    result = (Experiment(soc)
+              .with_architecture("casbus")
+              .with_scheduler("preemptive")
+              .run())
+
+    results = run_sweep(cores, architectures=list_architectures(),
+                        bus_widths=(4, 8, 16), parallel=True)
+"""
+
+from repro.api.registry import (
+    ARCHITECTURES,
+    SCHEDULERS,
+    Registry,
+    get_architecture,
+    get_scheduler,
+    list_architectures,
+    list_schedulers,
+    register_architecture,
+    register_scheduler,
+)
+from repro.api.results import (
+    RESULT_HEADERS,
+    RunConfig,
+    RunResult,
+    SessionDetail,
+    results_table,
+)
+from repro.api.schedulers import ScheduleOutcome, SchedulerStrategy
+from repro.api.architectures import (
+    BASELINE_ORDER,
+    DesignedTam,
+    TamArchitecture,
+    Workload,
+)
+from repro.api.experiment import Experiment
+from repro.api.runner import run_many, run_sweep, sweep_experiments
+
+__all__ = [
+    "ARCHITECTURES",
+    "SCHEDULERS",
+    "Registry",
+    "register_architecture",
+    "register_scheduler",
+    "get_architecture",
+    "get_scheduler",
+    "list_architectures",
+    "list_schedulers",
+    "TamArchitecture",
+    "SchedulerStrategy",
+    "ScheduleOutcome",
+    "DesignedTam",
+    "Workload",
+    "BASELINE_ORDER",
+    "Experiment",
+    "RunConfig",
+    "RunResult",
+    "SessionDetail",
+    "RESULT_HEADERS",
+    "results_table",
+    "run_many",
+    "run_sweep",
+    "sweep_experiments",
+]

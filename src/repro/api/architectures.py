@@ -1,0 +1,362 @@
+"""TAM architectures behind one ``design -> schedule -> evaluate/run``
+lifecycle.
+
+Every architecture the paper compares -- CAS-BUS and the five
+alternative TAM styles -- registers here under a string key, so
+``get_architecture("casbus")`` and ``get_architecture("mux-bus")`` are
+interchangeable in every experiment:
+
+======================  ==============================================
+key                     implementation
+======================  ==============================================
+``casbus``              :class:`repro.baselines.casbus.CasBusTam` +
+                        the cycle-accurate
+                        :class:`repro.core.tam.CasBusTamDesign`
+``mux-bus``             :class:`repro.baselines.mux_bus.MultiplexedBus`
+``daisy-chain``         :class:`repro.baselines.daisy.DaisyChain`
+``static-distribution`` :class:`repro.baselines.distribution.StaticDistribution`
+``direct-access``       :class:`repro.baselines.direct.DirectAccess`
+``system-bus``          :class:`repro.baselines.sysbus.SystemBusTam`
+======================  ==============================================
+
+Only the CAS-BUS supports cycle-accurate simulation (it is the paper's
+architecture; the baselines exist as timing models).  Experiments ask
+for it implicitly: :meth:`DesignedTam.run` simulates when the
+architecture, workload and scheduler allow it and falls back to the
+abstract timing model otherwise, always returning a uniform
+:class:`~repro.api.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.baselines.base import TamBaseline, TamReport
+from repro.baselines.casbus import CasBusTam
+from repro.baselines.daisy import DaisyChain
+from repro.baselines.direct import DirectAccess
+from repro.baselines.distribution import StaticDistribution
+from repro.baselines.mux_bus import MultiplexedBus
+from repro.baselines.sysbus import SystemBusTam
+from repro.soc.core import CoreTestParams
+from repro.soc.soc import SocSpec
+from repro.api.registry import get_scheduler, register_architecture
+from repro.api.results import (
+    SOURCE_MODEL,
+    SOURCE_SIMULATION,
+    RunConfig,
+    RunResult,
+    SessionDetail,
+)
+from repro.api.schedulers import ScheduleOutcome, SchedulerStrategy
+
+#: Anything an experiment accepts as a workload.
+WorkloadLike = Union["Workload", SocSpec, Sequence[CoreTestParams]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A normalised experiment workload.
+
+    Either a full :class:`~repro.soc.soc.SocSpec` (simulatable) or a
+    bag of abstract :class:`~repro.soc.core.CoreTestParams` (model
+    only, e.g. the ITC'02-style tables).
+    """
+
+    name: str
+    cores: tuple[CoreTestParams, ...]
+    bus_width: int | None = None
+    soc: SocSpec | None = None
+
+    @classmethod
+    def of(cls, workload: WorkloadLike) -> "Workload":
+        if isinstance(workload, Workload):
+            return workload
+        if isinstance(workload, SocSpec):
+            workload.validate()
+            return cls(
+                name=workload.name,
+                cores=tuple(core.test_params() for core in workload.cores),
+                bus_width=workload.bus_width,
+                soc=workload,
+            )
+        cores = tuple(workload)
+        for core in cores:
+            if not isinstance(core, CoreTestParams):
+                raise ConfigurationError(
+                    f"workload entries must be CoreTestParams, "
+                    f"got {type(core).__name__}"
+                )
+        if not cores:
+            raise ConfigurationError("a workload needs at least one core")
+        return cls(name=f"cores[{len(cores)}]", cores=cores)
+
+    def resolve_width(self, requested: int | None) -> int:
+        width = requested if requested is not None else self.bus_width
+        if width is None:
+            raise ConfigurationError(
+                f"workload {self.name!r} has no intrinsic bus width; "
+                f"set RunConfig.bus_width"
+            )
+        if width < 1:
+            raise ConfigurationError(
+                f"bus width must be >= 1, got {width}"
+            )
+        return width
+
+
+class TamArchitecture(abc.ABC):
+    """One test access mechanism style, pluggable by name."""
+
+    #: Canonical registry key.
+    key: str = "architecture"
+    #: Whether the cycle-accurate executor can run this architecture.
+    supports_simulation: bool = False
+    #: Whether the timing model consults a scheduler strategy.
+    uses_scheduler: bool = False
+
+    @abc.abstractmethod
+    def model(
+        self,
+        *,
+        scheduler: SchedulerStrategy | None = None,
+        cas_policy: str | None = None,
+    ) -> TamBaseline:
+        """The abstract timing model (a legacy baseline instance)."""
+
+    def design(self, workload: WorkloadLike) -> "DesignedTam":
+        """Bind this architecture to a workload (lifecycle step 1)."""
+        return DesignedTam(architecture=self, workload=Workload.of(workload))
+
+    def evaluate(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+        *,
+        scheduler: SchedulerStrategy | None = None,
+        cas_policy: str | None = None,
+    ) -> TamReport:
+        """Abstract-model cost report (legacy-compatible)."""
+        return self.model(
+            scheduler=scheduler, cas_policy=cas_policy
+        ).evaluate(cores, bus_width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.key!r}>"
+
+
+@dataclass(frozen=True)
+class DesignedTam:
+    """An architecture bound to a workload: schedule, evaluate, run."""
+
+    architecture: TamArchitecture
+    workload: Workload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def schedule(
+        self, config: RunConfig | None = None
+    ) -> ScheduleOutcome | None:
+        """The scheduler strategy's outcome, or ``None`` when the
+        architecture's timing model is fixed (non-scheduling TAMs)."""
+        config = config or RunConfig(architecture=self.architecture.key)
+        if not self.architecture.uses_scheduler:
+            return None
+        width = self.workload.resolve_width(config.bus_width)
+        strategy = get_scheduler(config.scheduler)
+        return strategy.schedule(
+            self.workload.cores, width, cas_policy=config.cas_policy
+        )
+
+    def evaluate(self, config: RunConfig | None = None) -> RunResult:
+        """Abstract-timing-model result (never simulates)."""
+        config = config or RunConfig(architecture=self.architecture.key)
+        width = self.workload.resolve_width(config.bus_width)
+        strategy: SchedulerStrategy | None = None
+        scheduler_name = ""
+        if self.architecture.uses_scheduler:
+            strategy = get_scheduler(config.scheduler)
+            scheduler_name = strategy.name
+        report = self.architecture.evaluate(
+            self.workload.cores, width,
+            scheduler=strategy, cas_policy=config.cas_policy,
+        )
+        return RunResult(
+            architecture=self.architecture.key,
+            scheduler=scheduler_name,
+            workload=self.workload.name,
+            bus_width=width,
+            test_cycles=report.test_cycles,
+            config_cycles=report.config_cycles,
+            extra_pins=report.extra_pins,
+            area_ge=report.area_proxy,
+            source=SOURCE_MODEL,
+            passed=None,
+            label=config.label,
+        )
+
+    def run(self, config: RunConfig | None = None) -> RunResult:
+        """Cycle-accurate simulation when possible, model otherwise."""
+        config = config or RunConfig(architecture=self.architecture.key)
+        blocker = self._simulation_blocker(config)
+        if config.simulate is True and blocker:
+            raise ConfigurationError(f"cannot simulate: {blocker}")
+        if config.simulate is False and config.inject_faults:
+            raise ConfigurationError(
+                "fault injection needs cycle-accurate simulation "
+                "(simulate=False forbids it)"
+            )
+        if blocker is None and config.simulate is not False:
+            return self._simulate(config)
+        if config.inject_faults:
+            raise ConfigurationError(
+                f"fault injection needs cycle-accurate simulation, "
+                f"but {blocker}"
+            )
+        return self.evaluate(config)
+
+    # -- internals ---------------------------------------------------------
+
+    def _simulation_blocker(self, config: RunConfig) -> str | None:
+        """Why this run cannot simulate, or ``None`` if it can."""
+        if not self.architecture.supports_simulation:
+            return (f"architecture {self.architecture.key!r} has no "
+                    f"behavioural model (abstract timing only)")
+        if self.workload.soc is None:
+            return (f"workload {self.workload.name!r} is abstract "
+                    f"core parameters, not a simulatable SocSpec")
+        if (config.bus_width is not None
+                and config.bus_width != self.workload.soc.bus_width):
+            return (f"bus width override {config.bus_width} differs from "
+                    f"the SoC's physical width "
+                    f"{self.workload.soc.bus_width}")
+        strategy = get_scheduler(config.scheduler)
+        if not strategy.executable:
+            return (f"scheduler {strategy.name!r} produces schedules the "
+                    f"session executor cannot run (only 'greedy' is "
+                    f"executable)")
+        return None
+
+    def _simulate(self, config: RunConfig) -> RunResult:
+        from repro.core.tam import CasBusTamDesign
+
+        soc = self.workload.soc
+        assert soc is not None
+        # A pinned policy sizes the generated CAS hardware; the default
+        # None keeps the facade's historical "all" enumeration.
+        facade = CasBusTamDesign.for_soc(
+            soc,
+            policy="all" if config.cas_policy is None
+            else config.cas_policy,
+        )
+        program = facade.run(inject_faults=config.inject_faults)
+        sessions = tuple(
+            SessionDetail(
+                label=session.label,
+                config_cycles=session.config_cycles,
+                test_cycles=session.test_cycles,
+                cores=tuple(r.name for r in session.core_results),
+                passed=session.passed,
+            )
+            for session in program.sessions
+        )
+        return RunResult(
+            architecture=self.architecture.key,
+            scheduler=get_scheduler(config.scheduler).name,
+            workload=self.workload.name,
+            bus_width=soc.bus_width,
+            test_cycles=program.test_cycles,
+            config_cycles=program.config_cycles,
+            extra_pins=soc.bus_width,
+            area_ge=facade.total_cas_ge,
+            source=SOURCE_SIMULATION,
+            passed=program.passed,
+            sessions=sessions,
+            label=config.label,
+        )
+
+
+class CasBusArchitecture(TamArchitecture):
+    """The paper's reconfigurable CAS-BUS (simulatable, scheduled)."""
+
+    key = "casbus"
+    supports_simulation = True
+    uses_scheduler = True
+
+    def model(self, *, scheduler=None, cas_policy=None) -> TamBaseline:
+        return CasBusTam(policy=cas_policy, scheduler=scheduler)
+
+    def facade(self, soc: SocSpec):
+        """The legacy :class:`~repro.core.tam.CasBusTamDesign` shim."""
+        from repro.core.tam import CasBusTamDesign
+
+        return CasBusTamDesign.for_soc(soc)
+
+
+class FixedModelArchitecture(TamArchitecture):
+    """A baseline with a fixed timing model (no scheduler, no sim)."""
+
+    baseline_cls: type = TamBaseline
+
+    def model(self, *, scheduler=None, cas_policy=None) -> TamBaseline:
+        return self.baseline_cls()
+
+
+class MuxBusArchitecture(FixedModelArchitecture):
+    key = "mux-bus"
+    baseline_cls = MultiplexedBus
+
+
+class DaisyChainArchitecture(FixedModelArchitecture):
+    key = "daisy-chain"
+    baseline_cls = DaisyChain
+
+
+class StaticDistributionArchitecture(FixedModelArchitecture):
+    key = "static-distribution"
+    baseline_cls = StaticDistribution
+
+
+class DirectAccessArchitecture(FixedModelArchitecture):
+    key = "direct-access"
+    baseline_cls = DirectAccess
+
+
+class SystemBusArchitecture(FixedModelArchitecture):
+    key = "system-bus"
+    baseline_cls = SystemBusTam
+
+
+#: Canonical comparison order (CAS-BUS last, matching ``all_baselines``).
+BASELINE_ORDER: tuple[str, ...] = (
+    "mux-bus", "daisy-chain", "static-distribution",
+    "direct-access", "system-bus", "casbus",
+)
+
+
+def registered_baselines() -> list[TamBaseline]:
+    """Legacy baseline instances in canonical order, via the registry.
+
+    Backs :func:`repro.baselines.all_baselines`, so the shim and the
+    registry can never diverge.
+    """
+    from repro.api.registry import get_architecture
+
+    return [get_architecture(key).model() for key in BASELINE_ORDER]
+
+
+register_architecture("casbus", CasBusArchitecture,
+                      aliases=("cas-bus", "cas_bus"))
+register_architecture("mux-bus", MuxBusArchitecture,
+                      aliases=("mux_bus", "multiplexed-bus"))
+register_architecture("daisy-chain", DaisyChainArchitecture,
+                      aliases=("daisy", "daisy_chain"))
+register_architecture("static-distribution", StaticDistributionArchitecture,
+                      aliases=("distribution", "testrail"))
+register_architecture("direct-access", DirectAccessArchitecture,
+                      aliases=("direct", "direct_access"))
+register_architecture("system-bus", SystemBusArchitecture,
+                      aliases=("sysbus", "system_bus"))

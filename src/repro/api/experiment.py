@@ -1,0 +1,116 @@
+"""The :class:`Experiment` builder: one fluent entry point for every
+architecture / scheduler / workload combination.
+
+    from repro.api import Experiment
+    from repro.soc.library import small_soc
+
+    result = (Experiment(small_soc())
+              .with_architecture("casbus")
+              .with_scheduler("greedy")
+              .run())
+    assert result.passed and result.source == "simulation"
+
+The builder is immutable: every ``with_*`` call returns a new
+:class:`Experiment`, so partially configured experiments fan out into
+sweeps without aliasing (:func:`repro.api.runner.run_many` exploits
+this to ship experiments across worker processes).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.api.architectures import DesignedTam, Workload, WorkloadLike
+from repro.api.registry import (
+    ARCHITECTURES,
+    SCHEDULERS,
+    get_architecture,
+)
+from repro.api.results import RunConfig, RunResult
+from repro.api.schedulers import ScheduleOutcome
+
+
+class Experiment:
+    """One composable experiment: workload + architecture + scheduler.
+
+    Args:
+        workload: a :class:`~repro.soc.soc.SocSpec`, a sequence of
+            :class:`~repro.soc.core.CoreTestParams`, or a prepared
+            :class:`~repro.api.architectures.Workload`.
+        config: a complete :class:`~repro.api.results.RunConfig`
+            (defaults apply when omitted).
+    """
+
+    def __init__(self, workload: WorkloadLike,
+                 config: RunConfig | None = None) -> None:
+        self.workload = Workload.of(workload)
+        self.config = config or RunConfig()
+
+    # -- builder (immutable: each call returns a new Experiment) -----------
+
+    def _evolve(self, **changes) -> "Experiment":
+        return Experiment(self.workload, self.config.evolve(**changes))
+
+    def with_architecture(self, name: str) -> "Experiment":
+        """Select the TAM architecture by registry name (eager check)."""
+        from repro.api.registry import _ensure_loaded
+
+        _ensure_loaded()
+        return self._evolve(architecture=ARCHITECTURES.resolve(name))
+
+    def with_scheduler(self, name: str) -> "Experiment":
+        """Select the scheduler strategy by registry name (eager check)."""
+        from repro.api.registry import _ensure_loaded
+
+        _ensure_loaded()
+        return self._evolve(scheduler=SCHEDULERS.resolve(name))
+
+    def with_bus_width(self, bus_width: int) -> "Experiment":
+        """Override the pin budget N."""
+        return self._evolve(bus_width=bus_width)
+
+    def with_policy(self, cas_policy: str | None) -> "Experiment":
+        """Pin the CAS scheme-enumeration policy (e.g. sweeps)."""
+        return self._evolve(cas_policy=cas_policy)
+
+    def with_faults(
+        self, faults: Mapping[str, tuple] | None
+    ) -> "Experiment":
+        """Inject faults (forces cycle-accurate simulation)."""
+        return self._evolve(
+            inject_faults=dict(faults) if faults else None
+        )
+
+    def with_label(self, label: str) -> "Experiment":
+        """Tag the result."""
+        return self._evolve(label=label)
+
+    def simulated(self, simulate: bool | None = True) -> "Experiment":
+        """Force (``True``) or forbid (``False``) simulation."""
+        return self._evolve(simulate=simulate)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def build(self) -> DesignedTam:
+        """Lifecycle step 1: the architecture bound to the workload."""
+        return get_architecture(self.config.architecture).design(
+            self.workload
+        )
+
+    def schedule(self) -> ScheduleOutcome | None:
+        """Lifecycle step 2: the strategy's schedule (or ``None``)."""
+        return self.build().schedule(self.config)
+
+    def evaluate(self) -> RunResult:
+        """Abstract-timing-model result; never simulates."""
+        return self.build().evaluate(self.config)
+
+    def run(self) -> RunResult:
+        """Cycle-accurate simulation when supported, model otherwise."""
+        return self.build().run(self.config)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Experiment({self.workload.name!r}, "
+                f"architecture={self.config.architecture!r}, "
+                f"scheduler={self.config.scheduler!r}, "
+                f"N={self.config.bus_width or self.workload.bus_width})")

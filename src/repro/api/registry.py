@@ -1,0 +1,165 @@
+"""String-keyed registries for pluggable experiment components.
+
+The experiment layer composes two kinds of plugins:
+
+* **TAM architectures** -- CAS-BUS and the comparison baselines, all
+  behind :class:`repro.api.architectures.TamArchitecture`;
+* **scheduler strategies** -- session packing policies behind
+  :class:`repro.api.schedulers.SchedulerStrategy`.
+
+Both live in a :class:`Registry`: a case-insensitive name -> factory
+map with aliases, raising :class:`~repro.errors.ConfigurationError`
+(with close-match suggestions) for unknown names.  Third-party code can
+register additional entries with :func:`register_architecture` /
+:func:`register_scheduler` and every sweep, benchmark and example picks
+them up by name.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Generic, Iterable, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A name -> factory map with aliases and helpful errors."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[[], T]] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], T],
+        *,
+        aliases: Iterable[str] = (),
+        replace: bool = False,
+    ) -> None:
+        """Register ``factory`` under ``name`` (plus ``aliases``).
+
+        Raises :class:`~repro.errors.ConfigurationError` on duplicate
+        names unless ``replace=True``.
+        """
+        key = self._normalise(name)
+        if not replace:
+            if key in self._factories:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass replace=True to override"
+                )
+            if key in self._aliases:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} is already an alias of "
+                    f"{self._aliases[key]!r}; pick another name or pass "
+                    f"replace=True"
+                )
+        self._factories[key] = factory
+        self._aliases.pop(key, None)  # a canonical name shadows no alias
+        for alias in aliases:
+            alias_key = self._normalise(alias)
+            if not replace:
+                if alias_key in self._factories and alias_key != key:
+                    raise ConfigurationError(
+                        f"{self.kind} alias {alias!r} collides with the "
+                        f"registered name {alias_key!r}"
+                    )
+                if (alias_key in self._aliases
+                        and self._aliases[alias_key] != key):
+                    raise ConfigurationError(
+                        f"{self.kind} alias {alias!r} already points at "
+                        f"{self._aliases[alias_key]!r}"
+                    )
+            if alias_key != key:
+                self._aliases[alias_key] = key
+
+    # -- lookup ------------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """The canonical key for ``name`` (following aliases)."""
+        key = self._normalise(name)
+        key = self._aliases.get(key, key)
+        if key not in self._factories:
+            known = sorted(self._factories) + sorted(self._aliases)
+            hints = difflib.get_close_matches(key, known, n=3)
+            hint = f"; did you mean {', '.join(map(repr, hints))}?" \
+                if hints else ""
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; known: "
+                f"{', '.join(sorted(self._factories))}{hint}"
+            )
+        return key
+
+    def create(self, name: str) -> T:
+        """A fresh instance of the entry registered under ``name``."""
+        return self._factories[self.resolve(name)]()
+
+    def names(self) -> list[str]:
+        """Canonical names, sorted (aliases excluded)."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except ConfigurationError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    @staticmethod
+    def _normalise(name: str) -> str:
+        return name.strip().lower()
+
+
+#: The architecture registry (populated by repro.api.architectures).
+ARCHITECTURES: Registry = Registry("TAM architecture")
+#: The scheduler-strategy registry (populated by repro.api.schedulers).
+SCHEDULERS: Registry = Registry("scheduler strategy")
+
+
+def _ensure_loaded() -> None:
+    """Import the modules that populate the registries (idempotent)."""
+    from repro.api import architectures, schedulers  # noqa: F401
+
+
+def register_architecture(name, factory, *, aliases=(), replace=False):
+    """Register a :class:`TamArchitecture` factory under ``name``."""
+    ARCHITECTURES.register(name, factory, aliases=aliases, replace=replace)
+
+
+def get_architecture(name: str):
+    """A fresh :class:`TamArchitecture` registered under ``name``."""
+    _ensure_loaded()
+    return ARCHITECTURES.create(name)
+
+
+def list_architectures() -> list[str]:
+    """Canonical architecture names (``get_architecture`` accepts each)."""
+    _ensure_loaded()
+    return ARCHITECTURES.names()
+
+
+def register_scheduler(name, factory, *, aliases=(), replace=False):
+    """Register a :class:`SchedulerStrategy` factory under ``name``."""
+    SCHEDULERS.register(name, factory, aliases=aliases, replace=replace)
+
+
+def get_scheduler(name: str):
+    """A fresh :class:`SchedulerStrategy` registered under ``name``."""
+    _ensure_loaded()
+    return SCHEDULERS.create(name)
+
+
+def list_schedulers() -> list[str]:
+    """Canonical scheduler-strategy names."""
+    _ensure_loaded()
+    return SCHEDULERS.names()

@@ -1,0 +1,136 @@
+"""Batch and sweep execution on top of :class:`~repro.api.experiment.
+Experiment`.
+
+:func:`run_many` runs a batch of experiments, optionally fanned out
+over worker processes with :mod:`concurrent.futures`; result order
+always matches input order, so ``parallel=True`` and ``parallel=False``
+are interchangeable.  :func:`sweep_experiments` builds the standard
+design-space grid (architectures x bus widths x schedulers) and
+:func:`run_sweep` is the one-call version benchmarks use.
+
+This supersedes :func:`repro.analysis.sweep.sweep` for experiment
+work: that helper tabulates a single callable over one parameter, while
+``run_many`` understands experiments, uses every core, and returns
+structured :class:`~repro.api.results.RunResult` objects
+(:func:`repro.api.results.results_table` turns them into
+``format_table`` input).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent import futures
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.api.architectures import WorkloadLike
+from repro.api.experiment import Experiment
+from repro.api.registry import get_architecture, get_scheduler
+from repro.api.results import RunConfig, RunResult
+
+
+def _run_one(experiment: Experiment) -> RunResult:
+    """Process-pool entry point (must be a module-level function)."""
+    return experiment.run()
+
+
+def _default_workers(count: int) -> int:
+    return max(1, min(count, os.cpu_count() or 1))
+
+
+def run_many(
+    experiments: Iterable[Experiment],
+    *,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> list[RunResult]:
+    """Run every experiment; results in input order.
+
+    Args:
+        experiments: :class:`Experiment` instances (see
+            :func:`sweep_experiments` for grid construction).
+        parallel: fan out over a process pool (fork-safe workloads
+            only: experiments are plain dataclasses, so this is the
+            default).  Falls back to threads, then serial, if the
+            platform cannot spawn processes.
+        max_workers: pool size; default ``min(len, cpu_count)``.
+    """
+    batch = list(experiments)
+    for item in batch:
+        if not isinstance(item, Experiment):
+            raise ConfigurationError(
+                f"run_many expects Experiment instances, "
+                f"got {type(item).__name__}"
+            )
+        # Resolve names up front: a typo fails here, before dispatch,
+        # so a ConfigurationError out of a worker process can only mean
+        # the worker's registry diverged (spawn platforms lose
+        # dynamically registered entries) -- the thread fallback below
+        # shares this process's registry and recovers that case.
+        get_architecture(item.config.architecture)
+        get_scheduler(item.config.scheduler)
+    if not batch:
+        return []
+    if not parallel or len(batch) == 1:
+        return [_run_one(item) for item in batch]
+    workers = max_workers or _default_workers(len(batch))
+    try:
+        with futures.ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(_run_one, batch))
+    except (OSError, PermissionError, futures.BrokenExecutor,
+            ConfigurationError):
+        pass  # no subprocesses here (sandbox) or divergent registry
+    with futures.ThreadPoolExecutor(max_workers=workers) as executor:
+        # Threads share the registry and raise experiment errors
+        # directly; no further fallback so failures surface once.
+        return list(executor.map(_run_one, batch))
+
+
+def sweep_experiments(
+    workload: WorkloadLike,
+    *,
+    architectures: Sequence[str] = ("casbus",),
+    bus_widths: Sequence[int | None] = (None,),
+    schedulers: Sequence[str] = ("greedy",),
+    base_config: RunConfig | None = None,
+) -> list[Experiment]:
+    """The design-space grid as concrete experiments.
+
+    Iteration order is architectures (outer) x bus widths x schedulers
+    (inner); a ``None`` bus width means the workload's own.
+    """
+    base = Experiment(workload, base_config)
+    grid: list[Experiment] = []
+    for architecture in architectures:
+        for width in bus_widths:
+            for scheduler in schedulers:
+                experiment = (base.with_architecture(architecture)
+                              .with_scheduler(scheduler))
+                if width is not None:
+                    experiment = experiment.with_bus_width(width)
+                grid.append(experiment)
+    return grid
+
+
+def run_sweep(
+    workload: WorkloadLike,
+    *,
+    architectures: Sequence[str] = ("casbus",),
+    bus_widths: Sequence[int | None] = (None,),
+    schedulers: Sequence[str] = ("greedy",),
+    base_config: RunConfig | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> list[RunResult]:
+    """One-call design-space exploration: grid + :func:`run_many`."""
+    return run_many(
+        sweep_experiments(
+            workload,
+            architectures=architectures,
+            bus_widths=bus_widths,
+            schedulers=schedulers,
+            base_config=base_config,
+        ),
+        parallel=parallel,
+        max_workers=max_workers,
+    )

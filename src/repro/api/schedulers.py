@@ -1,0 +1,206 @@
+"""Scheduler strategies: one pluggable interface over the policies in
+:mod:`repro.schedule`.
+
+Each strategy wraps one of the library's scheduling algorithms behind
+:class:`SchedulerStrategy` and returns a uniform
+:class:`ScheduleOutcome`, so experiments swap policies by name:
+
+======================  =================================================
+name                    algorithm
+======================  =================================================
+``greedy``              :func:`repro.schedule.scheduler.schedule_greedy`
+``exhaustive``          :func:`repro.schedule.scheduler.schedule_exhaustive`
+``balanced-lpt``        LPT static partition
+                        (:func:`repro.schedule.reconfig.static_partition`)
+``preemptive``          :func:`repro.schedule.preemptive.schedule_preemptive`
+``reconfig``            best of session/preemptive reconfiguration
+                        (:func:`repro.schedule.reconfig.compare_reconfiguration`)
+======================  =================================================
+
+Only ``greedy`` produces schedules the cycle-accurate
+:class:`~repro.sim.session.SessionExecutor` can execute (a CAS in TEST
+mode switches exactly P wires, so executable plans are rigid); the
+others model design-time alternatives in the abstract timing model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.soc.core import CoreTestParams
+from repro.schedule.preemptive import schedule_preemptive
+from repro.schedule.reconfig import compare_reconfiguration, static_partition
+from repro.schedule.scheduler import (
+    schedule_exhaustive,
+    schedule_greedy,
+    session_config_cost,
+)
+from repro.api.registry import register_scheduler
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Uniform result of one scheduling strategy on one workload.
+
+    Attributes:
+        strategy: the strategy's registry name.
+        bus_width: the pin budget scheduled against.
+        test_cycles: test application time.
+        config_cycles: configuration/reconfiguration overhead.
+        detail: the strategy-specific schedule object
+            (:class:`~repro.schedule.scheduler.Schedule`,
+            :class:`~repro.schedule.preemptive.PreemptiveSchedule`,
+            :class:`~repro.schedule.reconfig.ReconfigComparison`, or
+            :class:`~repro.schedule.reconfig.StaticPlan`).
+    """
+
+    strategy: str
+    bus_width: int
+    test_cycles: int
+    config_cycles: int
+    detail: object = None
+
+    @property
+    def total_cycles(self) -> int:
+        return self.test_cycles + self.config_cycles
+
+    def describe(self) -> str:
+        if hasattr(self.detail, "describe"):
+            return self.detail.describe()
+        return (f"{self.strategy} on N={self.bus_width}: "
+                f"{self.test_cycles} test + {self.config_cycles} config "
+                f"cycles")
+
+
+class SchedulerStrategy(abc.ABC):
+    """One test-scheduling policy over abstract core parameters."""
+
+    name: str = "strategy"
+    #: Whether the strategy's schedules map onto the rigid session plans
+    #: the cycle-accurate executor runs (greedy exact-wires packing).
+    executable: bool = False
+
+    @abc.abstractmethod
+    def schedule(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+        *,
+        charge_config: bool = True,
+        cas_policy: str | None = "all",
+    ) -> ScheduleOutcome:
+        """Schedule ``cores`` onto ``bus_width`` wires."""
+
+    def _outcome(self, bus_width, test, config, detail) -> ScheduleOutcome:
+        return ScheduleOutcome(
+            strategy=self.name,
+            bus_width=bus_width,
+            test_cycles=test,
+            config_cycles=config,
+            detail=detail,
+        )
+
+
+class GreedyStrategy(SchedulerStrategy):
+    """Greedy session packing with the widening improvement pass."""
+
+    name = "greedy"
+    executable = True
+
+    def schedule(self, cores, bus_width, *, charge_config=True,
+                 cas_policy="all", exact_wires=False) -> ScheduleOutcome:
+        result = schedule_greedy(
+            cores, bus_width, charge_config=charge_config,
+            exact_wires=exact_wires, cas_policy=cas_policy,
+        )
+        return self._outcome(bus_width, result.test_cycles,
+                             result.config_cycles_total, result)
+
+
+class ExhaustiveStrategy(SchedulerStrategy):
+    """Optimal enumeration over session partitions (small instances)."""
+
+    name = "exhaustive"
+
+    def schedule(self, cores, bus_width, *, charge_config=True,
+                 cas_policy="all") -> ScheduleOutcome:
+        result = schedule_exhaustive(
+            cores, bus_width, charge_config=charge_config
+        )
+        return self._outcome(bus_width, result.test_cycles,
+                             result.config_cycles_total, result)
+
+
+class BalancedLptStrategy(SchedulerStrategy):
+    """One-shot LPT load balancing: a single all-parallel session.
+
+    Cores are packed onto wire groups by longest-processing-time
+    (exactly the partition a non-reconfigurable designer freezes at
+    tape-out); the CAS-BUS realises it with one two-stage configuration
+    pass, after which groups run in parallel and cores inside a group
+    serialise.
+    """
+
+    name = "balanced-lpt"
+
+    def schedule(self, cores, bus_width, *, charge_config=True,
+                 cas_policy="all") -> ScheduleOutcome:
+        plan = static_partition(cores, bus_width)
+        config = 0
+        if charge_config and cores:
+            # One all-parallel session: every core's WIR is spliced in
+            # the single configuration pass.
+            config = session_config_cost(cores, bus_width, cores,
+                                         cas_policy)
+        return self._outcome(bus_width, plan.total_cycles, config, plan)
+
+
+class PreemptiveStrategy(SchedulerStrategy):
+    """Staircase scheduling: reallocate wires whenever a core finishes."""
+
+    name = "preemptive"
+
+    def schedule(self, cores, bus_width, *, charge_config=True,
+                 cas_policy="all") -> ScheduleOutcome:
+        result = schedule_preemptive(
+            cores, bus_width, charge_config=charge_config,
+            cas_policy=cas_policy,
+        )
+        return self._outcome(bus_width, result.test_cycles,
+                             result.config_cycles_total, result)
+
+
+class ReconfigStrategy(SchedulerStrategy):
+    """Best reconfiguration granularity: session-based or preemptive.
+
+    Runs the section 4 comparison and reports whichever granularity
+    wins on total cycles, keeping the full
+    :class:`~repro.schedule.reconfig.ReconfigComparison` as detail.
+    """
+
+    name = "reconfig"
+
+    def schedule(self, cores, bus_width, *, charge_config=True,
+                 cas_policy="all") -> ScheduleOutcome:
+        comparison = compare_reconfiguration(cores, bus_width,
+                                             cas_policy=cas_policy)
+        best = min(
+            (comparison.reconfigured, comparison.preemptive),
+            key=lambda schedule: schedule.total_cycles,
+        )
+        test, config = best.test_cycles, best.config_cycles_total
+        if not charge_config:
+            config = 0
+        return self._outcome(bus_width, test, config, comparison)
+
+
+register_scheduler("greedy", GreedyStrategy, aliases=("session", "default"))
+register_scheduler("exhaustive", ExhaustiveStrategy, aliases=("optimal",))
+register_scheduler("balanced-lpt", BalancedLptStrategy,
+                   aliases=("lpt", "static"))
+register_scheduler("preemptive", PreemptiveStrategy,
+                   aliases=("staircase",))
+register_scheduler("reconfig", ReconfigStrategy,
+                   aliases=("best-reconfig",))

@@ -43,12 +43,12 @@ __all__ = [
 
 
 def all_baselines() -> list[TamBaseline]:
-    """One instance of every architecture, CAS-BUS last."""
-    return [
-        MultiplexedBus(),
-        DaisyChain(),
-        StaticDistribution(),
-        DirectAccess(),
-        SystemBusTam(),
-        CasBusTam(),
-    ]
+    """One instance of every architecture, CAS-BUS last.
+
+    A thin shim over the :mod:`repro.api` architecture registry (the
+    canonical source): registering a new architecture there makes it
+    appear in every comparison that calls this function.
+    """
+    from repro.api.architectures import registered_baselines
+
+    return registered_baselines()

@@ -35,9 +35,17 @@ class TamReport:
 
 
 class TamBaseline(abc.ABC):
-    """One test access architecture under the abstract timing model."""
+    """One test access architecture under the abstract timing model.
+
+    Baselines are the timing models behind the pluggable
+    :class:`repro.api.architectures.TamArchitecture` layer; ``key`` is
+    the name each registers under in :mod:`repro.api.registry` (kept
+    here so baseline and registry entry cannot drift apart).
+    """
 
     name: str = "baseline"
+    #: Registry key in :mod:`repro.api` (``get_architecture(key)``).
+    key: str = "baseline"
 
     @abc.abstractmethod
     def evaluate(

@@ -11,6 +11,13 @@ applies the designer rule of
 policy string keeps the rule constant across a sweep (used by the
 bus-width trade-off experiment so area reflects width, not policy
 switches).
+
+The scheduling policy is pluggable too: any
+:class:`repro.api.schedulers.SchedulerStrategy` (or duck-typed
+equivalent) can replace the default greedy session packing, which is
+how the experiment layer evaluates the CAS-BUS under ``preemptive`` or
+``exhaustive`` scheduling.  Registered in :mod:`repro.api` as
+``"casbus"``.
 """
 
 from __future__ import annotations
@@ -36,25 +43,42 @@ def _cas_area_ge(n: int, p: int, policy: str | None) -> float:
 
 class CasBusTam(TamBaseline):
     name = "cas-bus"
+    key = "casbus"
 
-    def __init__(self, policy: str | None = None) -> None:
+    def __init__(self, policy: str | None = None,
+                 scheduler=None) -> None:
+        """``scheduler`` is any object with the
+        :class:`repro.api.schedulers.SchedulerStrategy` interface;
+        ``None`` keeps the historical greedy session packing."""
         self.policy = policy
+        self.scheduler = scheduler
 
     def evaluate(
         self,
         cores: Sequence[CoreTestParams],
         bus_width: int,
     ) -> TamReport:
-        schedule = schedule_greedy(cores, bus_width, charge_config=True,
-                                   cas_policy=self.policy)
+        if self.scheduler is None:
+            schedule = schedule_greedy(cores, bus_width,
+                                       charge_config=True,
+                                       cas_policy=self.policy)
+            test = schedule.test_cycles
+            config = schedule.config_cycles_total
+        else:
+            outcome = self.scheduler.schedule(
+                cores, bus_width, charge_config=True,
+                cas_policy=self.policy,
+            )
+            test = outcome.test_cycles
+            config = outcome.config_cycles
         area = self.wire_area_proxy(bus_width, len(cores))
         for core in cores:
             p = min(core.max_wires, bus_width)
             area += _cas_area_ge(bus_width, p, self.policy)
         return TamReport(
             name=self.name,
-            test_cycles=schedule.test_cycles,
-            config_cycles=schedule.config_cycles_total,
+            test_cycles=test,
+            config_cycles=config,
             extra_pins=bus_width,
             area_proxy=round(area, 1),
         )

@@ -2,7 +2,8 @@
 (boundary-scan / TestShell style without parallel access).
 
 Minimal pins and hardware; test time is dominated by the total chain
-length times the largest pattern count.
+length times the largest pattern count.  Registered in
+:mod:`repro.api` as ``"daisy-chain"``.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from repro.schedule.timing import scan_test_cycles
 
 class DaisyChain(TamBaseline):
     name = "daisy-chain"
+    key = "daisy-chain"
 
     def evaluate(
         self,

@@ -1,7 +1,8 @@
 """Direct access: every core gets dedicated test pins at its full
 parallelism.  The time lower bound among bus-style TAMs -- and a pin
 count no real package offers.  Used as the reference point baselines
-are judged against.
+are judged against.  Registered in :mod:`repro.api` as
+``"direct-access"``.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from repro.schedule.timing import core_test_cycles
 
 class DirectAccess(TamBaseline):
     name = "direct-access"
+    key = "direct-access"
 
     def evaluate(
         self,

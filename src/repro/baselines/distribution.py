@@ -4,7 +4,8 @@ change.
 
 Everything runs in parallel, but the partition is frozen: a core that
 finishes early cannot donate its wires to the stragglers -- exactly
-the rigidity the CAS-BUS's reconfigurability removes.
+the rigidity the CAS-BUS's reconfigurability removes.  Registered in
+:mod:`repro.api` as ``"static-distribution"``.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from repro.schedule.reconfig import static_partition
 
 class StaticDistribution(TamBaseline):
     name = "static-distribution"
+    key = "static-distribution"
 
     def evaluate(
         self,

@@ -2,7 +2,8 @@
 time (Varma & Bhatia, ITC'98 style).
 
 Fast per core, but cores strictly serialise and every core's terminals
-must mux onto the full-width bus.
+must mux onto the full-width bus.  Registered in :mod:`repro.api` as
+``"mux-bus"``.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from repro.schedule.timing import core_test_cycles
 
 class MultiplexedBus(TamBaseline):
     name = "mux-bus"
+    key = "mux-bus"
 
     #: Cycles to steer the mux to the next core.
     SWITCH_CYCLES = 4

@@ -2,7 +2,8 @@
 ITC'99 style).
 
 No extra wires, but test data contends with bus protocol overhead and
-cores serialise on the single shared resource.
+cores serialise on the single shared resource.  Registered in
+:mod:`repro.api` as ``"system-bus"``.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from repro.schedule.timing import core_test_cycles
 
 class SystemBusTam(TamBaseline):
     name = "system-bus"
+    key = "system-bus"
 
     #: Functional bus width available for test payloads.
     BUS_WIDTH = 32

@@ -2,8 +2,13 @@
 
 :class:`CasBusTamDesign` ties the whole flow together for a given SoC:
 CAS generation per core (area/VHDL), schedule computation, behavioural
-system construction and plan execution.  The examples and several
-benchmarks drive everything through this class.
+system construction and plan execution.
+
+This class predates the :mod:`repro.api` experiment layer and remains
+fully supported; new code should prefer
+``repro.api.Experiment(soc).with_architecture("casbus")``, which wraps
+this facade behind the same lifecycle every baseline architecture
+offers (the registry exposes it as ``get_architecture("casbus")``).
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from repro.errors import ScheduleError
 from repro.core.generator import CasDesign, generate_cas
 from repro.soc.core import CoreSpec, TestMethod
 from repro.soc.soc import SocSpec
-from repro.schedule.scheduler import Schedule, ScheduledSession, schedule_greedy
+from repro.schedule.scheduler import Schedule, ScheduledSession
 from repro.sim.plan import CoreAssignment, SessionPlan, TestPlan
 
 
@@ -27,15 +32,28 @@ class CasBusTamDesign:
     cas_designs: dict[str, CasDesign] = field(default_factory=dict)
 
     @classmethod
-    def for_soc(cls, soc: SocSpec) -> "CasBusTamDesign":
-        """Generate the per-core CAS hardware for an SoC."""
+    def for_soc(cls, soc: SocSpec, *,
+                policy: str | None = "all") -> "CasBusTamDesign":
+        """Generate the per-core CAS hardware for an SoC.
+
+        ``policy`` is the scheme-enumeration policy of every generated
+        CAS; the default ``"all"`` is the historical behaviour, and
+        ``None`` applies the designer rule of
+        :func:`repro.core.instruction.practical_policy` per CAS.
+        """
+        from repro.core.instruction import practical_policy
+
         soc.validate()
         designs: dict[str, CasDesign] = {}
 
         def visit(spec_soc: SocSpec, prefix: str) -> None:
             for core in spec_soc.cores:
                 path = f"{prefix}{core.name}"
-                designs[path] = generate_cas(spec_soc.bus_width, core.p)
+                cas_policy = (practical_policy(spec_soc.bus_width, core.p)
+                              if policy is None else policy)
+                designs[path] = generate_cas(
+                    spec_soc.bus_width, core.p, policy=cas_policy
+                )
                 if core.method == TestMethod.HIERARCHICAL:
                     assert core.inner is not None
                     visit(core.inner, f"{path}/")
@@ -71,10 +89,23 @@ class CasBusTamDesign:
 
     # -- scheduling ---------------------------------------------------------------
 
-    def schedule(self) -> Schedule:
-        """Greedy schedule over the SoC's top-level cores."""
+    def schedule(self, strategy: str = "greedy") -> Schedule:
+        """Schedule the SoC's top-level cores with a named strategy.
+
+        ``strategy`` is a :mod:`repro.api` scheduler name (``greedy``,
+        ``exhaustive``, ``balanced-lpt``, ``preemptive``,
+        ``reconfig``); the default reproduces the historical greedy
+        session packing and returns its
+        :class:`~repro.schedule.scheduler.Schedule`.  Other strategies
+        return their own schedule objects (the outcome's ``detail``).
+        """
+        from repro.api.registry import get_scheduler
+
         params = [core.test_params() for core in self.soc.cores]
-        return schedule_greedy(params, self.soc.bus_width)
+        outcome = get_scheduler(strategy).schedule(
+            params, self.soc.bus_width
+        )
+        return outcome.detail
 
     def executable_plan(self) -> TestPlan:
         """An executor-ready plan covering every core once.
@@ -90,9 +121,7 @@ class CasBusTamDesign:
             if core.method != TestMethod.HIERARCHICAL
         ]
         if flat_params:
-            schedule = schedule_greedy(
-                flat_params, self.soc.bus_width, exact_wires=True
-            )
+            schedule = self._greedy_exact(flat_params, self.soc.bus_width)
             for scheduled in schedule.sessions:
                 sessions.append(
                     self._flat_session(scheduled, label="flat")
@@ -104,6 +133,20 @@ class CasBusTamDesign:
         if not sessions:
             raise ScheduleError(f"{self.soc.name}: nothing to test")
         return TestPlan(sessions=tuple(sessions), label=self.soc.name)
+
+    @staticmethod
+    def _greedy_exact(params, bus_width: int) -> Schedule:
+        """Executor-compatible packing: exact P wires per core.
+
+        Routed through the registered ``greedy`` strategy (the only
+        executable one) so facade and experiment layer share one
+        scheduler implementation.
+        """
+        from repro.api.registry import get_scheduler
+
+        return get_scheduler("greedy").schedule(
+            params, bus_width, exact_wires=True
+        ).detail
 
     def _flat_session(self, scheduled: ScheduledSession,
                       label: str) -> SessionPlan:
@@ -125,8 +168,8 @@ class CasBusTamDesign:
         outer_wires = tuple(range(core.p))
         sessions = []
         inner_params = [c.test_params() for c in core.inner.cores]
-        inner_schedule = schedule_greedy(
-            inner_params, core.inner.bus_width, exact_wires=True
+        inner_schedule = self._greedy_exact(
+            inner_params, core.inner.bus_width
         )
         for scheduled in inner_schedule.sessions:
             assignments = []

@@ -154,10 +154,20 @@ def static_partition(
 def compare_reconfiguration(
     cores: Sequence[CoreTestParams],
     bus_width: int,
+    *,
+    cas_policy: str | None = "all",
 ) -> ReconfigComparison:
-    """Build both designs and report the section 4 comparison."""
-    reconfigured = schedule_greedy(cores, bus_width, charge_config=True)
-    preemptive = schedule_preemptive(cores, bus_width, charge_config=True)
+    """Build both designs and report the section 4 comparison.
+
+    ``cas_policy`` sets the instruction-register sizing rule charged
+    for each reconfiguration (as in :func:`schedule_greedy`), so the
+    comparison stays policy-consistent with the schedules it is
+    compared against.
+    """
+    reconfigured = schedule_greedy(cores, bus_width, charge_config=True,
+                                   cas_policy=cas_policy)
+    preemptive = schedule_preemptive(cores, bus_width, charge_config=True,
+                                     cas_policy=cas_policy)
     static = static_partition(cores, bus_width)
     return ReconfigComparison(
         bus_width=bus_width,

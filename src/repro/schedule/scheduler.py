@@ -101,7 +101,7 @@ def _useful_wires(params: CoreTestParams, available: int) -> int:
     return max(1, min(available, params.max_wires))
 
 
-def _session_config_cost(
+def session_config_cost(
     all_cores: Sequence[CoreTestParams],
     bus_width: int,
     tested: Sequence[CoreTestParams],
@@ -110,7 +110,10 @@ def _session_config_cost(
     """Config cost of one session in the abstract model.
 
     One stage-A pass (splice) and one stage-B pass with the tested
-    cores' WIRs spliced -- matching the executor's protocol.
+    cores' WIRs spliced -- matching the executor's protocol.  Shared
+    by every strategy that charges per-session configuration (greedy,
+    exhaustive, balanced-lpt), so the formula cannot drift between
+    them.
     """
     cas_bits = sum(
         cas_config_bits(bus_width, min(core.max_wires, bus_width),
@@ -185,9 +188,9 @@ def schedule_greedy(
         schedule.sessions.append(ScheduledSession(entries=tuple(entries)))
     if charge_config:
         schedule.config_cycles_total = sum(
-            _session_config_cost(cores, bus_width,
-                                 [e.params for e in session.entries],
-                                 cas_policy)
+            session_config_cost(cores, bus_width,
+                                [e.params for e in session.entries],
+                                cas_policy)
             for session in schedule.sessions
         )
     return schedule
@@ -242,8 +245,8 @@ def schedule_exhaustive(
         candidate = Schedule(bus_width=bus_width, sessions=sessions)
         if charge_config:
             candidate.config_cycles_total = sum(
-                _session_config_cost(cores, bus_width,
-                                     [e.params for e in s.entries])
+                session_config_cost(cores, bus_width,
+                                    [e.params for e in s.entries])
                 for s in sessions
             )
         if best is None or candidate.total_cycles < best.total_cycles:

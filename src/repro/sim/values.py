@@ -2,7 +2,8 @@
 
 The canonical module is :mod:`repro.values` (kept at top level so the
 netlist substrate can use it without importing the simulation package);
-this alias preserves the layout promised in DESIGN.md.
+this alias keeps ``repro.sim`` self-contained for callers that import
+the simulation package alone (see README.md for the package map).
 """
 
 from repro.values import (  # noqa: F401

@@ -1,0 +1,147 @@
+"""Registry round-trips for the repro.api architecture and scheduler
+plugins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BASELINE_ORDER,
+    Registry,
+    get_architecture,
+    get_scheduler,
+    list_architectures,
+    list_schedulers,
+)
+from repro.api.architectures import TamArchitecture
+from repro.api.schedulers import ScheduleOutcome, SchedulerStrategy
+from repro.baselines.base import TamBaseline, TamReport
+from repro.errors import ConfigurationError
+from repro.soc.itc02 import d695_like
+
+EXPECTED_ARCHITECTURES = {
+    "casbus", "mux-bus", "daisy-chain", "static-distribution",
+    "direct-access", "system-bus",
+}
+EXPECTED_SCHEDULERS = {
+    "greedy", "exhaustive", "balanced-lpt", "preemptive", "reconfig",
+}
+
+
+class TestArchitectureRegistry:
+    def test_all_expected_names_listed(self):
+        assert set(list_architectures()) == EXPECTED_ARCHITECTURES
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_ARCHITECTURES))
+    def test_round_trip_by_name(self, name):
+        architecture = get_architecture(name)
+        assert isinstance(architecture, TamArchitecture)
+        assert architecture.key == name
+        # A fresh instance every time (no shared mutable state).
+        assert get_architecture(name) is not architecture
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("cas-bus", "casbus"),
+        ("CASBUS", "casbus"),
+        ("daisy", "daisy-chain"),
+        ("direct", "direct-access"),
+        ("sysbus", "system-bus"),
+        ("distribution", "static-distribution"),
+    ])
+    def test_aliases_resolve(self, alias, canonical):
+        assert get_architecture(alias).key == canonical
+
+    def test_unknown_name_raises_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            get_architecture("no-such-tam")
+        with pytest.raises(ConfigurationError, match="casbus"):
+            get_architecture("cashbus")  # close enough to suggest
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_ARCHITECTURES))
+    def test_model_is_a_legacy_baseline(self, name):
+        model = get_architecture(name).model()
+        assert isinstance(model, TamBaseline)
+        assert model.key == name
+
+    def test_evaluate_matches_underlying_baseline(self):
+        cores = d695_like()
+        for name in list_architectures():
+            architecture = get_architecture(name)
+            report = architecture.evaluate(cores, 8)
+            assert isinstance(report, TamReport)
+            assert report == architecture.model().evaluate(cores, 8)
+
+    def test_baseline_order_covers_registry(self):
+        assert set(BASELINE_ORDER) == EXPECTED_ARCHITECTURES
+        assert BASELINE_ORDER[-1] == "casbus"
+
+
+class TestSchedulerRegistry:
+    def test_all_expected_names_listed(self):
+        assert set(list_schedulers()) == EXPECTED_SCHEDULERS
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCHEDULERS))
+    def test_round_trip_by_name(self, name):
+        strategy = get_scheduler(name)
+        assert isinstance(strategy, SchedulerStrategy)
+        assert strategy.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            get_scheduler("simulated-annealing")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCHEDULERS))
+    def test_strategies_produce_outcomes(self, name):
+        cores = d695_like()[:4]  # small enough for exhaustive
+        outcome = get_scheduler(name).schedule(cores, 4)
+        assert isinstance(outcome, ScheduleOutcome)
+        assert outcome.strategy == name
+        assert outcome.bus_width == 4
+        assert outcome.test_cycles > 0
+        assert outcome.config_cycles >= 0
+        assert outcome.total_cycles == (outcome.test_cycles
+                                        + outcome.config_cycles)
+        assert outcome.describe()
+
+    def test_only_greedy_is_executable(self):
+        executable = {
+            name for name in list_schedulers()
+            if get_scheduler(name).executable
+        }
+        assert executable == {"greedy"}
+
+
+class TestRegistryMechanics:
+    def test_duplicate_registration_rejected(self):
+        registry: Registry = Registry("widget")
+        registry.register("a", dict)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("a", list)
+        registry.register("a", list, replace=True)
+        assert registry.create("a") == []
+
+    def test_contains_and_names(self):
+        registry: Registry = Registry("widget")
+        registry.register("thing", dict, aliases=("alias",))
+        assert "thing" in registry
+        assert "alias" in registry
+        assert "other" not in registry
+        assert registry.names() == ["thing"]
+
+    def test_name_alias_collisions_rejected(self):
+        registry: Registry = Registry("widget")
+        registry.register("a", dict, aliases=("b",))
+        # A new canonical name may not shadow an existing alias...
+        with pytest.raises(ConfigurationError, match="alias"):
+            registry.register("b", list)
+        # ...and a new alias may not hijack an existing name.
+        with pytest.raises(ConfigurationError, match="collides"):
+            registry.register("c", list, aliases=("a",))
+        assert registry.resolve("b") == "a"  # unchanged
+
+    def test_replace_canonicalises_a_former_alias(self):
+        registry: Registry = Registry("widget")
+        registry.register("a", dict, aliases=("b",))
+        registry.register("b", list, replace=True)
+        assert registry.create("b") == []  # now its own entry
+        assert registry.resolve("a") == "a"
