@@ -7,8 +7,13 @@ run injects a stuck-at fault into one core and shows the test program
 catching it.  Finally a VCD waveform of the bus activity is dumped for
 a waveform viewer.
 
+Artifacts (the VCD) land in the gitignored ``artifacts/`` directory
+next to the repository root, never in the working directory.
+
 Run:  python examples/soc_test_session.py
 """
+
+import os
 
 from repro.bist.engine import random_detectable_fault
 from repro.core.tam import CasBusTamDesign
@@ -50,13 +55,22 @@ def main() -> None:
     report(tam.run(inject_faults={"core2": fault}),
            "defective fig-1 SoC")
 
-    # Waveform of the first sessions on a fresh system.
+    # Waveform of the first sessions on a fresh system.  Tracing needs
+    # per-cycle visibility, so this run uses the legacy backend; the
+    # healthy/defective runs above ride the compiled kernel.
     trace = TraceRecorder()
     system = build_system(soc)
-    executor = SessionExecutor(system, trace=trace)
+    executor = SessionExecutor(system, trace=trace, backend="legacy")
     executor.run_plan(tam.executable_plan())
-    write_vcd(trace, "fig1_bus.vcd", design_name="fig1")
-    print(f"\nwrote fig1_bus.vcd ({len(trace.signals())} signals, "
+    artifacts = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "artifacts",
+    )
+    os.makedirs(artifacts, exist_ok=True)
+    vcd_path = os.path.join(artifacts, "fig1_bus.vcd")
+    write_vcd(trace, vcd_path, design_name="fig1")
+    print(f"\nwrote {os.path.relpath(vcd_path)} "
+          f"({len(trace.signals())} signals, "
           f"{trace.max_cycle + 1} cycles)")
 
 

@@ -55,18 +55,28 @@ from repro.api.architectures import (
     Workload,
 )
 from repro.api.experiment import Experiment
-from repro.api.runner import run_many, run_sweep, sweep_experiments
+from repro.api.runner import run_many, run_matrix, run_sweep, sweep_experiments
+from repro.api.workloads import (
+    WORKLOADS,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
 
 __all__ = [
     "ARCHITECTURES",
     "SCHEDULERS",
+    "WORKLOADS",
     "Registry",
     "register_architecture",
     "register_scheduler",
+    "register_workload",
     "get_architecture",
     "get_scheduler",
+    "get_workload",
     "list_architectures",
     "list_schedulers",
+    "list_workloads",
     "TamArchitecture",
     "SchedulerStrategy",
     "ScheduleOutcome",
@@ -80,6 +90,7 @@ __all__ = [
     "RESULT_HEADERS",
     "results_table",
     "run_many",
+    "run_matrix",
     "run_sweep",
     "sweep_experiments",
 ]

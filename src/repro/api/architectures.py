@@ -53,8 +53,9 @@ from repro.api.results import (
 )
 from repro.api.schedulers import ScheduleOutcome, SchedulerStrategy
 
-#: Anything an experiment accepts as a workload.
-WorkloadLike = Union["Workload", SocSpec, Sequence[CoreTestParams]]
+#: Anything an experiment accepts as a workload (a string is resolved
+#: through the :mod:`repro.api.workloads` registry).
+WorkloadLike = Union["Workload", SocSpec, Sequence[CoreTestParams], str]
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,10 @@ class Workload:
     def of(cls, workload: WorkloadLike) -> "Workload":
         if isinstance(workload, Workload):
             return workload
+        if isinstance(workload, str):
+            from repro.api.workloads import get_workload
+
+            return get_workload(workload)
         if isinstance(workload, SocSpec):
             workload.validate()
             return cls(
@@ -252,7 +257,9 @@ class DesignedTam:
             policy="all" if config.cas_policy is None
             else config.cas_policy,
         )
-        program = facade.run(inject_faults=config.inject_faults)
+        program = facade.run(
+            inject_faults=config.inject_faults, backend=config.backend
+        )
         sessions = tuple(
             SessionDetail(
                 label=session.label,

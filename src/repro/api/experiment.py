@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.errors import ConfigurationError
 from repro.api.architectures import DesignedTam, Workload, WorkloadLike
 from repro.api.registry import (
     ARCHITECTURES,
@@ -80,6 +81,16 @@ class Experiment:
         return self._evolve(
             inject_faults=dict(faults) if faults else None
         )
+
+    def with_backend(self, backend: str) -> "Experiment":
+        """Pin the simulation engine (``auto``/``kernel``/``legacy``)."""
+        from repro.sim.session import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+            )
+        return self._evolve(backend=backend)
 
     def with_label(self, label: str) -> "Experiment":
         """Tag the result."""

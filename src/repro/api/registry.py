@@ -128,7 +128,7 @@ SCHEDULERS: Registry = Registry("scheduler strategy")
 
 def _ensure_loaded() -> None:
     """Import the modules that populate the registries (idempotent)."""
-    from repro.api import architectures, schedulers  # noqa: F401
+    from repro.api import architectures, schedulers, workloads  # noqa: F401
 
 
 def register_architecture(name, factory, *, aliases=(), replace=False):

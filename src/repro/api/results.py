@@ -46,6 +46,9 @@ class RunConfig:
         simulate: force (``True``) or forbid (``False``) cycle-accurate
             simulation; ``None`` simulates whenever the architecture,
             workload and scheduler support it.
+        backend: simulation engine -- ``"auto"`` (compiled kernel when
+            possible, the default), ``"kernel"`` or ``"legacy"``; see
+            :class:`~repro.sim.session.SessionExecutor`.
         label: free-form tag copied onto the result.
     """
 
@@ -55,6 +58,7 @@ class RunConfig:
     cas_policy: str | None = None
     inject_faults: Mapping[str, tuple] | None = None
     simulate: bool | None = None
+    backend: str = "auto"
     label: str = ""
 
     def evolve(self, **changes) -> "RunConfig":

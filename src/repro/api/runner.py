@@ -122,7 +122,11 @@ def run_sweep(
     parallel: bool = True,
     max_workers: int | None = None,
 ) -> list[RunResult]:
-    """One-call design-space exploration: grid + :func:`run_many`."""
+    """One-call design-space exploration: grid + :func:`run_many`.
+
+    ``workload`` may be a registered workload name (see
+    :mod:`repro.api.workloads`), e.g. ``run_sweep("itc02-d695", ...)``.
+    """
     return run_many(
         sweep_experiments(
             workload,
@@ -133,4 +137,46 @@ def run_sweep(
         ),
         parallel=parallel,
         max_workers=max_workers,
+    )
+
+
+def run_matrix(
+    workloads: Sequence[WorkloadLike],
+    *,
+    architectures: Sequence[str] = ("casbus",),
+    bus_widths: Sequence[int | None] = (None,),
+    schedulers: Sequence[str] = ("greedy",),
+    base_config: RunConfig | None = None,
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> list[RunResult]:
+    """Design-space exploration across *multiple* workloads.
+
+    The full grid is workloads (outer) x architectures x bus widths x
+    schedulers (inner), flattened into one parallel batch::
+
+        run_matrix(["itc02-d695", "itc02-g1023", "itc02-p22810"],
+                   architectures=list_architectures(),
+                   bus_widths=(8, 16, 32),
+                   schedulers=("greedy", "balanced-lpt"))
+
+    Workload entries may be registered names, SoC specs, core-table
+    sequences or prepared :class:`~repro.api.architectures.Workload`
+    objects; results come back in grid order.
+    """
+    if isinstance(workloads, str):
+        # A bare name is a single-workload matrix, not a sequence of
+        # one-character workload names.
+        workloads = [workloads]
+    experiments: list[Experiment] = []
+    for workload in workloads:
+        experiments.extend(sweep_experiments(
+            workload,
+            architectures=architectures,
+            bus_widths=bus_widths,
+            schedulers=schedulers,
+            base_config=base_config,
+        ))
+    return run_many(
+        experiments, parallel=parallel, max_workers=max_workers
     )

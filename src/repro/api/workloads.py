@@ -1,0 +1,86 @@
+"""Named experiment workloads.
+
+Benchmarks, examples and sweeps refer to workloads by string -- the
+same pattern the architecture and scheduler registries use -- so one
+:func:`repro.api.runner.run_matrix` call can span architectures x
+schedulers x benchmark SoCs.  Every :class:`Experiment` accepts these
+names directly (``Experiment("itc02-d695")``).
+
+Built-in names:
+
+==================  ========================================================
+name                workload
+==================  ========================================================
+``fig1``            the paper's figure 1 SoC (simulatable)
+``small``           the two-core smoke-test SoC (simulatable)
+``itc02-d695``      d695-proportioned abstract core table
+``itc02-g1023``     g1023-proportioned abstract core table
+``itc02-p22810``    p22810-proportioned abstract core table
+``itc02-h953``      h953-proportioned (BIST-heavy) abstract core table
+``itc02-*-soc``     the same four, scaled down to simulatable SoCs
+==================  ========================================================
+
+Third-party code adds entries with :func:`register_workload`; the
+factory may return anything :meth:`Workload.of` accepts (a
+:class:`~repro.soc.soc.SocSpec`, a sequence of
+:class:`~repro.soc.core.CoreTestParams`, or a prepared
+:class:`Workload`).
+"""
+
+from __future__ import annotations
+
+from repro.api.architectures import Workload
+from repro.api.registry import Registry
+from repro.soc.soc import SocSpec
+
+#: The workload registry (name -> factory of a WorkloadLike).
+WORKLOADS: Registry = Registry("workload")
+
+
+def register_workload(name, factory, *, aliases=(), replace=False):
+    """Register a workload factory under ``name`` (plus ``aliases``)."""
+    WORKLOADS.register(name, factory, aliases=aliases, replace=replace)
+
+
+def get_workload(name: str) -> Workload:
+    """A normalised :class:`Workload` for a registered name.
+
+    Bare core tables pick up the registry name (results then report
+    e.g. ``itc02-d695`` instead of the generic ``cores[10]``).
+    """
+    import dataclasses
+
+    raw = WORKLOADS.create(name)
+    workload = Workload.of(raw)
+    if not isinstance(raw, (Workload, SocSpec)):
+        workload = dataclasses.replace(
+            workload, name=WORKLOADS.resolve(name)
+        )
+    return workload
+
+
+def list_workloads() -> list[str]:
+    """Canonical workload names (``get_workload`` accepts each)."""
+    return WORKLOADS.names()
+
+
+def _register_builtins() -> None:
+    from repro.soc import itc02
+    from repro.soc.library import fig1_soc, small_soc
+
+    register_workload("fig1", fig1_soc)
+    register_workload("small", small_soc)
+    for name in itc02.benchmark_names():
+        register_workload(
+            f"itc02-{name}",
+            (lambda table=name: itc02.workload(table)),
+            aliases=(name,),
+        )
+        register_workload(
+            f"itc02-{name}-soc",
+            (lambda table=name: itc02.benchmark_soc(table)),
+            aliases=(f"{name}-soc",),
+        )
+
+
+_register_builtins()

@@ -197,8 +197,13 @@ class CasBusTamDesign:
         *,
         inject_faults: Mapping[str, tuple[int, int]] | None = None,
         plan: TestPlan | None = None,
+        backend: str = "auto",
     ):
         """Build the behavioural system and execute a plan.
+
+        ``backend`` selects the execution engine (``"auto"``,
+        ``"kernel"``, ``"legacy"``) -- see
+        :class:`~repro.sim.session.SessionExecutor`.
 
         Returns the :class:`~repro.sim.session.ProgramResult`.
         """
@@ -206,5 +211,5 @@ class CasBusTamDesign:
         from repro.sim.system import build_system
 
         system = build_system(self.soc, inject_faults=inject_faults)
-        executor = SessionExecutor(system)
+        executor = SessionExecutor(system, backend=backend)
         return executor.run_plan(plan or self.executable_plan())

@@ -5,29 +5,39 @@ clocked system: the test bus threads every node (figure 1), the serial
 configuration chain rides wire 0 with CHAIN splices and hierarchical
 descent, and a session executor applies real test data and decides
 pass/fail per core.
+
+Two backends execute sessions: the compiled kernel
+(:mod:`repro.sim.kernel` -- bit-packed integer programs, the default)
+and the legacy per-cycle object stepping; both produce byte-identical
+results, selected via ``SessionExecutor(backend=...)``.
 """
 
 from repro.sim.plan import CoreAssignment, SessionPlan, TestPlan
 from repro.sim.system import CasBusSystem, build_system
 from repro.sim.session import (
+    BACKENDS,
     CoreResult,
     SessionExecutor,
     SessionResult,
     ProgramResult,
 )
+from repro.sim.kernel import KernelExecutor, kernel_supports
 from repro.sim.trace import TraceRecorder
 from repro.sim.vcd import write_vcd
 
 __all__ = [
+    "BACKENDS",
     "CoreAssignment",
     "SessionPlan",
     "TestPlan",
     "CasBusSystem",
     "build_system",
     "CoreResult",
+    "KernelExecutor",
     "SessionExecutor",
     "SessionResult",
     "ProgramResult",
     "TraceRecorder",
+    "kernel_supports",
     "write_vcd",
 ]

@@ -1,0 +1,133 @@
+"""Session-configuration planning shared by both execution backends.
+
+Given a :class:`~repro.sim.plan.SessionPlan` and the live system, the
+planner computes the two-stage reconfiguration targets the paper's
+protocol needs:
+
+* the final CAS instruction code for *every* node (tested nodes get
+  their switch scheme, everything else BYPASS);
+* the wrapper instructions that must change (test modes for the tested
+  terminals, NORMAL reverts for wrappers an earlier session left in a
+  test mode).
+
+Both the legacy object-stepping executor
+(:class:`~repro.sim.session.SessionExecutor`) and the compiled kernel
+(:mod:`repro.sim.kernel`) derive their stage-A/stage-B configuration
+from these targets, so the two backends can never disagree about what a
+session configures or what it costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.core.instruction import BYPASS_CODE
+from repro.core.switch import SwitchScheme
+from repro.soc.core import TestMethod
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.sim.nodes import CasNode
+    from repro.sim.plan import CoreAssignment, SessionPlan
+    from repro.sim.system import CasBusSystem
+
+
+def collect_assignment_targets(
+    system: "CasBusSystem",
+    assignment: "CoreAssignment",
+    scheme_of: dict[str, tuple[int, ...]],
+    wir_targets: dict[str, str],
+) -> None:
+    """Record one assignment's CAS schemes and terminal WIR mode.
+
+    Walks the assignment's path level by level, validating wire counts
+    and cross-assignment consistency exactly like the original
+    session-executor logic.
+    """
+    from repro.sim.nodes import HierNode
+
+    current = system
+    for depth, _ in enumerate(assignment.path):
+        # Resolve one level at a time within the current (sub-)system.
+        node = current.node_at((assignment.path[depth],))
+        wires = assignment.levels[depth]
+        if len(wires) != node.cas.p:
+            raise ConfigurationError(
+                f"{assignment.name}: level {depth} assigns "
+                f"{len(wires)} wires, node {node.path} has "
+                f"P={node.cas.p}"
+            )
+        existing = scheme_of.get(node.path)
+        if existing is not None and existing != wires:
+            raise ConfigurationError(
+                f"{node.path}: conflicting wire assignments "
+                f"{existing} vs {wires} in one session"
+            )
+        scheme_of[node.path] = wires
+        is_terminal = depth == len(assignment.path) - 1
+        if is_terminal:
+            if isinstance(node, HierNode):
+                raise ConfigurationError(
+                    f"{assignment.name}: terminal core is "
+                    f"hierarchical; address its inner cores"
+                )
+            if assignment.wir_override is not None:
+                wir_targets[node.path] = assignment.wir_override
+            elif node.spec.method == TestMethod.BIST:
+                wir_targets[node.path] = "BIST"
+            else:
+                wir_targets[node.path] = "INTEST"
+        else:
+            if not isinstance(node, HierNode):
+                raise ConfigurationError(
+                    f"{assignment.name}: {node.path} is not "
+                    f"hierarchical but the path descends into it"
+                )
+            current = node.inner
+
+
+def configuration_targets(
+    system: "CasBusSystem", session: "SessionPlan"
+) -> tuple[dict[str, int], dict[str, str]]:
+    """Final CAS codes (all nodes) and WIR modes (changed nodes)."""
+    scheme_of: dict[str, tuple[int, ...]] = {}
+    wir_targets: dict[str, str] = {}
+    for assignment in session.assignments:
+        collect_assignment_targets(
+            system, assignment, scheme_of, wir_targets
+        )
+    cas_targets: dict[str, int] = {}
+    for node in system.walk():
+        register = f"{node.path}.cas"
+        wires = scheme_of.get(node.path)
+        if wires is None:
+            cas_targets[register] = BYPASS_CODE
+        else:
+            scheme = SwitchScheme(
+                n=node.cas.n, p=node.cas.p, wire_of_port=wires
+            )
+            cas_targets[register] = node.cas.iset.encode(scheme)
+    # Wrappers left in a test mode by earlier sessions revert to
+    # NORMAL unless re-targeted now.
+    for node in system.walk():
+        if node.wrapper is None or node.path in wir_targets:
+            continue
+        if node.wrapper.mode != "NORMAL":
+            wir_targets[node.path] = "NORMAL"
+    return cas_targets, wir_targets
+
+
+def state_snapshot(system: "CasBusSystem", path: tuple[str, ...]):
+    """Flip-flop contents of the core(s) at ``path`` (non-interference
+    checks compare these before/after a session)."""
+    from repro.sim.nodes import HierNode
+
+    node: "CasNode" = system.node_at(path)
+    if isinstance(node, HierNode):
+        return tuple(
+            tuple(inner.wrapper.core.ff_values)
+            for inner in node.inner.walk()
+            if inner.wrapper is not None and inner.wrapper.core is not None
+        )
+    assert node.wrapper is not None and node.wrapper.core is not None
+    return tuple(node.wrapper.core.ff_values)

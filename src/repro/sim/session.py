@@ -19,6 +19,19 @@ activity on a :class:`~repro.sim.system.CasBusSystem`:
    per-session cycle budgets (configuration vs test), and optional
    non-interference checks (cores in NORMAL mode must keep their state
    -- the paper's maintenance-test scenario).
+
+Two interchangeable backends execute plans:
+
+* ``"kernel"`` -- the compiled engine of :mod:`repro.sim.kernel`:
+  sessions are lowered once into bit-packed integer programs and run
+  as whole shift bursts.  Much faster, bit-exact.
+* ``"legacy"`` -- the original object-stepping path below: every cycle
+  routes the bus through every node object.  Required for per-cycle
+  :class:`~repro.sim.trace.TraceRecorder` capture and for gate-level
+  CAS instances.
+
+The default ``backend="auto"`` picks the kernel whenever it applies
+(no trace requested, no gate-level CAS) and falls back otherwise.
 """
 
 from __future__ import annotations
@@ -28,18 +41,22 @@ from typing import Sequence
 
 from repro import values as lv
 from repro.errors import ConfigurationError, SimulationError
-from repro.core.instruction import BYPASS_CODE, CHAIN_CODE
-from repro.core.switch import SwitchScheme
+from repro.core.instruction import CHAIN_CODE
 from repro.bist.lfsr import Lfsr
 from repro.bist.misr import Misr
-from repro.scan.atpg import TestSet, generate_test_set
+from repro.scan.atpg import TestSet
 from repro.soc.core import CoreSpec, TestMethod
-from repro.sim.nodes import BistNode, CasNode, HierNode, NodeControls, ScanNode
+from repro.sim.config import configuration_targets, state_snapshot
+from repro.sim.nodes import BistNode, CasNode, NodeControls, ScanNode
 from repro.sim.plan import CoreAssignment, SessionPlan, TestPlan
 from repro.sim.system import CasBusSystem
+from repro.sim.testsets import test_set_for
 from repro.sim.trace import TraceRecorder
 from repro.wrapper.wir import Wir
 from repro.wrapper.wrapper import P1500Wrapper
+
+#: Accepted ``SessionExecutor(backend=...)`` values.
+BACKENDS = ("auto", "kernel", "legacy")
 
 
 @dataclass
@@ -102,26 +119,93 @@ class ProgramResult:
 
 
 class SessionExecutor:
-    """Runs test plans against one system instance."""
+    """Runs test plans against one system instance.
+
+    Args:
+        system: the live behavioural system.
+        trace: optional per-cycle signal recorder (forces the legacy
+            backend, which is the only one that sees individual
+            cycles).
+        backend: ``"auto"`` (default, compiled kernel when possible),
+            ``"kernel"`` (force the compiled engine; raises when it
+            cannot apply) or ``"legacy"`` (original object stepping).
+    """
 
     def __init__(self, system: CasBusSystem,
-                 trace: TraceRecorder | None = None) -> None:
+                 trace: TraceRecorder | None = None,
+                 backend: str = "auto") -> None:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+            )
         self.system = system
         self.trace = trace
+        self.backend = backend
         self._test_sets: dict[str, TestSet] = {}
         self._cycle = 0  # global clock, spans sessions
+        self._kernel = None
+
+    # -- backend dispatch ------------------------------------------------
+
+    def _use_kernel(self) -> bool:
+        from repro.sim.kernel import kernel_supports
+
+        if self.backend == "legacy":
+            return False
+        if self.backend == "kernel":
+            if self.trace is not None:
+                raise ConfigurationError(
+                    "the kernel backend runs whole shift bursts and "
+                    "records no per-cycle trace; use backend='legacy' "
+                    "(or 'auto') for tracing"
+                )
+            if not kernel_supports(self.system):
+                raise ConfigurationError(
+                    f"{self.system.soc.name}: gate-level CAS instances "
+                    f"need backend='legacy'"
+                )
+            return True
+        return self.trace is None and kernel_supports(self.system)
+
+    def _kernel_executor(self):
+        from repro.sim.kernel import KernelExecutor
+
+        if self._kernel is None:
+            self._kernel = KernelExecutor(
+                self.system, test_sets=self._test_sets
+            )
+        return self._kernel
 
     # -- public API ------------------------------------------------------
 
     def run_plan(self, plan: TestPlan) -> ProgramResult:
+        if self._use_kernel():
+            return self._kernel_executor().run_plan(plan)
         plan.validate(self.system.n)
         program = ProgramResult()
         for index, session in enumerate(plan.sessions):
             label = session.label or f"session{index}"
-            program.sessions.append(self.run_session(session, label=label))
+            program.sessions.append(
+                self._run_session_legacy(session, label=label)
+            )
         return program
 
     def run_session(
+        self,
+        session: SessionPlan,
+        *,
+        label: str = "session",
+        undisturbed_paths: Sequence[tuple[str, ...]] = (),
+    ) -> SessionResult:
+        if self._use_kernel():
+            return self._kernel_executor().run_session(
+                session, label=label, undisturbed_paths=undisturbed_paths
+            )
+        return self._run_session_legacy(
+            session, label=label, undisturbed_paths=undisturbed_paths
+        )
+
+    def _run_session_legacy(
         self,
         session: SessionPlan,
         *,
@@ -375,77 +459,12 @@ class SessionExecutor:
     def _targets_for(
         self, session: SessionPlan
     ) -> tuple[dict[str, int], dict[str, str]]:
-        """Final CAS codes (all nodes) and WIR modes (changed nodes)."""
-        scheme_of: dict[str, tuple[int, ...]] = {}
-        wir_targets: dict[str, str] = {}
-        for assignment in session.assignments:
-            self._collect_assignment_targets(
-                assignment, scheme_of, wir_targets
-            )
-        cas_targets: dict[str, int] = {}
-        for node in self.system.walk():
-            register = f"{node.path}.cas"
-            wires = scheme_of.get(node.path)
-            if wires is None:
-                cas_targets[register] = BYPASS_CODE
-            else:
-                scheme = SwitchScheme(
-                    n=node.cas.n, p=node.cas.p, wire_of_port=wires
-                )
-                cas_targets[register] = node.cas.iset.encode(scheme)
-        # Wrappers left in a test mode by earlier sessions revert to
-        # NORMAL unless re-targeted now.
-        for node in self.system.walk():
-            if node.wrapper is None or node.path in wir_targets:
-                continue
-            if node.wrapper.mode != "NORMAL":
-                wir_targets[node.path] = "NORMAL"
-        return cas_targets, wir_targets
+        """Final CAS codes (all nodes) and WIR modes (changed nodes).
 
-    def _collect_assignment_targets(
-        self,
-        assignment: CoreAssignment,
-        scheme_of: dict[str, tuple[int, ...]],
-        wir_targets: dict[str, str],
-    ) -> None:
-        system = self.system
-        for depth, _ in enumerate(assignment.path):
-            # Resolve one level at a time within the current (sub-)system.
-            node = system.node_at((assignment.path[depth],))
-            wires = assignment.levels[depth]
-            if len(wires) != node.cas.p:
-                raise ConfigurationError(
-                    f"{assignment.name}: level {depth} assigns "
-                    f"{len(wires)} wires, node {node.path} has "
-                    f"P={node.cas.p}"
-                )
-            existing = scheme_of.get(node.path)
-            if existing is not None and existing != wires:
-                raise ConfigurationError(
-                    f"{node.path}: conflicting wire assignments "
-                    f"{existing} vs {wires} in one session"
-                )
-            scheme_of[node.path] = wires
-            is_terminal = depth == len(assignment.path) - 1
-            if is_terminal:
-                if isinstance(node, HierNode):
-                    raise ConfigurationError(
-                        f"{assignment.name}: terminal core is "
-                        f"hierarchical; address its inner cores"
-                    )
-                if assignment.wir_override is not None:
-                    wir_targets[node.path] = assignment.wir_override
-                elif node.spec.method == TestMethod.BIST:
-                    wir_targets[node.path] = "BIST"
-                else:
-                    wir_targets[node.path] = "INTEST"
-            else:
-                if not isinstance(node, HierNode):
-                    raise ConfigurationError(
-                        f"{assignment.name}: {node.path} is not "
-                        f"hierarchical but the path descends into it"
-                    )
-                system = node.inner
+        Shared with the kernel backend -- see
+        :func:`repro.sim.config.configuration_targets`.
+        """
+        return configuration_targets(self.system, session)
 
     def _verify_configuration(
         self,
@@ -522,29 +541,14 @@ class SessionExecutor:
         cached = self._test_sets.get(node.path)
         if cached is not None:
             return cached
-        clean = node.spec.build_scannable()
-        test_set = generate_test_set(
-            clean,
-            seed=node.spec.seed,
-            target_coverage=node.spec.atpg_target,
-            max_patterns=node.spec.atpg_max_patterns,
-            deterministic_topup=node.spec.atpg_deterministic,
-        )
+        test_set = test_set_for(node.spec)
         self._test_sets[node.path] = test_set
         return test_set
 
     # -- helpers ------------------------------------------------------------------
 
     def _state_snapshot(self, path: tuple[str, ...]):
-        node = self.system.node_at(path)
-        if isinstance(node, HierNode):
-            return tuple(
-                tuple(inner.wrapper.core.ff_values)
-                for inner in node.inner.walk()
-                if inner.wrapper is not None and inner.wrapper.core is not None
-            )
-        assert node.wrapper is not None and node.wrapper.core is not None
-        return tuple(node.wrapper.core.ff_values)
+        return state_snapshot(self.system, path)
 
 
 def _to_bit(value: int) -> int:

@@ -1,0 +1,48 @@
+"""Process-wide ATPG test-set cache.
+
+A :class:`~repro.soc.core.CoreSpec` is frozen and fully seeded, so the
+test set generated for it is a pure function of the spec: every system
+instance of the same spec shares one ATPG run.  Both execution backends
+draw from this cache -- the legacy executor used to regenerate test
+sets per executor instance, which dominated repeated simulation runs.
+"""
+
+from __future__ import annotations
+
+from repro.scan.atpg import TestSet, generate_test_set
+from repro.soc.core import CoreSpec
+
+_CACHE: dict[CoreSpec, TestSet] = {}
+
+#: Oldest entries are evicted past this size, so sweeps over unbounded
+#: generated workloads (``random_soc`` et al.) cannot grow memory
+#: monotonically.
+MAX_CACHED = 1024
+
+
+def test_set_for(spec: CoreSpec) -> TestSet:
+    """The (cached) ATPG test set for a scan core spec.
+
+    Always generated from a *clean* build of the spec -- injected
+    faults live in system instances, never in expected data.
+    """
+    cached = _CACHE.get(spec)
+    if cached is not None:
+        return cached
+    clean = spec.build_scannable()
+    test_set = generate_test_set(
+        clean,
+        seed=spec.seed,
+        target_coverage=spec.atpg_target,
+        max_patterns=spec.atpg_max_patterns,
+        deterministic_topup=spec.atpg_deterministic,
+    )
+    while len(_CACHE) >= MAX_CACHED:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[spec] = test_set
+    return test_set
+
+
+def clear_cache() -> None:
+    """Drop every cached test set (tests and memory-sensitive callers)."""
+    _CACHE.clear()

@@ -1,24 +1,66 @@
-"""ITC'02-style scheduling workloads.
+"""ITC'02-style scheduling workload family.
 
 The paper predates the ITC'02 SoC test benchmarks (Marinissen, Iyengar,
 Chakrabarty, 2002), but those benchmarks became the standard workload
 for exactly the TAM-width/test-time trade-off the paper's section 4
-argues about.  This module ships a *synthetic, d695-proportioned* core
-table -- the real d695 is a collection of ISCAS cores; our numbers keep
-the relative magnitudes (a mix of small glue cores and a few large
-scan-heavy cores) so scheduling results show the same qualitative
-behaviour, without claiming to be the published benchmark.
+argues about.  This module ships a *family* of synthetic, proportioned
+core tables -- the real benchmarks are collections of ISCAS cores and
+industrial blocks; our numbers keep the relative magnitudes so
+scheduling results show the same qualitative behaviour, without
+claiming to be the published data:
 
-These are abstract :class:`~repro.soc.core.CoreTestParams` records: the
-scheduling layer needs only flop counts, pattern counts and wire
-limits, not simulatable netlists.
+* ``d695``   -- ten cores, a mix of small glue and a few large
+  scan-heavy cores (the classic academic workhorse);
+* ``g1023``  -- fourteen mid-sized cores with a couple of
+  fixed-duration BIST blocks;
+* ``p22810`` -- twenty-eight cores with a very wide size spread, the
+  large industrial-style stress case;
+* ``h953``   -- eight cores dominated by fixed-length (memory-style)
+  BIST tests, where TAM width buys almost nothing.
+
+Each family member exists in two forms:
+
+* an **abstract table** of :class:`~repro.soc.core.CoreTestParams`
+  (:func:`workload`, :func:`d695_like`, ...) for the scheduling layer
+  and the timing models;
+* a **simulatable SoC** (:func:`benchmark_soc`) -- the same
+  proportions scaled down to cores the cycle-accurate simulator moves
+  real bits through, used by the kernel/legacy golden-equivalence
+  tests and the simulator benchmarks.
+
+Randomised generators (:func:`random_test_params`,
+:func:`random_soc`) accept either an integer seed or a caller-owned
+:class:`random.Random`, so sweep results are reproducible by
+construction; nothing in this module touches module-global ``random``
+state.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Union
 
-from repro.soc.core import CoreTestParams, TestMethod
+from repro.errors import ConfigurationError
+from repro.soc.core import CoreSpec, CoreTestParams, TestMethod
+from repro.soc.soc import SocSpec
+
+#: Either an integer seed or a caller-owned generator.
+SeedLike = Union[int, random.Random]
+
+
+def _rng_of(seed: SeedLike) -> tuple[random.Random, int]:
+    """``(generator, base)`` for a seed-or-Random argument.
+
+    ``base`` feeds name tags and per-core seeds.  Integer seeds use the
+    integer itself (stable names like ``r7_0``); a caller-owned
+    generator draws a base from itself, so successive calls with the
+    same generator yield *distinct, stream-determined* workloads
+    instead of colliding on one tag.
+    """
+    if isinstance(seed, random.Random):
+        return seed, seed.randrange(1 << 30)
+    return random.Random(seed), seed
+
 
 #: Synthetic d695-proportioned cores: (name, flops, patterns, max_wires).
 _D695_LIKE_TABLE: tuple[tuple[str, int, int, int], ...] = (
@@ -34,23 +76,132 @@ _D695_LIKE_TABLE: tuple[tuple[str, int, int, int], ...] = (
     ("c10", 1242, 68, 8),
 )
 
+def _scan_row(name: str, flops: int, patterns: int,
+              max_wires: int) -> tuple:
+    return (name, TestMethod.SCAN, flops, patterns, max_wires, None)
 
-def d695_like() -> list[CoreTestParams]:
-    """The synthetic d695-proportioned ten-core workload."""
+
+def _bist_row(name: str, fixed_cycles: int) -> tuple:
+    return (name, TestMethod.BIST, 0, 0, 1, fixed_cycles)
+
+
+_TABLES: dict[str, tuple] = {
+    "d695": tuple(
+        _scan_row(name, flops, patterns, max_wires)
+        for name, flops, patterns, max_wires in _D695_LIKE_TABLE
+    ),
+    # Fourteen mid-sized cores, two of them autonomous BIST blocks.
+    "g1023": (
+        _scan_row("g1", 209, 14, 2),
+        _scan_row("g2", 537, 38, 4),
+        _scan_row("g3", 834, 52, 4),
+        _scan_row("g4", 296, 22, 2),
+        _scan_row("g5", 1103, 84, 8),
+        _scan_row("g6", 689, 47, 4),
+        _bist_row("g7", 4096),
+        _scan_row("g8", 421, 31, 2),
+        _scan_row("g9", 972, 66, 8),
+        _scan_row("g10", 158, 11, 1),
+        _scan_row("g11", 765, 49, 4),
+        _bist_row("g12", 2048),
+        _scan_row("g13", 1246, 91, 8),
+        _scan_row("g14", 318, 25, 2),
+    ),
+    # Twenty-eight cores, very wide spread: industrial stress case.
+    "p22810": (
+        _scan_row("p1", 12, 10, 1),
+        _scan_row("p2", 3417, 122, 16),
+        _scan_row("p3", 251, 75, 2),
+        _scan_row("p4", 1033, 130, 8),
+        _scan_row("p5", 4205, 28, 16),
+        _scan_row("p6", 684, 210, 4),
+        _scan_row("p7", 2281, 94, 16),
+        _scan_row("p8", 177, 19, 1),
+        _scan_row("p9", 1528, 103, 8),
+        _bist_row("p10", 6144),
+        _scan_row("p11", 927, 61, 4),
+        _scan_row("p12", 3066, 88, 16),
+        _scan_row("p13", 45, 36, 1),
+        _scan_row("p14", 1894, 141, 8),
+        _scan_row("p15", 562, 47, 4),
+        _scan_row("p16", 2730, 71, 16),
+        _scan_row("p17", 1372, 119, 8),
+        _bist_row("p18", 3072),
+        _scan_row("p19", 318, 57, 2),
+        _scan_row("p20", 2049, 83, 8),
+        _scan_row("p21", 808, 167, 4),
+        _scan_row("p22", 1167, 99, 8),
+        _scan_row("p23", 96, 24, 1),
+        _scan_row("p24", 3588, 52, 16),
+        _scan_row("p25", 745, 78, 4),
+        _scan_row("p26", 1623, 108, 8),
+        _bist_row("p27", 4608),
+        _scan_row("p28", 428, 33, 2),
+    ),
+    # Eight cores dominated by fixed-length memory-style BIST.
+    "h953": (
+        _bist_row("h1", 8192),
+        _bist_row("h2", 8192),
+        _scan_row("h3", 614, 46, 4),
+        _bist_row("h4", 4096),
+        _scan_row("h5", 1034, 73, 8),
+        _bist_row("h6", 12288),
+        _scan_row("h7", 377, 28, 2),
+        _bist_row("h8", 2048),
+    ),
+}
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """The ITC'02-style family members, canonical order."""
+    return ("d695", "g1023", "p22810", "h953")
+
+
+def workload(name: str) -> list[CoreTestParams]:
+    """The abstract core table of one family member."""
+    try:
+        rows = _TABLES[name]
+    except KeyError:
+        known = ", ".join(benchmark_names())
+        raise ConfigurationError(
+            f"unknown ITC'02-style workload {name!r}; known: {known}"
+        ) from None
     return [
         CoreTestParams(
-            name=name,
-            method=TestMethod.SCAN,
+            name=core_name,
+            method=method,
             flops=flops,
             patterns=patterns,
             max_wires=max_wires,
+            fixed_cycles=fixed_cycles,
         )
-        for name, flops, patterns, max_wires in _D695_LIKE_TABLE
+        for core_name, method, flops, patterns, max_wires, fixed_cycles
+        in rows
     ]
 
 
+def d695_like() -> list[CoreTestParams]:
+    """The synthetic d695-proportioned ten-core workload."""
+    return workload("d695")
+
+
+def g1023_like() -> list[CoreTestParams]:
+    """The synthetic g1023-proportioned fourteen-core workload."""
+    return workload("g1023")
+
+
+def p22810_like() -> list[CoreTestParams]:
+    """The synthetic p22810-proportioned twenty-eight-core workload."""
+    return workload("p22810")
+
+
+def h953_like() -> list[CoreTestParams]:
+    """The synthetic h953-proportioned BIST-heavy workload."""
+    return workload("h953")
+
+
 def random_test_params(
-    seed: int,
+    seed: SeedLike,
     *,
     num_cores: int = 8,
     max_flops: int = 2000,
@@ -61,12 +212,13 @@ def random_test_params(
 
     Mixes scan cores (wire-elastic) with a fraction of BIST cores
     (fixed-duration, single wire), matching the heterogeneity the
-    CAS-BUS is designed for.
+    CAS-BUS is designed for.  ``seed`` is an int or a caller-owned
+    :class:`random.Random`; identical seeds give identical workloads.
     """
-    rng = random.Random(seed)
+    rng, base = _rng_of(seed)
     cores: list[CoreTestParams] = []
     for index in range(num_cores):
-        name = f"r{seed}_{index}"
+        name = f"r{base}_{index}"
         if rng.random() < bist_fraction:
             cores.append(CoreTestParams(
                 name=name,
@@ -85,3 +237,121 @@ def random_test_params(
                 max_wires=rng.choice((1, 2, 2, 4, 4, 8, 16)),
             ))
     return cores
+
+
+# -- simulatable SoCs ---------------------------------------------------------
+
+
+def benchmark_soc(
+    name: str,
+    *,
+    bus_width: int = 8,
+    scale: int = 96,
+    seed: int = 1,
+) -> SocSpec:
+    """A simulatable SoC proportioned like one family member.
+
+    Core sizes are the table's, divided by ``scale`` and clamped to
+    what the cycle-accurate simulator moves comfortably (a complete
+    test program still runs in well under a second on the kernel
+    backend).  The relative magnitudes -- which cores are scan-heavy,
+    which are fixed-duration BIST -- survive the scaling, so schedule
+    shapes match the abstract table's.
+    """
+    rows = _TABLES.get(name)
+    if rows is None:
+        known = ", ".join(benchmark_names())
+        raise ConfigurationError(
+            f"unknown ITC'02-style workload {name!r}; known: {known}"
+        )
+    cores: list[CoreSpec] = []
+    for index, (core_name, method, flops, patterns, max_wires,
+                fixed_cycles) in enumerate(rows):
+        core_seed = seed * 1000 + index
+        if method == TestMethod.BIST:
+            assert fixed_cycles is not None
+            cores.append(CoreSpec.bist(
+                core_name,
+                seed=core_seed,
+                num_ffs=8 + (index % 5),
+                bist_cycles=max(16, min(96, fixed_cycles // scale)),
+                signature_width=8,
+            ))
+            continue
+        chains = max(1, min(max_wires, bus_width, 3))
+        ffs = max(chains * 2, min(24, flops // scale))
+        cores.append(CoreSpec.scan(
+            core_name,
+            seed=core_seed,
+            num_ffs=ffs,
+            num_chains=chains,
+            num_pis=2,
+            num_pos=2,
+            atpg_max_patterns=max(4, min(16, patterns // 8)),
+        ))
+    soc = SocSpec(
+        name=f"itc02_{name}", bus_width=bus_width, cores=tuple(cores)
+    )
+    soc.validate()
+    return soc
+
+
+def random_soc(
+    seed: SeedLike,
+    *,
+    num_cores: int = 8,
+    bus_width: int = 8,
+    bist_fraction: float = 0.25,
+    external_fraction: float = 0.1,
+) -> SocSpec:
+    """A seeded random simulatable SoC with ITC'02-ish heterogeneity.
+
+    Unlike :func:`repro.soc.library.make_synthetic_soc` (small
+    property-test systems), this generator aims at scheduling-relevant
+    shape: wire-elastic scan cores with varying chain counts next to
+    fixed-duration BIST blocks and the occasional externally tested
+    core.  Identical seeds give identical SoCs.
+    """
+    if num_cores < 1:
+        raise ConfigurationError(
+            f"need at least one core, got {num_cores}"
+        )
+    rng, base = _rng_of(seed)
+    cores: list[CoreSpec] = []
+    for index in range(num_cores):
+        name = f"i{base}_{index}"
+        core_seed = base * 1000 + index
+        roll = rng.random()
+        if roll < bist_fraction:
+            cores.append(CoreSpec.bist(
+                name,
+                seed=core_seed,
+                num_ffs=rng.randint(6, 16),
+                bist_cycles=rng.choice((32, 48, 64, 96)),
+                signature_width=8,
+            ))
+        elif roll < bist_fraction + external_fraction:
+            cores.append(CoreSpec.external(
+                name,
+                seed=core_seed,
+                num_ffs=rng.randint(6, 14),
+                stream_patterns=rng.randint(6, 14),
+            ))
+        else:
+            chains = rng.choice((1, 1, 2, 2, 3))
+            chains = min(chains, bus_width)
+            cores.append(CoreSpec.scan(
+                name,
+                seed=core_seed,
+                num_ffs=rng.randint(chains * 3, chains * 8),
+                num_chains=chains,
+                num_pis=rng.randint(1, 4),
+                num_pos=rng.randint(1, 4),
+                atpg_max_patterns=rng.choice((8, 12, 16)),
+            ))
+    soc = SocSpec(
+        name=f"itc02_random{base}", bus_width=bus_width,
+        cores=tuple(cores),
+    )
+    soc.validate()
+    return soc

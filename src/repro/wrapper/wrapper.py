@@ -87,6 +87,30 @@ class P1500Wrapper:
     def max_chain_length(self) -> int:
         return max(self.wrapper_chain_lengths())
 
+    def chain_layout(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Boundary-cell indices per wrapper chain.
+
+        Returns one ``(input_pi_indices, output_po_indices)`` pair per
+        chain: the PI / PO numbers of the boundary cells assigned to
+        that chain, in chain (scan) order.  The compiled kernel uses
+        this to reconstruct chain contents without touching cells.
+        """
+        pi_index = {
+            id(cell): index
+            for index, cell in enumerate(self.boundary.input_cells)
+        }
+        po_index = {
+            id(cell): index
+            for index, cell in enumerate(self.boundary.output_cells)
+        }
+        return [
+            (
+                tuple(pi_index[id(cell)] for cell in self._in_cells[c]),
+                tuple(po_index[id(cell)] for cell in self._out_cells[c]),
+            )
+            for c in range(len(self._in_cells))
+        ]
+
     def _distribute_boundary_cells(self) -> None:
         """Assign boundary cells to wrapper chains, balancing lengths."""
         if self.core is None:

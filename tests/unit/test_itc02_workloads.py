@@ -1,0 +1,185 @@
+"""Unit tests for the ITC'02-style workload family and the named
+workload registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.core import CoreTestParams, TestMethod
+from repro.soc import itc02
+
+
+class TestTables:
+    @pytest.mark.parametrize("name,count", [
+        ("d695", 10), ("g1023", 14), ("p22810", 28), ("h953", 8),
+    ])
+    def test_family_members_well_formed(self, name, count):
+        cores = itc02.workload(name)
+        assert len(cores) == count
+        assert len({core.name for core in cores}) == count
+        for core in cores:
+            assert isinstance(core, CoreTestParams)
+            if core.method == TestMethod.BIST:
+                assert core.fixed_cycles and core.fixed_cycles > 0
+                assert core.max_wires == 1
+            else:
+                assert core.flops > 0 and core.patterns > 0
+                assert core.max_wires >= 1
+
+    def test_named_helpers_match_workload(self):
+        assert itc02.d695_like() == itc02.workload("d695")
+        assert itc02.g1023_like() == itc02.workload("g1023")
+        assert itc02.p22810_like() == itc02.workload("p22810")
+        assert itc02.h953_like() == itc02.workload("h953")
+
+    def test_h953_is_bist_dominated(self):
+        cores = itc02.h953_like()
+        bist = [c for c in cores if c.method == TestMethod.BIST]
+        assert len(bist) > len(cores) / 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="known:"):
+            itc02.workload("t512505")
+        with pytest.raises(ConfigurationError, match="known:"):
+            itc02.benchmark_soc("t512505")
+
+
+class TestSeededRandomness:
+    def test_params_deterministic_by_seed(self):
+        assert itc02.random_test_params(7) == itc02.random_test_params(7)
+        assert (itc02.random_test_params(7)
+                != itc02.random_test_params(8))
+
+    def test_params_accept_caller_rng(self):
+        a = itc02.random_test_params(random.Random(11), num_cores=5)
+        b = itc02.random_test_params(random.Random(11), num_cores=5)
+        assert a == b
+
+    def test_caller_rng_not_module_global(self):
+        """Passing a Random never touches module-global random state."""
+        random.seed(123)
+        before = random.getstate()
+        itc02.random_test_params(random.Random(2))
+        itc02.random_soc(random.Random(2))
+        assert random.getstate() == before
+
+    def test_shared_rng_yields_distinct_workloads(self):
+        """Successive draws from one caller-owned generator must not
+        collide on names or per-core seeds."""
+        rng = random.Random(99)
+        socs = [itc02.random_soc(rng, num_cores=4) for _ in range(3)]
+        assert len({soc.name for soc in socs}) == 3
+        seeds = [tuple(core.seed for core in soc.cores) for soc in socs]
+        assert len(set(seeds)) == 3
+        tables = [itc02.random_test_params(rng) for _ in range(3)]
+        assert len({table[0].name for table in tables}) == 3
+
+    def test_random_soc_deterministic(self):
+        a = itc02.random_soc(3, num_cores=6)
+        b = itc02.random_soc(3, num_cores=6)
+        assert a.describe() == b.describe()
+        assert [c.seed for c in a.cores] == [c.seed for c in b.cores]
+
+
+class TestSimulatableSocs:
+    @pytest.mark.parametrize("name", itc02.benchmark_names())
+    def test_benchmark_socs_validate(self, name):
+        soc = itc02.benchmark_soc(name)
+        soc.validate()
+        assert len(soc.cores) == len(itc02.workload(name))
+        assert all(core.p <= soc.bus_width for core in soc.cores)
+
+    def test_benchmark_soc_preserves_method_mix(self):
+        table = itc02.workload("h953")
+        soc = itc02.benchmark_soc("h953")
+        for params, spec in zip(table, soc.cores):
+            assert params.name == spec.name
+            assert (params.method == TestMethod.BIST) == (
+                spec.method == TestMethod.BIST
+            )
+
+    def test_random_soc_simulates_and_passes(self):
+        from repro.core.tam import CasBusTamDesign
+
+        soc = itc02.random_soc(1, num_cores=5, bus_width=6)
+        result = CasBusTamDesign.for_soc(soc).run()
+        assert result.passed
+
+    def test_random_soc_needs_a_core(self):
+        with pytest.raises(ConfigurationError):
+            itc02.random_soc(1, num_cores=0)
+
+
+class TestWorkloadRegistry:
+    def test_builtins_registered(self):
+        from repro.api import list_workloads
+
+        names = list_workloads()
+        for member in itc02.benchmark_names():
+            assert f"itc02-{member}" in names
+            assert f"itc02-{member}-soc" in names
+        assert "fig1" in names and "small" in names
+
+    def test_get_workload_names_tables(self):
+        from repro.api import get_workload
+
+        workload = get_workload("itc02-p22810")
+        assert workload.name == "itc02-p22810"
+        assert len(workload.cores) == 28
+        assert workload.soc is None  # abstract table
+
+    def test_soc_workloads_are_simulatable(self):
+        from repro.api import get_workload
+
+        workload = get_workload("itc02-d695-soc")
+        assert workload.soc is not None
+        assert workload.bus_width == workload.soc.bus_width
+
+    def test_aliases_resolve(self):
+        from repro.api import get_workload
+
+        assert get_workload("d695").cores == get_workload(
+            "itc02-d695").cores
+
+    def test_experiment_accepts_workload_names(self):
+        from repro.api import Experiment
+
+        result = (Experiment("itc02-h953")
+                  .with_bus_width(8)
+                  .run())
+        assert result.source == "model"
+        assert result.workload == "itc02-h953"
+
+    def test_unknown_workload_suggests(self):
+        from repro.api import get_workload
+
+        with pytest.raises(ConfigurationError, match="workload"):
+            get_workload("itc02-z9999")
+
+    def test_run_matrix_accepts_bare_name(self):
+        from repro.api import run_matrix
+
+        results = run_matrix("itc02-d695", bus_widths=(8,),
+                             parallel=False)
+        assert len(results) == 1
+        assert results[0].workload == "itc02-d695"
+
+    def test_run_matrix_spans_workloads(self):
+        from repro.api import run_matrix
+
+        results = run_matrix(
+            ["itc02-d695", "itc02-h953"],
+            architectures=("casbus", "daisy-chain"),
+            bus_widths=(8,),
+            parallel=False,
+        )
+        assert len(results) == 4
+        assert {r.workload for r in results} == {
+            "itc02-d695", "itc02-h953"
+        }
+        assert {r.architecture for r in results} == {
+            "casbus", "daisy-chain"
+        }

@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.sim.trace` (signal recording)."""
+
+from __future__ import annotations
+
+from repro import values as lv
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecord:
+    def test_change_compression(self):
+        trace = TraceRecorder()
+        trace.record("clk", 0, lv.ZERO)
+        trace.record("clk", 1, lv.ZERO)  # unchanged: dropped
+        trace.record("clk", 2, lv.ONE)
+        assert trace.changes["clk"] == [(0, lv.ZERO), (2, lv.ONE)]
+
+    def test_max_cycle_tracks_even_unchanged_samples(self):
+        trace = TraceRecorder()
+        trace.record("s", 0, lv.ONE)
+        trace.record("s", 9, lv.ONE)
+        assert trace.max_cycle == 9
+
+    def test_record_vector_expands_indices(self):
+        trace = TraceRecorder()
+        trace.record_vector("bus", 3, (lv.ZERO, lv.ONE, lv.Z))
+        assert trace.signals() == ["bus0", "bus1", "bus2"]
+        assert trace.changes["bus2"] == [(3, lv.Z)]
+
+    def test_signals_sorted(self):
+        trace = TraceRecorder()
+        trace.record("b", 0, 1)
+        trace.record("a", 0, 0)
+        assert trace.signals() == ["a", "b"]
+
+
+class TestValueAt:
+    def test_value_at_steps(self):
+        trace = TraceRecorder()
+        trace.record("s", 2, lv.ZERO)
+        trace.record("s", 5, lv.ONE)
+        assert trace.value_at("s", 0) is None   # before first change
+        assert trace.value_at("s", 2) == lv.ZERO
+        assert trace.value_at("s", 4) == lv.ZERO  # held value
+        assert trace.value_at("s", 5) == lv.ONE
+        assert trace.value_at("s", 99) == lv.ONE
+
+    def test_unknown_signal_is_none(self):
+        assert TraceRecorder().value_at("ghost", 0) is None
+
+
+class TestSimulationCollection:
+    def test_legacy_executor_records_bus_signals(self):
+        """The (legacy) executor records one signal per bus wire in
+        both directions."""
+        from repro.core.tam import CasBusTamDesign
+        from repro.sim.session import SessionExecutor
+        from repro.sim.system import build_system
+        from repro.soc.library import small_soc
+
+        soc = small_soc()
+        trace = TraceRecorder()
+        executor = SessionExecutor(build_system(soc), trace=trace)
+        executor.run_plan(CasBusTamDesign.for_soc(soc).executable_plan())
+        names = trace.signals()
+        for wire in range(soc.bus_width):
+            assert f"bus_in{wire}" in names
+            assert f"bus_out{wire}" in names
+        assert trace.max_cycle > 0

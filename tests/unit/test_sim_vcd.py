@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.sim.vcd` (VCD rendering)."""
+
+from __future__ import annotations
+
+import re
+
+from repro import values as lv
+from repro.sim.trace import TraceRecorder
+from repro.sim.vcd import _identifier, render_vcd, write_vcd
+
+
+def _trace() -> TraceRecorder:
+    trace = TraceRecorder()
+    trace.record("clk", 0, lv.ZERO)
+    trace.record("clk", 1, lv.ONE)
+    trace.record("data bit", 0, lv.X)
+    trace.record("data bit", 2, lv.Z)
+    return trace
+
+
+class TestHeader:
+    def test_timescale_and_scope(self):
+        text = render_vcd(_trace(), design_name="dut",
+                          timescale="10 ps")
+        assert "$timescale 10 ps $end" in text
+        assert "$scope module dut $end" in text
+        assert "$upscope $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_var_declarations_sanitise_names(self):
+        text = render_vcd(_trace())
+        # One 1-bit wire per signal; spaces are not legal in VCD ids.
+        assert re.search(r"\$var wire 1 \S+ clk \$end", text)
+        assert re.search(r"\$var wire 1 \S+ data_bit \$end", text)
+
+
+class TestValueChanges:
+    def test_round_trip_of_recorded_changes(self):
+        """Every recorded change appears under its timestamp with the
+        right four-state character."""
+        text = render_vcd(_trace())
+        ids = dict(
+            re.findall(r"\$var wire 1 (\S+) (\S+) \$end", text)
+        )
+        by_name = {name: vcd_id for vcd_id, name in ids.items()}
+        blocks: dict[int, list[str]] = {}
+        current = None
+        for line in text.splitlines():
+            if line.startswith("#"):
+                current = int(line[1:])
+                blocks[current] = []
+            elif current is not None:
+                blocks[current].append(line)
+        assert f"0{by_name['clk']}" in blocks[0]
+        assert f"x{by_name['data_bit']}" in blocks[0]
+        assert f"1{by_name['clk']}" in blocks[1]
+        assert f"z{by_name['data_bit']}" in blocks[2]
+        # Closing timestamp one past the last recorded cycle.
+        assert max(blocks) == 3
+
+    def test_unknown_values_render_as_x(self):
+        trace = TraceRecorder()
+        trace.record("s", 0, 42)  # not a logic value
+        line = render_vcd(trace).splitlines()
+        index = line.index("#0")
+        assert line[index + 1].startswith("x")
+
+
+class TestIdentifiers:
+    def test_identifiers_unique_and_printable(self):
+        seen = {_identifier(index) for index in range(2000)}
+        assert len(seen) == 2000
+        assert all(
+            all(33 <= ord(char) <= 126 for char in identifier)
+            for identifier in seen
+        )
+
+
+class TestWrite:
+    def test_write_vcd_file(self, tmp_path):
+        path = tmp_path / "out.vcd"
+        write_vcd(_trace(), str(path), design_name="unit")
+        content = path.read_text(encoding="ascii")
+        assert content.startswith("$date")
+        assert "$scope module unit $end" in content
+        assert content.endswith("\n")
