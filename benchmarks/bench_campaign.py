@@ -1,0 +1,99 @@
+"""Campaign store overhead and the price of resume.
+
+The campaign layer's value proposition is "unchanged configs are
+free": a resumed campaign must cost hashing + one store read, not
+re-execution.  This benchmark runs the same grid cold (everything
+executes, every record fsynced) and resumed (everything cached) and
+reports both, asserting the resumed pass actually skips the work and
+is decisively faster.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.campaign import Campaign
+
+from conftest import emit
+
+GRID = dict(
+    architectures=("casbus", "mux-bus", "daisy-chain", "direct-access"),
+    bus_widths=(4, 8, 16, 32),
+    schedulers=("greedy", "balanced-lpt"),
+)
+
+
+def _campaign(store_dir) -> Campaign:
+    return Campaign.sweep(
+        "bench", ["itc02-d695"], store_dir=store_dir, **GRID
+    )
+
+
+def test_campaign_resume_overhead(benchmark):
+    with tempfile.TemporaryDirectory() as scratch:
+        store_dir = Path(scratch)
+
+        start = time.perf_counter()
+        cold = _campaign(store_dir).run(parallel=False)
+        cold_s = time.perf_counter() - start
+        assert cold.executed == cold.total
+
+        def resume():
+            return _campaign(store_dir).run(parallel=False)
+
+        warm = benchmark.pedantic(resume, rounds=3, iterations=1)
+        start = time.perf_counter()
+        timed = _campaign(store_dir).run(parallel=False)
+        warm_s = time.perf_counter() - start
+
+        assert warm.executed == 0 and warm.cached == warm.total
+        assert timed.results == cold.results
+        speedup = cold_s / warm_s if warm_s else float("inf")
+        emit(format_table(
+            ("pass", "runs executed", "ms"),
+            [
+                ("cold (execute + fsync)", cold.executed,
+                 f"{cold_s * 1e3:.1f}"),
+                ("resumed (all cached)", warm.executed,
+                 f"{warm_s * 1e3:.1f}"),
+            ],
+            title=f"campaign resume on a {cold.total}-run grid "
+                  f"({speedup:.1f}x)",
+        ))
+        # Resume must skip execution, not merely tie: demand a clear win.
+        assert warm_s < cold_s, "resumed pass should be faster than cold"
+
+
+def test_sharded_campaign_equals_unsharded(benchmark):
+    """Shard fan-out + merge reproduces the unsharded store -- and the
+    split work is what gets cheaper per worker."""
+    from repro.campaign import merge_stores
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store_dir = Path(scratch)
+        full = _campaign(store_dir).run(parallel=False)
+
+        def run_shards():
+            reports = []
+            for index in (1, 2):
+                shard = Campaign.sweep(
+                    f"shard{index}", ["itc02-d695"],
+                    store_dir=store_dir / "shards", **GRID
+                )
+                reports.append(shard.run(shard=(index, 2), parallel=False))
+            return reports
+
+        reports = benchmark.pedantic(run_shards, rounds=1, iterations=1)
+        merged = merge_stores(
+            [store_dir / "shards" / f"shard{index}.jsonl" for index in (1, 2)],
+            store_dir / "merged.jsonl",
+        )
+        assert sum(r.selected for r in reports) == full.total
+        full_store = _campaign(store_dir).store
+        assert merged.results() == full_store.results()
+        emit(f"2-way shard of {full.total} runs: "
+             f"{[r.selected for r in reports]} runs per worker, "
+             f"merge == unsharded")

@@ -19,7 +19,7 @@ from repro.bist.engine import random_detectable_fault
 from repro.soc.core import CoreSpec
 from repro.soc.library import fig1_soc
 from repro.soc.soc import SocSpec
-from repro.sim.plan import CoreAssignment, PlanBuilder, flat_assignment
+from repro.sim.plan import CoreAssignment, PlanBuilder
 from repro.sim.session import SessionExecutor
 from repro.sim.system import build_system
 

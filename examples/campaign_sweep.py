@@ -1,0 +1,92 @@
+"""Campaigns: durable, resumable, shardable design-space sweeps.
+
+Demonstrates the ``repro.campaign`` layer end to end:
+
+1. run a campaign -- every completed run is appended to a JSONL store
+   the moment it finishes;
+2. "crash" partway through a second campaign and resume it -- only the
+   missing configs execute;
+3. split the same campaign across two shards (as two CI jobs would),
+   merge the shard stores, and check the merged result set equals the
+   unsharded one.
+
+The same flows are available headless:
+
+    python -m repro sweep itc02-d695 --architectures casbus,mux-bus \
+        --bus-widths 8,16,32 --campaign demo --shard 1/2
+    python -m repro merge shard1.jsonl shard2.jsonl -o merged.jsonl
+    python -m repro report merged.jsonl
+
+Run:  python examples/campaign_sweep.py
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.campaign import Campaign, merge_stores
+
+STORE_DIR = Path("artifacts") / "campaigns"
+
+GRID = dict(
+    architectures=("casbus", "mux-bus", "static-distribution"),
+    bus_widths=(8, 16, 32),
+    schedulers=("greedy",),
+)
+
+
+def fresh_campaign(name: str) -> Campaign:
+    return Campaign.sweep(name, ["itc02-d695"], store_dir=STORE_DIR, **GRID)
+
+
+def main() -> None:
+    shutil.rmtree(STORE_DIR, ignore_errors=True)  # deterministic demo
+
+    # -- 1. A campaign persists every run as it completes.
+    campaign = fresh_campaign("example")
+    report = campaign.run(parallel=False)
+    print(report.summary())
+    print(f"store: one JSON record per run in {report.store_path}")
+
+    # Re-running the finished campaign executes nothing.
+    again = fresh_campaign("example").run(parallel=False)
+    print(again.summary())
+    assert again.executed == 0
+
+    # -- 2. Interrupt a campaign, then resume it.
+    class Crash(RuntimeError):
+        pass
+
+    def crash_after_three(experiment, result, *, cached, elapsed):
+        crash_after_three.count += 1
+        if crash_after_three.count >= 3:
+            raise Crash
+
+    crash_after_three.count = 0
+    interrupted = fresh_campaign("resumed")
+    try:
+        interrupted.run(parallel=False, on_result=crash_after_three)
+    except Crash:
+        pass
+    print(f"\n'crashed' after {len(interrupted.store.hashes())} runs; "
+          f"{interrupted.pending()} still missing")
+    resumed = fresh_campaign("resumed").run(parallel=False)
+    print(f"resumed: {resumed.summary()}")
+    assert resumed.executed == resumed.total - 3
+
+    # -- 3. Shard the campaign as two CI jobs would, then merge.
+    print()
+    shards = []
+    for index in (1, 2):
+        shard = fresh_campaign(f"shard{index}")
+        shard_report = shard.run(shard=(index, 2), parallel=False)
+        print(shard_report.summary())
+        shards.append(shard.store)
+    merged = merge_stores(shards, STORE_DIR / "merged.jsonl")
+    full = fresh_campaign("example").store
+    same = merged.results() == full.results()
+    print(f"merged {len(merged)} runs; equals unsharded campaign: {same}")
+    assert same
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate gross performance regressions on a committed baseline.
+
+Compares a pytest-benchmark JSON record (``--benchmark-json`` output)
+against ``benchmarks/bench_smoke_baseline.json`` and fails when any
+benchmark's mean time exceeds ``tolerance`` times its baseline mean,
+or when a baselined benchmark vanished.
+
+The tolerance is deliberately loose: CI runners are shared and noisy,
+and the point is catching order-of-magnitude breakage (the compiled
+kernel silently falling back to object stepping, a cache stopping to
+cache), not 20%% drift.  Regenerate the baseline with ``--update``
+after an intentional performance change.
+
+Usage:
+    python scripts/check_bench_regression.py BENCH_smoke.json
+    python scripts/check_bench_regression.py BENCH_smoke.json --update
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path("benchmarks") / "bench_smoke_baseline.json"
+DEFAULT_TOLERANCE = 5.0
+BASELINE_SCHEMA = 1
+
+
+def load_means(record_path: Path) -> "dict[str, float]":
+    """``fullname -> mean seconds`` from a pytest-benchmark JSON."""
+    payload = json.loads(record_path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in payload["benchmarks"]
+    }
+
+
+def write_baseline(baseline_path: Path, means: "dict[str, float]") -> None:
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "note": (
+            "Reference mean seconds per benchmark; regenerate with "
+            "scripts/check_bench_regression.py <record> --update"
+        ),
+        "means_s": {name: means[name] for name in sorted(means)},
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compare(
+    current: "dict[str, float]",
+    baseline: "dict[str, float]",
+    tolerance: float,
+) -> int:
+    failures = []
+    width = max(len(name) for name in baseline) if baseline else 0
+    for name in sorted(baseline):
+        reference = baseline[name]
+        measured = current.get(name)
+        if measured is None:
+            failures.append(f"{name}: benchmark missing from record")
+            print(f"  {name:<{width}}  MISSING")
+            continue
+        ratio = measured / reference if reference else float("inf")
+        verdict = "ok"
+        if ratio > tolerance:
+            verdict = f"FAIL (> {tolerance:.1f}x)"
+            failures.append(f"{name}: {ratio:.1f}x slower than baseline")
+        print(
+            f"  {name:<{width}}  base {reference * 1e3:9.2f} ms"
+            f"  now {measured * 1e3:9.2f} ms  {ratio:5.2f}x  {verdict}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name}: not in baseline (run --update to adopt)")
+    for failure in failures:
+        print(f"regression: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("record", type=Path, help="pytest-benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="fail when mean exceeds tolerance x baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this record and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.record)
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated: {args.baseline} ({len(current)} benchmarks)")
+        return 0
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update first")
+        return 1
+    payload = json.loads(args.baseline.read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        print(f"unsupported baseline schema in {args.baseline}")
+        return 1
+    print(f"comparing against {args.baseline} (tolerance {args.tolerance}x)")
+    return compare(current, payload["means_s"], args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

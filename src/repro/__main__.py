@@ -1,0 +1,12 @@
+"""``python -m repro`` -- the campaign command line.
+
+See :mod:`repro.campaign.cli` for the verbs (run, sweep, report,
+merge, list).
+"""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

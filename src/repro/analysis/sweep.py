@@ -11,7 +11,7 @@ tabulating arbitrary callables over one parameter.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping
 
 
 def sweep(

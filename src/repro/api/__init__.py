@@ -42,6 +42,7 @@ from repro.api.registry import (
 )
 from repro.api.results import (
     RESULT_HEADERS,
+    SCHEMA_VERSION,
     RunConfig,
     RunResult,
     SessionDetail,
@@ -61,6 +62,7 @@ from repro.api.workloads import (
     get_workload,
     list_workloads,
     register_workload,
+    workload_identity,
 )
 
 __all__ = [
@@ -88,7 +90,9 @@ __all__ = [
     "RunResult",
     "SessionDetail",
     "RESULT_HEADERS",
+    "SCHEMA_VERSION",
     "results_table",
+    "workload_identity",
     "run_many",
     "run_matrix",
     "run_sweep",

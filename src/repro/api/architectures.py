@@ -30,6 +30,7 @@ abstract timing model otherwise, always returning a uniform
 from __future__ import annotations
 
 import abc
+import enum
 from dataclasses import dataclass
 from typing import Sequence, Union
 
@@ -98,6 +99,43 @@ class Workload:
         if not cores:
             raise ConfigurationError("a workload needs at least one core")
         return cls(name=f"cores[{len(cores)}]", cores=cores)
+
+    def identity(self) -> dict:
+        """Canonical JSON-ready identity (campaign config hashing).
+
+        Simulatable workloads serialize their full :class:`SocSpec`
+        (structural identity: core specs, seeds, interconnects);
+        abstract core tables serialize their
+        :class:`~repro.soc.core.CoreTestParams` plus the workload name,
+        so registered tables (``itc02-d695``) hash stably across
+        processes while remaining distinct from one another.  Enum
+        members serialize by value; the payload is pure
+        JSON-serializable data.
+        """
+        import dataclasses
+
+        def jsonable(value):
+            if isinstance(value, enum.Enum):
+                return value.value
+            if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                return {
+                    f.name: jsonable(getattr(value, f.name))
+                    for f in dataclasses.fields(value)
+                }
+            if isinstance(value, (tuple, list)):
+                return [jsonable(item) for item in value]
+            if isinstance(value, dict):
+                return {key: jsonable(item) for key, item in value.items()}
+            return value
+
+        if self.soc is not None:
+            return {"kind": "soc", "spec": jsonable(self.soc)}
+        return {
+            "kind": "cores",
+            "name": self.name,
+            "bus_width": self.bus_width,
+            "cores": [jsonable(core) for core in self.cores],
+        }
 
     def resolve_width(self, requested: int | None) -> int:
         width = requested if requested is not None else self.bus_width

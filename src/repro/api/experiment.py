@@ -100,6 +100,31 @@ class Experiment:
         """Force (``True``) or forbid (``False``) simulation."""
         return self._evolve(simulate=simulate)
 
+    # -- identity ----------------------------------------------------------
+
+    def identity(self) -> dict:
+        """Canonical JSON-ready identity: workload + effective config.
+
+        Registry aliases resolve to canonical names and the bus width
+        resolves against the workload, so ``cas-bus``/``casbus`` or an
+        explicit width equal to the workload's own cannot produce
+        distinct identities.  The free-form ``label`` is excluded: it
+        tags output, it does not change the run.
+        """
+        from repro.campaign.hashing import experiment_identity
+
+        return experiment_identity(self)
+
+    def config_hash(self) -> str:
+        """Stable content hash of :meth:`identity` (hex SHA-256).
+
+        Equal across processes and Python versions; campaign stores
+        key completed runs by it (see :mod:`repro.campaign`).
+        """
+        from repro.campaign.hashing import config_hash
+
+        return config_hash(self)
+
     # -- lifecycle ---------------------------------------------------------
 
     def build(self) -> DesignedTam:

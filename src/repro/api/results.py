@@ -21,6 +21,11 @@ from typing import Mapping
 SOURCE_SIMULATION = "simulation"
 SOURCE_MODEL = "model"
 
+#: Version stamped into every serialized record (campaign stores,
+#: ``to_dict`` payloads).  Bump on incompatible shape changes; readers
+#: refuse records whose schema is newer than what they understand.
+SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class RunConfig:
@@ -65,6 +70,46 @@ class RunConfig:
         """A copy with ``changes`` applied (builder plumbing)."""
         return replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (round-trips via :meth:`from_dict`).
+
+        Fault tuples become lists and the fault mapping is emitted in
+        sorted key order, so equal configs serialize identically
+        regardless of construction order.
+        """
+        return {
+            "architecture": self.architecture,
+            "scheduler": self.scheduler,
+            "bus_width": self.bus_width,
+            "cas_policy": self.cas_policy,
+            "inject_faults": (
+                {name: list(fault)
+                 for name, fault in sorted(self.inject_faults.items())}
+                if self.inject_faults else None
+            ),
+            "simulate": self.simulate,
+            "backend": self.backend,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunConfig":
+        """Rebuild a config serialized by :meth:`to_dict`."""
+        faults = data.get("inject_faults")
+        return cls(
+            architecture=data.get("architecture", "casbus"),
+            scheduler=data.get("scheduler", "greedy"),
+            bus_width=data.get("bus_width"),
+            cas_policy=data.get("cas_policy"),
+            inject_faults=(
+                {name: tuple(fault) for name, fault in faults.items()}
+                if faults else None
+            ),
+            simulate=data.get("simulate"),
+            backend=data.get("backend", "auto"),
+            label=data.get("label", ""),
+        )
+
 
 @dataclass(frozen=True)
 class SessionDetail:
@@ -79,6 +124,27 @@ class SessionDetail:
     @property
     def total_cycles(self) -> int:
         return self.config_cycles + self.test_cycles
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (round-trips via :meth:`from_dict`)."""
+        return {
+            "label": self.label,
+            "config_cycles": self.config_cycles,
+            "test_cycles": self.test_cycles,
+            "cores": list(self.cores),
+            "passed": self.passed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SessionDetail":
+        """Rebuild a session serialized by :meth:`to_dict`."""
+        return cls(
+            label=data["label"],
+            config_cycles=data["config_cycles"],
+            test_cycles=data["test_cycles"],
+            cores=tuple(data["cores"]),
+            passed=data["passed"],
+        )
 
 
 @dataclass(frozen=True)
@@ -119,6 +185,49 @@ class RunResult:
     @property
     def total_cycles(self) -> int:
         return self.test_cycles + self.config_cycles
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (round-trips via :meth:`from_dict`).
+
+        ``area_ge`` survives exactly: JSON floats round-trip through
+        ``repr``, so a reloaded result compares equal to the original
+        dataclass.
+        """
+        return {
+            "architecture": self.architecture,
+            "scheduler": self.scheduler,
+            "workload": self.workload,
+            "bus_width": self.bus_width,
+            "test_cycles": self.test_cycles,
+            "config_cycles": self.config_cycles,
+            "extra_pins": self.extra_pins,
+            "area_ge": self.area_ge,
+            "source": self.source,
+            "passed": self.passed,
+            "sessions": [session.to_dict() for session in self.sessions],
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        return cls(
+            architecture=data["architecture"],
+            scheduler=data["scheduler"],
+            workload=data["workload"],
+            bus_width=data["bus_width"],
+            test_cycles=data["test_cycles"],
+            config_cycles=data["config_cycles"],
+            extra_pins=data["extra_pins"],
+            area_ge=data["area_ge"],
+            source=data["source"],
+            passed=data.get("passed"),
+            sessions=tuple(
+                SessionDetail.from_dict(session)
+                for session in data.get("sessions", ())
+            ),
+            label=data.get("label", ""),
+        )
 
     def metrics(self) -> dict[str, object]:
         """Flat metric mapping (sweep/table friendly)."""

@@ -19,8 +19,9 @@ structured :class:`~repro.api.results.RunResult` objects
 from __future__ import annotations
 
 import os
+import time
 from concurrent import futures
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.api.architectures import WorkloadLike
@@ -28,14 +29,84 @@ from repro.api.experiment import Experiment
 from repro.api.registry import get_architecture, get_scheduler
 from repro.api.results import RunConfig, RunResult
 
+#: Progress callback: ``on_result(experiment, result, cached=..., elapsed=...)``
+#: invoked once per experiment as its result becomes available.
+#: ``cached`` is True when the result came from a store instead of
+#: being executed; ``elapsed`` is the wall-clock seconds of an executed
+#: run (``None`` for cached ones).
+OnResult = Callable[..., None]
+
 
 def _run_one(experiment: Experiment) -> RunResult:
     """Process-pool entry point (must be a module-level function)."""
     return experiment.run()
 
 
+def _timed_run(experiment: Experiment) -> tuple[RunResult, float]:
+    """Pool entry point reporting per-run wall-clock seconds."""
+    start = time.perf_counter()
+    result = experiment.run()
+    return result, time.perf_counter() - start
+
+
 def _default_workers(count: int) -> int:
     return max(1, min(count, os.cpu_count() or 1))
+
+
+def _stream(
+    batch: Sequence[Experiment],
+    serial: bool,
+    workers: int,
+) -> Iterator[tuple[int, RunResult, float]]:
+    """Yield ``(index, result, seconds)`` in *completion* order.
+
+    Results are yielded the moment each run finishes -- not in input
+    order -- so a store-aware caller can persist every completed run
+    even while a slow sibling is still executing: an interrupted batch
+    keeps everything finished so far.  The pool strategy matches the
+    historical ``run_many`` behaviour: process pool first, falling back
+    to threads when the platform cannot spawn processes or a spawn
+    worker's registry diverged.
+    """
+    if serial:
+        for index, item in enumerate(batch):
+            result, elapsed = _timed_run(item)
+            yield index, result, elapsed
+        return
+    yielded: set[int] = set()
+    try:
+        with futures.ProcessPoolExecutor(max_workers=workers) as executor:
+            submitted = {
+                executor.submit(_timed_run, item): index
+                for index, item in enumerate(batch)
+            }
+            broken = False
+            for future in futures.as_completed(submitted):
+                index = submitted[future]
+                try:
+                    result, elapsed = future.result()
+                except (OSError, PermissionError, futures.BrokenExecutor,
+                        ConfigurationError):
+                    # No subprocesses here (sandbox) or divergent
+                    # registry (spawn platforms lose dynamically
+                    # registered entries): finish on threads below.
+                    broken = True
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    break
+                yielded.add(index)
+                yield index, result, elapsed
+            if not broken:
+                return
+    except (OSError, PermissionError, futures.BrokenExecutor):
+        pass  # the process pool could not start at all
+    remaining = [i for i in range(len(batch)) if i not in yielded]
+    with futures.ThreadPoolExecutor(max_workers=workers) as executor:
+        # Threads share the registry and raise experiment errors
+        # directly; no further fallback so failures surface once.
+        # Only the experiments not already yielded re-run.
+        mapped = executor.map(_timed_run, [batch[i] for i in remaining])
+        for index, (result, elapsed) in zip(remaining, mapped):
+            yield index, result, elapsed
 
 
 def run_many(
@@ -43,6 +114,9 @@ def run_many(
     *,
     parallel: bool = True,
     max_workers: int | None = None,
+    store=None,
+    rerun: bool = False,
+    on_result: Optional[OnResult] = None,
 ) -> list[RunResult]:
     """Run every experiment; results in input order.
 
@@ -54,6 +128,16 @@ def run_many(
             default).  Falls back to threads, then serial, if the
             platform cannot spawn processes.
         max_workers: pool size; default ``min(len, cpu_count)``.
+        store: a :class:`~repro.campaign.store.CampaignStore`.  When
+            given, experiments whose config hash already has a stored
+            result are *not executed* -- the stored result is returned
+            in their place -- and every freshly executed result is
+            durably appended to the store the moment it completes, so
+            an interrupted batch resumes where it died.
+        rerun: with a store, ignore existing records and execute
+            everything; new records supersede old ones on read.
+        on_result: progress callback, called once per experiment as
+            ``on_result(experiment, result, cached=..., elapsed=...)``.
     """
     batch = list(experiments)
     for item in batch:
@@ -64,26 +148,85 @@ def run_many(
             )
         # Resolve names up front: a typo fails here, before dispatch,
         # so a ConfigurationError out of a worker process can only mean
-        # the worker's registry diverged (spawn platforms lose
-        # dynamically registered entries) -- the thread fallback below
-        # shares this process's registry and recovers that case.
+        # the worker's registry diverged -- the thread fallback in
+        # ``_stream`` shares this process's registry and recovers it.
         get_architecture(item.config.architecture)
         get_scheduler(item.config.scheduler)
     if not batch:
         return []
-    if not parallel or len(batch) == 1:
-        return [_run_one(item) for item in batch]
     workers = max_workers or _default_workers(len(batch))
-    try:
-        with futures.ProcessPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(_run_one, batch))
-    except (OSError, PermissionError, futures.BrokenExecutor,
-            ConfigurationError):
-        pass  # no subprocesses here (sandbox) or divergent registry
-    with futures.ThreadPoolExecutor(max_workers=workers) as executor:
-        # Threads share the registry and raise experiment errors
-        # directly; no further fallback so failures surface once.
-        return list(executor.map(_run_one, batch))
+    serial = not parallel or len(batch) == 1
+    if store is None:
+        results: list[RunResult] = [None] * len(batch)  # type: ignore[list-item]
+        for index, result, elapsed in _stream(batch, serial, workers):
+            results[index] = result
+            if on_result is not None:
+                on_result(batch[index], result, cached=False,
+                          elapsed=elapsed)
+        return results
+    return _run_with_store(
+        batch, store, serial=serial, workers=workers, rerun=rerun,
+        on_result=on_result,
+    )
+
+
+def _run_with_store(
+    batch: Sequence[Experiment],
+    store,
+    *,
+    serial: bool,
+    workers: int,
+    rerun: bool,
+    on_result: Optional[OnResult],
+) -> list[RunResult]:
+    """The store-aware execution path: skip, execute, persist.
+
+    Duplicate configs *within* the batch execute once; the survivors
+    reuse the first copy's result, exactly as a store hit would.
+    """
+    from repro.campaign.hashing import config_hash
+    from repro.campaign.store import make_record
+
+    hashes = [config_hash(item) for item in batch]
+    # Records stay serialized until a batch hash actually needs one:
+    # resuming a small shard against a large shared store must not
+    # reconstruct every RunResult it contains.
+    stored = {} if rerun else store.latest()
+    results: list[RunResult] = [None] * len(batch)  # type: ignore[list-item]
+    pending: list[int] = []
+    leaders: dict[str, int] = {}
+    followers: dict[int, int] = {}
+    for index, item_hash in enumerate(hashes):
+        if item_hash in stored:
+            results[index] = RunResult.from_dict(
+                stored[item_hash]["result"]
+            )
+            if on_result is not None:
+                on_result(batch[index], results[index], cached=True,
+                          elapsed=None)
+        elif item_hash in leaders:
+            followers[index] = leaders[item_hash]
+        else:
+            leaders[item_hash] = index
+            pending.append(index)
+    subset = [batch[index] for index in pending]
+    for position, result, elapsed in _stream(
+            subset, serial or len(subset) == 1, workers):
+        index = pending[position]
+        store.append(
+            make_record(batch[index], result, config_hash=hashes[index],
+                        elapsed_s=elapsed),
+            replace=rerun,
+        )
+        results[index] = result
+        if on_result is not None:
+            on_result(batch[index], result, cached=False, elapsed=elapsed)
+    for index, leader in followers.items():
+        results[index] = results[leader]
+        if on_result is not None:
+            on_result(batch[index], results[index], cached=True,
+                      elapsed=None)
+    return results
 
 
 def sweep_experiments(
@@ -121,11 +264,15 @@ def run_sweep(
     base_config: RunConfig | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
+    store=None,
+    rerun: bool = False,
+    on_result: Optional[OnResult] = None,
 ) -> list[RunResult]:
     """One-call design-space exploration: grid + :func:`run_many`.
 
     ``workload`` may be a registered workload name (see
     :mod:`repro.api.workloads`), e.g. ``run_sweep("itc02-d695", ...)``.
+    ``store``/``rerun``/``on_result`` behave as in :func:`run_many`.
     """
     return run_many(
         sweep_experiments(
@@ -137,6 +284,9 @@ def run_sweep(
         ),
         parallel=parallel,
         max_workers=max_workers,
+        store=store,
+        rerun=rerun,
+        on_result=on_result,
     )
 
 
@@ -149,6 +299,9 @@ def run_matrix(
     base_config: RunConfig | None = None,
     parallel: bool = True,
     max_workers: int | None = None,
+    store=None,
+    rerun: bool = False,
+    on_result: Optional[OnResult] = None,
 ) -> list[RunResult]:
     """Design-space exploration across *multiple* workloads.
 
@@ -178,5 +331,6 @@ def run_matrix(
             base_config=base_config,
         ))
     return run_many(
-        experiments, parallel=parallel, max_workers=max_workers
+        experiments, parallel=parallel, max_workers=max_workers,
+        store=store, rerun=rerun, on_result=on_result,
     )

@@ -64,6 +64,19 @@ def list_workloads() -> list[str]:
     return WORKLOADS.names()
 
 
+def workload_identity(workload) -> dict:
+    """Canonical JSON-ready identity of any workload-like value.
+
+    Registered names, :class:`~repro.soc.soc.SocSpec` objects, core
+    tables and prepared :class:`Workload` instances all normalise
+    through :meth:`Workload.of` first, so
+    ``workload_identity("itc02-d695")`` equals
+    ``workload_identity(get_workload("itc02-d695"))`` -- the campaign
+    layer hashes runs identically however the workload was named.
+    """
+    return Workload.of(workload).identity()
+
+
 def _register_builtins() -> None:
     from repro.soc import itc02
     from repro.soc.library import fig1_soc, small_soc

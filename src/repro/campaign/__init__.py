@@ -1,0 +1,52 @@
+"""``repro.campaign`` -- persistent, resumable experiment campaigns.
+
+Layered on :mod:`repro.api`, this package gives large design-space
+explorations three properties the in-memory runner cannot:
+
+* **durability** -- every completed run appends one self-describing
+  JSON record (config hash, schema version, config, result, timing)
+  to a :class:`CampaignStore` the moment it finishes;
+* **resumability** -- re-running a campaign skips every config hash
+  already stored, so an interrupted 10k-run sweep continues where it
+  died and unchanged configs are free;
+* **shardability** -- :func:`~repro.campaign.hashing.in_shard`
+  deterministically partitions configs by hash, letting ``n``
+  coordination-free workers each take ``shard=(k, n)`` and
+  :func:`merge_stores` fold their stores into exactly the unsharded
+  result set.
+
+The ``python -m repro`` command line (:mod:`repro.campaign.cli`)
+drives all of it headless: ``repro run``, ``repro sweep``,
+``repro report``, ``repro merge``.
+"""
+
+from repro.campaign.campaign import Campaign, CampaignReport
+from repro.campaign.hashing import (
+    canonical_json,
+    config_hash,
+    experiment_identity,
+    in_shard,
+    parse_shard,
+    shard_index,
+)
+from repro.campaign.store import (
+    DEFAULT_STORE_DIR,
+    CampaignStore,
+    make_record,
+    merge_stores,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "CampaignStore",
+    "DEFAULT_STORE_DIR",
+    "canonical_json",
+    "config_hash",
+    "experiment_identity",
+    "in_shard",
+    "make_record",
+    "merge_stores",
+    "parse_shard",
+    "shard_index",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.campaign`` -- alias of ``python -m repro``."""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

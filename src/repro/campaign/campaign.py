@@ -1,0 +1,219 @@
+"""Resumable, shardable experiment campaigns.
+
+A :class:`Campaign` is a named batch of experiments bound to a durable
+:class:`~repro.campaign.store.CampaignStore`.  Running it executes
+only the experiments without a stored result -- interrupted campaigns
+resume where they died, and re-running a finished campaign is free.
+Deterministic sharding (``shard=(k, n)``) partitions the batch by
+config hash, so ``n`` independent workers (CI jobs, machines) each run
+``shard=(1, n) .. (n, n)`` against private stores and
+:func:`~repro.campaign.store.merge_stores` combines them into exactly
+the unsharded result set.
+
+.. code-block:: python
+
+    from repro.campaign import Campaign
+
+    campaign = Campaign.sweep(
+        "widths",
+        ["itc02-d695"],
+        architectures=["casbus", "mux-bus"],
+        bus_widths=[8, 16, 32],
+    )
+    report = campaign.run()          # executes everything
+    report = campaign.run()          # instant: all cached
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.api.experiment import Experiment
+from repro.api.results import RunConfig, RunResult
+from repro.api.runner import run_many, sweep_experiments
+from repro.campaign.hashing import config_hash, in_shard, validate_shard
+from repro.campaign.store import CampaignStore
+
+
+@dataclass
+class CampaignReport:
+    """What one :meth:`Campaign.run` call did.
+
+    ``results`` holds the runs this call *selected* (the whole batch,
+    or just this shard's slice), in grid order, mixing cached and
+    freshly executed results -- the two are indistinguishable by
+    construction.
+    """
+
+    name: str
+    store_path: str
+    total: int
+    selected: int
+    executed: int
+    cached: int
+    shard: "tuple[int, int] | None" = None
+    results: "list[RunResult]" = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        part = ""
+        if self.shard is not None:
+            index, count = self.shard
+            part = f" (shard {index}/{count}: {self.selected} selected)"
+        return (
+            f"campaign {self.name!r}: {self.total} runs{part}, "
+            f"{self.executed} executed, {self.cached} cached "
+            f"-> {self.store_path}"
+        )
+
+
+class Campaign:
+    """A named experiment batch with a persistent result store."""
+
+    def __init__(
+        self,
+        name: str,
+        experiments: Iterable[Experiment],
+        *,
+        store: "CampaignStore | None" = None,
+        store_dir=None,
+    ) -> None:
+        self.name = name
+        self.experiments = list(experiments)
+        for item in self.experiments:
+            if not isinstance(item, Experiment):
+                message = (
+                    f"Campaign expects Experiment instances, "
+                    f"got {type(item).__name__}"
+                )
+                raise ConfigurationError(message)
+        if store is None:
+            store = CampaignStore.for_campaign(name, store_dir)
+        self.store = store
+
+    @classmethod
+    def sweep(
+        cls,
+        name: str,
+        workloads: Sequence,
+        *,
+        architectures: Sequence[str] = ("casbus",),
+        bus_widths: "Sequence[int | None]" = (None,),
+        schedulers: Sequence[str] = ("greedy",),
+        base_config: "RunConfig | None" = None,
+        store: "CampaignStore | None" = None,
+        store_dir=None,
+    ) -> "Campaign":
+        """A campaign over the standard design-space grid.
+
+        The grid is workloads (outer) x architectures x bus widths x
+        schedulers (inner), exactly as
+        :func:`repro.api.runner.run_matrix` builds it.
+        """
+        if isinstance(workloads, str):
+            workloads = [workloads]
+        experiments: "list[Experiment]" = []
+        for workload in workloads:
+            experiments.extend(
+                sweep_experiments(
+                    workload,
+                    architectures=architectures,
+                    bus_widths=bus_widths,
+                    schedulers=schedulers,
+                    base_config=base_config,
+                )
+            )
+        return cls(name, experiments, store=store, store_dir=store_dir)
+
+    def hashes(self) -> "list[str]":
+        """Config hash per experiment, in grid order."""
+        return [config_hash(item) for item in self.experiments]
+
+    def pending(self, shard: "tuple[int, int] | None" = None) -> int:
+        """How many selected runs have no stored result yet."""
+        stored = self.store.hashes()
+        return sum(
+            1
+            for item_hash in self.selected_hashes(shard)
+            if item_hash not in stored
+        )
+
+    def selected_hashes(
+        self,
+        shard: "tuple[int, int] | None" = None,
+    ) -> "list[str]":
+        """Config hashes of the runs a ``shard`` selects (grid order)."""
+        hashes = self.hashes()
+        if shard is None:
+            return hashes
+        index, count = shard
+        validate_shard(index, count)
+        return [h for h in hashes if in_shard(h, index, count)]
+
+    def run(
+        self,
+        *,
+        shard: "tuple[int, int] | None" = None,
+        parallel: bool = True,
+        max_workers: "int | None" = None,
+        rerun: bool = False,
+        on_result: Optional[Callable] = None,
+    ) -> CampaignReport:
+        """Execute the campaign's missing runs; everything else is free.
+
+        Args:
+            shard: ``(k, n)`` with ``1 <= k <= n`` selects the batch
+                slice this worker owns (partitioned by config hash);
+                ``None`` runs everything.
+            parallel / max_workers: as in
+                :func:`repro.api.runner.run_many`.
+            rerun: execute even already-stored configs; their new
+                records supersede the old ones.
+            on_result: progress callback, called as
+                ``on_result(experiment, result, cached=..., elapsed=...)``
+                the moment each (cached or executed) result is known.
+        """
+        hashes = self.hashes()
+        if shard is None:
+            selected = list(range(len(self.experiments)))
+        else:
+            index, count = shard
+            validate_shard(index, count)
+            selected = [
+                position
+                for position, item_hash in enumerate(hashes)
+                if in_shard(item_hash, index, count)
+            ]
+        executed_count = 0
+        cached_count = 0
+
+        def tally(experiment, result, *, cached, elapsed):
+            nonlocal executed_count, cached_count
+            if cached:
+                cached_count += 1
+            else:
+                executed_count += 1
+            if on_result is not None:
+                on_result(experiment, result, cached=cached, elapsed=elapsed)
+
+        results = run_many(
+            [self.experiments[position] for position in selected],
+            parallel=parallel,
+            max_workers=max_workers,
+            store=self.store,
+            rerun=rerun,
+            on_result=tally,
+        )
+        return CampaignReport(
+            name=self.name,
+            store_path=str(self.store.path),
+            total=len(self.experiments),
+            selected=len(selected),
+            executed=executed_count,
+            cached=cached_count,
+            shard=shard,
+            results=results,
+        )

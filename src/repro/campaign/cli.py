@@ -1,0 +1,291 @@
+"""The ``python -m repro`` command line.
+
+Four verbs drive campaigns headless:
+
+* ``repro run`` -- one experiment, optionally recorded in a store;
+* ``repro sweep`` -- a design-space campaign against a resumable
+  store, with deterministic ``--shard K/N`` fan-out;
+* ``repro report`` -- tabulate one or more stores;
+* ``repro merge`` -- combine shard stores into one canonical store.
+
+Plus ``repro list`` to discover registered architectures, schedulers
+and workloads.  Tables print sorted by config hash, so the report of
+merged shard stores is byte-identical to the report of the equivalent
+unsharded run -- CI asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.analysis.tables import format_table
+from repro.api.experiment import Experiment
+from repro.api.registry import list_architectures, list_schedulers
+from repro.api.results import RESULT_HEADERS, RunConfig
+from repro.api.workloads import list_workloads
+from repro.campaign.campaign import Campaign
+from repro.campaign.hashing import parse_shard
+from repro.campaign.store import as_store, merge_stores
+
+#: Leading hash characters shown in tables.
+HASH_PREFIX = 10
+
+
+def _split_csv(text: str) -> "list[str]":
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def _parse_widths(text: str) -> "list[int | None]":
+    """``"8,16,native"`` -> ``[8, 16, None]``."""
+    widths: "list[int | None]" = []
+    for token in _split_csv(text):
+        if token.lower() in ("native", "none", "-"):
+            widths.append(None)
+        else:
+            widths.append(int(token))
+    return widths
+
+
+def _hash_table(pairs) -> str:
+    """An aligned table of ``(config_hash, RunResult)`` pairs.
+
+    Rows sort by config hash: the order is a pure function of run
+    identity, never of execution or shard order.
+    """
+    headers = ["config", *RESULT_HEADERS]
+    rows = []
+    for config_hash, result in sorted(pairs, key=lambda pair: pair[0]):
+        metrics = result.metrics()
+        row = [config_hash[:HASH_PREFIX]]
+        row.extend(metrics[key] for key in RESULT_HEADERS)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _progress_printer(args):
+    if not getattr(args, "verbose", False):
+        return None
+
+    def echo(experiment, result, *, cached, elapsed):
+        state = "cached  " if cached else f"{elapsed:8.3f}s"
+        line = (
+            f"  {experiment.config_hash()[:HASH_PREFIX]}  {state}  "
+            f"{result.workload} / {result.architecture}"
+        )
+        print(line, flush=True)
+
+    return echo
+
+
+# -- verbs -----------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    config = RunConfig(
+        architecture=args.architecture,
+        scheduler=args.scheduler,
+        bus_width=args.bus_width,
+        cas_policy=args.policy,
+        simulate=False if args.model_only else None,
+        backend=args.backend,
+        label=args.label,
+    )
+    experiment = Experiment(args.workload, config)
+    if args.store is None:
+        result = experiment.run()
+        cached = False
+    else:
+        from repro.api.runner import run_many
+
+        outcome = {}
+
+        def note(_experiment, run_result, *, cached, elapsed):
+            outcome["cached"] = cached
+
+        store = as_store(args.store)
+        result = run_many(
+            [experiment],
+            parallel=False,
+            store=store,
+            rerun=args.rerun,
+            on_result=note,
+        )[0]
+        cached = outcome.get("cached", False)
+    if args.json:
+        payload = dict(result.to_dict(), hash=experiment.config_hash())
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(_hash_table([(experiment.config_hash(), result)]))
+        if cached:
+            print("(cached result; pass --rerun to execute again)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    store = as_store(args.store) if args.store else None
+    campaign = Campaign.sweep(
+        args.campaign,
+        args.workloads,
+        architectures=_split_csv(args.architectures),
+        bus_widths=_parse_widths(args.bus_widths),
+        schedulers=_split_csv(args.schedulers),
+        base_config=RunConfig(backend=args.backend),
+        store=store,
+        store_dir=args.store_dir,
+    )
+    shard = parse_shard(args.shard) if args.shard else None
+    report = campaign.run(
+        shard=shard,
+        parallel=not args.serial,
+        max_workers=args.max_workers,
+        rerun=args.rerun,
+        on_result=_progress_printer(args),
+    )
+    print(report.summary())
+    if not args.quiet:
+        pairs = zip(campaign.selected_hashes(shard), report.results)
+        print(_hash_table(list(pairs)))
+    return 0
+
+
+def cmd_report(args) -> int:
+    merged = {}
+    skipped = 0
+    for source in args.stores:
+        store = as_store(source)
+        merged.update(store.latest())
+        skipped += store.skipped_lines
+    if skipped:
+        print(f"warning: skipped {skipped} malformed line(s)", file=sys.stderr)
+    if args.json:
+        records = [merged[h] for h in sorted(merged)]
+        print(json.dumps(records, sort_keys=True, indent=2))
+        return 0
+    from repro.api.results import RunResult
+
+    pairs = [
+        (config_hash, RunResult.from_dict(record["result"]))
+        for config_hash, record in merged.items()
+    ]
+    print(_hash_table(pairs))
+    print(f"{len(merged)} runs from {len(args.stores)} store(s)")
+    return 0
+
+
+def cmd_merge(args) -> int:
+    target = merge_stores(args.stores, args.out)
+    count = len(target)
+    print(f"merged {len(args.stores)} store(s) -> {target.path} ({count} runs)")
+    return 0
+
+
+def cmd_list(args) -> int:
+    sections = (
+        ("architectures", list_architectures()),
+        ("schedulers", list_schedulers()),
+        ("workloads", list_workloads()),
+    )
+    for title, names in sections:
+        print(f"{title}:")
+        for name in names:
+            print(f"  {name}")
+    return 0
+
+
+# -- parser ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAS-BUS experiment campaigns, headless.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("workload", help="registered workload name")
+    run.add_argument("-a", "--architecture", default="casbus")
+    run.add_argument("-s", "--scheduler", default="greedy")
+    run.add_argument("-w", "--bus-width", type=int, default=None)
+    run.add_argument("--policy", default=None, help="CAS enumeration policy")
+    run.add_argument("--backend", default="auto")
+    run.add_argument("--label", default="")
+    run.add_argument(
+        "--model-only",
+        action="store_true",
+        help="forbid cycle-accurate simulation",
+    )
+    run.add_argument("--store", default=None, help="record into this store")
+    run.add_argument("--rerun", action="store_true")
+    run.add_argument("--json", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a resumable design-space campaign",
+    )
+    sweep.add_argument("workloads", nargs="+", help="workload name(s)")
+    sweep.add_argument("--campaign", default="sweep", help="campaign name")
+    sweep.add_argument("--architectures", default="casbus")
+    sweep.add_argument("--schedulers", default="greedy")
+    sweep.add_argument(
+        "--bus-widths",
+        default="native",
+        help="comma list of widths; 'native' keeps the workload's own",
+    )
+    sweep.add_argument("--backend", default="auto")
+    sweep.add_argument(
+        "--store",
+        default=None,
+        help="store path (default <store-dir>/<campaign>.jsonl)",
+    )
+    sweep.add_argument(
+        "--store-dir",
+        default=None,
+        help="directory for named stores (default artifacts/campaigns)",
+    )
+    sweep.add_argument("--shard", default=None, metavar="K/N")
+    sweep.add_argument("--serial", action="store_true")
+    sweep.add_argument("--max-workers", type=int, default=None)
+    sweep.add_argument("--rerun", action="store_true")
+    sweep.add_argument("--quiet", action="store_true")
+    sweep.add_argument("--verbose", action="store_true")
+    sweep.set_defaults(func=cmd_sweep)
+
+    report = commands.add_parser("report", help="tabulate stores")
+    report.add_argument("stores", nargs="+")
+    report.add_argument("--json", action="store_true")
+    report.set_defaults(func=cmd_report)
+
+    merge = commands.add_parser("merge", help="merge shard stores")
+    merge.add_argument("stores", nargs="+")
+    merge.add_argument("-o", "--out", required=True)
+    merge.set_defaults(func=cmd_merge)
+
+    listing = commands.add_parser("list", help="list registered components")
+    listing.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `repro list | head`).
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Stable content-addressed identity for experiment runs.
+
+Every :class:`~repro.api.experiment.Experiment` reduces to a canonical
+JSON document -- the workload's structural identity plus the effective
+run configuration -- and its SHA-256 hex digest is the run's *config
+hash*.  The hash is deliberately boring: sorted keys, compact
+separators, enums by value, no timestamps, no process state.  Equal
+experiments hash equally across processes, machines and Python
+versions (``PYTHONHASHSEED`` never enters the picture), which is what
+makes campaign stores resumable and shardable.
+
+Normalisations applied before hashing:
+
+* architecture and scheduler aliases resolve to canonical registry
+  names (``cas-bus`` and ``casbus`` are one run, not two);
+* the bus width resolves against the workload when it has an intrinsic
+  width, so "explicit width equal to the default" is not a new run;
+* the free-form ``label`` is dropped -- it tags output, it does not
+  change the computation.
+
+Deterministic sharding partitions the hash space: shard ``k`` of ``n``
+owns every hash whose leading 64 bits are congruent to ``k - 1``
+modulo ``n``.  Any process that can hash a config can decide shard
+membership without coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ConfigurationError
+
+#: Version of the hashed payload layout.  Bumping it invalidates every
+#: stored hash (old records simply stop matching), so bump only on
+#: semantic changes to the identity itself.
+HASH_SCHEMA = 1
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON text for ``payload``.
+
+    Sorted keys, compact separators, ASCII only.  The payload must be
+    JSON-serializable data (the identity helpers guarantee this).
+    """
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
+def experiment_identity(experiment) -> dict:
+    """The canonical identity document of one experiment."""
+    from repro.api.registry import (
+        ARCHITECTURES,
+        SCHEDULERS,
+        _ensure_loaded,
+    )
+
+    _ensure_loaded()
+    config = experiment.config
+    effective = config.to_dict()
+    del effective["label"]
+    effective["architecture"] = ARCHITECTURES.resolve(config.architecture)
+    effective["scheduler"] = SCHEDULERS.resolve(config.scheduler)
+    try:
+        effective["bus_width"] = experiment.workload.resolve_width(
+            config.bus_width,
+        )
+    except ConfigurationError:
+        pass  # no intrinsic width and none requested: keep the raw None
+    return {
+        "schema": HASH_SCHEMA,
+        "workload": experiment.workload.identity(),
+        "config": effective,
+    }
+
+
+def config_hash(experiment) -> str:
+    """Hex SHA-256 of the experiment's canonical identity.
+
+    Cached on the experiment: its workload and config are immutable
+    (the builder returns fresh instances), and campaign selection,
+    execution and reporting each need the same digest.
+    """
+    cached = getattr(experiment, "_config_hash", None)
+    if cached is None:
+        text = canonical_json(experiment_identity(experiment))
+        cached = hashlib.sha256(text.encode("ascii")).hexdigest()
+        experiment._config_hash = cached
+    return cached
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """``"2/4"`` -> ``(2, 4)``, validating ``1 <= k <= n``."""
+    head, sep, tail = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, total = int(head), int(tail)
+    except ValueError:
+        message = f"shard spec must look like K/N (e.g. 1/2), got {text!r}"
+        raise ConfigurationError(message) from None
+    validate_shard(index, total)
+    return index, total
+
+
+def validate_shard(index: int, total: int) -> None:
+    """Raise :class:`~repro.errors.ConfigurationError` on a bad shard."""
+    if total < 1:
+        raise ConfigurationError(f"shard count must be >= 1, got {total}")
+    if not 1 <= index <= total:
+        message = f"shard index must be in 1..{total}, got {index}"
+        raise ConfigurationError(message)
+
+
+def shard_index(config_hash_hex: str, total: int) -> int:
+    """The 1-based shard owning ``config_hash_hex`` out of ``total``."""
+    validate_shard(1, total)
+    return int(config_hash_hex[:16], 16) % total + 1
+
+
+def in_shard(config_hash_hex: str, index: int, total: int) -> bool:
+    """Whether shard ``index`` (1-based) of ``total`` owns this hash."""
+    validate_shard(index, total)
+    return shard_index(config_hash_hex, total) == index

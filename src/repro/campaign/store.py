@@ -1,0 +1,255 @@
+"""Durable, append-only JSONL stores of completed campaign runs.
+
+A store is one flat file -- ``artifacts/campaigns/<name>.jsonl`` by
+default -- holding one self-describing JSON record per completed run:
+
+.. code-block:: json
+
+    {"schema": 1, "hash": "3f9a...", "workload": {...},
+     "config": {...}, "result": {...}, "elapsed_s": 0.042}
+
+Records are appended (and fsynced) the moment each run completes, so a
+campaign killed mid-flight loses at most the runs still in progress; a
+half-written trailing line from the kill is detected and ignored on
+the next read.  Reads deduplicate by config hash with *last record
+wins*, which makes deliberate re-runs supersede older results without
+any in-place rewriting.
+
+Shard stores produced by independent workers merge with
+:func:`merge_stores`: records are combined, deduplicated by hash and
+written sorted by hash, so the merged file is byte-identical whatever
+order the shards arrive in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Mapping, Union
+
+from repro.errors import ConfigurationError, StoreError
+from repro.api.results import SCHEMA_VERSION, RunResult
+
+#: Where named campaign stores live unless told otherwise.
+DEFAULT_STORE_DIR = Path("artifacts") / "campaigns"
+
+#: Anything accepted where a store is expected.
+StoreLike = Union["CampaignStore", str, Path]
+
+
+def make_record(
+    experiment,
+    result: RunResult,
+    *,
+    config_hash: str,
+    elapsed_s: "float | None" = None,
+) -> dict:
+    """The self-describing store record for one completed run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "hash": config_hash,
+        "workload": experiment.workload.identity(),
+        "config": experiment.config.to_dict(),
+        "result": result.to_dict(),
+        "elapsed_s": elapsed_s,
+    }
+
+
+class CampaignStore:
+    """One JSONL result store, keyed by config hash.
+
+    The store is intentionally primitive: no index files, no locks, no
+    binary format.  A store is greppable, diffable, mergeable with
+    ``cat`` in a pinch, and safe to append from exactly one writer at
+    a time (shards each own a separate file).
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._known: "set[str] | None" = None
+        #: Malformed lines skipped by the most recent scan (a non-zero
+        #: value almost always means a writer was killed mid-append).
+        self.skipped_lines = 0
+
+    @classmethod
+    def for_campaign(
+        cls,
+        name: str,
+        store_dir: "str | Path | None" = None,
+    ) -> "CampaignStore":
+        """The store for a named campaign (``<store_dir>/<name>.jsonl``)."""
+        if not name or name != Path(name).name or name.startswith("."):
+            message = f"campaign name must be a bare file stem, got {name!r}"
+            raise ConfigurationError(message)
+        root = Path(store_dir) if store_dir is not None else DEFAULT_STORE_DIR
+        return cls(root / f"{name}.jsonl")
+
+    @property
+    def name(self) -> str:
+        """The campaign name (file stem)."""
+        return self.path.stem
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> "list[dict]":
+        """Well-formed records in file order (duplicates included).
+
+        Unparseable or shapeless lines are skipped and counted in
+        :attr:`skipped_lines`; a record stamped with a *newer* schema
+        than this library understands raises :class:`StoreError`
+        instead of being misread.
+        """
+        self.skipped_lines = 0
+        if not self.path.exists():
+            return []
+        out = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped_lines += 1
+                continue
+            if not self._well_formed(record):
+                self.skipped_lines += 1
+                continue
+            if record["schema"] > SCHEMA_VERSION:
+                message = (
+                    f"{self.path}: record schema {record['schema']} is "
+                    f"newer than supported schema {SCHEMA_VERSION}"
+                )
+                raise StoreError(message)
+            out.append(record)
+        return out
+
+    @staticmethod
+    def _well_formed(record) -> bool:
+        return (
+            isinstance(record, dict)
+            and isinstance(record.get("schema"), int)
+            and isinstance(record.get("hash"), str)
+            and isinstance(record.get("result"), dict)
+        )
+
+    def latest(self) -> "dict[str, dict]":
+        """Config hash -> record, last record winning."""
+        return {record["hash"]: record for record in self.records()}
+
+    def hashes(self) -> "set[str]":
+        """Config hashes with a completed run on disk."""
+        return set(self.latest())
+
+    def results(self) -> "dict[str, RunResult]":
+        """Config hash -> reconstructed :class:`RunResult`."""
+        return {
+            config_hash: RunResult.from_dict(record["result"])
+            for config_hash, record in self.latest().items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.latest())
+
+    def __contains__(self, config_hash: str) -> bool:
+        return config_hash in self._seen()
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: Mapping, *, replace: bool = False) -> bool:
+        """Durably append one record; ``False`` if its hash is present.
+
+        The line is flushed and fsynced before returning, so a record
+        reported as stored survives the process dying on the next run.
+        ``replace=True`` appends even when the hash already exists
+        (last record wins on read) -- deliberate re-runs use this.
+        """
+        config_hash = record["hash"]
+        if not replace and config_hash in self._seen():
+            return False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "ab+") as handle:
+            # A writer killed mid-append leaves a partial line with no
+            # newline; start this record on a fresh line so it is not
+            # swallowed by the garbage.
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write((line + "\n").encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._seen().add(config_hash)
+        return True
+
+    def write_all(self, records: Iterable[Mapping]) -> None:
+        """Atomically replace the store's contents with ``records``."""
+        records = list(records)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records
+        ]
+        text = "".join(line + "\n" for line in lines)
+        scratch = self.path.with_suffix(".jsonl.tmp")
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, self.path)
+        try:
+            # Persist the rename itself; best-effort (not all
+            # platforms allow opening a directory).
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            pass
+        else:
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        self._known = {record["hash"] for record in records}
+
+    def _seen(self) -> "set[str]":
+        if self._known is None:
+            self._known = self.hashes()
+        return self._known
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CampaignStore({str(self.path)!r})"
+
+
+def as_store(source: StoreLike) -> CampaignStore:
+    """Coerce a path-or-store into a :class:`CampaignStore`."""
+    if isinstance(source, CampaignStore):
+        return source
+    return CampaignStore(source)
+
+
+def merge_stores(
+    sources: Iterable[StoreLike],
+    out: StoreLike,
+) -> CampaignStore:
+    """Merge shard stores into ``out``, deduplicated by config hash.
+
+    Later sources win on hash collisions (matching the in-file
+    last-record-wins rule); the merged store is written sorted by hash,
+    so merging the same shards in any order yields identical bytes.
+    Merging *onto* one of the sources is refused -- the atomic rewrite
+    would otherwise destroy an input mid-merge.
+    """
+    target = as_store(out)
+    merged: "dict[str, dict]" = {}
+    resolved_target = target.path.resolve()
+    for source in sources:
+        store = as_store(source)
+        if store.path.resolve() == resolved_target:
+            message = f"merge target {target.path} is also a merge source"
+            raise StoreError(message)
+        for record in store.records():
+            merged[record["hash"]] = record
+    target.write_all(merged[h] for h in sorted(merged))
+    return target

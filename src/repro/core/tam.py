@@ -14,7 +14,7 @@ offers (the registry exposes it as ``get_architecture("casbus")``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.errors import ScheduleError
 from repro.core.generator import CasDesign, generate_cas

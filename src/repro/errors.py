@@ -47,3 +47,11 @@ class ScheduleError(ReproError):
 
 class VerificationError(ReproError):
     """An equivalence or invariant check between two models failed."""
+
+
+class StoreError(ReproError):
+    """A campaign result store cannot be read or written.
+
+    Examples: a store written by a newer schema version, a merge target
+    colliding with one of its sources.
+    """

@@ -20,7 +20,6 @@ maximum for these cores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.scan.core_model import CombCloud, ScannableCore

@@ -14,7 +14,7 @@ its CAS, the P1500 wrapper and the core model.  Nodes expose
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro import values as lv

@@ -22,7 +22,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.core.cas import CoreAccessSwitch
 from repro.core.instruction import InstructionSet
 from repro.bist.engine import BistEngine
-from repro.soc.core import CoreSpec, TestMethod
+from repro.soc.core import TestMethod
 from repro.soc.soc import SocSpec
 from repro.sim.nodes import (
     BistNode,

@@ -16,7 +16,7 @@ The paper's four core test types (figure 2) map to ``method``:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError

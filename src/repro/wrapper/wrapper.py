@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import SimulationError
 from repro.scan.core_model import ScannableCore
 from repro.wrapper.boundary import BoundaryCell, BoundaryRegister
 from repro.wrapper.wir import Wir

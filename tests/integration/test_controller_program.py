@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.instruction import CHAIN_CODE
 from repro.sim.program import (
     compile_configuration_program,

@@ -16,7 +16,7 @@ from repro.core.instruction import BYPASS_CODE
 from repro.sim.plan import PlanBuilder, flat_assignment
 from repro.sim.session import SessionExecutor
 from repro.sim.system import build_system
-from repro.soc.core import CoreSpec, TestMethod
+from repro.soc.core import CoreSpec
 from repro.soc.library import make_synthetic_soc
 from repro.soc.soc import SocSpec
 

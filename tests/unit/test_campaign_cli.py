@@ -1,0 +1,161 @@
+"""The ``python -m repro`` command line, end to end.
+
+Most tests drive ``main(argv)`` in-process; one subprocess test pins
+the ``python -m repro`` wiring itself.  The central assertion mirrors
+the CI campaign job: shard 1/2 + shard 2/2 + merge reports exactly
+the unsharded table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.campaign.cli import main
+
+SWEEP_ARGS = [
+    "--architectures", "casbus,mux-bus",
+    "--bus-widths", "8,16",
+    "--schedulers", "greedy",
+    "--serial",
+]
+
+
+def _sweep(store, *extra) -> int:
+    return main([
+        "sweep", "itc02-d695", "itc02-g1023",
+        "--campaign", "cli", "--store", str(store),
+        *SWEEP_ARGS, "--quiet", *extra,
+    ])
+
+
+class TestShardMergeEquivalence:
+    def test_sharded_merge_reproduces_unsharded_table(
+            self, tmp_path, capsys):
+        full = tmp_path / "full.jsonl"
+        assert _sweep(full) == 0
+        shards = []
+        for index in (1, 2):
+            shard_store = tmp_path / f"shard{index}.jsonl"
+            assert _sweep(shard_store, "--shard", f"{index}/2") == 0
+            shards.append(str(shard_store))
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge", *shards, "-o", str(merged)]) == 0
+        capsys.readouterr()
+
+        assert main(["report", str(full)]) == 0
+        expected = capsys.readouterr().out
+        assert main(["report", str(merged)]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_shards_partition_the_grid(self, tmp_path, capsys):
+        full = tmp_path / "full.jsonl"
+        _sweep(full)
+        counts = []
+        for index in (1, 2):
+            shard_store = tmp_path / f"s{index}.jsonl"
+            _sweep(shard_store, "--shard", f"{index}/2")
+            counts.append(len(shard_store.read_text().splitlines()))
+        assert sum(counts) == len(full.read_text().splitlines())
+
+
+class TestSweep:
+    def test_sweep_resumes(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        _sweep(store)
+        first = capsys.readouterr().out
+        assert "8 executed, 0 cached" in first
+        _sweep(store)
+        second = capsys.readouterr().out
+        assert "0 executed, 8 cached" in second
+
+    def test_sweep_table_sorted_by_hash(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        main([
+            "sweep", "itc02-d695", "--campaign", "cli",
+            "--store", str(store), *SWEEP_ARGS,
+        ])
+        out = capsys.readouterr().out
+        # summary, header, separator, then one row per run
+        table = [line for line in out.splitlines() if line][3:]
+        hashes = [line.split()[0] for line in table]
+        assert len(hashes) == 4 and hashes == sorted(hashes)
+
+    def test_bad_shard_spec_errors(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        code = _sweep(store, "--shard", "3/2")
+        assert code == 2
+        assert "shard" in capsys.readouterr().err
+
+
+class TestRunAndReport:
+    def test_run_records_and_caches(self, tmp_path, capsys):
+        store = tmp_path / "one.jsonl"
+        args = [
+            "run", "itc02-d695", "-a", "mux-bus", "-w", "8",
+            "--store", str(store),
+        ]
+        assert main(args) == 0
+        assert "cached" not in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cached" in capsys.readouterr().out
+        assert len(store.read_text().splitlines()) == 1
+
+    def test_run_json_payload(self, capsys):
+        code = main([
+            "run", "itc02-d695", "-a", "mux-bus", "-w", "8", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["architecture"] == "mux-bus"
+        assert payload["bus_width"] == 8
+        assert len(payload["hash"]) == 64
+
+    def test_report_json(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        _sweep(store)
+        capsys.readouterr()
+        assert main(["report", str(store), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 8
+        assert all(record["schema"] == 1 for record in records)
+
+    def test_unknown_workload_errors(self, capsys):
+        code = main(["run", "no-such-workload"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_merge_onto_source_errors(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        _sweep(store)
+        capsys.readouterr()
+        code = main(["merge", str(store), "-o", str(store)])
+        assert code == 2
+        assert "source" in capsys.readouterr().err
+
+    def test_list_names_components(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "casbus" in out and "greedy" in out and "itc02-d695" in out
+
+
+class TestModuleEntrypoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        """`python -m repro` resolves to the campaign CLI."""
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro",
+                "run", "itc02-d695", "-a", "mux-bus", "-w", "8",
+                "--store", str(tmp_path / "m.jsonl"),
+            ],
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "mux-bus" in proc.stdout
+        assert (tmp_path / "m.jsonl").exists()

@@ -1,0 +1,172 @@
+"""Config-hash stability: the contract resumable campaigns stand on.
+
+Same config => same hash, across object rebuilds, alias spellings,
+mapping insertion orders and processes (``PYTHONHASHSEED`` must not
+leak in).  Any semantically meaningful field change => a new hash.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.api import Experiment, workload_identity
+from repro.api.workloads import get_workload
+from repro.campaign import (
+    canonical_json,
+    config_hash,
+    experiment_identity,
+    in_shard,
+    parse_shard,
+    shard_index,
+)
+from repro.soc.library import small_soc
+
+
+def _base() -> Experiment:
+    return (Experiment("itc02-d695")
+            .with_architecture("casbus")
+            .with_scheduler("greedy")
+            .with_bus_width(8))
+
+
+class TestStability:
+    def test_rebuilt_experiment_same_hash(self):
+        assert config_hash(_base()) == config_hash(_base())
+
+    def test_architecture_alias_same_hash(self):
+        aliased = _base().with_architecture("cas-bus")
+        assert config_hash(aliased) == config_hash(_base())
+
+    def test_scheduler_alias_is_canonical(self):
+        identity = experiment_identity(_base())
+        assert identity["config"]["architecture"] == "casbus"
+        assert identity["config"]["scheduler"] == "greedy"
+
+    def test_workload_name_and_object_same_hash(self):
+        by_name = Experiment("itc02-d695").with_bus_width(8)
+        by_object = Experiment(
+            get_workload("itc02-d695")
+        ).with_bus_width(8)
+        assert config_hash(by_name) == config_hash(by_object)
+
+    def test_workload_alias_same_hash(self):
+        # "d695" is a registered alias of "itc02-d695".
+        assert (config_hash(Experiment("d695").with_bus_width(8))
+                == config_hash(Experiment("itc02-d695").with_bus_width(8)))
+
+    def test_explicit_native_width_same_hash(self):
+        soc = small_soc()
+        native = Experiment(soc)
+        explicit = Experiment(soc).with_bus_width(soc.bus_width)
+        assert config_hash(native) == config_hash(explicit)
+
+    def test_label_excluded(self):
+        assert (config_hash(_base().with_label("tagged"))
+                == config_hash(_base()))
+
+    def test_fault_mapping_order_irrelevant(self):
+        forward = _base().with_faults({"a": (3, 1), "b": (5, 0)})
+        backward = _base().with_faults({"b": (5, 0), "a": (3, 1)})
+        assert config_hash(forward) == config_hash(backward)
+
+    def test_hash_is_hex_sha256(self):
+        digest = config_hash(_base())
+        assert len(digest) == 64
+        int(digest, 16)  # must parse as hex
+
+    def test_cross_process_stability(self):
+        """PYTHONHASHSEED (per-process dict/str randomisation) must
+        not influence the hash -- shards on different machines rely
+        on it."""
+        script = (
+            "from repro.api import Experiment\n"
+            "e = (Experiment('itc02-d695').with_architecture('casbus')"
+            ".with_scheduler('greedy').with_bus_width(8))\n"
+            "print(e.config_hash())\n"
+        )
+        digests = set()
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            env["PYTHONPATH"] = os.path.abspath(src)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(proc.stdout.strip())
+        assert digests == {config_hash(_base())}
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize("change", [
+        lambda e: e.with_architecture("mux-bus"),
+        lambda e: e.with_scheduler("balanced-lpt"),
+        lambda e: e.with_bus_width(16),
+        lambda e: e.with_policy("contiguous"),
+        lambda e: e.with_backend("legacy"),
+        lambda e: e.with_faults({"c1": (2, 0)}),
+        lambda e: e.simulated(False),
+    ])
+    def test_changed_field_new_hash(self, change):
+        assert config_hash(change(_base())) != config_hash(_base())
+
+    def test_different_workload_new_hash(self):
+        other = Experiment("itc02-g1023").with_bus_width(8)
+        assert config_hash(other) != config_hash(_base())
+
+    def test_identity_document_is_json_canonical(self):
+        text = canonical_json(experiment_identity(_base()))
+        assert text == canonical_json(experiment_identity(_base()))
+        assert "\n" not in text and " " not in text  # compact form
+        assert '"label"' not in text  # labels never enter the identity
+
+
+class TestWorkloadIdentity:
+    def test_name_and_object_agree(self):
+        assert (workload_identity("itc02-d695")
+                == workload_identity(get_workload("itc02-d695")))
+
+    def test_soc_identity_is_structural(self):
+        identity = workload_identity(small_soc())
+        assert identity["kind"] == "soc"
+        assert identity["spec"]["bus_width"] == small_soc().bus_width
+        canonical_json(identity)  # must be pure JSON data
+
+    def test_abstract_identity_keeps_name(self):
+        identity = workload_identity("itc02-d695")
+        assert identity["kind"] == "cores"
+        assert identity["name"] == "itc02-d695"
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("1/2") == (1, 2)
+        assert parse_shard("3/8") == (3, 8)
+
+    @pytest.mark.parametrize("bad", ["0/2", "3/2", "1-2", "x/y", "2", ""])
+    def test_parse_shard_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_shard(bad)
+
+    def test_partition_exact_cover(self):
+        """Every hash lands in exactly one shard, for several n."""
+        digests = [
+            config_hash(_base().with_bus_width(width))
+            for width in range(4, 20)
+        ]
+        for total in (1, 2, 3, 5):
+            for digest in digests:
+                owners = [
+                    index for index in range(1, total + 1)
+                    if in_shard(digest, index, total)
+                ]
+                assert owners == [shard_index(digest, total)]
+
+    def test_shard_index_deterministic(self):
+        digest = config_hash(_base())
+        assert shard_index(digest, 4) == shard_index(digest, 4)

@@ -1,0 +1,165 @@
+"""Resume and shard semantics of the campaign runner.
+
+The acceptance contract: a campaign interrupted partway re-runs to
+completion executing only the missing configs, and the union of shard
+runs equals the unsharded result set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Experiment, run_many
+from repro.campaign import Campaign, CampaignStore, config_hash
+
+ARCHITECTURES = ("casbus", "mux-bus", "direct-access")
+WIDTHS = (8, 16)
+
+
+def _campaign(tmp_path, name="resume") -> Campaign:
+    return Campaign.sweep(
+        name,
+        ["itc02-d695"],
+        architectures=ARCHITECTURES,
+        bus_widths=WIDTHS,
+        store_dir=tmp_path,
+    )
+
+
+class Interrupt(RuntimeError):
+    """Stands in for the operator's ctrl-C / the scheduler's SIGKILL."""
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_missing_only(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        total = len(campaign.experiments)
+        assert total == len(ARCHITECTURES) * len(WIDTHS)
+        kill_after = 2
+        executed = []
+
+        def die_midway(experiment, result, *, cached, elapsed):
+            executed.append(experiment)
+            if len(executed) >= kill_after:
+                raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            campaign.run(parallel=False, on_result=die_midway)
+        # Every completed run was durably recorded before the kill.
+        assert len(campaign.store.hashes()) == kill_after
+        assert campaign.pending() == total - kill_after
+
+        # The re-run executes exactly the missing configs, no more.
+        report = _campaign(tmp_path).run(parallel=False)
+        assert report.executed == total - kill_after
+        assert report.cached == kill_after
+        assert len(report.results) == total
+
+        # No duplicate records: one line per config, ever.
+        lines = campaign.store.path.read_text().splitlines()
+        assert len(lines) == total
+
+    def test_finished_campaign_is_free(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        first = campaign.run(parallel=False)
+        second = campaign.run(parallel=False)
+        assert first.executed == first.total
+        assert second.executed == 0
+        assert second.cached == second.total
+        assert second.results == first.results
+
+    def test_rerun_supersedes(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        campaign.run(parallel=False)
+        report = campaign.run(parallel=False, rerun=True)
+        assert report.executed == report.total
+        # Two records per config on disk, one surviving read.
+        lines = campaign.store.path.read_text().splitlines()
+        assert len(lines) == 2 * report.total
+        assert len(campaign.store) == report.total
+
+    def test_parallel_store_path(self, tmp_path):
+        """The store-aware path works through the pool machinery too
+        (process pool, or its thread fallback in sandboxes)."""
+        campaign = _campaign(tmp_path)
+        report = campaign.run(parallel=True, max_workers=2)
+        assert report.executed == report.total
+        resumed = _campaign(tmp_path).run(parallel=True, max_workers=2)
+        assert resumed.executed == 0
+        assert resumed.results == report.results
+
+
+class TestSharding:
+    def test_shard_union_equals_unsharded(self, tmp_path):
+        full = _campaign(tmp_path, "full")
+        full_report = full.run(parallel=False)
+
+        shard_stores = []
+        selected_total = 0
+        for index in (1, 2):
+            shard = Campaign.sweep(
+                f"shard{index}",
+                ["itc02-d695"],
+                architectures=ARCHITECTURES,
+                bus_widths=WIDTHS,
+                store_dir=tmp_path,
+            )
+            report = shard.run(shard=(index, 2), parallel=False)
+            assert report.executed == report.selected
+            selected_total += report.selected
+            shard_stores.append(shard.store)
+
+        assert selected_total == full_report.total
+        from repro.campaign import merge_stores
+
+        merged = merge_stores(shard_stores, tmp_path / "merged.jsonl")
+        assert merged.results() == full.store.results()
+
+    def test_shards_are_disjoint(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        owned = [set(campaign.selected_hashes((k, 3))) for k in (1, 2, 3)]
+        union = set().union(*owned)
+        assert sum(len(part) for part in owned) == len(union)
+        assert union == set(campaign.hashes())
+
+    def test_shard_resume_counts(self, tmp_path):
+        campaign = _campaign(tmp_path)
+        first = campaign.run(shard=(1, 2), parallel=False)
+        again = campaign.run(shard=(1, 2), parallel=False)
+        assert again.executed == 0
+        assert again.cached == first.selected
+
+
+class TestRunManyStorePath:
+    def test_duplicate_configs_execute_once(self, tmp_path):
+        store = CampaignStore(tmp_path / "dup.jsonl")
+        experiment = Experiment("itc02-d695").with_bus_width(8)
+        twin = Experiment("itc02-d695").with_bus_width(8)
+        calls = []
+
+        def tally(exp, result, *, cached, elapsed):
+            calls.append(cached)
+
+        results = run_many(
+            [experiment, twin], parallel=False,
+            store=store, on_result=tally,
+        )
+        assert results[0] == results[1]
+        assert sorted(calls) == [False, True]  # one executed, one reused
+        assert len(store) == 1
+
+    def test_store_hit_skips_execution(self, tmp_path):
+        store = CampaignStore(tmp_path / "hit.jsonl")
+        experiment = Experiment("itc02-d695").with_bus_width(8)
+        [first] = run_many([experiment], parallel=False, store=store)
+        seen = {}
+
+        def tally(exp, result, *, cached, elapsed):
+            seen["cached"] = cached
+
+        [second] = run_many(
+            [experiment], parallel=False, store=store, on_result=tally,
+        )
+        assert seen["cached"] is True
+        assert second == first
+        assert config_hash(experiment) in store

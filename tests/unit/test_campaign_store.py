@@ -1,0 +1,160 @@
+"""CampaignStore durability: append, dedupe, tolerate kills, merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, StoreError
+from repro.api import Experiment
+from repro.api.results import SCHEMA_VERSION
+from repro.campaign import CampaignStore, config_hash, make_record, merge_stores
+
+
+def _experiment(width=8, architecture="mux-bus") -> Experiment:
+    return (Experiment("itc02-d695")
+            .with_architecture(architecture)
+            .with_bus_width(width))
+
+
+def _record(width=8, architecture="mux-bus", **extra):
+    experiment = _experiment(width, architecture)
+    result = experiment.run()
+    record = make_record(
+        experiment, result,
+        config_hash=config_hash(experiment), elapsed_s=0.25,
+    )
+    record.update(extra)
+    return record
+
+
+class TestAppendAndRead:
+    def test_roundtrip(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        record = _record()
+        assert store.append(record)
+        assert record["hash"] in store
+        [(digest, result)] = store.results().items()
+        assert digest == record["hash"]
+        assert result == _experiment().run()  # reconstructed == fresh
+
+    def test_records_are_self_describing(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.append(_record())
+        [loaded] = store.records()
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert loaded["elapsed_s"] == 0.25
+        assert loaded["config"]["architecture"] == "mux-bus"
+        assert loaded["workload"]["kind"] == "cores"
+
+    def test_duplicate_hash_not_appended(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        record = _record()
+        assert store.append(record)
+        assert not store.append(record)
+        assert len(store.path.read_text().splitlines()) == 1
+
+    def test_fresh_handle_sees_disk_state(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        CampaignStore(path).append(_record())
+        reopened = CampaignStore(path)
+        assert len(reopened) == 1
+        assert not reopened.append(_record())
+
+    def test_replace_appends_and_last_wins(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        first = _record(elapsed_s=1.0)
+        second = dict(first, elapsed_s=2.0)
+        store.append(first)
+        assert store.append(second, replace=True)
+        assert len(store.path.read_text().splitlines()) == 2
+        assert len(store) == 1
+        assert store.latest()[first["hash"]]["elapsed_s"] == 2.0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = CampaignStore(tmp_path / "absent.jsonl")
+        assert store.records() == [] and len(store) == 0
+
+
+class TestCrashTolerance:
+    def test_truncated_tail_line_skipped(self, tmp_path):
+        """A writer killed mid-append leaves a partial line; readers
+        skip it and appends keep working."""
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.append(_record(width=8))
+        with open(store.path, "a") as handle:
+            handle.write('{"schema": 1, "hash": "dead')  # no newline
+        survivor = CampaignStore(store.path)
+        assert len(survivor.records()) == 1
+        assert survivor.skipped_lines == 1
+        assert survivor.append(_record(width=16))
+        assert len(CampaignStore(store.path)) == 2
+
+    def test_shapeless_record_skipped(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        store.path.write_text('{"schema": 1}\n[1, 2]\n')
+        assert store.records() == []
+        assert store.skipped_lines == 2
+
+    def test_newer_schema_refused(self, tmp_path):
+        store = CampaignStore(tmp_path / "s.jsonl")
+        record = _record(schema=SCHEMA_VERSION + 1)
+        store.append(record)
+        with pytest.raises(StoreError, match="newer"):
+            CampaignStore(store.path).records()
+
+
+class TestNaming:
+    def test_for_campaign_builds_path(self, tmp_path):
+        store = CampaignStore.for_campaign("nightly", tmp_path)
+        assert store.path == tmp_path / "nightly.jsonl"
+        assert store.name == "nightly"
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "../up", ".hidden"])
+    def test_for_campaign_rejects_path_tricks(self, bad, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CampaignStore.for_campaign(bad, tmp_path)
+
+
+class TestMerge:
+    def test_merge_is_union_sorted_by_hash(self, tmp_path):
+        a = CampaignStore(tmp_path / "a.jsonl")
+        b = CampaignStore(tmp_path / "b.jsonl")
+        a.append(_record(width=8))
+        a.append(_record(width=12))
+        b.append(_record(width=16))
+        merged = merge_stores([a, b], tmp_path / "m.jsonl")
+        assert len(merged) == 3
+        digests = [record["hash"] for record in merged.records()]
+        assert digests == sorted(digests)
+
+    def test_merge_order_independent_bytes(self, tmp_path):
+        a = CampaignStore(tmp_path / "a.jsonl")
+        b = CampaignStore(tmp_path / "b.jsonl")
+        a.append(_record(width=8))
+        b.append(_record(width=16))
+        merge_stores([a, b], tmp_path / "ab.jsonl")
+        merge_stores([b, a], tmp_path / "ba.jsonl")
+        assert ((tmp_path / "ab.jsonl").read_bytes()
+                == (tmp_path / "ba.jsonl").read_bytes())
+
+    def test_merge_dedupes_by_hash(self, tmp_path):
+        a = CampaignStore(tmp_path / "a.jsonl")
+        b = CampaignStore(tmp_path / "b.jsonl")
+        a.append(_record(width=8, elapsed_s=1.0))
+        b.append(_record(width=8, elapsed_s=2.0))
+        merged = merge_stores([a, b], tmp_path / "m.jsonl")
+        [record] = merged.records()
+        assert record["elapsed_s"] == 2.0  # later source wins
+
+    def test_merge_accepts_paths(self, tmp_path):
+        a = CampaignStore(tmp_path / "a.jsonl")
+        a.append(_record())
+        merged = merge_stores([str(a.path)], str(tmp_path / "m.jsonl"))
+        assert len(merged) == 1
+
+    def test_merge_onto_source_refused(self, tmp_path):
+        a = CampaignStore(tmp_path / "a.jsonl")
+        a.append(_record())
+        with pytest.raises(StoreError, match="source"):
+            merge_stores([a], a.path)
+        assert len(a) == 1  # untouched

@@ -10,7 +10,6 @@ from repro import values as lv
 from repro.errors import ConfigurationError
 from repro.netlist.simulate import NetlistSimulator
 from repro.netlist.verify import check_combinational_equivalence
-from repro.core.cas import CoreAccessSwitch
 from repro.core.generator import CasGenerator, behavioral_reference, generate_cas
 from repro.core.instruction import FIRST_TEST_CODE
 

@@ -8,15 +8,13 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.scan.atpg import (
-    ScanPattern,
-    compute_responses,
     generate_test_set,
     random_pattern,
 )
 from repro.scan.chain import ScanChain
 from repro.scan.core_model import CombCloud, CombOp, ScannableCore
 from repro.scan.fault_sim import pack_patterns, run_fault_simulation
-from repro.scan.faults import all_stuck_at_faults, core_fault_list
+from repro.scan.faults import core_fault_list
 
 
 def _core(**kwargs) -> ScannableCore:

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.tam import CasBusTamDesign
 from repro.core.vhdl import lint_vhdl
-from repro.errors import ScheduleError
 from repro.soc.core import CoreSpec
 from repro.soc.library import fig1_soc, small_soc
 from repro.soc.soc import SocSpec
