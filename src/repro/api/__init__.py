@@ -33,6 +33,7 @@ from repro.api.registry import (
     ARCHITECTURES,
     SCHEDULERS,
     Registry,
+    RegistryEntry,
     get_architecture,
     get_scheduler,
     list_architectures,
@@ -48,7 +49,11 @@ from repro.api.results import (
     SessionDetail,
     results_table,
 )
-from repro.api.schedulers import ScheduleOutcome, SchedulerStrategy
+from repro.api.schedulers import (
+    ScheduleOutcome,
+    SchedulerStrategy,
+    StrategyAdapter,
+)
 from repro.api.architectures import (
     BASELINE_ORDER,
     DesignedTam,
@@ -70,6 +75,7 @@ __all__ = [
     "SCHEDULERS",
     "WORKLOADS",
     "Registry",
+    "RegistryEntry",
     "register_architecture",
     "register_scheduler",
     "register_workload",
@@ -81,6 +87,7 @@ __all__ = [
     "list_workloads",
     "TamArchitecture",
     "SchedulerStrategy",
+    "StrategyAdapter",
     "ScheduleOutcome",
     "DesignedTam",
     "Workload",

@@ -393,15 +393,33 @@ def registered_baselines() -> list[TamBaseline]:
     return [get_architecture(key).model() for key in BASELINE_ORDER]
 
 
-register_architecture("casbus", CasBusArchitecture,
-                      aliases=("cas-bus", "cas_bus"))
-register_architecture("mux-bus", MuxBusArchitecture,
-                      aliases=("mux_bus", "multiplexed-bus"))
-register_architecture("daisy-chain", DaisyChainArchitecture,
-                      aliases=("daisy", "daisy_chain"))
-register_architecture("static-distribution", StaticDistributionArchitecture,
-                      aliases=("distribution", "testrail"))
-register_architecture("direct-access", DirectAccessArchitecture,
-                      aliases=("direct", "direct_access"))
-register_architecture("system-bus", SystemBusArchitecture,
-                      aliases=("sysbus", "system_bus"))
+register_architecture(
+    "casbus", CasBusArchitecture, aliases=("cas-bus", "cas_bus"),
+    description="The paper's reconfigurable CAS-BUS (simulatable, "
+                "scheduled).",
+)
+register_architecture(
+    "mux-bus", MuxBusArchitecture, aliases=("mux_bus", "multiplexed-bus"),
+    description="Multiplexed test bus: one core at a time owns the bus.",
+)
+register_architecture(
+    "daisy-chain", DaisyChainArchitecture, aliases=("daisy", "daisy_chain"),
+    description="Daisy-chained wrappers: one serial path through every "
+                "core.",
+)
+register_architecture(
+    "static-distribution", StaticDistributionArchitecture,
+    aliases=("distribution", "testrail"),
+    description="Fixed wire distribution frozen at tape-out (TestRail "
+                "style).",
+)
+register_architecture(
+    "direct-access", DirectAccessArchitecture,
+    aliases=("direct", "direct_access"),
+    description="Dedicated pins per core: fastest, most expensive in "
+                "pins.",
+)
+register_architecture(
+    "system-bus", SystemBusArchitecture, aliases=("sysbus", "system_bus"),
+    description="Reuse of the functional system bus for test access.",
+)

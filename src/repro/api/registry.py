@@ -18,11 +18,19 @@ them up by name.
 from __future__ import annotations
 
 import difflib
-from typing import Callable, Generic, Iterable, TypeVar
+from typing import Callable, Generic, Iterable, NamedTuple, TypeVar
 
 from repro.errors import ConfigurationError
 
 T = TypeVar("T")
+
+
+class RegistryEntry(NamedTuple):
+    """One registered component, as ``repro list`` detail shows it."""
+
+    name: str
+    aliases: tuple[str, ...]
+    description: str
 
 
 class Registry(Generic[T]):
@@ -32,6 +40,7 @@ class Registry(Generic[T]):
         self.kind = kind
         self._factories: dict[str, Callable[[], T]] = {}
         self._aliases: dict[str, str] = {}
+        self._descriptions: dict[str, str] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -42,11 +51,15 @@ class Registry(Generic[T]):
         *,
         aliases: Iterable[str] = (),
         replace: bool = False,
+        description: str = "",
     ) -> None:
         """Register ``factory`` under ``name`` (plus ``aliases``).
 
-        Raises :class:`~repro.errors.ConfigurationError` on duplicate
-        names unless ``replace=True``.
+        ``description`` is the one-line summary ``repro list`` detail
+        output shows; when omitted it falls back to the first line of
+        the factory's docstring.  Raises
+        :class:`~repro.errors.ConfigurationError` on duplicate names
+        unless ``replace=True``.
         """
         key = self._normalise(name)
         if not replace:
@@ -62,6 +75,7 @@ class Registry(Generic[T]):
                     f"replace=True"
                 )
         self._factories[key] = factory
+        self._descriptions[key] = description
         self._aliases.pop(key, None)  # a canonical name shadows no alias
         for alias in aliases:
             alias_key = self._normalise(alias)
@@ -105,6 +119,35 @@ class Registry(Generic[T]):
         """Canonical names, sorted (aliases excluded)."""
         return sorted(self._factories)
 
+    def aliases_of(self, name: str) -> tuple[str, ...]:
+        """Registered aliases of ``name``, sorted."""
+        key = self.resolve(name)
+        return tuple(sorted(
+            alias for alias, target in self._aliases.items()
+            if target == key
+        ))
+
+    def description(self, name: str) -> str:
+        """One-line summary of ``name`` (registration text, or the
+        first line of the factory's docstring)."""
+        key = self.resolve(name)
+        explicit = self._descriptions.get(key, "")
+        if explicit:
+            return explicit
+        doc = getattr(self._factories[key], "__doc__", None) or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+    def entries(self) -> list[RegistryEntry]:
+        """Every component with its aliases and description, sorted."""
+        return [
+            RegistryEntry(
+                name=name,
+                aliases=self.aliases_of(name),
+                description=self.description(name),
+            )
+            for name in self.names()
+        ]
+
     def __contains__(self, name: str) -> bool:
         try:
             self.resolve(name)
@@ -131,9 +174,11 @@ def _ensure_loaded() -> None:
     from repro.api import architectures, schedulers, workloads  # noqa: F401
 
 
-def register_architecture(name, factory, *, aliases=(), replace=False):
+def register_architecture(name, factory, *, aliases=(), replace=False,
+                          description=""):
     """Register a :class:`TamArchitecture` factory under ``name``."""
-    ARCHITECTURES.register(name, factory, aliases=aliases, replace=replace)
+    ARCHITECTURES.register(name, factory, aliases=aliases, replace=replace,
+                           description=description)
 
 
 def get_architecture(name: str):
@@ -148,9 +193,11 @@ def list_architectures() -> list[str]:
     return ARCHITECTURES.names()
 
 
-def register_scheduler(name, factory, *, aliases=(), replace=False):
+def register_scheduler(name, factory, *, aliases=(), replace=False,
+                       description=""):
     """Register a :class:`SchedulerStrategy` factory under ``name``."""
-    SCHEDULERS.register(name, factory, aliases=aliases, replace=replace)
+    SCHEDULERS.register(name, factory, aliases=aliases, replace=replace,
+                        description=description)
 
 
 def get_scheduler(name: str):

@@ -1,9 +1,9 @@
 """Scheduler strategies: one pluggable interface over the policies in
 :mod:`repro.schedule`.
 
-Each strategy wraps one of the library's scheduling algorithms behind
-:class:`SchedulerStrategy` and returns a uniform
-:class:`ScheduleOutcome`, so experiments swap policies by name:
+Every strategy is the same :class:`StrategyAdapter` wrapped around one
+schedule function, so experiments swap policies by name and adding a
+policy is one entry in :data:`_STRATEGY_SPECS`:
 
 ======================  =================================================
 name                    algorithm
@@ -15,21 +15,30 @@ name                    algorithm
 ``preemptive``          :func:`repro.schedule.preemptive.schedule_preemptive`
 ``reconfig``            best of session/preemptive reconfiguration
                         (:func:`repro.schedule.reconfig.compare_reconfiguration`)
+``optimize-bnb``        exact width/session co-optimisation
+                        (:func:`repro.schedule.optimize.optimize_bnb`)
+``optimize-anneal``     annealed width/session co-optimisation
+                        (:func:`repro.schedule.optimize.optimize_anneal`)
 ======================  =================================================
 
 Only ``greedy`` produces schedules the cycle-accurate
 :class:`~repro.sim.session.SessionExecutor` can execute (a CAS in TEST
 mode switches exactly P wires, so executable plans are rigid); the
 others model design-time alternatives in the abstract timing model.
+The two ``optimize-*`` strategies carry their full
+:class:`~repro.schedule.optimize.OptimizeOutcome` (Pareto front
+included) as the outcome's ``detail``.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from functools import partial
+from typing import Callable, Sequence
 
 from repro.soc.core import CoreTestParams
+from repro.schedule.optimize import optimize_anneal, optimize_bnb
 from repro.schedule.preemptive import schedule_preemptive
 from repro.schedule.reconfig import compare_reconfiguration, static_partition
 from repro.schedule.scheduler import (
@@ -50,10 +59,11 @@ class ScheduleOutcome:
         test_cycles: test application time.
         config_cycles: configuration/reconfiguration overhead.
         detail: the strategy-specific schedule object
-            (:class:`~repro.schedule.scheduler.Schedule`,
+            (:class:`~repro.schedule.model.Schedule`,
             :class:`~repro.schedule.preemptive.PreemptiveSchedule`,
-            :class:`~repro.schedule.reconfig.ReconfigComparison`, or
-            :class:`~repro.schedule.reconfig.StaticPlan`).
+            :class:`~repro.schedule.reconfig.ReconfigComparison`,
+            :class:`~repro.schedule.reconfig.StaticPlan`, or
+            :class:`~repro.schedule.optimize.OptimizeOutcome`).
     """
 
     strategy: str
@@ -103,104 +113,153 @@ class SchedulerStrategy(abc.ABC):
         )
 
 
-class GreedyStrategy(SchedulerStrategy):
-    """Greedy session packing with the widening improvement pass."""
-
-    name = "greedy"
-    executable = True
-
-    def schedule(self, cores, bus_width, *, charge_config=True,
-                 cas_policy="all", exact_wires=False) -> ScheduleOutcome:
-        result = schedule_greedy(
-            cores, bus_width, charge_config=charge_config,
-            exact_wires=exact_wires, cas_policy=cas_policy,
-        )
-        return self._outcome(bus_width, result.test_cycles,
-                             result.config_cycles_total, result)
+#: A schedule function: ``(cores, bus_width, charge_config=...,
+#: cas_policy=..., **options) -> (test_cycles, config_cycles, detail)``.
+ScheduleFn = Callable[..., "tuple[int, int, object]"]
 
 
-class ExhaustiveStrategy(SchedulerStrategy):
-    """Optimal enumeration over session partitions (small instances)."""
+class StrategyAdapter(SchedulerStrategy):
+    """The one generic adapter: any schedule function, one interface.
 
-    name = "exhaustive"
-
-    def schedule(self, cores, bus_width, *, charge_config=True,
-                 cas_policy="all") -> ScheduleOutcome:
-        result = schedule_exhaustive(
-            cores, bus_width, charge_config=charge_config
-        )
-        return self._outcome(bus_width, result.test_cycles,
-                             result.config_cycles_total, result)
-
-
-class BalancedLptStrategy(SchedulerStrategy):
-    """One-shot LPT load balancing: a single all-parallel session.
-
-    Cores are packed onto wire groups by longest-processing-time
-    (exactly the partition a non-reconfigurable designer freezes at
-    tape-out); the CAS-BUS realises it with one two-stage configuration
-    pass, after which groups run in parallel and cores inside a group
-    serialise.
+    Replaces the five near-identical per-policy wrapper classes;
+    strategy-specific keyword options (``exact_wires`` for greedy,
+    ``widths``/``seed``/``iterations`` for the optimisers) pass
+    through ``schedule`` untouched.
     """
 
-    name = "balanced-lpt"
+    def __init__(self, name: str, fn: ScheduleFn, *,
+                 executable: bool = False) -> None:
+        self.name = name
+        self.executable = executable
+        self._fn = fn
 
-    def schedule(self, cores, bus_width, *, charge_config=True,
-                 cas_policy="all") -> ScheduleOutcome:
-        plan = static_partition(cores, bus_width)
-        config = 0
-        if charge_config and cores:
-            # One all-parallel session: every core's WIR is spliced in
-            # the single configuration pass.
-            config = session_config_cost(cores, bus_width, cores,
-                                         cas_policy)
-        return self._outcome(bus_width, plan.total_cycles, config, plan)
-
-
-class PreemptiveStrategy(SchedulerStrategy):
-    """Staircase scheduling: reallocate wires whenever a core finishes."""
-
-    name = "preemptive"
-
-    def schedule(self, cores, bus_width, *, charge_config=True,
-                 cas_policy="all") -> ScheduleOutcome:
-        result = schedule_preemptive(
-            cores, bus_width, charge_config=charge_config,
-            cas_policy=cas_policy,
+    def schedule(
+        self,
+        cores: Sequence[CoreTestParams],
+        bus_width: int,
+        *,
+        charge_config: bool = True,
+        cas_policy: str | None = "all",
+        **options,
+    ) -> ScheduleOutcome:
+        test, config, detail = self._fn(
+            cores, bus_width,
+            charge_config=charge_config, cas_policy=cas_policy,
+            **options,
         )
-        return self._outcome(bus_width, result.test_cycles,
-                             result.config_cycles_total, result)
-
-
-class ReconfigStrategy(SchedulerStrategy):
-    """Best reconfiguration granularity: session-based or preemptive.
-
-    Runs the section 4 comparison and reports whichever granularity
-    wins on total cycles, keeping the full
-    :class:`~repro.schedule.reconfig.ReconfigComparison` as detail.
-    """
-
-    name = "reconfig"
-
-    def schedule(self, cores, bus_width, *, charge_config=True,
-                 cas_policy="all") -> ScheduleOutcome:
-        comparison = compare_reconfiguration(cores, bus_width,
-                                             cas_policy=cas_policy)
-        best = min(
-            (comparison.reconfigured, comparison.preemptive),
-            key=lambda schedule: schedule.total_cycles,
-        )
-        test, config = best.test_cycles, best.config_cycles_total
         if not charge_config:
             config = 0
-        return self._outcome(bus_width, test, config, comparison)
+        return self._outcome(bus_width, test, config, detail)
 
 
-register_scheduler("greedy", GreedyStrategy, aliases=("session", "default"))
-register_scheduler("exhaustive", ExhaustiveStrategy, aliases=("optimal",))
-register_scheduler("balanced-lpt", BalancedLptStrategy,
-                   aliases=("lpt", "static"))
-register_scheduler("preemptive", PreemptiveStrategy,
-                   aliases=("staircase",))
-register_scheduler("reconfig", ReconfigStrategy,
-                   aliases=("best-reconfig",))
+# -- schedule functions -------------------------------------------------------
+
+
+def _run_greedy(cores, bus_width, *, charge_config, cas_policy,
+                exact_wires=False):
+    result = schedule_greedy(
+        cores, bus_width, charge_config=charge_config,
+        exact_wires=exact_wires, cas_policy=cas_policy,
+    )
+    return result.test_cycles, result.config_cycles_total, result
+
+
+def _run_exhaustive(cores, bus_width, *, charge_config, cas_policy):
+    result = schedule_exhaustive(
+        cores, bus_width, charge_config=charge_config,
+        cas_policy=cas_policy,
+    )
+    return result.test_cycles, result.config_cycles_total, result
+
+
+def _run_balanced_lpt(cores, bus_width, *, charge_config, cas_policy):
+    plan = static_partition(cores, bus_width)
+    config = 0
+    if charge_config and cores:
+        # One all-parallel session: every core's WIR is spliced in the
+        # single configuration pass.
+        config = session_config_cost(cores, bus_width, cores, cas_policy)
+    return plan.total_cycles, config, plan
+
+
+def _run_preemptive(cores, bus_width, *, charge_config, cas_policy):
+    result = schedule_preemptive(
+        cores, bus_width, charge_config=charge_config,
+        cas_policy=cas_policy,
+    )
+    return result.test_cycles, result.config_cycles_total, result
+
+
+def _run_reconfig(cores, bus_width, *, charge_config, cas_policy):
+    comparison = compare_reconfiguration(cores, bus_width,
+                                         cas_policy=cas_policy)
+    best = min(
+        (comparison.reconfigured, comparison.preemptive),
+        key=lambda schedule: schedule.total_cycles,
+    )
+    return best.test_cycles, best.config_cycles_total, comparison
+
+
+def _run_optimize_bnb(cores, bus_width, *, charge_config, cas_policy,
+                      widths=None):
+    outcome = optimize_bnb(
+        cores, bus_width, widths=widths,
+        charge_config=charge_config, cas_policy=cas_policy,
+    )
+    return outcome.test_cycles, outcome.config_cycles, outcome
+
+
+def _run_optimize_anneal(cores, bus_width, *, charge_config, cas_policy,
+                         widths=None, seed=0, iterations=None):
+    outcome = optimize_anneal(
+        cores, bus_width, widths=widths,
+        charge_config=charge_config, cas_policy=cas_policy,
+        seed=seed, iterations=iterations,
+    )
+    return outcome.test_cycles, outcome.config_cycles, outcome
+
+
+# -- registration -------------------------------------------------------------
+
+#: name -> (schedule function, executable, aliases, description).
+_STRATEGY_SPECS: "dict[str, tuple[ScheduleFn, bool, tuple, str]]" = {
+    "greedy": (
+        _run_greedy, True, ("session", "default"),
+        "Greedy session packing with a widening improvement pass.",
+    ),
+    "exhaustive": (
+        _run_exhaustive, False, ("optimal",),
+        "Optimal enumeration over session partitions (small instances).",
+    ),
+    "balanced-lpt": (
+        _run_balanced_lpt, False, ("lpt", "static"),
+        "One-shot LPT load balancing: a single all-parallel session.",
+    ),
+    "preemptive": (
+        _run_preemptive, False, ("staircase",),
+        "Staircase scheduling: reallocate wires whenever a core finishes.",
+    ),
+    "reconfig": (
+        _run_reconfig, False, ("best-reconfig",),
+        "Best reconfiguration granularity: session-based or preemptive.",
+    ),
+    "optimize-bnb": (
+        _run_optimize_bnb, False, ("bnb", "branch-and-bound"),
+        "Exact width/session co-optimisation with a Pareto front "
+        "(small SoCs).",
+    ),
+    "optimize-anneal": (
+        _run_optimize_anneal, False, ("anneal",),
+        "Annealed width/session co-optimisation with a Pareto front "
+        "(ITC'02 scale).",
+    ),
+}
+
+for _name, (_fn, _executable, _aliases, _description) in \
+        _STRATEGY_SPECS.items():
+    register_scheduler(
+        _name,
+        partial(StrategyAdapter, _name, _fn, executable=_executable),
+        aliases=_aliases,
+        description=_description,
+    )

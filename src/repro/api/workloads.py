@@ -37,9 +37,11 @@ from repro.soc.soc import SocSpec
 WORKLOADS: Registry = Registry("workload")
 
 
-def register_workload(name, factory, *, aliases=(), replace=False):
+def register_workload(name, factory, *, aliases=(), replace=False,
+                      description=""):
     """Register a workload factory under ``name`` (plus ``aliases``)."""
-    WORKLOADS.register(name, factory, aliases=aliases, replace=replace)
+    WORKLOADS.register(name, factory, aliases=aliases, replace=replace,
+                       description=description)
 
 
 def get_workload(name: str) -> Workload:
@@ -77,6 +79,14 @@ def workload_identity(workload) -> dict:
     return Workload.of(workload).identity()
 
 
+_ITC02_BLURBS = {
+    "d695": "ten cores, small glue plus a few large scan-heavy cores",
+    "g1023": "fourteen mid-sized cores with two autonomous BIST blocks",
+    "p22810": "twenty-eight cores, very wide size spread (stress case)",
+    "h953": "eight cores dominated by fixed-length memory-style BIST",
+}
+
+
 def _register_builtins() -> None:
     from repro.soc import itc02
     from repro.soc.library import fig1_soc, small_soc
@@ -84,15 +94,25 @@ def _register_builtins() -> None:
     register_workload("fig1", fig1_soc)
     register_workload("small", small_soc)
     for name in itc02.benchmark_names():
+        # A table without a blurb still registers (empty description).
+        blurb = _ITC02_BLURBS.get(name)
         register_workload(
             f"itc02-{name}",
             (lambda table=name: itc02.workload(table)),
             aliases=(name,),
+            description=(
+                f"ITC'02-style {blurb} (abstract core table)."
+                if blurb else ""
+            ),
         )
         register_workload(
             f"itc02-{name}-soc",
             (lambda table=name: itc02.benchmark_soc(table)),
             aliases=(f"{name}-soc",),
+            description=(
+                f"ITC'02-style {blurb}, scaled to a simulatable SoC."
+                if blurb else ""
+            ),
         )
 
 

@@ -1,17 +1,22 @@
 """The ``python -m repro`` command line.
 
-Four verbs drive campaigns headless:
+Five verbs drive campaigns headless:
 
 * ``repro run`` -- one experiment, optionally recorded in a store;
 * ``repro sweep`` -- a design-space campaign against a resumable
   store, with deterministic ``--shard K/N`` fan-out;
+* ``repro optimize`` -- width/session co-optimisation of one
+  workload, printing the Pareto front and optionally persisting every
+  front point into a store;
 * ``repro report`` -- tabulate one or more stores;
 * ``repro merge`` -- combine shard stores into one canonical store.
 
 Plus ``repro list`` to discover registered architectures, schedulers
-and workloads.  Tables print sorted by config hash, so the report of
-merged shard stores is byte-identical to the report of the equivalent
-unsharded run -- CI asserts exactly that.
+and workloads (``--architectures``/``--schedulers``/``--workloads``
+print name, aliases and a one-line description).  Tables print sorted
+by config hash, so the report of merged shard stores is byte-identical
+to the report of the equivalent unsharded run -- CI asserts exactly
+that.
 """
 
 from __future__ import annotations
@@ -20,12 +25,17 @@ import argparse
 import json
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.analysis.tables import format_table
 from repro.api.experiment import Experiment
-from repro.api.registry import list_architectures, list_schedulers
+from repro.api.registry import (
+    ARCHITECTURES,
+    SCHEDULERS,
+    list_architectures,
+    list_schedulers,
+)
 from repro.api.results import RESULT_HEADERS, RunConfig
-from repro.api.workloads import list_workloads
+from repro.api.workloads import WORKLOADS, get_workload, list_workloads
 from repro.campaign.campaign import Campaign
 from repro.campaign.hashing import parse_shard
 from repro.campaign.store import as_store, merge_stores
@@ -182,7 +192,137 @@ def cmd_merge(args) -> int:
     return 0
 
 
+#: Column order of the ``repro optimize`` Pareto table.
+PARETO_HEADERS = (
+    "N",
+    "config bits",
+    "sessions",
+    "test cycles",
+    "config cycles",
+    "total cycles",
+    "",
+)
+
+
+def _pareto_row(point, bus_width) -> "list[object]":
+    return [
+        point.bus_width,
+        point.config_bits,
+        point.sessions,
+        point.test_cycles,
+        point.config_cycles,
+        point.total_cycles,
+        "*" if point.bus_width == bus_width else "",
+    ]
+
+
+def cmd_optimize(args) -> int:
+    from repro.api.runner import run_many
+    from repro.schedule.optimize import BNB_MAX_CORES, co_optimize
+
+    workload = get_workload(args.workload)
+    width = (
+        args.bus_width if args.bus_width is not None else workload.bus_width
+    )
+    if width is None:
+        message = (
+            f"workload {workload.name!r} has no intrinsic bus width; "
+            f"pass --bus-width"
+        )
+        raise ConfigurationError(message)
+    widths = None
+    if args.widths:
+        widths = [int(token) for token in _split_csv(args.widths)]
+    method = args.method
+    if method == "auto":
+        method = "bnb" if len(workload.cores) <= BNB_MAX_CORES else "anneal"
+    outcome = co_optimize(
+        workload.cores,
+        width,
+        method=method,
+        widths=widths,
+        cas_policy=args.policy,
+    )
+    if args.json:
+        payload = {
+            "workload": workload.name,
+            "method": outcome.method,
+            "bus_width": width,
+            "evaluations": outcome.evaluations,
+            "pareto": [point.to_dict() for point in outcome.pareto],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(
+            f"{workload.name}: {outcome.method} on N={width} -> "
+            f"{outcome.total_cycles} total cycles "
+            f"({outcome.evaluations} session evaluations)"
+        )
+        rows = [_pareto_row(point, width) for point in outcome.pareto]
+        title = "Pareto front (bus width / config bits / total cycles)"
+        print(format_table(PARETO_HEADERS, rows, title=title))
+        if not args.quiet:
+            print(outcome.schedule.describe())
+    if args.store is None:
+        return 0
+    # Persist one experiment per front point through the standard
+    # store-aware runner: records land under the same config hashes a
+    # sweep with this scheduler would produce, so campaigns resume
+    # over them.  Each point deliberately re-executes its experiment
+    # (seconds at worst) instead of serialising the outcome above --
+    # a stored record must be exactly what re-running its config
+    # yields, or resume semantics break.
+    experiments = [
+        Experiment(
+            workload,
+            RunConfig(
+                architecture="casbus",
+                scheduler=outcome.method,
+                bus_width=point.bus_width,
+                cas_policy=args.policy,
+                label=args.label,
+            ),
+        )
+        for point in outcome.pareto
+    ]
+    run_many(
+        experiments,
+        parallel=False,
+        store=as_store(args.store),
+        rerun=args.rerun,
+    )
+    print(f"persisted {len(experiments)} Pareto point(s) -> {args.store}")
+    return 0
+
+
+def _detail_table(registry) -> str:
+    rows = [
+        [entry.name, ", ".join(entry.aliases) or "-", entry.description]
+        for entry in registry.entries()
+    ]
+    return format_table(("name", "aliases", "description"), rows)
+
+
 def cmd_list(args) -> int:
+    # Importing repro.api.workloads (above) transitively loads the
+    # architecture and scheduler modules, so all three registries are
+    # populated by the time any listing runs.
+    detail = (
+        ("architectures", ARCHITECTURES, args.architectures),
+        ("schedulers", SCHEDULERS, args.schedulers),
+        ("workloads", WORKLOADS, args.workloads),
+    )
+    if any(selected for _, _, selected in detail):
+        first = True
+        for title, registry, selected in detail:
+            if not selected:
+                continue
+            if not first:
+                print()
+            first = False
+            print(f"{title}:")
+            print(_detail_table(registry))
+        return 0
     sections = (
         ("architectures", list_architectures()),
         ("schedulers", list_schedulers()),
@@ -255,6 +395,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verbose", action="store_true")
     sweep.set_defaults(func=cmd_sweep)
 
+    optimize = commands.add_parser(
+        "optimize",
+        help="co-optimise TAM width and sessions, report the Pareto front",
+    )
+    optimize.add_argument("workload", help="registered workload name")
+    optimize.add_argument(
+        "-w",
+        "--bus-width",
+        type=int,
+        default=None,
+        help="pin budget N (default: the workload's own width)",
+    )
+    optimize.add_argument(
+        "--widths",
+        default=None,
+        help="comma list of candidate widths (default: powers of two up "
+        "to N)",
+    )
+    optimize.add_argument(
+        "--method",
+        choices=("auto", "bnb", "anneal"),
+        default="auto",
+        help="search engine: exact branch-and-bound or simulated "
+        "annealing (auto picks by core count)",
+    )
+    optimize.add_argument("--policy", default=None, help="CAS policy")
+    optimize.add_argument("--label", default="")
+    optimize.add_argument(
+        "--store",
+        default=None,
+        help="persist every Pareto point into this campaign store",
+    )
+    optimize.add_argument("--rerun", action="store_true")
+    optimize.add_argument("--json", action="store_true")
+    optimize.add_argument(
+        "--quiet",
+        action="store_true",
+        help="omit the per-session schedule dump",
+    )
+    optimize.set_defaults(func=cmd_optimize)
+
     report = commands.add_parser("report", help="tabulate stores")
     report.add_argument("stores", nargs="+")
     report.add_argument("--json", action="store_true")
@@ -266,6 +447,21 @@ def build_parser() -> argparse.ArgumentParser:
     merge.set_defaults(func=cmd_merge)
 
     listing = commands.add_parser("list", help="list registered components")
+    listing.add_argument(
+        "--architectures",
+        action="store_true",
+        help="detail table: architecture name, aliases, description",
+    )
+    listing.add_argument(
+        "--schedulers",
+        action="store_true",
+        help="detail table: scheduler name, aliases, description",
+    )
+    listing.add_argument(
+        "--workloads",
+        action="store_true",
+        help="detail table: workload name, aliases, description",
+    )
     listing.set_defaults(func=cmd_list)
 
     return parser

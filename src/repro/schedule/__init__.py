@@ -21,18 +21,44 @@ from repro.schedule.balance import (
     partition_optimal,
 )
 from repro.schedule.assign import assign_wires
-from repro.schedule.scheduler import (
+from repro.schedule.model import (
+    CostModel,
     Schedule,
     ScheduledEntry,
     ScheduledSession,
+    TamProblem,
+    cost_model,
+    two_stage_config_cycles,
+)
+from repro.schedule.scheduler import (
     lower_bound,
     schedule_exhaustive,
     schedule_greedy,
+)
+from repro.schedule.optimize import (
+    OptimizeOutcome,
+    ParetoPoint,
+    candidate_widths,
+    co_optimize,
+    optimize_anneal,
+    optimize_bnb,
+    pareto_front,
 )
 from repro.schedule.reconfig import ReconfigComparison, compare_reconfiguration
 from repro.schedule.concurrent import maintenance_session
 
 __all__ = [
+    "CostModel",
+    "TamProblem",
+    "cost_model",
+    "two_stage_config_cycles",
+    "OptimizeOutcome",
+    "ParetoPoint",
+    "candidate_widths",
+    "co_optimize",
+    "optimize_anneal",
+    "optimize_bnb",
+    "pareto_front",
     "cas_config_bits",
     "config_cycles",
     "core_test_cycles",

@@ -1,0 +1,553 @@
+"""Width/session co-optimisation over the CAS-BUS cost model.
+
+The paper's central design argument is that a configurable CAS-BUS
+lets the integrator *trade* test time against bus width and DfT area.
+This module turns the repro from a calculator into a design-space
+explorer: given a workload, it searches for good session partitions at
+each candidate bus width and reports the Pareto front of
+``(bus width, config bits, total cycles)`` points, so the integrator
+reads off exactly what one more wire (and its instruction-register
+bits) buys.
+
+Two search engines share the :class:`~repro.schedule.model.CostModel`:
+
+* :func:`optimize_bnb` -- exact branch and bound over session
+  partitions, seeded by :func:`~repro.schedule.scheduler.lower_bound`
+  and the greedy incumbent.  Provably matches
+  :func:`~repro.schedule.scheduler.schedule_exhaustive` total cycles;
+  for small SoCs (the partition space is Bell(n)).
+* :func:`optimize_anneal` -- simulated annealing over partitions for
+  ITC'02-scale workloads, starting from the greedy schedule (so it
+  never returns anything worse) and exploring move/swap/merge
+  neighbourhoods with exact intra-session wire splits.
+
+Both return an :class:`OptimizeOutcome`: the best
+:class:`~repro.schedule.model.Schedule` at the requested width plus
+the Pareto front across all candidate widths.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ScheduleError
+from repro.soc.core import CoreTestParams
+from repro.schedule.model import CostModel, Schedule, TamProblem
+from repro.schedule.scheduler import schedule_greedy
+
+#: Largest core count the exact branch-and-bound search accepts
+#: (Bell(10) partitions with pruning stays sub-second).
+BNB_MAX_CORES = 10
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated design point of the co-optimisation.
+
+    Attributes:
+        bus_width: pin budget N of this design.
+        config_bits: CAS instruction-register bits the design carries
+            (the DfT configuration footprint).
+        test_cycles: test application time of the best schedule found.
+        config_cycles: configuration overhead of that schedule.
+        sessions: session count of that schedule.
+    """
+
+    bus_width: int
+    config_bits: int
+    test_cycles: int
+    config_cycles: int
+    sessions: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.test_cycles + self.config_cycles
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (CLI output, campaign notes)."""
+        return {
+            "bus_width": self.bus_width,
+            "config_bits": self.config_bits,
+            "test_cycles": self.test_cycles,
+            "config_cycles": self.config_cycles,
+            "total_cycles": self.total_cycles,
+            "sessions": self.sessions,
+        }
+
+
+@dataclass
+class OptimizeOutcome:
+    """Result of one width/session co-optimisation run."""
+
+    method: str
+    problem: TamProblem
+    schedule: Schedule
+    pareto: tuple[ParetoPoint, ...]
+    evaluations: int = 0
+    #: Best schedule found at every candidate width (width -> Schedule).
+    schedules: dict = field(default_factory=dict)
+
+    @property
+    def test_cycles(self) -> int:
+        return self.schedule.test_cycles
+
+    @property
+    def config_cycles(self) -> int:
+        return self.schedule.config_cycles_total
+
+    @property
+    def total_cycles(self) -> int:
+        return self.schedule.total_cycles
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.method} on N={self.problem.bus_width}: "
+            f"{self.total_cycles} total cycles "
+            f"({self.evaluations} session evaluations), "
+            f"{len(self.pareto)}-point Pareto front"
+        ]
+        for point in self.pareto:
+            marker = " *" if point.bus_width == self.problem.bus_width \
+                else ""
+            lines.append(
+                f"  N={point.bus_width:>3}  config_bits="
+                f"{point.config_bits:>4}  total={point.total_cycles:>8}"
+                f"  ({point.sessions} sessions){marker}"
+            )
+        lines.append(self.schedule.describe())
+        return "\n".join(lines)
+
+
+def candidate_widths(bus_width: int) -> tuple[int, ...]:
+    """Default width sweep: powers of two up to and including N."""
+    if bus_width < 1:
+        raise ScheduleError(f"bus width must be >= 1, got {bus_width}")
+    widths = {bus_width}
+    width = 1
+    while width < bus_width:
+        widths.add(width)
+        width *= 2
+    return tuple(sorted(widths))
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> tuple[ParetoPoint, ...]:
+    """The non-dominated subset, sorted by bus width.
+
+    A point dominates another when it is no worse on every axis
+    (bus width, config bits, total cycles) and strictly better on at
+    least one.
+    """
+
+    def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+        no_worse = (a.bus_width <= b.bus_width
+                    and a.config_bits <= b.config_bits
+                    and a.total_cycles <= b.total_cycles)
+        better = (a.bus_width < b.bus_width
+                  or a.config_bits < b.config_bits
+                  or a.total_cycles < b.total_cycles)
+        return no_worse and better
+
+    front = [
+        point for point in points
+        if not any(dominates(other, point) for other in points)
+    ]
+    # Duplicate-coordinate survivors collapse to one representative.
+    seen: set[tuple[int, int, int]] = set()
+    unique = []
+    for point in sorted(front, key=lambda p: (p.bus_width, p.total_cycles)):
+        key = (point.bus_width, point.config_bits, point.total_cycles)
+        if key not in seen:
+            seen.add(key)
+            unique.append(point)
+    return tuple(unique)
+
+
+# -- shared search plumbing ---------------------------------------------------
+
+
+class _PartitionSearch:
+    """Session-partition search state shared by both engines.
+
+    Holds the memoised group -> optimal-session cache; groups are
+    tuples of sorted core indices.
+    """
+
+    def __init__(self, model: CostModel, charge_config: bool) -> None:
+        self.model = model
+        self.charge_config = charge_config
+        self.cores = model.problem.cores
+        self.width = model.problem.bus_width
+        self.evaluations = 0
+        self._session_cycles: dict[tuple[int, ...], int] = {}
+
+    def group_cycles(self, key: tuple[int, ...]) -> int:
+        """Makespan of one group under its optimal wire split."""
+        cached = self._session_cycles.get(key)
+        if cached is None:
+            group = [self.cores[index] for index in key]
+            session = self.model.optimal_session(group)
+            assert session is not None  # callers keep |group| <= width
+            cached = session.cycles
+            self._session_cycles[key] = cached
+            self.evaluations += 1
+        return cached
+
+    def config_of(self, group_sizes) -> int:
+        if not self.charge_config:
+            return 0
+        return sum(
+            self.model.session_config_cycles(size) for size in group_sizes
+        )
+
+    def partition_total(self, groups: Sequence[tuple[int, ...]]) -> int:
+        test = sum(self.group_cycles(group) for group in groups)
+        return test + self.config_of(len(group) for group in groups)
+
+    def build_schedule(
+        self, groups: Sequence[tuple[int, ...]]
+    ) -> Schedule:
+        schedule = self.model.schedule_from_groups(
+            ([self.cores[index] for index in group] for group in groups),
+            charge_config=self.charge_config,
+        )
+        assert schedule is not None
+        return schedule
+
+    def floor_total(self) -> int:
+        """Admissible all-in lower bound used for early exit."""
+        floor = self.model.lower_bound()
+        if self.charge_config and self.cores:
+            # At least one session configures every tested core once.
+            floor += self.model.session_config_cycles(len(self.cores))
+        return floor
+
+
+# -- exact search -------------------------------------------------------------
+
+
+def _bnb_session_search(search: _PartitionSearch) -> Schedule:
+    """Best-partition branch and bound at one width.
+
+    Cores are assigned in descending single-wire-time order; each core
+    either joins an existing group (canonical partition enumeration,
+    no symmetric duplicates) or opens a new one.  A node is cut when
+    the partial total -- the sum of its groups' optimal makespans plus
+    the configuration already committed, both of which only grow as
+    cores join -- cannot beat the incumbent.
+    """
+    model = search.model
+    cores = search.cores
+    if not cores:
+        return Schedule(bus_width=search.width)
+    incumbent = schedule_greedy(
+        cores, search.width,
+        charge_config=search.charge_config,
+        cas_policy=model.problem.cas_policy,
+    )
+    best_total = incumbent.total_cycles
+    if best_total <= search.floor_total():
+        return incumbent  # greedy already meets the lower bound
+    order = sorted(
+        range(len(cores)), key=lambda i: -model.core_cycles(cores[i], 1)
+    )
+    groups: list[list[int]] = []
+    best_groups: list[tuple[int, ...]] | None = None
+
+    def descend(position: int, partial_test: int) -> None:
+        nonlocal best_total, best_groups
+        partial = partial_test + search.config_of(
+            len(group) for group in groups
+        )
+        if partial >= best_total:
+            return
+        if position == len(order):
+            best_total = partial
+            best_groups = [tuple(sorted(group)) for group in groups]
+            return
+        core = order[position]
+        for group in groups:
+            if len(group) >= search.width:
+                continue
+            before = search.group_cycles(tuple(sorted(group)))
+            group.append(core)
+            after = search.group_cycles(tuple(sorted(group)))
+            descend(position + 1, partial_test - before + after)
+            group.pop()
+        groups.append([core])
+        descend(
+            position + 1,
+            partial_test + search.group_cycles((core,)),
+        )
+        groups.pop()
+
+    descend(0, 0)
+    if best_groups is None:
+        return incumbent  # greedy was already optimal
+    return search.build_schedule(best_groups)
+
+
+def optimize_bnb(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+    *,
+    widths: "Sequence[int] | None" = None,
+    charge_config: bool = True,
+    cas_policy: str | None = "all",
+    max_cores: int = BNB_MAX_CORES,
+) -> OptimizeOutcome:
+    """Exact width/session co-optimisation (small SoCs).
+
+    Runs the branch-and-bound session search at every candidate width
+    and assembles the Pareto front.  Raises
+    :class:`~repro.errors.ScheduleError` beyond ``max_cores`` -- use
+    :func:`optimize_anneal` there.
+    """
+    if len(cores) > max_cores:
+        raise ScheduleError(
+            f"{len(cores)} cores exceed the branch-and-bound limit "
+            f"{max_cores}; use optimize-anneal for large SoCs"
+        )
+    return _co_optimize(
+        "optimize-bnb",
+        cores,
+        bus_width,
+        widths=widths,
+        charge_config=charge_config,
+        cas_policy=cas_policy,
+        engine=_bnb_session_search,
+    )
+
+
+# -- annealed search ----------------------------------------------------------
+
+
+def _anneal_session_search(
+    search: _PartitionSearch,
+    rng: random.Random,
+    iterations: int,
+) -> Schedule:
+    """Simulated annealing over session partitions at one width.
+
+    Starts from the greedy partition (re-split optimally), so the
+    result is never worse than greedy; explores move/swap
+    neighbourhoods with Metropolis acceptance and returns the best
+    partition seen.
+    """
+    model = search.model
+    cores = search.cores
+    if not cores:
+        return Schedule(bus_width=search.width)
+    greedy = schedule_greedy(
+        cores, search.width,
+        charge_config=search.charge_config,
+        cas_policy=model.problem.cas_policy,
+    )
+    index_of = {id(core): index for index, core in enumerate(cores)}
+    groups: list[list[int]] = [
+        [index_of[id(entry.params)] for entry in session.entries]
+        for session in greedy.sessions
+    ]
+    current = search.partition_total(
+        [tuple(sorted(group)) for group in groups]
+    )
+    best_total = current
+    best_groups = [tuple(sorted(group)) for group in groups]
+    floor = search.floor_total()
+    if best_total <= floor:
+        return search.build_schedule(best_groups)
+    temperature = max(1.0, 0.05 * current)
+    cooling = (0.01 / temperature) ** (1.0 / max(1, iterations)) \
+        if temperature > 0.01 else 1.0
+
+    def group_total(group: list[int]) -> int:
+        key = tuple(sorted(group))
+        total = search.group_cycles(key)
+        if search.charge_config:
+            total += model.session_config_cycles(len(key))
+        return total
+
+    for _ in range(iterations):
+        temperature *= cooling
+        if len(groups) == 1 and len(groups[0]) == 1:
+            break  # nothing left to move
+        move_swap = rng.random() < 0.3 and len(groups) >= 2
+        if move_swap:
+            a, b = rng.sample(range(len(groups)), 2)
+            ia = rng.randrange(len(groups[a]))
+            ib = rng.randrange(len(groups[b]))
+            before = group_total(groups[a]) + group_total(groups[b])
+            groups[a][ia], groups[b][ib] = groups[b][ib], groups[a][ia]
+            after = group_total(groups[a]) + group_total(groups[b])
+            delta = after - before
+            if delta > 0 and (temperature <= 0
+                              or rng.random() >= math.exp(
+                                  -delta / temperature)):
+                groups[a][ia], groups[b][ib] = (
+                    groups[b][ib], groups[a][ia]
+                )  # revert
+                continue
+            current += delta
+        else:
+            source = rng.randrange(len(groups))
+            item = rng.randrange(len(groups[source]))
+            # Target: another group with a free wire, or a new session.
+            open_targets = [
+                index for index, group in enumerate(groups)
+                if index != source and len(group) < search.width
+            ]
+            new_session = (not open_targets) or rng.random() < 0.25
+            before = group_total(groups[source])
+            core = groups[source].pop(item)
+            emptied = not groups[source]
+            if new_session:
+                after = (0 if emptied else group_total(groups[source])) \
+                    + group_total([core])
+                delta = after - before
+                accept = delta <= 0 or (
+                    temperature > 0
+                    and rng.random() < math.exp(-delta / temperature)
+                )
+                if not accept:
+                    groups[source].insert(item, core)
+                    continue
+                if emptied:
+                    del groups[source]
+                groups.append([core])
+                current += delta
+            else:
+                target = rng.choice(open_targets)
+                before += group_total(groups[target])
+                groups[target].append(core)
+                after = (0 if emptied else group_total(groups[source])) \
+                    + group_total(groups[target])
+                delta = after - before
+                accept = delta <= 0 or (
+                    temperature > 0
+                    and rng.random() < math.exp(-delta / temperature)
+                )
+                if not accept:
+                    groups[target].pop()
+                    groups[source].insert(item, core)
+                    continue
+                if emptied:
+                    del groups[source]
+                current += delta
+        if current < best_total:
+            best_total = current
+            best_groups = [tuple(sorted(group)) for group in groups]
+            if best_total <= floor:
+                break
+    return search.build_schedule(best_groups)
+
+
+def optimize_anneal(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+    *,
+    widths: "Sequence[int] | None" = None,
+    charge_config: bool = True,
+    cas_policy: str | None = "all",
+    seed: int = 0,
+    iterations: "int | None" = None,
+) -> OptimizeOutcome:
+    """Annealed width/session co-optimisation (ITC'02 scale).
+
+    ``seed`` fixes every random choice (per-width streams are derived
+    from it), so identical calls return identical outcomes --
+    campaign stores can hash them.  ``iterations=None`` scales the
+    per-width move budget with the core count.
+    """
+    budget = iterations if iterations is not None \
+        else 600 + 200 * len(cores)
+
+    def engine(search: _PartitionSearch) -> Schedule:
+        rng = random.Random(f"{seed}:{search.width}")
+        return _anneal_session_search(search, rng, budget)
+
+    return _co_optimize(
+        "optimize-anneal",
+        cores,
+        bus_width,
+        widths=widths,
+        charge_config=charge_config,
+        cas_policy=cas_policy,
+        engine=engine,
+    )
+
+
+def co_optimize(
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+    *,
+    method: str = "auto",
+    widths: "Sequence[int] | None" = None,
+    charge_config: bool = True,
+    cas_policy: str | None = "all",
+    seed: int = 0,
+    iterations: "int | None" = None,
+) -> OptimizeOutcome:
+    """Dispatch to the right engine: exact when feasible, annealed
+    beyond :data:`BNB_MAX_CORES` (``method="auto"``)."""
+    if method == "auto":
+        method = "bnb" if len(cores) <= BNB_MAX_CORES else "anneal"
+    if method in ("bnb", "optimize-bnb"):
+        return optimize_bnb(
+            cores, bus_width, widths=widths,
+            charge_config=charge_config, cas_policy=cas_policy,
+        )
+    if method in ("anneal", "optimize-anneal"):
+        return optimize_anneal(
+            cores, bus_width, widths=widths,
+            charge_config=charge_config, cas_policy=cas_policy,
+            seed=seed, iterations=iterations,
+        )
+    raise ScheduleError(
+        f"unknown optimisation method {method!r}; "
+        f"known: auto, bnb, anneal"
+    )
+
+
+def _co_optimize(
+    method: str,
+    cores: Sequence[CoreTestParams],
+    bus_width: int,
+    *,
+    widths: "Sequence[int] | None",
+    charge_config: bool,
+    cas_policy: str | None,
+    engine: Callable[[_PartitionSearch], Schedule],
+) -> OptimizeOutcome:
+    """Run ``engine`` at every candidate width, assemble the front."""
+    problem = TamProblem.of(cores, bus_width, cas_policy)
+    sweep = set(widths) if widths else set(candidate_widths(bus_width))
+    sweep.add(bus_width)
+    for width in sweep:
+        if width < 1:
+            raise ScheduleError(f"bus width must be >= 1, got {width}")
+    points: list[ParetoPoint] = []
+    schedules: dict[int, Schedule] = {}
+    evaluations = 0
+    for width in sorted(sweep):
+        model = CostModel(problem.with_width(width))
+        search = _PartitionSearch(model, charge_config)
+        schedule = engine(search)
+        evaluations += search.evaluations
+        schedules[width] = schedule
+        points.append(ParetoPoint(
+            bus_width=width,
+            config_bits=model.config_bits,
+            test_cycles=schedule.test_cycles,
+            config_cycles=schedule.config_cycles_total,
+            sessions=len(schedule.sessions),
+        ))
+    return OptimizeOutcome(
+        method=method,
+        problem=problem,
+        schedule=schedules[bus_width],
+        pareto=pareto_front(points),
+        evaluations=evaluations,
+        schedules=schedules,
+    )

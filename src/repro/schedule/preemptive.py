@@ -21,7 +21,7 @@ from typing import Sequence
 
 from repro.errors import ScheduleError
 from repro.soc.core import CoreTestParams
-from repro.schedule.timing import cas_config_bits, config_cycles
+from repro.schedule.model import CostModel, cost_model
 
 
 @dataclass
@@ -35,9 +35,15 @@ class _Job:
     last_wires: int = 0
     #: Cycles already spent inside the current pattern.
     partial_cycles: int = 0
+    #: Cycles left of the final unload once every pattern is loaded
+    #: (``None`` = not in the tail phase yet).  A width change during
+    #: the tail restarts the unload at the new width (chains regroup,
+    #: partial unload progress is lost -- same rule as
+    #: ``partial_cycles``), so the count never under-reports.
+    tail_left: "int | None" = None
 
     def chain_length(self, wires: int) -> int:
-        effective = max(1, min(wires, self.params.max_wires))
+        effective = CostModel.effective_wires(self.params, wires)
         if self.params.flops == 0:
             return 0
         return math.ceil(self.params.flops / effective)
@@ -45,6 +51,10 @@ class _Job:
     def remaining_cycles(self, wires: int) -> int:
         if self.params.fixed_cycles is not None:
             return self.params.fixed_cycles
+        if self.tail_left is not None:
+            if wires != self.last_wires:
+                return self.chain_length(wires)  # unload restarts
+            return self.tail_left
         length = self.chain_length(wires)
         tail = length if self.remaining_patterns else 0
         carry = self.partial_cycles if wires == self.last_wires else 0
@@ -98,8 +108,7 @@ def schedule_preemptive(
     cas_policy: str | None = "all",
 ) -> PreemptiveSchedule:
     """Event-driven wire reallocation at completion boundaries."""
-    if bus_width < 1:
-        raise ScheduleError(f"bus width must be >= 1, got {bus_width}")
+    model = cost_model(cores, bus_width, cas_policy)
     jobs = [_Job(params=core, remaining_patterns=core.patterns)
             for core in cores]
     for job in jobs:
@@ -108,11 +117,6 @@ def schedule_preemptive(
             job.finished = True  # nothing to do
     schedule = PreemptiveSchedule(bus_width=bus_width)
     reconfigurations = 0
-    cas_bits = sum(
-        cas_config_bits(bus_width, min(core.max_wires, bus_width),
-                        cas_policy)
-        for core in cores
-    )
     while any(not job.finished for job in jobs):
         allocation = _allocate(jobs, bus_width)
         if not allocation:
@@ -146,23 +150,42 @@ def schedule_preemptive(
                         fixed_cycles=job.params.fixed_cycles - duration,
                     )
                 continue
+            if job.tail_left is not None:
+                # Final-unload phase: pure cycle countdown; a width
+                # change regroups the chains and restarts the unload.
+                if wires != job.last_wires:
+                    job.tail_left = job.chain_length(wires)
+                    job.last_wires = wires
+                job.tail_left -= duration
+                if job.tail_left <= 0:
+                    job.finished = True
+                continue
             length = job.chain_length(wires)
             spent = duration
             if wires == job.last_wires:
                 spent += job.partial_cycles
-            done_patterns = spent // (length + 1)
-            job.partial_cycles = spent % (length + 1)
             job.last_wires = wires
-            job.remaining_patterns = max(
-                0, job.remaining_patterns - done_patterns
-            )
-            if job.remaining_patterns == 0:
+            full = (length + 1) * job.remaining_patterns + length
+            if spent >= full:
+                # Every pattern loaded and the tail shifted out.
+                job.remaining_patterns = 0
                 job.finished = True
+                continue
+            done_patterns = spent // (length + 1)
+            if done_patterns >= job.remaining_patterns:
+                # All patterns loaded; the leftover cycles started the
+                # final unload (``spent < full`` keeps this positive).
+                job.tail_left = full - spent
+                job.remaining_patterns = 0
+                job.partial_cycles = 0
+            else:
+                job.partial_cycles = spent % (length + 1)
+                job.remaining_patterns -= done_patterns
     if charge_config:
-        wir_bits = 3  # at least the started/stopped core's wrapper
-        per_boundary = (config_cycles(cas_bits)
-                        + config_cycles(cas_bits + wir_bits))
-        schedule.config_cycles_total = reconfigurations * per_boundary
+        # At least the started/stopped core's wrapper is spliced.
+        schedule.config_cycles_total = (
+            reconfigurations * model.boundary_config_cycles()
+        )
     return schedule
 
 

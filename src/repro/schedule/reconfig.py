@@ -20,6 +20,7 @@ from typing import Sequence
 
 from repro.errors import ScheduleError
 from repro.soc.core import CoreTestParams
+from repro.schedule.model import cost_model
 from repro.schedule.preemptive import PreemptiveSchedule, schedule_preemptive
 from repro.schedule.scheduler import Schedule, schedule_greedy
 from repro.schedule.timing import core_test_cycles
@@ -58,6 +59,7 @@ class ReconfigComparison:
     reconfigured: Schedule
     preemptive: PreemptiveSchedule
     static: StaticPlan
+    cas_policy: "str | None" = "all"
 
     @property
     def reconfig_total(self) -> int:
@@ -79,16 +81,9 @@ class ReconfigComparison:
         """
         if any(len(group) != 1 for group in self.static.groups):
             return None
-        from repro.schedule.timing import cas_config_bits, config_cycles
-
         cores = [group[0] for group in self.static.groups]
-        cas_bits = sum(
-            cas_config_bits(self.bus_width,
-                            min(core.max_wires, self.bus_width))
-            for core in cores
-        )
-        one_config = (config_cycles(cas_bits)
-                      + config_cycles(cas_bits + 3 * len(cores)))
+        model = cost_model(cores, self.bus_width, self.cas_policy)
+        one_config = model.session_config_cycles(len(cores))
         return self.static.total_cycles + one_config
 
     @property
@@ -174,4 +169,5 @@ def compare_reconfiguration(
         reconfigured=reconfigured,
         preemptive=preemptive,
         static=static,
+        cas_policy=cas_policy,
     )

@@ -5,6 +5,13 @@ rectangles: wires x time).  The CAS-BUS reconfigures between sessions,
 so the scheduler's job is to choose session groups and per-core wire
 counts minimising total time, configuration overhead included.
 
+All cost accounting flows through the shared
+:class:`~repro.schedule.model.CostModel` (the schedule IR lives in
+:mod:`repro.schedule.model` too and is re-exported here), so the
+greedy packer, the exhaustive enumerator and the optimisers in
+:mod:`repro.schedule.optimize` can never drift on what a session
+costs.
+
 Algorithms:
 
 * :func:`schedule_greedy` -- sort by single-wire test time, open a
@@ -12,93 +19,37 @@ Algorithms:
   width, fill leftover wires with the next cores, iterate.  Then a
   local improvement pass widens cores into idle wires.
 * :func:`schedule_exhaustive` -- optimal over all session partitions
-  and wire splits for small instances (tests and ablations).
+  for small instances (tests and ablations); wire splits per session
+  come from the cost model's parametric optimum.
 * :func:`lower_bound` -- max of the work-conservation bound and the
-  widest-core bound; used to sanity-check schedule quality.
+  widest-core bound; used to sanity-check schedule quality and to
+  seed the branch-and-bound optimiser.
 """
 
 from __future__ import annotations
 
-import itertools
-import math
-from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ScheduleError
 from repro.soc.core import CoreTestParams
-from repro.schedule.timing import (
-    cas_config_bits,
-    config_cycles,
-    core_test_cycles,
+from repro.schedule.model import (
+    CostModel,
+    Schedule,
+    ScheduledEntry,
+    ScheduledSession,
+    TamProblem,
+    cost_model,
 )
 
-
-@dataclass(frozen=True)
-class ScheduledEntry:
-    """One core inside one session."""
-
-    params: CoreTestParams
-    wires: int
-
-    @property
-    def cycles(self) -> int:
-        return core_test_cycles(self.params, self.wires)
-
-
-@dataclass(frozen=True)
-class ScheduledSession:
-    """A group of cores tested concurrently."""
-
-    entries: tuple[ScheduledEntry, ...]
-
-    @property
-    def wires_used(self) -> int:
-        return sum(entry.wires for entry in self.entries)
-
-    @property
-    def cycles(self) -> int:
-        return max((entry.cycles for entry in self.entries), default=0)
-
-    def names(self) -> list[str]:
-        return [entry.params.name for entry in self.entries]
-
-
-@dataclass
-class Schedule:
-    """A complete test program in the abstract timing model."""
-
-    bus_width: int
-    sessions: list[ScheduledSession] = field(default_factory=list)
-    config_cycles_total: int = 0
-
-    @property
-    def test_cycles(self) -> int:
-        return sum(session.cycles for session in self.sessions)
-
-    @property
-    def total_cycles(self) -> int:
-        return self.test_cycles + self.config_cycles_total
-
-    def describe(self) -> str:
-        lines = [
-            f"schedule on N={self.bus_width}: {len(self.sessions)} sessions, "
-            f"{self.test_cycles} test + {self.config_cycles_total} config "
-            f"cycles"
-        ]
-        for index, session in enumerate(self.sessions):
-            entries = ", ".join(
-                f"{e.params.name}(w={e.wires},t={e.cycles})"
-                for e in session.entries
-            )
-            lines.append(
-                f"  s{index}: [{entries}] -> {session.cycles} cycles"
-            )
-        return "\n".join(lines)
-
-
-def _useful_wires(params: CoreTestParams, available: int) -> int:
-    """Widest allocation that still helps (capped by the core's P)."""
-    return max(1, min(available, params.max_wires))
+__all__ = [
+    "Schedule",
+    "ScheduledEntry",
+    "ScheduledSession",
+    "lower_bound",
+    "schedule_exhaustive",
+    "schedule_greedy",
+    "session_config_cost",
+]
 
 
 def session_config_cost(
@@ -110,18 +61,12 @@ def session_config_cost(
     """Config cost of one session in the abstract model.
 
     One stage-A pass (splice) and one stage-B pass with the tested
-    cores' WIRs spliced -- matching the executor's protocol.  Shared
-    by every strategy that charges per-session configuration (greedy,
-    exhaustive, balanced-lpt), so the formula cannot drift between
-    them.
+    cores' WIRs spliced -- matching the executor's protocol.  Thin
+    shim over :meth:`repro.schedule.model.CostModel.session_config_cycles`
+    for callers without a model at hand.
     """
-    cas_bits = sum(
-        cas_config_bits(bus_width, min(core.max_wires, bus_width),
-                        cas_policy)
-        for core in all_cores
-    )
-    wir_bits = 3 * len(tested)
-    return config_cycles(cas_bits) + config_cycles(cas_bits + wir_bits)
+    model = cost_model(all_cores, bus_width, cas_policy)
+    return model.session_config_cycles(len(tested))
 
 
 def schedule_greedy(
@@ -142,8 +87,7 @@ def schedule_greedy(
     (``None`` = the designer rule of
     :func:`repro.core.instruction.practical_policy`).
     """
-    if bus_width < 1:
-        raise ScheduleError(f"bus width must be >= 1, got {bus_width}")
+    model = cost_model(cores, bus_width, cas_policy)
     if exact_wires:
         for core in cores:
             if core.max_wires > bus_width:
@@ -155,11 +99,11 @@ def schedule_greedy(
     def allocation(params: CoreTestParams, available: int) -> int:
         if exact_wires:
             return params.max_wires
-        return _useful_wires(params, available)
+        return model.useful_wires(params, available)
 
     remaining = sorted(
         cores,
-        key=lambda c: -core_test_cycles(c, 1),
+        key=lambda c: -model.core_cycles(c, 1),
     )
     schedule = Schedule(bus_width=bus_width)
     while remaining:
@@ -186,14 +130,7 @@ def schedule_greedy(
         if not exact_wires:
             entries = _widen(entries, bus_width)
         schedule.sessions.append(ScheduledSession(entries=tuple(entries)))
-    if charge_config:
-        schedule.config_cycles_total = sum(
-            session_config_cost(cores, bus_width,
-                                [e.params for e in session.entries],
-                                cas_policy)
-            for session in schedule.sessions
-        )
-    return schedule
+    return model.charge(schedule, charge_config)
 
 
 def _widen(entries: list[ScheduledEntry],
@@ -223,57 +160,30 @@ def schedule_exhaustive(
     bus_width: int,
     *,
     charge_config: bool = True,
+    cas_policy: str | None = "all",
     max_cores: int = 6,
 ) -> Schedule:
-    """Optimal schedule by enumeration (small instances only)."""
+    """Optimal schedule by partition enumeration (small instances only).
+
+    Wire splits inside each candidate session come from
+    :meth:`~repro.schedule.model.CostModel.optimal_session`, so only
+    the set partitions are enumerated.
+    """
     if len(cores) > max_cores:
         raise ScheduleError(
             f"{len(cores)} cores exceed the exhaustive limit {max_cores}"
         )
+    model = cost_model(cores, bus_width, cas_policy)
     best: Schedule | None = None
     for partition in _set_partitions(list(cores)):
-        sessions: list[ScheduledSession] = []
-        feasible = True
-        for group in partition:
-            session = _best_session(group, bus_width)
-            if session is None:
-                feasible = False
-                break
-            sessions.append(session)
-        if not feasible:
+        candidate = model.schedule_from_groups(
+            partition, charge_config=charge_config
+        )
+        if candidate is None:
             continue
-        candidate = Schedule(bus_width=bus_width, sessions=sessions)
-        if charge_config:
-            candidate.config_cycles_total = sum(
-                session_config_cost(cores, bus_width,
-                                    [e.params for e in s.entries])
-                for s in sessions
-            )
         if best is None or candidate.total_cycles < best.total_cycles:
             best = candidate
     assert best is not None  # singleton partition is always feasible
-    return best
-
-
-def _best_session(group: list[CoreTestParams],
-                  bus_width: int) -> ScheduledSession | None:
-    """Optimal wire split for one concurrent group, or None if unfit."""
-    if sum(1 for _ in group) > bus_width:
-        return None
-    options = [
-        range(1, min(core.max_wires, bus_width) + 1) for core in group
-    ]
-    best: ScheduledSession | None = None
-    for split in itertools.product(*options):
-        if sum(split) > bus_width:
-            continue
-        entries = tuple(
-            ScheduledEntry(params=core, wires=wires)
-            for core, wires in zip(group, split)
-        )
-        session = ScheduledSession(entries=entries)
-        if best is None or session.cycles < best.cycles:
-            best = session
     return best
 
 
@@ -293,11 +203,4 @@ def _set_partitions(items: list):
 
 def lower_bound(cores: Sequence[CoreTestParams], bus_width: int) -> int:
     """Test-cycle lower bound: work conservation vs widest core."""
-    work = 0
-    widest = 0
-    for core in cores:
-        best_time = core_test_cycles(core, bus_width)
-        widest = max(widest, best_time)
-        wires = min(core.max_wires, bus_width)
-        work += best_time * wires
-    return max(widest, math.ceil(work / bus_width))
+    return CostModel(TamProblem.of(cores, bus_width)).lower_bound()

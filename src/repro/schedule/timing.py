@@ -113,11 +113,15 @@ def session_config_cycles(
     with ``num_mode_changes`` WIR registers spliced in.
 
     Mirrors :class:`repro.sim.session.SessionExecutor`; the integration
-    suite asserts exact agreement on simulated SoCs.
+    suite asserts exact agreement on simulated SoCs.  The two-stage
+    formula itself lives in
+    :func:`repro.schedule.model.two_stage_config_cycles` (shared with
+    every scheduler and the simulator-side predictor).
     """
+    from repro.schedule.model import two_stage_config_cycles
+
     cas_bits = sum(cas_config_bits(n, p) for n, p in all_cas_np)
-    total = 0
-    if num_mode_changes:
-        total += config_cycles(cas_bits)  # stage A
-    total += config_cycles(cas_bits + num_mode_changes * wir_width)
-    return total
+    return two_stage_config_cycles(
+        cas_bits, num_mode_changes,
+        wir_width=wir_width, stage_a_always=False,
+    )

@@ -117,6 +117,34 @@ def configuration_targets(
     return cas_targets, wir_targets
 
 
+def predicted_config_cycles(
+    system: "CasBusSystem", session: "SessionPlan"
+) -> int:
+    """Model-predicted cycle cost of configuring ``session``.
+
+    Reads the *actual* register widths off the live system's serial
+    chain and feeds them to the shared cost model's two-stage formula
+    (:func:`repro.schedule.model.two_stage_config_cycles`), so the
+    abstract schedulers and the behavioural executor charge
+    configuration from one source of truth.  Exact by construction:
+    the kernel-equivalence suite asserts it matches what both
+    backends measure.
+    """
+    from repro.schedule.model import two_stage_config_cycles
+
+    _, wir_targets = configuration_targets(system, session)
+    cas_bits = 0
+    wir_bits = 0
+    for node in system.walk():
+        cas_bits += node.cas.k
+        if node.path in wir_targets and node.wrapper is not None:
+            wir_bits += node.wrapper.wir.width
+    return two_stage_config_cycles(
+        cas_bits, len(wir_targets),
+        wir_bits=wir_bits, stage_a_always=False,
+    )
+
+
 def state_snapshot(system: "CasBusSystem", path: tuple[str, ...]):
     """Flip-flop contents of the core(s) at ``path`` (non-interference
     checks compare these before/after a session)."""

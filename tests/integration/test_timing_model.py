@@ -71,6 +71,34 @@ class TestScanTiming:
         predicted = session_config_cycles(all_np, num_mode_changes=2)
         assert result.sessions[0].config_cycles == predicted
 
+    def test_planner_predictor_matches_executor(self):
+        """The sim-side predictor (shared cost model) is cycle-exact."""
+        from repro.sim.config import predicted_config_cycles
+
+        soc = fig1_soc()
+        plan = PlanBuilder().add_session(
+            flat_assignment("core1", (0, 1, 2)),
+            flat_assignment("core3", (3,)),
+        ).add_session(
+            flat_assignment("core2", (0, 1)),
+        ).build()
+        for session_index, session in enumerate(plan.sessions):
+            # Fresh system per probe: the prediction depends on which
+            # wrappers an earlier session left in a test mode, exactly
+            # like the executor's own stage-B splice count.
+            system = build_system(soc)
+            executor = SessionExecutor(system)
+            result = executor.run_plan(
+                PlanBuilder().add_session(
+                    *plan.sessions[session_index].assignments
+                ).build()
+            )
+            probe = build_system(soc)
+            predicted = predicted_config_cycles(
+                probe, plan.sessions[session_index]
+            )
+            assert result.sessions[0].config_cycles == predicted
+
     def test_chain_bits_equal_sum_of_k(self):
         system = build_system(fig1_soc())
         layout_bits = sum(r.width for r in system.serial_layout())

@@ -25,6 +25,7 @@ EXPECTED_ARCHITECTURES = {
 }
 EXPECTED_SCHEDULERS = {
     "greedy", "exhaustive", "balanced-lpt", "preemptive", "reconfig",
+    "optimize-bnb", "optimize-anneal",
 }
 
 
@@ -109,6 +110,25 @@ class TestSchedulerRegistry:
             if get_scheduler(name).executable
         }
         assert executable == {"greedy"}
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("bnb", "optimize-bnb"),
+        ("anneal", "optimize-anneal"),
+        ("optimal", "exhaustive"),
+        ("staircase", "preemptive"),
+    ])
+    def test_scheduler_aliases_resolve(self, alias, canonical):
+        assert get_scheduler(alias).name == canonical
+
+    def test_every_strategy_has_metadata(self):
+        from repro.api import SCHEDULERS
+
+        entries = {entry.name: entry for entry in SCHEDULERS.entries()}
+        assert set(entries) == EXPECTED_SCHEDULERS
+        for entry in entries.values():
+            assert entry.description  # one-liner for `repro list`
+        assert "session" in entries["greedy"].aliases
+        assert "anneal" in entries["optimize-anneal"].aliases
 
 
 class TestRegistryMechanics:

@@ -141,6 +141,64 @@ class TestRunAndReport:
         assert "casbus" in out and "greedy" in out and "itc02-d695" in out
 
 
+class TestListDetail:
+    def test_scheduler_detail_table(self, capsys):
+        assert main(["list", "--schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "optimize-anneal" in out
+        assert "aliases" in out and "description" in out
+        assert "bnb, branch-and-bound" in out
+        assert "architectures" not in out  # only the asked section
+
+    def test_architecture_detail_table(self, capsys):
+        assert main(["list", "--architectures"]) == 0
+        out = capsys.readouterr().out
+        assert "casbus" in out and "cas-bus" in out
+        assert "CAS-BUS" in out  # the one-line description
+
+    def test_combined_detail_sections(self, capsys):
+        assert main(["list", "--schedulers", "--workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "schedulers:" in out and "workloads:" in out
+
+
+class TestOptimize:
+    def test_pareto_table_and_store(self, tmp_path, capsys):
+        store = tmp_path / "pareto.jsonl"
+        args = [
+            "optimize", "itc02-d695", "-w", "8", "--widths", "4,8",
+            "--quiet", "--store", str(store),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "persisted" in out
+        first = store.read_text().splitlines()
+        assert len(first) >= 1
+        # Re-running resumes from the store: no duplicate records.
+        assert main(args) == 0
+        assert store.read_text().splitlines() == first
+        # The persisted points tabulate like any campaign store.
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        assert "optimize-bnb" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        code = main(["optimize", "small", "--method", "bnb", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "optimize-bnb"
+        assert payload["pareto"]
+        point = payload["pareto"][-1]
+        assert point["total_cycles"] == (point["test_cycles"]
+                                         + point["config_cycles"])
+
+    def test_missing_width_errors(self, capsys):
+        code = main(["optimize", "itc02-d695"])
+        assert code == 2
+        assert "bus width" in capsys.readouterr().err
+
+
 class TestModuleEntrypoint:
     def test_python_dash_m_repro(self, tmp_path):
         """`python -m repro` resolves to the campaign CLI."""

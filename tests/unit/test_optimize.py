@@ -1,0 +1,184 @@
+"""The width/session co-optimisers, plus registry-wide scheduler
+properties (every strategy respects the lower bound and the wire
+budget; the exact optimiser matches exhaustive enumeration)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.api import get_scheduler, list_schedulers
+from repro.soc.itc02 import d695_like, g1023_like, random_test_params
+from repro.schedule.model import Schedule
+from repro.schedule.optimize import (
+    BNB_MAX_CORES,
+    OptimizeOutcome,
+    ParetoPoint,
+    candidate_widths,
+    co_optimize,
+    optimize_anneal,
+    optimize_bnb,
+    pareto_front,
+)
+from repro.schedule.preemptive import PreemptiveSchedule
+from repro.schedule.reconfig import ReconfigComparison, StaticPlan
+from repro.schedule.scheduler import (
+    lower_bound,
+    schedule_exhaustive,
+    schedule_greedy,
+)
+
+#: Per-strategy keyword options keeping the property tests fast (the
+#: optimisers skip the full width sweep; annealing shrinks its budget).
+_FAST_OPTIONS = {
+    "optimize-bnb": lambda n: {"widths": (n,)},
+    "optimize-anneal": lambda n: {"widths": (n,), "iterations": 250},
+}
+
+
+def _sessions_of(detail):
+    """Every (wires_used, n-constrained) session-like row of a detail."""
+    if isinstance(detail, OptimizeOutcome):
+        detail = detail.schedule
+    if isinstance(detail, Schedule):
+        return [session.wires_used for session in detail.sessions]
+    if isinstance(detail, PreemptiveSchedule):
+        return [
+            sum(wires for _, wires in segment.allocations)
+            for segment in detail.segments
+        ]
+    if isinstance(detail, StaticPlan):
+        return [sum(detail.wires_per_group)]
+    if isinstance(detail, ReconfigComparison):
+        return (_sessions_of(detail.reconfigured)
+                + _sessions_of(detail.preemptive))
+    raise AssertionError(f"unknown detail type {type(detail).__name__}")
+
+
+class TestSchedulerWideProperties:
+    """Satellite invariants over *every* registered strategy."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 6), st.integers(1, 8))
+    def test_respects_lower_bound_and_wire_budget(
+            self, seed, num_cores, width):
+        cores = random_test_params(seed, num_cores=num_cores)
+        bound = lower_bound(cores, width)
+        for name in list_schedulers():
+            options = _FAST_OPTIONS.get(name, lambda n: {})(width)
+            outcome = get_scheduler(name).schedule(
+                cores, width, **options
+            )
+            assert outcome.test_cycles >= bound, name
+            for wires_used in _sessions_of(outcome.detail):
+                assert wires_used <= width, name
+
+    def test_wire_budget_on_itc02(self):
+        cores = d695_like()
+        for name in list_schedulers():
+            if name == "exhaustive":
+                continue  # ten cores exceed the enumeration guard
+            options = _FAST_OPTIONS.get(name, lambda n: {})(16)
+            outcome = get_scheduler(name).schedule(cores, 16, **options)
+            assert outcome.test_cycles >= lower_bound(cores, 16), name
+            for wires_used in _sessions_of(outcome.detail):
+                assert wires_used <= 16, name
+
+
+class TestBnb:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6), st.integers(1, 8),
+           st.booleans())
+    def test_matches_exhaustive_on_small_socs(
+            self, seed, num_cores, width, charge):
+        """The acceptance criterion: provable optimality."""
+        cores = random_test_params(seed, num_cores=num_cores)
+        exact = schedule_exhaustive(cores, width, charge_config=charge)
+        outcome = optimize_bnb(cores, width, widths=(width,),
+                               charge_config=charge)
+        assert outcome.schedule.total_cycles == exact.total_cycles
+
+    def test_core_count_guard(self):
+        with pytest.raises(ScheduleError, match="optimize-anneal"):
+            optimize_bnb(random_test_params(1, num_cores=BNB_MAX_CORES + 1),
+                         8)
+
+    def test_pareto_front_spans_widths(self):
+        outcome = optimize_bnb(d695_like()[:6], 16)
+        assert outcome.method == "optimize-bnb"
+        widths = [point.bus_width for point in outcome.pareto]
+        assert widths == sorted(widths)
+        assert outcome.schedule.bus_width == 16
+        # Wider never slower on the front (total cycles fall as N grows).
+        totals = [point.total_cycles for point in outcome.pareto]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestAnneal:
+    def test_never_worse_than_greedy(self):
+        for cores, width in ((d695_like(), 16), (g1023_like(), 8)):
+            greedy = schedule_greedy(cores, width)
+            outcome = optimize_anneal(cores, width, widths=(width,))
+            assert outcome.total_cycles <= greedy.total_cycles
+
+    def test_deterministic_for_a_seed(self):
+        cores = g1023_like()
+        first = optimize_anneal(cores, 16, widths=(16,), seed=7)
+        second = optimize_anneal(cores, 16, widths=(16,), seed=7)
+        assert first.total_cycles == second.total_cycles
+        assert [p.to_dict() for p in first.pareto] == \
+            [p.to_dict() for p in second.pareto]
+
+    def test_matches_bnb_on_small_instances(self):
+        cores = random_test_params(42, num_cores=5)
+        exact = optimize_bnb(cores, 6, widths=(6,))
+        annealed = optimize_anneal(cores, 6, widths=(6,))
+        assert annealed.total_cycles >= exact.total_cycles
+        assert annealed.total_cycles <= 1.2 * exact.total_cycles
+
+
+class TestCoOptimize:
+    def test_auto_dispatch_by_core_count(self):
+        small = co_optimize(d695_like()[:4], 8, widths=(8,))
+        assert small.method == "optimize-bnb"
+        large = co_optimize(g1023_like(), 8, widths=(8,),
+                            iterations=200)
+        assert large.method == "optimize-anneal"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown"):
+            co_optimize(d695_like()[:3], 4, method="gradient-descent")
+
+
+class TestParetoFront:
+    def test_candidate_widths(self):
+        assert candidate_widths(16) == (1, 2, 4, 8, 16)
+        assert candidate_widths(12) == (1, 2, 4, 8, 12)
+        assert candidate_widths(1) == (1,)
+        with pytest.raises(ScheduleError):
+            candidate_widths(0)
+
+    def test_dominated_points_dropped(self):
+        good = ParetoPoint(bus_width=4, config_bits=10, test_cycles=100,
+                           config_cycles=10, sessions=2)
+        bad = ParetoPoint(bus_width=8, config_bits=20, test_cycles=150,
+                          config_cycles=10, sessions=2)
+        incomparable = ParetoPoint(bus_width=8, config_bits=20,
+                                   test_cycles=50, config_cycles=10,
+                                   sessions=1)
+        front = pareto_front([good, bad, incomparable])
+        assert good in front and incomparable in front
+        assert bad not in front
+
+    def test_no_front_point_dominates_another(self):
+        outcome = optimize_anneal(g1023_like(), 16, iterations=300)
+        front = outcome.pareto
+        assert front == pareto_front(front)
+        assert len(front) >= 2  # a real trade-off curve, not one point
+
+    def test_describe_mentions_front(self):
+        outcome = optimize_bnb(d695_like()[:4], 8)
+        text = outcome.describe()
+        assert "Pareto" in text and "optimize-bnb" in text
