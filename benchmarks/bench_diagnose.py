@@ -1,0 +1,105 @@
+"""Adaptive diagnosis: cycle economics and zero-cost syndrome capture.
+
+Two gates ride in the benchmark-smoke job:
+
+* **adaptive beats naive** -- localising a seeded stuck-at via the
+  reconfigurable CAS-BUS (solo probe sessions on re-routed wires) must
+  cost strictly fewer test cycles than naively re-running the full
+  schedule of every suspect core;
+* **capture is free when off (and cycle-free when on)** -- the
+  ``capture_syndromes`` flag never changes a program's cycle counts,
+  and the off path produces results byte-identical to the pre-flag
+  executor (``syndrome=None`` everywhere).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.tam import CasBusTamDesign
+from repro.diagnose.engine import diagnose_soc
+from repro.diagnose.inject import random_scenario
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.itc02 import benchmark_soc
+
+from conftest import emit
+
+#: Scenario seeds diagnosed per workload (table rows).
+SCENARIO_SEEDS = (1, 7)
+
+
+def test_adaptive_diagnosis_beats_full_retest(benchmark):
+    """Seeded stuck-ats on d695: diagnosis cycles << full re-test."""
+    soc = benchmark_soc("d695")
+    scenarios = [
+        random_scenario(soc, seed) for seed in SCENARIO_SEEDS
+    ]
+    # Warm the shared caches (ATPG, dictionaries) so the benchmark
+    # measures the diagnosis flow, not one-time generation.
+    diagnose_soc(soc, scenarios[0])
+
+    def run():
+        return [diagnose_soc(soc, scenario) for scenario in scenarios]
+
+    results = benchmark(run)
+    rows = []
+    for scenario, result in zip(scenarios, results):
+        rank = result.scenario_rank()
+        rows.append((
+            scenario.describe(),
+            result.localized_core,
+            rank,
+            result.diagnosis_cycles,
+            result.full_retest_cycles,
+            f"{result.diagnosis_cycles / result.full_retest_cycles:.1%}",
+        ))
+        assert result.localized_core == scenario.core
+        assert rank is not None and rank <= 5
+        # The gate: adaptive reconfiguration diagnosis must be
+        # strictly cheaper than re-testing every suspect the naive
+        # way (re-running the whole schedule).
+        assert result.diagnosis_cycles < result.full_retest_cycles
+    emit(format_table(
+        ("scenario", "localized", "rank", "diag cyc", "full cyc",
+         "ratio"),
+        rows,
+        title="adaptive diagnosis vs full re-test -- itc02_d695",
+    ))
+
+
+def test_syndrome_capture_off_matches_old_cycle_counts(benchmark):
+    """The flag is opt-in: off == the historical executor, bit for
+    bit, and cycle counts are identical either way."""
+    soc = benchmark_soc("g1023")
+    victim = soc.cores[2].name
+    from repro.bist.engine import random_detectable_fault
+
+    fault = random_detectable_fault(
+        soc.core_named(victim).build_scannable(), seed=5
+    )
+    plan = CasBusTamDesign.for_soc(soc).executable_plan()
+
+    def run_with(capture):
+        executor = SessionExecutor(
+            build_system(soc, inject_faults={victim: fault}),
+            capture_syndromes=capture,
+        )
+        return executor.run_plan(plan)
+
+    run_with(False)  # warm caches outside the timed region
+
+    off = benchmark(lambda: run_with(False))
+    on = run_with(True)
+    assert off.total_cycles == on.total_cycles
+    assert off.config_cycles == on.config_cycles
+    assert off.test_cycles == on.test_cycles
+    for plain, captured in zip(off.core_results(), on.core_results()):
+        assert plain.syndrome is None
+        assert plain.mismatches == captured.mismatches
+        assert plain.bits_compared == captured.bits_compared
+    emit(
+        f"syndrome capture off == old cycle counts: "
+        f"{off.total_cycles} cycles either way "
+        f"({sum(1 for r in on.core_results() if not r.passed)} failing "
+        f"core(s) carrying syndromes when on)"
+    )

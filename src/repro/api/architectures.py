@@ -296,7 +296,9 @@ class DesignedTam:
             else config.cas_policy,
         )
         program = facade.run(
-            inject_faults=config.inject_faults, backend=config.backend
+            inject_faults=config.inject_faults,
+            backend=config.backend,
+            capture_syndromes=config.capture_syndromes,
         )
         sessions = tuple(
             SessionDetail(

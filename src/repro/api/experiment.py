@@ -92,6 +92,12 @@ class Experiment:
             )
         return self._evolve(backend=backend)
 
+    def with_syndromes(
+        self, capture_syndromes: bool = True
+    ) -> "Experiment":
+        """Record bit-level failure syndromes on simulated results."""
+        return self._evolve(capture_syndromes=capture_syndromes)
+
     def with_label(self, label: str) -> "Experiment":
         """Tag the result."""
         return self._evolve(label=label)
@@ -144,6 +150,58 @@ class Experiment:
     def run(self) -> RunResult:
         """Cycle-accurate simulation when supported, model otherwise."""
         return self.build().run(self.config)
+
+    def diagnose(self, scenario=None, *, scenario_seed: int = 0):
+        """Inject a defect and run the full adaptive diagnosis flow.
+
+        Args:
+            scenario: a :class:`~repro.diagnose.inject.DefectScenario`
+                (``None`` draws a seeded stuck-at scenario).
+            scenario_seed: seed for the drawn scenario when
+                ``scenario`` is ``None``.
+
+        Returns the
+        :class:`~repro.diagnose.engine.DiagnosisResult`.  Requires the
+        CAS-BUS architecture and a simulatable
+        :class:`~repro.soc.soc.SocSpec` workload -- diagnosis *is* the
+        reconfigurability story, so no baseline architecture supports
+        it.
+        """
+        from repro.api.registry import ARCHITECTURES, _ensure_loaded
+        from repro.diagnose.engine import DiagnosisEngine
+        from repro.diagnose.inject import random_scenario
+
+        _ensure_loaded()
+        architecture = ARCHITECTURES.resolve(self.config.architecture)
+        if architecture != "casbus":
+            raise ConfigurationError(
+                f"diagnosis needs the reconfigurable CAS-BUS, "
+                f"architecture is {architecture!r}"
+            )
+        soc = self.workload.soc
+        if soc is None:
+            raise ConfigurationError(
+                f"workload {self.workload.name!r} is abstract core "
+                f"parameters; diagnosis needs a simulatable SocSpec"
+            )
+        if (self.config.bus_width is not None
+                and self.config.bus_width != soc.bus_width):
+            raise ConfigurationError(
+                f"bus width override {self.config.bus_width} differs "
+                f"from the SoC's physical width {soc.bus_width}"
+            )
+        if scenario is None:
+            scenario = random_scenario(soc, scenario_seed)
+        engine = DiagnosisEngine(
+            soc,
+            scenario,
+            backend=self.config.backend,
+            cas_policy=(
+                "all" if self.config.cas_policy is None
+                else self.config.cas_policy
+            ),
+        )
+        return engine.run()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Experiment({self.workload.name!r}, "

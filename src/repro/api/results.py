@@ -54,6 +54,10 @@ class RunConfig:
         backend: simulation engine -- ``"auto"`` (compiled kernel when
             possible, the default), ``"kernel"`` or ``"legacy"``; see
             :class:`~repro.sim.session.SessionExecutor`.
+        capture_syndromes: record bit-level failing positions
+            (:class:`~repro.diagnose.syndrome.Syndrome`) on simulated
+            core results; off by default and free when off (cycle
+            counts never change either way).
         label: free-form tag copied onto the result.
     """
 
@@ -64,6 +68,7 @@ class RunConfig:
     inject_faults: Mapping[str, tuple] | None = None
     simulate: bool | None = None
     backend: str = "auto"
+    capture_syndromes: bool = False
     label: str = ""
 
     def evolve(self, **changes) -> "RunConfig":
@@ -89,6 +94,7 @@ class RunConfig:
             ),
             "simulate": self.simulate,
             "backend": self.backend,
+            "capture_syndromes": self.capture_syndromes,
             "label": self.label,
         }
 
@@ -107,6 +113,7 @@ class RunConfig:
             ),
             simulate=data.get("simulate"),
             backend=data.get("backend", "auto"),
+            capture_syndromes=data.get("capture_syndromes", False),
             label=data.get("label", ""),
         )
 

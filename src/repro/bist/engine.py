@@ -91,6 +91,44 @@ class BistEngine:
         """Signature of the fault-free core for ``cycles`` BIST clocks."""
         return self._signature(cycles, fault=None)
 
+    def signatures_for(
+        self,
+        cycles: int,
+        faults: "list[tuple[int, int]]",
+    ) -> "tuple[int, dict[tuple[int, int], int]]":
+        """``(golden, fault -> signature)`` over one self-test run.
+
+        The fault-dictionary builder of :mod:`repro.diagnose.engine`
+        needs every candidate's signature; running them together shares
+        the per-cycle stimulus expansion (one LFSR stream for all
+        faults) instead of re-deriving it per candidate.
+        """
+        self.lfsr.reset()
+        self._rng_cache.clear()
+        golden_misr = Misr(self.signature_width)
+        misrs = {fault: Misr(self.signature_width) for fault in faults}
+        width = self.signature_width
+        for cycle in range(cycles):
+            inputs = self._input_vector(cycle)
+            golden_bits = [
+                v & 1 for v in self.core.cloud.evaluate_words(
+                    inputs, mask=1, fault=None
+                )
+            ]
+            for start in range(0, len(golden_bits), width):
+                golden_misr.absorb(golden_bits[start:start + width])
+            for fault, misr in misrs.items():
+                bits = [
+                    v & 1 for v in self.core.cloud.evaluate_words(
+                        inputs, mask=1, fault=fault
+                    )
+                ]
+                for start in range(0, len(bits), width):
+                    misr.absorb(bits[start:start + width])
+        return golden_misr.signature, {
+            fault: misr.signature for fault, misr in misrs.items()
+        }
+
     def _signature(self, cycles: int, fault: "tuple[int, int] | None") -> int:
         self.lfsr.reset()
         self.misr.reset()

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Five verbs drive campaigns headless:
+Six verbs drive campaigns headless:
 
 * ``repro run`` -- one experiment, optionally recorded in a store;
 * ``repro sweep`` -- a design-space campaign against a resumable
@@ -8,7 +8,12 @@ Five verbs drive campaigns headless:
 * ``repro optimize`` -- width/session co-optimisation of one
   workload, printing the Pareto front and optionally persisting every
   front point into a store;
-* ``repro report`` -- tabulate one or more stores;
+* ``repro diagnose`` -- a seeded defect-scenario sweep: inject, screen,
+  adaptively reconfigure, rank candidates; prints a
+  localisation-accuracy and diagnosis-cycles table and resumes from a
+  store like ``sweep`` does;
+* ``repro report`` -- tabulate one or more stores (run records and
+  diagnosis records each get their own table);
 * ``repro merge`` -- combine shard stores into one canonical store.
 
 Plus ``repro list`` to discover registered architectures, schedulers
@@ -17,6 +22,13 @@ print name, aliases and a one-line description).  Tables print sorted
 by config hash, so the report of merged shard stores is byte-identical
 to the report of the equivalent unsharded run -- CI asserts exactly
 that.
+
+Seeded workloads: ``--seed N`` with the pseudo-workloads
+``random-soc`` / ``random-cores`` builds
+:func:`repro.soc.itc02.random_soc` /
+:func:`~repro.soc.itc02.random_test_params` reproducibly from the
+command line; the seed shapes the workload's structural identity, so
+it lands in every campaign config hash.
 """
 
 from __future__ import annotations
@@ -46,6 +58,35 @@ HASH_PREFIX = 10
 
 def _split_csv(text: str) -> "list[str]":
     return [token.strip() for token in text.split(",") if token.strip()]
+
+
+#: Pseudo-workload names that require ``--seed``.
+SEEDED_WORKLOADS = ("random-soc", "random-cores")
+
+
+def _resolve_workload(name: str, seed: "int | None"):
+    """Workload-like for a CLI name, honouring ``--seed``.
+
+    Registered names pass through untouched.  The seeded
+    pseudo-workloads build their generator with the seed; the seed
+    shapes the generated core names and structure, so it participates
+    in every config hash without special-casing the hashing layer.
+    """
+    key = name.lower().replace("_", "-")
+    if key in SEEDED_WORKLOADS:
+        if seed is None:
+            raise ConfigurationError(f"workload {name!r} is seeded; pass --seed N")
+        from repro.soc.itc02 import random_soc, random_test_params
+
+        if key == "random-soc":
+            return random_soc(seed)
+        return random_test_params(seed)
+    if seed is not None:
+        raise ConfigurationError(
+            f"--seed applies to the seeded workloads "
+            f"({', '.join(SEEDED_WORKLOADS)}), not {name!r}"
+        )
+    return name
 
 
 def _parse_widths(text: str) -> "list[int | None]":
@@ -103,7 +144,7 @@ def cmd_run(args) -> int:
         backend=args.backend,
         label=args.label,
     )
-    experiment = Experiment(args.workload, config)
+    experiment = Experiment(_resolve_workload(args.workload, args.seed), config)
     if args.store is None:
         result = experiment.run()
         cached = False
@@ -138,7 +179,7 @@ def cmd_sweep(args) -> int:
     store = as_store(args.store) if args.store else None
     campaign = Campaign.sweep(
         args.campaign,
-        args.workloads,
+        [_resolve_workload(name, args.seed) for name in args.workloads],
         architectures=_split_csv(args.architectures),
         bus_widths=_parse_widths(args.bus_widths),
         schedulers=_split_csv(args.schedulers),
@@ -161,7 +202,47 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+#: Column order of the ``repro diagnose`` / diagnosis-report table.
+DIAGNOSIS_HEADERS = (
+    "config",
+    "workload",
+    "scenario",
+    "failing",
+    "localized",
+    "rank",
+    "screen cyc",
+    "diag cyc",
+    "full cyc",
+)
+
+
+def _diagnosis_row(config_hash: str, result) -> "list[object]":
+    scenario = result.scenario
+    rank = result.scenario_rank()
+    return [
+        config_hash[:HASH_PREFIX],
+        result.workload,
+        scenario.describe() if scenario else "(none)",
+        len(result.failing_cores),
+        result.localized_core or "-",
+        "-" if rank is None else rank,
+        result.screening_cycles,
+        result.diagnosis_cycles,
+        result.full_retest_cycles,
+    ]
+
+
+def _diagnosis_table(pairs) -> str:
+    rows = [
+        _diagnosis_row(config_hash, result)
+        for config_hash, result in sorted(pairs, key=lambda p: p[0])
+    ]
+    return format_table(DIAGNOSIS_HEADERS, rows)
+
+
 def cmd_report(args) -> int:
+    from repro.diagnose.records import is_diagnosis_record
+
     merged = {}
     skipped = 0
     for source in args.stores:
@@ -175,13 +256,115 @@ def cmd_report(args) -> int:
         print(json.dumps(records, sort_keys=True, indent=2))
         return 0
     from repro.api.results import RunResult
+    from repro.diagnose.records import result_from_record
 
-    pairs = [
-        (config_hash, RunResult.from_dict(record["result"]))
-        for config_hash, record in merged.items()
-    ]
-    print(_hash_table(pairs))
-    print(f"{len(merged)} runs from {len(args.stores)} store(s)")
+    run_pairs = []
+    diagnosis_pairs = []
+    for config_hash, record in merged.items():
+        if is_diagnosis_record(record):
+            diagnosis_pairs.append((config_hash, result_from_record(record)))
+        else:
+            run_pairs.append((config_hash, RunResult.from_dict(record["result"])))
+    if run_pairs or not diagnosis_pairs:
+        print(_hash_table(run_pairs))
+    if diagnosis_pairs:
+        if run_pairs:
+            print()
+        print(_diagnosis_table(diagnosis_pairs))
+    print(
+        f"{len(run_pairs)} run(s), {len(diagnosis_pairs)} diagnosis "
+        f"record(s) from {len(args.stores)} store(s)"
+    )
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    import time
+
+    from repro.diagnose.inject import random_scenario
+    from repro.diagnose.records import (
+        diagnosis_hash,
+        is_diagnosis_record,
+        make_diagnosis_record,
+        result_from_record,
+    )
+
+    config = RunConfig(
+        cas_policy=args.policy,
+        backend=args.backend,
+        label=args.label,
+    )
+    experiment = Experiment(_resolve_workload(args.workload, args.seed), config)
+    soc = experiment.workload.soc
+    if soc is None:
+        raise ConfigurationError(
+            f"workload {experiment.workload.name!r} is abstract core "
+            f"parameters; diagnosis needs a simulatable SocSpec "
+            f"(try the itc02-*-soc variants)"
+        )
+    try:
+        seeds = [int(token) for token in _split_csv(args.scenarios)]
+    except ValueError:
+        raise ConfigurationError(
+            f"--scenarios wants a comma list of integer seeds, "
+            f"got {args.scenarios!r}"
+        ) from None
+    if not seeds:
+        raise ConfigurationError("--scenarios selected no seeds")
+    store = as_store(args.store) if args.store else None
+    stored = store.latest() if store else {}
+    pairs = []
+    localized = 0
+    in_top5 = 0
+    diagnosis_total = 0
+    full_total = 0
+    for scenario_seed in seeds:
+        scenario = random_scenario(soc, scenario_seed)
+        record_hash = diagnosis_hash(experiment, scenario)
+        record = stored.get(record_hash)
+        if record is not None and is_diagnosis_record(record) and not args.rerun:
+            result = result_from_record(record)
+        else:
+            start = time.perf_counter()
+            result = experiment.diagnose(scenario)
+            elapsed = time.perf_counter() - start
+            if store is not None:
+                store.append(
+                    make_diagnosis_record(
+                        experiment,
+                        scenario,
+                        result,
+                        elapsed_s=elapsed,
+                    ),
+                    replace=args.rerun,
+                )
+        pairs.append((record_hash, result))
+        rank = result.scenario_rank()
+        if result.localized_core == scenario.core and rank is not None:
+            localized += 1
+        if rank is not None and rank <= 5:
+            in_top5 += 1
+        diagnosis_total += result.diagnosis_cycles
+        full_total += result.full_retest_cycles
+    if args.json:
+        payload = [
+            dict(result.to_dict(), hash=record_hash)
+            for record_hash, result in pairs
+        ]
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print(_diagnosis_table(pairs))
+    count = len(pairs)
+    mean_diag = diagnosis_total / count
+    mean_full = full_total / count
+    print(
+        f"localisation accuracy {localized}/{count}, "
+        f"true fault in top-5 {in_top5}/{count}"
+    )
+    print(
+        f"mean diagnosis cycles {mean_diag:.0f} vs full re-test "
+        f"{mean_full:.0f} ({mean_diag / mean_full:.1%})"
+    )
     return 0
 
 
@@ -352,6 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-w", "--bus-width", type=int, default=None)
     run.add_argument("--policy", default=None, help="CAS enumeration policy")
     run.add_argument("--backend", default="auto")
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed (random-soc / random-cores)",
+    )
     run.add_argument("--label", default="")
     run.add_argument(
         "--model-only",
@@ -377,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list of widths; 'native' keeps the workload's own",
     )
     sweep.add_argument("--backend", default="auto")
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed (random-soc / random-cores)",
+    )
     sweep.add_argument(
         "--store",
         default=None,
@@ -435,6 +630,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit the per-session schedule dump",
     )
     optimize.set_defaults(func=cmd_optimize)
+
+    diagnose = commands.add_parser(
+        "diagnose",
+        help="inject seeded defects, adaptively localise them",
+    )
+    diagnose.add_argument("workload", help="simulatable workload name")
+    diagnose.add_argument(
+        "--scenarios",
+        default="0",
+        help="comma list of defect-scenario seeds (default: 0)",
+    )
+    diagnose.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed (random-soc)",
+    )
+    diagnose.add_argument("--policy", default=None, help="CAS policy")
+    diagnose.add_argument("--backend", default="auto")
+    diagnose.add_argument("--label", default="")
+    diagnose.add_argument(
+        "--store",
+        default=None,
+        help="record/resume diagnosis runs in this store",
+    )
+    diagnose.add_argument("--rerun", action="store_true")
+    diagnose.add_argument("--json", action="store_true")
+    diagnose.set_defaults(func=cmd_diagnose)
 
     report = commands.add_parser("report", help="tabulate stores")
     report.add_argument("stores", nargs="+")

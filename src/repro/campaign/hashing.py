@@ -63,6 +63,10 @@ def experiment_identity(experiment) -> dict:
     config = experiment.config
     effective = config.to_dict()
     del effective["label"]
+    if not effective.get("capture_syndromes"):
+        # The flag joined the config after stores existed; dropping
+        # the default keeps every pre-existing hash valid.
+        effective.pop("capture_syndromes", None)
     effective["architecture"] = ARCHITECTURES.resolve(config.architecture)
     effective["scheduler"] = SCHEDULERS.resolve(config.scheduler)
     try:

@@ -198,12 +198,15 @@ class CasBusTamDesign:
         inject_faults: Mapping[str, tuple[int, int]] | None = None,
         plan: TestPlan | None = None,
         backend: str = "auto",
+        capture_syndromes: bool = False,
     ):
         """Build the behavioural system and execute a plan.
 
         ``backend`` selects the execution engine (``"auto"``,
         ``"kernel"``, ``"legacy"``) -- see
         :class:`~repro.sim.session.SessionExecutor`.
+        ``capture_syndromes`` records bit-level failing positions on
+        every core result (:mod:`repro.diagnose.syndrome`).
 
         Returns the :class:`~repro.sim.session.ProgramResult`.
         """
@@ -211,5 +214,8 @@ class CasBusTamDesign:
         from repro.sim.system import build_system
 
         system = build_system(self.soc, inject_faults=inject_faults)
-        executor = SessionExecutor(system, backend=backend)
+        executor = SessionExecutor(
+            system, backend=backend,
+            capture_syndromes=capture_syndromes,
+        )
         return executor.run_plan(plan or self.executable_plan())

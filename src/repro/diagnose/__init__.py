@@ -1,0 +1,77 @@
+"""Fault injection, syndrome capture and adaptive diagnosis.
+
+The subsystem that finally uses the CAS-BUS's reconfigurability for
+something only this architecture can do: when a core fails, the bus is
+*reconfigured around the failure* -- the suspect re-tested solo on
+different wires, broken TAM wires binary-searched with verified-good
+spares, and core-internal defects ranked by fault-dictionary matching
+of bit-level syndromes.
+
+Layout:
+
+* :mod:`repro.diagnose.inject` -- seeded, serialisable defect
+  scenarios (core stuck-ats, broken/bridged bus wires, dead wrapper
+  cells);
+* :mod:`repro.diagnose.syndrome` -- the packed failing-bit syndrome
+  both simulation backends emit identically;
+* :mod:`repro.diagnose.engine` -- the two-phase diagnosis engine and
+  fault dictionaries;
+* :mod:`repro.diagnose.retest` -- minimal confirmation re-test
+  planning on the scheduling layer's cost model;
+* :mod:`repro.diagnose.records` -- campaign-store persistence.
+
+The engine/retest/records names load lazily: the simulation layer
+imports :mod:`repro.diagnose.syndrome`, and an eager engine import
+here would close an import cycle back into it.
+"""
+
+from repro.diagnose.inject import (
+    DefectScenario,
+    build_faulty_system,
+    random_scenario,
+)
+from repro.diagnose.syndrome import Syndrome
+
+__all__ = [
+    "Candidate",
+    "DefectScenario",
+    "DiagnosisEngine",
+    "DiagnosisResult",
+    "RetestPlan",
+    "Syndrome",
+    "build_faulty_system",
+    "diagnose_soc",
+    "fault_dictionary",
+    "minimal_retest_plan",
+    "random_scenario",
+    "run_retest",
+]
+
+_LAZY = {
+    "Candidate": ("repro.diagnose.engine", "Candidate"),
+    "DiagnosisEngine": ("repro.diagnose.engine", "DiagnosisEngine"),
+    "DiagnosisResult": ("repro.diagnose.engine", "DiagnosisResult"),
+    "diagnose_soc": ("repro.diagnose.engine", "diagnose_soc"),
+    "fault_dictionary": ("repro.diagnose.engine", "fault_dictionary"),
+    "RetestPlan": ("repro.diagnose.retest", "RetestPlan"),
+    "minimal_retest_plan": (
+        "repro.diagnose.retest", "minimal_retest_plan",
+    ),
+    "run_retest": ("repro.diagnose.retest", "run_retest"),
+}
+
+
+def __getattr__(name):
+    """Lazy loader for the engine-side names (import-cycle guard)."""
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value

@@ -1,0 +1,73 @@
+"""Campaign-store records for diagnosis runs.
+
+Diagnosis results persist into the same append-only JSONL stores the
+experiment campaigns use (:mod:`repro.campaign.store`), keyed by a
+content hash of *experiment identity + injected scenario* -- so a
+``repro diagnose`` seed sweep resumes exactly like a ``repro sweep``
+does, and shares store files with it.  Records carry
+``"kind": "diagnosis"`` so tabulators can tell them apart from plain
+run records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+from repro.api.results import SCHEMA_VERSION
+from repro.campaign.hashing import HASH_SCHEMA, canonical_json
+from repro.diagnose.engine import DiagnosisResult
+from repro.diagnose.inject import DefectScenario
+
+#: ``record["kind"]`` value of a diagnosis record.
+RECORD_KIND = "diagnosis"
+
+
+def diagnosis_hash(experiment, scenario: "DefectScenario | None") -> str:
+    """Content hash identifying one (experiment, scenario) diagnosis.
+
+    Built on the same canonical-JSON discipline as
+    :func:`repro.campaign.hashing.config_hash`, with the scenario (and
+    a ``kind`` marker, so a diagnosis can never collide with the plain
+    run of the same config) folded in.
+    """
+    from repro.campaign.hashing import experiment_identity
+
+    payload = {
+        "schema": HASH_SCHEMA,
+        "kind": RECORD_KIND,
+        "experiment": experiment_identity(experiment),
+        "scenario": scenario.to_dict() if scenario else None,
+    }
+    text = canonical_json(payload)
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def make_diagnosis_record(
+    experiment,
+    scenario: "DefectScenario | None",
+    result: DiagnosisResult,
+    *,
+    elapsed_s: "float | None" = None,
+) -> dict:
+    """The self-describing store record of one completed diagnosis."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": RECORD_KIND,
+        "hash": diagnosis_hash(experiment, scenario),
+        "workload": experiment.workload.identity(),
+        "config": experiment.config.to_dict(),
+        "scenario": scenario.to_dict() if scenario else None,
+        "result": result.to_dict(),
+        "elapsed_s": elapsed_s,
+    }
+
+
+def is_diagnosis_record(record: Mapping) -> bool:
+    """Whether a store record came from a diagnosis run."""
+    return record.get("kind") == RECORD_KIND
+
+
+def result_from_record(record: Mapping) -> DiagnosisResult:
+    """Rebuild the :class:`DiagnosisResult` of a diagnosis record."""
+    return DiagnosisResult.from_dict(record["result"])

@@ -1,0 +1,143 @@
+"""Bit-level failure syndromes.
+
+A :class:`Syndrome` records *where* a core's test failed, not just how
+often: packed mismatch masks per comparison window, in a canonical
+layout both simulation backends produce byte-identically (pinned by the
+golden-equivalence suite).  The diagnosis engine matches syndromes
+against fault dictionaries built with :mod:`repro.scan.fault_sim`, so
+the representation is deliberately close to the data the simulators
+already move:
+
+* ``kind="scan"`` -- one entry per ``(response window, wrapper chain)``
+  with at least one failing bit.  The mask is packed in *scan-out
+  order*: bit ``o`` set means the bit emerging on the ``o``-th shift of
+  that window mismatched (the same packing the compiled kernel's
+  expected/care words use).
+* ``kind="bist"`` -- a single entry whose mask is the XOR of the
+  observed and golden MISR signatures (bit ``i`` = signature bit
+  ``i``).
+* ``kind="external"`` -- a single entry with the XOR of the off-chip
+  sink and golden-shadow MISR signatures.
+
+Capture is opt-in (``capture_syndromes=...`` on the executors and
+:class:`~repro.api.results.RunConfig`): when off, results carry
+``syndrome=None`` and both backends behave exactly as before.
+
+This module is dependency-free on purpose: the simulation layer imports
+it without pulling in the diagnosis engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+#: ``Syndrome.kind`` values.
+KIND_SCAN = "scan"
+KIND_BIST = "bist"
+KIND_EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class Syndrome:
+    """Packed failing-bit positions of one core's test.
+
+    Attributes:
+        kind: ``"scan"``, ``"bist"`` or ``"external"``.
+        entries: ``(window, chain, mask)`` triples, nonzero masks only,
+            sorted by ``(window, chain)`` -- the canonical form both
+            backends emit.
+    """
+
+    kind: str
+    entries: tuple[tuple[int, int, int], ...] = ()
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.entries
+
+    @property
+    def failing_bits(self) -> int:
+        """Total number of mismatching bit positions."""
+        return sum(bin(mask).count("1") for _, _, mask in self.entries)
+
+    def failing_windows(self) -> tuple[int, ...]:
+        """Distinct response windows with at least one failing bit."""
+        return tuple(sorted({window for window, _, _ in self.entries}))
+
+    def failing_chains(self) -> tuple[int, ...]:
+        """Distinct wrapper chains with at least one failing bit."""
+        return tuple(sorted({chain for _, chain, _ in self.entries}))
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_masks(
+        cls, kind: str, masks: Mapping[tuple[int, int], int]
+    ) -> "Syndrome":
+        """Canonicalise a ``(window, chain) -> mask`` mapping.
+
+        Zero masks are dropped and entries sort by ``(window, chain)``,
+        so any accumulation order yields the same syndrome.
+        """
+        return cls(
+            kind=kind,
+            entries=tuple(
+                (window, chain, mask)
+                for (window, chain), mask in sorted(masks.items())
+                if mask
+            ),
+        )
+
+    @classmethod
+    def signature_xor(cls, kind: str, observed: int,
+                      golden: int) -> "Syndrome":
+        """A signature-compaction syndrome (BIST / external sink)."""
+        xor = observed ^ golden
+        return cls(kind=kind, entries=((0, 0, xor),) if xor else ())
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (round-trips via :meth:`from_dict`).
+
+        Masks serialize as hex strings: they are arbitrary-precision
+        bit sets, and hex keeps long ones compact and readable.
+        """
+        return {
+            "kind": self.kind,
+            "entries": [
+                [window, chain, hex(mask)]
+                for window, chain, mask in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Syndrome":
+        """Rebuild a syndrome serialized by :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"],
+            entries=tuple(
+                (window, chain, int(mask, 16))
+                for window, chain, mask in data.get("entries", ())
+            ),
+        )
+
+    def describe(self) -> str:
+        if self.is_clean:
+            return f"{self.kind}: clean"
+        windows = self.failing_windows()
+        return (
+            f"{self.kind}: {self.failing_bits} failing bit(s) across "
+            f"{len(windows)} window(s)"
+        )
+
+
+def merge_masks(
+    into: "dict[tuple[int, int], int]",
+    entries: Iterable[tuple[int, int, int]],
+) -> None:
+    """OR ``entries`` into a mutable ``(window, chain) -> mask`` map."""
+    for window, chain, mask in entries:
+        if mask:
+            into[(window, chain)] = into.get((window, chain), 0) | mask

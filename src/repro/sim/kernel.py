@@ -46,6 +46,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.diagnose.syndrome import (
+    KIND_BIST,
+    KIND_EXTERNAL,
+    KIND_SCAN,
+    Syndrome,
+)
 from repro.errors import ConfigurationError, SimulationError
 from repro.core.cas import CoreAccessSwitch
 from repro.core.instruction import CHAIN_CODE
@@ -68,11 +74,23 @@ def kernel_supports(system: CasBusSystem) -> bool:
 
     Gate-level CAS instances exist to exercise the generated netlist
     through the real serial protocol, so they stay on the legacy
-    backend.
+    backend.  So do systems carrying physical transport defects --
+    broken/bridged bus wires or dead wrapper boundary cells (see
+    :mod:`repro.diagnose.inject`): the kernel's whole premise is that
+    test traffic crosses the TAM unmodified.
     """
-    return all(
-        isinstance(node.cas, CoreAccessSwitch) for node in system.walk()
-    )
+    if getattr(system, "wire_faults", None) or getattr(
+        system, "wire_bridges", None
+    ):
+        return False
+    for node in system.walk():
+        if not isinstance(node.cas, CoreAccessSwitch):
+            return False
+        if node.wrapper is not None and any(
+            cell.stuck is not None for cell in node.wrapper.boundary.cells
+        ):
+            return False
+    return True
 
 
 def _popcount(word: int) -> int:
@@ -95,7 +113,13 @@ class _ChainGeometry:
         return len(self.in_pi) + len(self.ff_ids) + len(self.out_po)
 
 
-def _geometries(wrapper: P1500Wrapper) -> tuple[_ChainGeometry, ...]:
+def chain_geometries(wrapper: P1500Wrapper) -> tuple[_ChainGeometry, ...]:
+    """Per-chain index geometry of a wrapped core.
+
+    Public because the diagnosis engine (:mod:`repro.diagnose`) uses
+    the same geometry to map observed syndromes back onto core
+    flip-flops and primary outputs.
+    """
     assert wrapper.core is not None
     layout = wrapper.chain_layout()
     return tuple(
@@ -149,7 +173,7 @@ def _scan_program(spec: CoreSpec, wrapper: P1500Wrapper) -> _ScanProgram:
     if cached is not None:
         return cached
     test_set = test_set_for(spec)
-    geometries = _geometries(wrapper)
+    geometries = chain_geometries(wrapper)
     lengths = tuple(geo.length for geo in geometries)
     depth = max(lengths)
     num_patterns = len(test_set.patterns)
@@ -245,6 +269,7 @@ class KernelExecutor:
         self,
         system: CasBusSystem,
         test_sets: "dict[str, TestSet] | None" = None,
+        capture_syndromes: bool = False,
     ) -> None:
         if not kernel_supports(system):
             raise ConfigurationError(
@@ -252,6 +277,7 @@ class KernelExecutor:
                 f"legacy object-stepping backend"
             )
         self.system = system
+        self.capture_syndromes = capture_syndromes
         self._test_sets = test_sets if test_sets is not None else {}
         self._compiled: dict[SessionPlan, _CompiledSession] = {}
 
@@ -425,9 +451,8 @@ class KernelExecutor:
         spec = node.spec
         report = node.engine.run(spec.bist_cycles)
         mask = (1 << spec.signature_width) - 1
-        mismatches = _popcount(
-            (report.signature ^ report.golden_signature) & mask
-        )
+        xor_mask = (report.signature ^ report.golden_signature) & mask
+        mismatches = _popcount(xor_mask)
         return CoreResult(
             name=driver.assignment.name,
             method="bist",
@@ -438,6 +463,8 @@ class KernelExecutor:
                 f"{spec.bist_cycles} BIST cycles, "
                 f"{spec.signature_width}-bit signature"
             ),
+            syndrome=(Syndrome.signature_xor(KIND_BIST, xor_mask, 0)
+                      if self.capture_syndromes else None),
         )
 
     def _run_scan(self, driver: _CompiledDriver) -> CoreResult:
@@ -447,12 +474,16 @@ class KernelExecutor:
         wrapper = node.wrapper
         assert wrapper is not None and wrapper.core is not None
         core = wrapper.core
+        masks: "dict[tuple[int, int], int]" = {}
         if core.fault is None or program.num_patterns == 0:
             # A clean instance's captures are, bit for bit, the ATPG
             # responses the expected streams were compiled from.
             mismatches = 0
         else:
-            mismatches = self._scan_mismatches(core, program)
+            mismatches = self._scan_mismatches(
+                core, program,
+                masks=masks if self.capture_syndromes else None,
+            )
         # Every window shifts full depth, so the final flush leaves all
         # chains (boundary cells included) holding zeros -- write the
         # state the legacy backend would have shifted into place.
@@ -466,11 +497,23 @@ class KernelExecutor:
             bits_compared=program.bits_compared,
             mismatches=mismatches,
             detail=program.detail,
+            syndrome=(Syndrome.from_masks(KIND_SCAN, masks)
+                      if self.capture_syndromes else None),
         )
 
     @staticmethod
-    def _scan_mismatches(core, program: _ScanProgram) -> int:
-        """Bit-exact mismatch count for a fault-carrying instance."""
+    def _scan_mismatches(
+        core,
+        program: _ScanProgram,
+        masks: "dict[tuple[int, int], int] | None" = None,
+    ) -> int:
+        """Bit-exact mismatch count for a fault-carrying instance.
+
+        With ``masks``, the per-``(window, chain)`` mismatch words --
+        exactly the quantity :func:`_compare_window` popcounts -- are
+        also recorded, in the same packing the legacy backend's
+        syndrome capture produces bit for bit.
+        """
         cloud = core.cloud
         fault = core.fault
         num_pis = core.num_pis
@@ -481,7 +524,8 @@ class KernelExecutor:
         for index, pattern in enumerate(patterns):
             if index > 0:
                 mismatches += _compare_window(
-                    emitted, program.want_care[index - 1]
+                    emitted, program.want_care[index - 1],
+                    window=index - 1, masks=masks,
                 )
             # Capture: PIs and present state come straight from the
             # freshly loaded pattern; one cloud evaluation applies the
@@ -500,7 +544,10 @@ class KernelExecutor:
                 for geo in program.geometries
             ]
         # The last response scans out during the flush window.
-        mismatches += _compare_window(emitted, program.want_care[-1])
+        mismatches += _compare_window(
+            emitted, program.want_care[-1],
+            window=program.num_patterns - 1, masks=masks,
+        )
         return mismatches
 
     def _run_external(self, driver: _CompiledDriver) -> CoreResult:
@@ -518,7 +565,7 @@ class KernelExecutor:
         wrapper = node.wrapper
         assert wrapper is not None and wrapper.core is not None
         core = wrapper.core
-        geo = _geometries(wrapper)[0]
+        geo = chain_geometries(wrapper)[0]
         depth = geo.length
         num_in = len(geo.in_pi)
         num_core = len(geo.ff_ids)
@@ -545,8 +592,8 @@ class KernelExecutor:
                 shadow.pop()
                 bits_compared += 1
             if window < spec.external_stream_patterns:
-                self._chain_capture(core, geo, live, core.fault)
-                self._chain_capture(core, geo, shadow, None)
+                chain_capture(core, geo, live, core.fault)
+                chain_capture(core, geo, shadow, None)
         for position, pi in enumerate(geo.in_pi):
             input_cells[pi].shift_value = live[position]
         for position, ff in enumerate(geo.ff_ids):
@@ -564,34 +611,51 @@ class KernelExecutor:
                 f"sink signature {live_misr.signature:#06x} vs "
                 f"golden {golden_misr.signature:#06x}"
             ),
+            syndrome=(Syndrome.signature_xor(
+                KIND_EXTERNAL, live_misr.signature, golden_misr.signature,
+            ) if self.capture_syndromes else None),
         )
 
-    @staticmethod
-    def _chain_capture(core, geo: _ChainGeometry, state: list[int],
-                       fault) -> None:
-        """One capture clock on chain contents held as a flat list."""
-        num_in = len(geo.in_pi)
-        pi_values = [0] * core.num_pis
-        for position, pi in enumerate(geo.in_pi):
-            pi_values[pi] = state[position]
-        ff_values = [0] * core.num_ffs
-        for position, ff in enumerate(geo.ff_ids):
-            ff_values[ff] = state[num_in + position]
-        outputs = core.cloud.evaluate_words(
-            pi_values + ff_values, mask=1, fault=fault
-        )
-        for position, ff in enumerate(geo.ff_ids):
-            state[num_in + position] = outputs[ff] & 1
-        base = num_in + len(geo.ff_ids)
-        for position, po in enumerate(geo.out_po):
-            state[base + position] = outputs[core.num_ffs + po] & 1
 
+def chain_capture(core, geo: _ChainGeometry, state: list[int],
+                  fault) -> None:
+    """One capture clock on chain contents held as a flat list.
 
-def _compare_window(emitted: list[int], want_care) -> int:
-    return sum(
-        _popcount((got ^ want) & care)
-        for got, (want, care) in zip(emitted, want_care)
+    Public for the diagnosis engine's off-line external-stream
+    predictor (:mod:`repro.diagnose.engine`).
+    """
+    num_in = len(geo.in_pi)
+    pi_values = [0] * core.num_pis
+    for position, pi in enumerate(geo.in_pi):
+        pi_values[pi] = state[position]
+    ff_values = [0] * core.num_ffs
+    for position, ff in enumerate(geo.ff_ids):
+        ff_values[ff] = state[num_in + position]
+    outputs = core.cloud.evaluate_words(
+        pi_values + ff_values, mask=1, fault=fault
     )
+    for position, ff in enumerate(geo.ff_ids):
+        state[num_in + position] = outputs[ff] & 1
+    base = num_in + len(geo.ff_ids)
+    for position, po in enumerate(geo.out_po):
+        state[base + position] = outputs[core.num_ffs + po] & 1
+
+
+def _compare_window(
+    emitted: list[int],
+    want_care,
+    *,
+    window: int = 0,
+    masks: "dict[tuple[int, int], int] | None" = None,
+) -> int:
+    total = 0
+    for chain, (got, (want, care)) in enumerate(zip(emitted, want_care)):
+        diff = (got ^ want) & care
+        if diff:
+            total += _popcount(diff)
+            if masks is not None:
+                masks[(window, chain)] = masks.get((window, chain), 0) | diff
+    return total
 
 
 def clear_program_cache() -> None:

@@ -40,6 +40,12 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import values as lv
+from repro.diagnose.syndrome import (
+    KIND_BIST,
+    KIND_EXTERNAL,
+    KIND_SCAN,
+    Syndrome,
+)
 from repro.errors import ConfigurationError, SimulationError
 from repro.core.instruction import CHAIN_CODE
 from repro.bist.lfsr import Lfsr
@@ -61,7 +67,13 @@ BACKENDS = ("auto", "kernel", "legacy")
 
 @dataclass
 class CoreResult:
-    """Outcome of one core's test inside one session."""
+    """Outcome of one core's test inside one session.
+
+    ``syndrome`` is populated only when the executor runs with
+    ``capture_syndromes=True`` (and never for interconnect results);
+    both backends then emit identical
+    :class:`~repro.diagnose.syndrome.Syndrome` values.
+    """
 
     name: str
     method: str
@@ -69,6 +81,7 @@ class CoreResult:
     bits_compared: int
     mismatches: int
     detail: str = ""
+    syndrome: "Syndrome | None" = None
 
 
 @dataclass
@@ -129,11 +142,15 @@ class SessionExecutor:
         backend: ``"auto"`` (default, compiled kernel when possible),
             ``"kernel"`` (force the compiled engine; raises when it
             cannot apply) or ``"legacy"`` (original object stepping).
+        capture_syndromes: record bit-level failing positions into
+            :attr:`CoreResult.syndrome` (off by default; cycle counts
+            are unaffected either way).
     """
 
     def __init__(self, system: CasBusSystem,
                  trace: TraceRecorder | None = None,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto",
+                 capture_syndromes: bool = False) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
@@ -141,6 +158,7 @@ class SessionExecutor:
         self.system = system
         self.trace = trace
         self.backend = backend
+        self.capture_syndromes = capture_syndromes
         self._test_sets: dict[str, TestSet] = {}
         self._cycle = 0  # global clock, spans sessions
         self._kernel = None
@@ -172,7 +190,8 @@ class SessionExecutor:
 
         if self._kernel is None:
             self._kernel = KernelExecutor(
-                self.system, test_sets=self._test_sets
+                self.system, test_sets=self._test_sets,
+                capture_syndromes=self.capture_syndromes,
             )
         return self._kernel
 
@@ -526,13 +545,14 @@ class SessionExecutor:
 
     def _driver_for(self, assignment: CoreAssignment) -> "_TerminalDriver":
         node = self.system.node_at(assignment.path)
+        capture = self.capture_syndromes
         if isinstance(node, BistNode):
-            return _BistDriver(node, assignment)
+            return _BistDriver(node, assignment, capture=capture)
         if node.spec.method == TestMethod.EXTERNAL:
-            return _ExternalDriver(node, assignment)
+            return _ExternalDriver(node, assignment, capture=capture)
         if isinstance(node, ScanNode):
             return _ScanDriver(node, assignment,
-                               self._test_set_for(node))
+                               self._test_set_for(node), capture=capture)
         raise ConfigurationError(
             f"{assignment.name}: no driver for {node.spec.method}"
         )
@@ -558,9 +578,11 @@ def _to_bit(value: int) -> int:
 class _TerminalDriver:
     """Per-core stimulus/observation timeline inside one session."""
 
-    def __init__(self, node: CasNode, assignment: CoreAssignment) -> None:
+    def __init__(self, node: CasNode, assignment: CoreAssignment,
+                 capture: bool = False) -> None:
         self.node = node
         self.assignment = assignment
+        self.capture = capture
         self.total_cycles = 0
         self.bits_compared = 0
         self.mismatches = 0
@@ -579,8 +601,9 @@ class _ScanDriver(_TerminalDriver):
     """Streams ATPG patterns through the wrapper chains (fig 2a)."""
 
     def __init__(self, node: ScanNode, assignment: CoreAssignment,
-                 test_set: TestSet) -> None:
-        super().__init__(node, assignment)
+                 test_set: TestSet, capture: bool = False) -> None:
+        super().__init__(node, assignment, capture=capture)
+        self._masks: dict[tuple[int, int], int] = {}
         wrapper = node.wrapper
         assert wrapper is not None
         self.wrapper = wrapper
@@ -646,6 +669,9 @@ class _ScanDriver(_TerminalDriver):
             self.bits_compared += 1
             if got != want:
                 self.mismatches += 1
+                if self.capture:
+                    key = (response_index, c)
+                    self._masks[key] = self._masks.get(key, 0) | (1 << offset)
 
     def finish(self) -> CoreResult:
         return CoreResult(
@@ -658,18 +684,22 @@ class _ScanDriver(_TerminalDriver):
                 f"{self.num_patterns} patterns, chains={list(self.lengths)}, "
                 f"coverage={self.test_set.fault_coverage:.2%}"
             ),
+            syndrome=(Syndrome.from_masks(KIND_SCAN, self._masks)
+                      if self.capture else None),
         )
 
 
 class _BistDriver(_TerminalDriver):
     """Waits out the self-test, then checks the signature bits (fig 2b)."""
 
-    def __init__(self, node: BistNode, assignment: CoreAssignment) -> None:
-        super().__init__(node, assignment)
+    def __init__(self, node: BistNode, assignment: CoreAssignment,
+                 capture: bool = False) -> None:
+        super().__init__(node, assignment, capture=capture)
         self.bist_node = node
         self.wire = assignment.top_wire(0)
         self.golden_bits = node.golden_signature_bits()
         self.total_cycles = node.spec.bist_cycles + len(self.golden_bits)
+        self._xor_mask = 0
 
     def plan(self, cycle: int) -> tuple[dict[int, int], bool, bool]:
         return {}, False, False
@@ -682,6 +712,9 @@ class _BistDriver(_TerminalDriver):
             self.bits_compared += 1
             if got != self.golden_bits[index]:
                 self.mismatches += 1
+                # The signature streams out LSB first, so the serial
+                # read-out index *is* the signature bit number.
+                self._xor_mask |= 1 << index
 
     def finish(self) -> CoreResult:
         return CoreResult(
@@ -694,14 +727,17 @@ class _BistDriver(_TerminalDriver):
                 f"{self.bist_node.spec.bist_cycles} BIST cycles, "
                 f"{len(self.golden_bits)}-bit signature"
             ),
+            syndrome=(Syndrome.signature_xor(KIND_BIST, self._xor_mask, 0)
+                      if self.capture else None),
         )
 
 
 class _ExternalDriver(_TerminalDriver):
     """Off-chip LFSR source and MISR sink with a golden shadow (fig 2c)."""
 
-    def __init__(self, node: ScanNode, assignment: CoreAssignment) -> None:
-        super().__init__(node, assignment)
+    def __init__(self, node: ScanNode, assignment: CoreAssignment,
+                 capture: bool = False) -> None:
+        super().__init__(node, assignment, capture=capture)
         spec: CoreSpec = node.spec
         self.wire = assignment.top_wire(0)
         self.source = Lfsr(16, seed=0xACE1 ^ (spec.seed or 1))
@@ -749,4 +785,8 @@ class _ExternalDriver(_TerminalDriver):
                 f"sink signature {self.live_misr.signature:#06x} vs "
                 f"golden {self.golden_misr.signature:#06x}"
             ),
+            syndrome=(Syndrome.signature_xor(
+                KIND_EXTERNAL, self.live_misr.signature,
+                self.golden_misr.signature,
+            ) if self.capture else None),
         )

@@ -45,6 +45,13 @@ class CasBusSystem:
         #: Interconnect fault injection: net name -> "sa0"/"sa1"/"open",
         #: or (net_a, net_b) -> "short".  Applied at EXTEST transfer.
         self.interconnect_faults: dict = {}
+        #: TAM transport defects (see :mod:`repro.diagnose.inject`):
+        #: bus wire -> stuck level (0/1), applied on every bus pass.
+        #: Non-empty wire defects force the legacy backend
+        #: (:func:`repro.sim.kernel.kernel_supports`).
+        self.wire_faults: dict = {}
+        #: Pairs of bridged (wired-AND shorted) bus wires.
+        self.wire_bridges: list = []
 
     # -- construction: see build_system() below ---------------------------
 
@@ -83,16 +90,40 @@ class CasBusSystem:
 
     def route_bus(self, bus_in: tuple[int, ...],
                   config: bool) -> tuple[int, ...]:
-        """Combinational pass of the bus through every node."""
+        """Combinational pass of the bus through every node.
+
+        Injected wire defects corrupt the values both entering and
+        leaving the bus: a physically broken or bridged wire mangles
+        whatever segment of the net the traffic crosses.  The serial
+        configuration chain is a separate path (wire 0 in
+        CONFIGURATION carries :meth:`serial_shift` directly), so wire
+        defects model data-path breakage while the TAM stays
+        reconfigurable -- which is exactly what lets the diagnosis
+        engine route a core's test around a broken wire.
+        """
         if len(bus_in) != self.n:
             raise SimulationError(
                 f"{self.soc.name}: bus is {self.n} wires, "
                 f"got {len(bus_in)} values"
             )
-        values = tuple(bus_in)
+        values = self._apply_wire_defects(tuple(bus_in))
         for node in self.nodes:
             values = node.process_bus(values, config)
-        return values
+        return self._apply_wire_defects(values)
+
+    def _apply_wire_defects(
+        self, values: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        if not self.wire_faults and not self.wire_bridges:
+            return values
+        out = list(values)
+        for wire, level in self.wire_faults.items():
+            out[wire] = lv.ONE if level else lv.ZERO
+        for wire_a, wire_b in self.wire_bridges:
+            merged = _bridge_merge(out[wire_a], out[wire_b])
+            out[wire_a] = merged
+            out[wire_b] = merged
+        return tuple(out)
 
     def tick_all(self, config: bool) -> None:
         for node in self.nodes:
@@ -195,6 +226,20 @@ class CasBusSystem:
 
     def idle_bus(self) -> tuple[int, ...]:
         return (lv.ZERO,) * self.n
+
+
+def _bridge_merge(value_a: int, value_b: int) -> int:
+    """Wired-AND resolution of two shorted wires.
+
+    Equal levels pass unchanged; a driven 0 wins against anything else
+    (the classic short-to-ground dominance); two non-0 disagreeing
+    levels resolve to X.
+    """
+    if value_a == value_b:
+        return value_a
+    if lv.ZERO in (value_a, value_b):
+        return lv.ZERO
+    return lv.X
 
 
 def build_system(

@@ -28,15 +28,23 @@ class BoundaryCell:
         shift_value: content of the shift flop.
         held_value: content of the update latch (what drives the core
             side in INTEST for input cells).
+        stuck: optional injected defect -- a dead shift flop whose
+            output is stuck at this value (see
+            :mod:`repro.diagnose.inject`).  ``None`` = healthy.
     """
 
     direction: str
     shift_value: int = 0
     held_value: int = 0
+    stuck: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.direction not in (INPUT_CELL, OUTPUT_CELL):
             raise SimulationError(f"bad boundary direction {self.direction!r}")
+
+    def load(self, bit: int) -> None:
+        """Store a bit into the shift flop (a stuck flop ignores it)."""
+        self.shift_value = bit if self.stuck is None else self.stuck
 
 
 @dataclass
@@ -70,8 +78,8 @@ class BoundaryRegister:
             return serial_in
         out_bit = self.cells[-1].shift_value
         for index in range(len(self.cells) - 1, 0, -1):
-            self.cells[index].shift_value = self.cells[index - 1].shift_value
-        self.cells[0].shift_value = serial_in
+            self.cells[index].load(self.cells[index - 1].shift_value)
+        self.cells[0].load(serial_in)
         return out_bit
 
     def update_inputs(self) -> None:
@@ -87,7 +95,7 @@ class BoundaryRegister:
                 f"capturing {len(values)} values into {len(outputs)} cells"
             )
         for cell, value in zip(outputs, values):
-            cell.shift_value = value
+            cell.load(value)
 
     def driven_inputs(self) -> list[int]:
         """The values input cells present to the core in INTEST."""
@@ -95,5 +103,7 @@ class BoundaryRegister:
 
     def reset(self) -> None:
         for cell in self.cells:
-            cell.shift_value = 0
+            # A physical defect survives reset: a stuck flop resets to
+            # its stuck level, not to 0.
+            cell.load(0)
             cell.held_value = 0

@@ -216,10 +216,14 @@ class P1500Wrapper:
         assert self.core is not None
         bit = bit_in
         for cell in self._in_cells[c]:
-            bit, cell.shift_value = cell.shift_value, bit
+            out = cell.shift_value
+            cell.load(bit)
+            bit = out
         bit = self.core.scan_shift(c, bit)
         for cell in self._out_cells[c]:
-            bit, cell.shift_value = cell.shift_value, bit
+            out = cell.shift_value
+            cell.load(bit)
+            bit = out
         return bit
 
     def test_capture(self) -> None:
@@ -260,7 +264,7 @@ class P1500Wrapper:
                 raise SimulationError(
                     f"{self.name}: no input boundary cell {pi_index}"
                 )
-            input_cells[pi_index].shift_value = value
+            input_cells[pi_index].load(value)
 
     # -- pattern/response mapping --------------------------------------------
 

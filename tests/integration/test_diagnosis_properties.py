@@ -1,0 +1,111 @@
+"""Diagnosis guarantees, as properties.
+
+The acceptance bar for the subsystem: on every ITC'02-style table
+workload, a seeded single stuck-at injection is localised to the
+correct core with the true fault inside the top-5 ranked candidates,
+strictly cheaper (in cycles) than naively re-running the full test
+program, with both simulation backends byte-identical.  The hypothesis
+suite widens the same claims over generated SoCs and scenario seeds:
+the true fault is *always* in the ranked candidate list, and a
+defect-free SoC never produces a false positive.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.diagnose.engine import diagnose_soc
+from repro.diagnose.inject import random_scenario
+from repro.soc.itc02 import benchmark_names, benchmark_soc, random_soc
+
+#: Generated-SoC shape used by the hypothesis properties: small enough
+#: that one diagnosis runs in well under a second, heterogeneous enough
+#: (scan / BIST / external mix) to exercise every dictionary kind.
+_SOC_SEEDS = st.integers(min_value=0, max_value=7)
+_SCENARIO_SEEDS = st.integers(min_value=0, max_value=31)
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _property_soc(soc_seed: int):
+    return random_soc(soc_seed, num_cores=4, bus_width=4)
+
+
+class TestAcceptanceOnItc02Tables:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_seeded_stuck_at_is_localised(self, name):
+        soc = benchmark_soc(name)
+        scenario = random_scenario(soc, seed=7)
+        results = {
+            backend: diagnose_soc(soc, scenario, backend=backend)
+            for backend in ("legacy", "kernel")
+        }
+        for backend, result in results.items():
+            # Localised to the correct core...
+            assert result.localized_core == scenario.core, backend
+            # ...with the true fault in the top-5 ranked candidates...
+            rank = result.scenario_rank()
+            assert rank is not None and rank <= 5, backend
+            # ...strictly cheaper than re-running the full schedule.
+            assert (result.diagnosis_cycles
+                    < result.full_retest_cycles), backend
+        legacy = results["legacy"].to_dict()
+        kernel = results["kernel"].to_dict()
+        legacy.pop("backend")
+        kernel.pop("backend")
+        # Both backends produce identical syndromes and rankings.
+        assert legacy == kernel
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_clean_table_soc_diagnoses_clean(self, name):
+        result = diagnose_soc(benchmark_soc(name))
+        assert result.is_clean
+
+
+class TestHypothesisProperties:
+    @_PROPERTY_SETTINGS
+    @given(soc_seed=_SOC_SEEDS, scenario_seed=_SCENARIO_SEEDS)
+    def test_true_fault_always_in_candidate_list(
+        self, soc_seed, scenario_seed
+    ):
+        soc = _property_soc(soc_seed)
+        scenario = random_scenario(soc, scenario_seed)
+        result = diagnose_soc(soc, scenario)
+        assert scenario.core in result.failing_cores
+        rank = result.scenario_rank()
+        assert rank is not None, (
+            f"{scenario.describe()} missing from "
+            f"{[c.describe() for c in result.candidates]}"
+        )
+        assert result.candidates[0].score == 1.0
+        assert result.localized_core == scenario.core
+
+    @_PROPERTY_SETTINGS
+    @given(soc_seed=_SOC_SEEDS)
+    def test_defect_free_soc_never_false_positives(self, soc_seed):
+        result = diagnose_soc(_property_soc(soc_seed))
+        assert result.is_clean
+        assert result.failing_cores == ()
+        assert result.diagnosis_cycles == 0
+
+    @_PROPERTY_SETTINGS
+    @given(soc_seed=_SOC_SEEDS, scenario_seed=_SCENARIO_SEEDS)
+    def test_diagnosis_never_widens_past_full_retest_budget(
+        self, soc_seed, scenario_seed
+    ):
+        """Probe accounting sanity: sessions and cycles are counted,
+        and every probe is reflected in the totals."""
+        soc = _property_soc(soc_seed)
+        scenario = random_scenario(soc, scenario_seed)
+        result = diagnose_soc(soc, scenario)
+        assert result.probe_sessions >= 1
+        assert result.diagnosis_cycles > 0
+        assert result.planned_diagnosis_cycles > 0
+        assert result.retest_cycles > 0
+        assert result.screening_cycles == result.full_retest_cycles

@@ -199,6 +199,112 @@ class TestOptimize:
         assert "bus width" in capsys.readouterr().err
 
 
+class TestSeededWorkloads:
+    def test_seed_builds_reproducible_random_soc(self, capsys):
+        payloads = []
+        for _ in range(2):
+            assert main([
+                "run", "random-soc", "--seed", "5", "--model-only",
+                "--json",
+            ]) == 0
+            payloads.append(json.loads(capsys.readouterr().out))
+        assert payloads[0] == payloads[1]
+
+    def test_seed_lands_in_the_config_hash(self, capsys):
+        hashes = []
+        for seed in ("5", "6"):
+            assert main([
+                "run", "random-soc", "--seed", seed, "--model-only",
+                "--json",
+            ]) == 0
+            hashes.append(json.loads(capsys.readouterr().out)["hash"])
+        assert hashes[0] != hashes[1]
+
+    def test_random_cores_need_a_width(self, capsys):
+        assert main([
+            "run", "random-cores", "--seed", "3", "-w", "8",
+            "--model-only", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bus_width"] == 8
+
+    def test_seed_on_registered_workload_errors(self, capsys):
+        code = main(["run", "itc02-d695", "--seed", "1"])
+        assert code == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_seeded_workload_without_seed_errors(self, capsys):
+        code = main(["run", "random-soc"])
+        assert code == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_sweep_accepts_seeded_workloads(self, tmp_path, capsys):
+        store = tmp_path / "seeded.jsonl"
+        assert main([
+            "sweep", "random-soc", "--seed", "4",
+            "--campaign", "seeded", "--store", str(store),
+            "--architectures", "mux-bus", "--bus-widths", "8",
+            "--serial", "--quiet",
+        ]) == 0
+        assert "1 runs" in capsys.readouterr().out
+
+
+class TestDiagnose:
+    def test_diagnose_table_and_store_resume(self, tmp_path, capsys):
+        store = tmp_path / "diag.jsonl"
+        args = [
+            "diagnose", "small", "--scenarios", "0,1",
+            "--store", str(store),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "localisation accuracy 2/2" in first
+        assert len(store.read_text().splitlines()) == 2
+        # Second invocation resumes from the store: no new records.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert len(store.read_text().splitlines()) == 2
+
+    def test_diagnose_json(self, capsys):
+        assert main([
+            "diagnose", "small", "--scenarios", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        record = payload[0]
+        assert record["workload"] == "small"
+        assert record["scenario"]["kind"] == "stuck-at"
+        assert record["screen_passed"] is False
+        assert len(record["hash"]) == 64
+
+    def test_report_splits_runs_and_diagnoses(self, tmp_path, capsys):
+        store = tmp_path / "mixed.jsonl"
+        assert main([
+            "run", "itc02-d695", "-a", "mux-bus", "-w", "8",
+            "--store", str(store),
+        ]) == 0
+        assert main([
+            "diagnose", "small", "--scenarios", "0",
+            "--store", str(store),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "mux-bus" in out
+        assert "stuck-at" in out or "SA" in out
+        assert "1 run(s), 1 diagnosis record(s)" in out
+
+    def test_abstract_workload_errors(self, capsys):
+        code = main(["diagnose", "itc02-d695"])
+        assert code == 2
+        assert "simulatable" in capsys.readouterr().err
+
+    def test_bad_scenarios_error(self, capsys):
+        code = main(["diagnose", "small", "--scenarios", "a,b"])
+        assert code == 2
+        assert "--scenarios" in capsys.readouterr().err
+
+
 class TestModuleEntrypoint:
     def test_python_dash_m_repro(self, tmp_path):
         """`python -m repro` resolves to the campaign CLI."""

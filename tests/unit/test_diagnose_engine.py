@@ -1,0 +1,350 @@
+"""The diagnosis engine: dictionaries, ranking, probing, records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.api.experiment import Experiment
+from repro.diagnose.engine import (
+    CANDIDATE_CLOUD,
+    CANDIDATE_TAM_WIRE,
+    CANDIDATE_WRAPPER,
+    Candidate,
+    DiagnosisEngine,
+    DiagnosisResult,
+    decode_scan_syndrome,
+    diagnose_soc,
+    external_signature,
+    fault_dictionary,
+)
+from repro.diagnose.inject import DefectScenario, random_scenario
+from repro.diagnose.records import (
+    diagnosis_hash,
+    is_diagnosis_record,
+    make_diagnosis_record,
+    result_from_record,
+)
+from repro.diagnose.retest import minimal_retest_plan, run_retest
+from repro.soc.core import CoreSpec
+from repro.soc.library import fig1_soc, small_soc
+from repro.soc.soc import SocSpec
+
+
+def _wide_soc() -> SocSpec:
+    """Single-chain cores on a wide bus: disjoint wire probes exist."""
+    soc = SocSpec(
+        name="wide",
+        bus_width=4,
+        cores=(
+            CoreSpec.scan("left", seed=21, num_ffs=6, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=8),
+            CoreSpec.scan("right", seed=22, num_ffs=6, num_chains=1,
+                          num_pis=2, num_pos=2, atpg_max_patterns=8),
+        ),
+    )
+    soc.validate()
+    return soc
+
+
+class TestFaultDictionary:
+    def test_scan_dictionary_keys_are_disjoint_fault_classes(self):
+        spec = small_soc().core_named("alpha")
+        entries = fault_dictionary(spec)
+        assert entries
+        seen = set()
+        for entry in entries:
+            assert entry.faults
+            for fault in entry.faults:
+                assert fault not in seen
+                seen.add(fault)
+        keys = [entry.key for entry in entries]
+        assert len(keys) == len(set(keys))
+
+    def test_bist_and_external_dictionaries(self):
+        soc = fig1_soc()
+        for name in ("core3", "core4"):
+            entries = fault_dictionary(soc.core_named(name))
+            assert entries
+            for entry in entries:
+                assert isinstance(entry.key, int) and entry.key != 0
+
+    def test_external_signature_deterministic(self):
+        spec = fig1_soc().core_named("core4")
+        assert (external_signature(spec, None)
+                == external_signature(spec, None))
+        assert (external_signature(spec, (5, 1))
+                == external_signature(spec, (5, 1)))
+
+    def test_dictionary_is_cached(self):
+        spec = small_soc().core_named("beta")
+        assert fault_dictionary(spec) is fault_dictionary(spec)
+
+    def test_hierarchical_spec_rejected(self):
+        spec = fig1_soc().core_named("core5")
+        with pytest.raises(ConfigurationError):
+            fault_dictionary(spec)
+
+
+class TestSyndromeDecoding:
+    def test_observed_syndrome_decodes_to_dictionary_key(self):
+        """The end-to-end identity the localisation rests on: the
+        syndrome the executor captures for an injected fault decodes to
+        exactly that fault's dictionary prediction."""
+        soc = small_soc()
+        scenario = random_scenario(soc, 4)
+        assert scenario.core is not None
+        spec = soc.core_named(scenario.core)
+        from repro.core.tam import CasBusTamDesign
+        from repro.diagnose.inject import build_faulty_system
+        from repro.sim.session import SessionExecutor
+
+        system = build_faulty_system(soc, scenario)
+        executor = SessionExecutor(system, capture_syndromes=True)
+        plan = CasBusTamDesign.for_soc(soc).executable_plan()
+        program = executor.run_plan(plan)
+        observed = next(
+            r.syndrome for r in program.core_results()
+            if r.name == scenario.core
+        )
+        assert observed is not None
+        decoded = decode_scan_syndrome(spec, observed)
+        match = next(
+            entry for entry in fault_dictionary(spec)
+            if scenario.fault in entry.faults
+        )
+        assert decoded == match.key
+
+
+class TestDiagnosis:
+    def test_clean_soc_diagnoses_clean(self):
+        result = diagnose_soc(small_soc())
+        assert result.is_clean
+        assert result.screen_passed
+        assert result.candidates == ()
+        assert result.diagnosis_cycles == 0
+        assert result.localized_core is None
+
+    def test_stuck_at_localised_with_exact_match(self):
+        soc = small_soc()
+        scenario = random_scenario(soc, 3)
+        result = diagnose_soc(soc, scenario)
+        assert result.failing_cores == (scenario.core,)
+        assert result.localized_core == scenario.core
+        assert result.scenario_rank() == 1
+        top = result.candidates[0]
+        assert top.kind == CANDIDATE_CLOUD
+        assert top.score == 1.0
+        assert scenario.fault in top.faults
+
+    def test_open_wire_binary_search(self):
+        soc = _wide_soc()
+        # The greedy schedule places the two P=1 cores on wires 0 and 1.
+        for wire in (0, 1):
+            scenario = DefectScenario.open_wire(wire, 1)
+            result = diagnose_soc(soc, scenario)
+            wires = [c.wire for c in result.candidates
+                     if c.kind == CANDIDATE_TAM_WIRE]
+            assert wires == [wire], f"wire {wire} not localised"
+            assert result.scenario_rank() == 1
+
+    def test_open_wire_outside_every_footprint_is_benign(self):
+        soc = _wide_soc()
+        result = diagnose_soc(soc, DefectScenario.open_wire(3, 1))
+        assert result.is_clean  # no test traffic crosses the wire
+
+    def test_bridge_localised_to_one_end(self):
+        soc = _wide_soc()
+        scenario = DefectScenario.bridge(0, 3)
+        result = diagnose_soc(soc, scenario)
+        assert result.scenario_rank() is not None
+        top = result.candidates[0]
+        assert top.kind == CANDIDATE_TAM_WIRE
+        assert top.wire in scenario.wires
+
+    def test_wire_blame_spares_sibling_probes(self):
+        """Once a broken wire is identified, other failing cores whose
+        footprint touches it are explained without extra sessions."""
+        soc = fig1_soc()
+        result = diagnose_soc(soc, DefectScenario.open_wire(0, 1))
+        assert any(
+            c.kind == CANDIDATE_TAM_WIRE and c.wire == 0
+            for c in result.candidates
+        )
+        # Screening + a handful of probes, not one per failing core.
+        assert result.probe_sessions < 2 * len(result.failing_cores)
+
+    def test_dead_cell_flags_core_not_exact_fault(self):
+        soc = small_soc()
+        scenario = DefectScenario.dead_cell("alpha", 1, 1)
+        result = diagnose_soc(soc, scenario)
+        assert result.failing_cores == ("alpha",)
+        assert any(
+            c.kind == CANDIDATE_WRAPPER and c.core == "alpha"
+            for c in result.candidates
+        )
+        # No cloud candidate claims an exact match for a chain defect.
+        assert all(
+            c.score < 1.0 for c in result.candidates
+            if c.kind == CANDIDATE_CLOUD
+        )
+
+    def test_diagnosis_cheaper_than_full_retest_on_fig1(self):
+        soc = fig1_soc()
+        scenario = random_scenario(soc, 11)
+        result = diagnose_soc(soc, scenario)
+        assert result.diagnosis_cycles < result.full_retest_cycles
+        assert result.planned_diagnosis_cycles > 0
+
+    def test_backends_agree(self):
+        soc = fig1_soc()
+        scenario = random_scenario(soc, 9)
+        legacy = diagnose_soc(soc, scenario, backend="legacy")
+        kernel = diagnose_soc(soc, scenario, backend="kernel")
+        legacy_dict = legacy.to_dict()
+        kernel_dict = kernel.to_dict()
+        legacy_dict.pop("backend")
+        kernel_dict.pop("backend")
+        assert legacy_dict == kernel_dict
+
+    def test_result_round_trip(self):
+        soc = small_soc()
+        result = diagnose_soc(soc, random_scenario(soc, 1))
+        rebuilt = DiagnosisResult.from_dict(result.to_dict())
+        assert rebuilt == result
+
+    def test_describe(self):
+        soc = small_soc()
+        clean = diagnose_soc(soc)
+        assert "clean" in clean.describe()
+        dirty = diagnose_soc(soc, random_scenario(soc, 1))
+        assert "#1" in dirty.describe()
+
+    def test_engine_rejects_invalid_soc(self):
+        with pytest.raises(ConfigurationError):
+            DiagnosisEngine(SocSpec(name="x", bus_width=0, cores=()))
+
+
+class TestCandidate:
+    def test_round_trip(self):
+        candidate = Candidate(
+            kind=CANDIDATE_CLOUD, core="alpha", score=0.5,
+            faults=((3, 1), (7, 0)),
+        )
+        assert Candidate.from_dict(candidate.to_dict()) == candidate
+
+    def test_contains_fault(self):
+        candidate = Candidate(
+            kind=CANDIDATE_CLOUD, core="a", score=1.0, faults=((3, 1),),
+        )
+        assert candidate.contains_fault(3, 1)
+        assert not candidate.contains_fault(3, 0)
+        wire = Candidate(kind=CANDIDATE_TAM_WIRE, core="a", score=1.0,
+                         wire=2)
+        assert not wire.contains_fault(3, 1)
+
+    def test_describe_truncates_large_classes(self):
+        candidate = Candidate(
+            kind=CANDIDATE_CLOUD, core="a", score=1.0,
+            faults=tuple((n, 0) for n in range(10)),
+        )
+        assert "+7" in candidate.describe()
+
+
+class TestRetest:
+    def test_minimal_plan_covers_only_suspects(self):
+        soc = fig1_soc()
+        retest = minimal_retest_plan(soc, ("core2", "core6"))
+        tested = {
+            assignment.name
+            for session in retest.plan.sessions
+            for assignment in session.assignments
+        }
+        assert tested == {"core2", "core6"}
+        assert retest.predicted_total_cycles > 0
+
+    def test_nested_suspect(self):
+        soc = fig1_soc()
+        retest = minimal_retest_plan(soc, ("core5/core5a",))
+        assignment = retest.plan.sessions[0].assignments[0]
+        assert assignment.path == ("core5", "core5a")
+
+    def test_retest_plan_executes(self):
+        soc = fig1_soc()
+        retest = minimal_retest_plan(soc, ("core2",))
+        program = run_retest(soc, retest)
+        assert program.passed
+        # A repaired (clean) instance passes; the defective one fails.
+        scenario = random_scenario(soc, 9)
+        if scenario.core == "core2":
+            defective = run_retest(soc, retest, scenario=scenario)
+            assert not defective.passed
+
+    def test_retest_cheaper_than_full_program(self):
+        soc = fig1_soc()
+        from repro.core.tam import CasBusTamDesign
+        from repro.sim.session import SessionExecutor
+        from repro.sim.system import build_system
+
+        tam = CasBusTamDesign.for_soc(soc)
+        full = SessionExecutor(build_system(soc)).run_plan(
+            tam.executable_plan()
+        )
+        retest = minimal_retest_plan(soc, ("core6",))
+        program = run_retest(soc, retest)
+        assert program.total_cycles < full.total_cycles
+
+    def test_empty_suspects_error(self):
+        with pytest.raises(ConfigurationError):
+            minimal_retest_plan(fig1_soc(), ())
+
+    def test_deduplicates_suspects(self):
+        retest = minimal_retest_plan(fig1_soc(), ("core2", "core2"))
+        assert retest.cores == ("core2",)
+
+
+class TestRecords:
+    def test_record_shape_and_round_trip(self):
+        soc = small_soc()
+        experiment = Experiment(soc)
+        scenario = random_scenario(soc, 2)
+        result = experiment.diagnose(scenario)
+        record = make_diagnosis_record(
+            experiment, scenario, result, elapsed_s=0.1
+        )
+        assert is_diagnosis_record(record)
+        assert record["hash"] == diagnosis_hash(experiment, scenario)
+        assert result_from_record(record) == result
+
+    def test_hash_distinguishes_scenarios_and_runs(self):
+        soc = small_soc()
+        experiment = Experiment(soc)
+        hash_a = diagnosis_hash(experiment, random_scenario(soc, 1))
+        hash_b = diagnosis_hash(experiment, random_scenario(soc, 2))
+        assert hash_a != hash_b
+        assert hash_a != experiment.config_hash()
+
+    def test_plain_run_records_are_not_diagnosis_records(self):
+        assert not is_diagnosis_record({"schema": 1, "hash": "x",
+                                        "result": {}})
+
+
+class TestExperimentDiagnose:
+    def test_diagnose_through_the_builder(self):
+        result = Experiment(small_soc()).diagnose(scenario_seed=1)
+        assert result.scenario is not None
+        assert result.localized_core == result.scenario.core
+
+    def test_needs_simulatable_workload(self):
+        with pytest.raises(ConfigurationError):
+            Experiment("itc02-d695").diagnose()
+
+    def test_needs_casbus(self):
+        experiment = Experiment(small_soc()).with_architecture("mux-bus")
+        with pytest.raises(ConfigurationError):
+            experiment.diagnose()
+
+    def test_bus_width_override_rejected(self):
+        experiment = Experiment(small_soc()).with_bus_width(16)
+        with pytest.raises(ConfigurationError):
+            experiment.diagnose()

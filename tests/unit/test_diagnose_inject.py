@@ -1,0 +1,184 @@
+"""Defect scenarios: construction, determinism, application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import values as lv
+from repro.errors import ConfigurationError
+from repro.diagnose.inject import (
+    KIND_BRIDGE,
+    KIND_DEAD_CELL,
+    KIND_OPEN_WIRE,
+    KIND_STUCK_AT,
+    DefectScenario,
+    build_faulty_system,
+    detectable_faults,
+    random_scenario,
+)
+from repro.sim.kernel import kernel_supports
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.library import fig1_soc, small_soc
+
+
+class TestScenarioConstruction:
+    def test_constructors_and_describe(self):
+        assert "SA1" in DefectScenario.stuck_at("alpha", 3, 1).describe()
+        assert "wire 2" in DefectScenario.open_wire(2).describe()
+        assert "bridged" in DefectScenario.bridge(1, 0).describe()
+        assert "cell 1" in DefectScenario.dead_cell("a", 1).describe()
+
+    def test_bridge_normalises_wire_order(self):
+        assert DefectScenario.bridge(3, 1) == DefectScenario.bridge(1, 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DefectScenario(kind="gremlin")
+        with pytest.raises(ConfigurationError):
+            DefectScenario(kind=KIND_STUCK_AT, core="a")  # no node
+        with pytest.raises(ConfigurationError):
+            DefectScenario.stuck_at("a", 1, 2)  # bad stuck level
+        with pytest.raises(ConfigurationError):
+            DefectScenario.bridge(1, 1)
+
+    def test_round_trip(self):
+        for scenario in (
+            DefectScenario.stuck_at("core5/core5a", 7, 0, seed=3),
+            DefectScenario.open_wire(1, 1),
+            DefectScenario.bridge(0, 2),
+            DefectScenario.dead_cell("alpha", 2, 1),
+        ):
+            assert DefectScenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_nested_core_path(self):
+        scenario = DefectScenario.stuck_at("core5/core5a", 7, 0)
+        assert scenario.core_path == ("core5", "core5a")
+        assert scenario.fault == (7, 0)
+
+
+class TestRandomScenario:
+    def test_deterministic(self):
+        soc = small_soc()
+        assert random_scenario(soc, 5) == random_scenario(soc, 5)
+
+    def test_seeds_vary(self):
+        soc = small_soc()
+        drawn = {random_scenario(soc, seed) for seed in range(8)}
+        assert len(drawn) > 1
+
+    def test_default_is_detectable_stuck_at(self):
+        soc = small_soc()
+        scenario = random_scenario(soc, 2)
+        assert scenario.kind == KIND_STUCK_AT
+        assert scenario.core is not None
+        spec = soc.core_named(scenario.core)
+        assert scenario.fault in detectable_faults(spec)
+
+    def test_wider_kinds(self):
+        soc = small_soc()
+        kinds = {
+            random_scenario(
+                soc, seed,
+                kinds=(KIND_OPEN_WIRE, KIND_BRIDGE, KIND_DEAD_CELL),
+            ).kind
+            for seed in range(12)
+        }
+        assert len(kinds) >= 2
+
+    def test_unknown_kind_errors(self):
+        with pytest.raises(ConfigurationError):
+            random_scenario(small_soc(), 1, kinds=("gremlin",))
+
+
+class TestApplication:
+    def test_clean_build(self):
+        system = build_faulty_system(small_soc(), None)
+        assert kernel_supports(system)
+
+    def test_stuck_at_fails_the_victim_only(self):
+        soc = small_soc()
+        scenario = random_scenario(soc, 1)
+        system = build_faulty_system(soc, scenario)
+        assert kernel_supports(system)  # logic faults stay kernel-able
+        from repro.core.tam import CasBusTamDesign
+
+        plan = CasBusTamDesign.for_soc(soc).executable_plan()
+        program = SessionExecutor(system).run_plan(plan)
+        failed = [r.name for r in program.core_results() if not r.passed]
+        assert failed == [scenario.core]
+
+    def test_open_wire_forces_legacy_backend(self):
+        soc = small_soc()
+        system = build_faulty_system(soc, DefectScenario.open_wire(0, 1))
+        assert not kernel_supports(system)
+        routed = system.route_bus((lv.ZERO,) * soc.bus_width, config=False)
+        assert routed[0] == lv.ONE  # stuck high on exit
+
+    def test_bridge_pulls_driven_one_down(self):
+        soc = small_soc()
+        system = build_faulty_system(soc, DefectScenario.bridge(0, 1))
+        assert not kernel_supports(system)
+        bus_in = tuple(
+            lv.ONE if wire == 0 else lv.ZERO
+            for wire in range(soc.bus_width)
+        )
+        routed = system.route_bus(bus_in, config=False)
+        assert routed[0] == lv.ZERO  # wired-AND with the idle wire
+
+    def test_dead_cell_sticks_through_reset_and_shift(self):
+        soc = small_soc()
+        scenario = DefectScenario.dead_cell("alpha", 0, 1)
+        system = build_faulty_system(soc, scenario)
+        assert not kernel_supports(system)
+        node = system.node_at(("alpha",))
+        assert node.wrapper is not None
+        cell = node.wrapper.boundary.cells[0]
+        assert cell.shift_value == 1
+        cell.load(0)
+        assert cell.shift_value == 1
+        node.wrapper.boundary.reset()
+        assert cell.shift_value == 1
+
+    def test_out_of_range_defects_error(self):
+        soc = small_soc()
+        with pytest.raises(ConfigurationError):
+            build_faulty_system(soc, DefectScenario.open_wire(99))
+        with pytest.raises(ConfigurationError):
+            build_faulty_system(soc, DefectScenario.bridge(0, 99))
+        with pytest.raises(ConfigurationError):
+            build_faulty_system(
+                soc, DefectScenario.dead_cell("alpha", 99)
+            )
+
+    def test_each_call_builds_a_fresh_system(self):
+        soc = small_soc()
+        scenario = random_scenario(soc, 1)
+        assert (build_faulty_system(soc, scenario)
+                is not build_faulty_system(soc, scenario))
+
+    def test_hierarchical_stuck_at(self):
+        soc = fig1_soc()
+        scenario = DefectScenario.stuck_at("core5/core5a", 20, 1)
+        system = build_faulty_system(soc, scenario)
+        node = system.node_at(("core5", "core5a"))
+        assert node.wrapper is not None and node.wrapper.core is not None
+        assert node.wrapper.core.fault == (20, 1)
+
+
+class TestWireFaultSimulation:
+    def test_wire_fault_flags_cores_using_the_wire(self):
+        soc = small_soc()
+        system = build_faulty_system(soc, DefectScenario.open_wire(2, 1))
+        from repro.core.tam import CasBusTamDesign
+
+        plan = CasBusTamDesign.for_soc(soc).executable_plan()
+        program = SessionExecutor(system).run_plan(plan)
+        # beta is the core scheduled onto wire 2.
+        failed = {r.name for r in program.core_results() if not r.passed}
+        assert "beta" in failed
+
+    def test_build_system_without_defects_has_no_wire_state(self):
+        system = build_system(small_soc())
+        assert system.wire_faults == {}
+        assert system.wire_bridges == []

@@ -1,0 +1,74 @@
+"""The packed failure-syndrome type and its capture plumbing."""
+
+from __future__ import annotations
+
+from repro.diagnose.syndrome import (
+    KIND_BIST,
+    KIND_SCAN,
+    Syndrome,
+    merge_masks,
+)
+from repro.sim.session import CoreResult
+
+
+class TestSyndrome:
+    def test_canonical_form_drops_zero_masks_and_sorts(self):
+        syndrome = Syndrome.from_masks(KIND_SCAN, {
+            (2, 1): 0b1010,
+            (0, 0): 0b1,
+            (1, 0): 0,
+        })
+        assert syndrome.entries == ((0, 0, 0b1), (2, 1, 0b1010))
+        assert not syndrome.is_clean
+        assert syndrome.failing_bits == 3
+        assert syndrome.failing_windows() == (0, 2)
+        assert syndrome.failing_chains() == (0, 1)
+
+    def test_accumulation_order_is_irrelevant(self):
+        masks_a = {(1, 0): 0b11, (0, 2): 0b100}
+        masks_b = {(0, 2): 0b100, (1, 0): 0b11}
+        assert (Syndrome.from_masks(KIND_SCAN, masks_a)
+                == Syndrome.from_masks(KIND_SCAN, masks_b))
+
+    def test_signature_xor(self):
+        assert Syndrome.signature_xor(KIND_BIST, 0xA5, 0xA5).is_clean
+        syndrome = Syndrome.signature_xor(KIND_BIST, 0xA5, 0x25)
+        assert syndrome.entries == ((0, 0, 0x80),)
+
+    def test_round_trip(self):
+        syndrome = Syndrome.from_masks(KIND_SCAN, {
+            (0, 0): (1 << 200) | 0b101,  # beyond machine-word width
+            (7, 2): 0b110,
+        })
+        rebuilt = Syndrome.from_dict(syndrome.to_dict())
+        assert rebuilt == syndrome
+
+    def test_describe(self):
+        clean = Syndrome(kind=KIND_SCAN)
+        assert "clean" in clean.describe()
+        dirty = Syndrome.from_masks(KIND_SCAN, {(0, 0): 0b11})
+        assert "2 failing bit(s)" in dirty.describe()
+
+    def test_merge_masks(self):
+        masks: dict = {(0, 0): 0b01}
+        merge_masks(masks, [(0, 0, 0b10), (1, 1, 0b1), (2, 0, 0)])
+        assert masks == {(0, 0): 0b11, (1, 1): 0b1}
+
+
+class TestCoreResultIntegration:
+    def test_syndrome_defaults_to_none(self):
+        result = CoreResult(
+            name="c", method="scan", passed=True,
+            bits_compared=10, mismatches=0,
+        )
+        assert result.syndrome is None
+
+    def test_equality_includes_syndrome(self):
+        base = dict(name="c", method="scan", passed=False,
+                    bits_compared=4, mismatches=1)
+        with_syndrome = CoreResult(
+            **base,
+            syndrome=Syndrome.from_masks(KIND_SCAN, {(0, 0): 1}),
+        )
+        without = CoreResult(**base)
+        assert with_syndrome != without
