@@ -1,0 +1,91 @@
+"""Static verification: catch corrupted artifacts before they spread.
+
+Demonstrates the ``repro.verify`` layer end to end:
+
+1. verify a scheduler's outcome against the cost model -- then corrupt
+   the claimed cycle count and watch the exact diagnostic fire;
+2. run a small campaign (every append is verified automatically), then
+   corrupt the store on disk and audit it like CI does;
+3. show the fail-fast contract: ``raise_if_failed`` turns diagnostics
+   into a ``VerificationError`` -- the same escalation every run hits
+   at the executor, runner and model boundaries -- and flipping
+   ``with_verify`` never changes an experiment's identity hash.
+
+The same audit is available headless:
+
+    python -m repro verify artifacts/campaigns/demo.jsonl
+    python -m repro verify --strict --json shards/*.jsonl
+
+Run:  python examples/verify_campaign.py
+"""
+
+import dataclasses
+import json
+import shutil
+from pathlib import Path
+
+from repro.api import Experiment, get_scheduler
+from repro.campaign import Campaign
+from repro.errors import VerificationError
+from repro.schedule.model import TamProblem
+from repro.verify import verify_outcome, verify_store
+
+STORE_DIR = Path("artifacts") / "verify-demo"
+
+
+def main() -> None:
+    shutil.rmtree(STORE_DIR, ignore_errors=True)  # deterministic demo
+
+    # -- 1. Verify a scheduling outcome against the cost model.
+    experiment = Experiment("itc02-d695").with_bus_width(16)
+    cores = experiment.build().workload.cores
+    problem = TamProblem.of(cores, 16)
+    outcome = get_scheduler("greedy").schedule(cores, 16)
+    report = verify_outcome(outcome, problem)
+    print(f"greedy outcome on itc02-d695 w=16: {report.summary()}")
+    assert report.ok
+
+    lying = dataclasses.replace(outcome, test_cycles=outcome.test_cycles + 1)
+    broken = verify_outcome(lying, problem)
+    print("\ncorrupting the claimed cycle count fires:")
+    for diagnostic in broken.diagnostics:
+        print(f"  {diagnostic.render()}")
+    assert "OUT001" in broken.rule_ids()
+
+    # -- 2. Campaign stores are verified on append and auditable later.
+    campaign = Campaign.sweep(
+        "demo", ["small"], store_dir=STORE_DIR,
+        architectures=("casbus", "mux-bus"), schedulers=("greedy",),
+    )
+    campaign.run(parallel=False)
+    audit = verify_store(campaign.store)
+    print(f"\nstore audit after the sweep: {audit.summary()}")
+    assert audit.ok
+
+    # Corrupt one persisted record the way a bad merge would.
+    lines = campaign.store.path.read_text().splitlines()
+    record = json.loads(lines[0])
+    record["hash"] = "deadbeef"
+    lines[0] = json.dumps(record)
+    campaign.store.path.write_text("\n".join(lines) + "\n")
+    tampered = verify_store(campaign.store)
+    print(f"after tampering with a hash: {tampered.summary()}")
+    print(tampered.table())
+    assert not tampered.ok and "REC002" in tampered.rule_ids()
+
+    # -- 3. The fail-fast contract, and identity neutrality.
+    try:
+        broken.raise_if_failed("itc02-d695/greedy")
+        raise AssertionError("verification should have fired")
+    except VerificationError as error:
+        print(f"\nraise_if_failed escalates:\n  {error}")
+
+    # Opting out is explicit -- and never changes the config hash, so
+    # verified and unverified runs share campaign records.
+    assert (experiment.with_verify(True).config_hash()
+            == experiment.with_verify(False).config_hash())
+    print("\nwith_verify(False) leaves the config hash unchanged")
+
+
+if __name__ == "__main__":
+    main()

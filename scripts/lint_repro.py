@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Project-specific AST lint: determinism and serialization hygiene.
+
+Ruff catches generic Python mistakes; this lint encodes the invariants
+that make *this* repo's campaigns resumable and its artifacts
+auditable.  Four checks, each with a stable id:
+
+* ``RL001`` -- no unseeded ``random.Random()`` outside ``tests/``:
+  every stochastic component (workload generators, the annealing
+  scheduler, scenario drawing) must take an explicit seed or the
+  results it feeds into stop being reproducible.
+* ``RL002`` -- no wall-clock reads (``time.time``, ``datetime.now``,
+  ``utcnow``, ``today``) in the identity/serialization modules: a
+  timestamp inside a hashed payload breaks content addressing, so the
+  modules that build record identity may never consult the clock.
+  (``elapsed_s`` timing happens in the runner, outside these modules.)
+* ``RL003`` -- every class with a ``to_dict`` method defines a
+  matching ``from_dict``: one-way serialization rots silently until a
+  store cannot be read back; the pair keeps round-trips testable.
+* ``RL004`` -- dict literals with a ``"schema"`` key must reference a
+  named constant (``SCHEMA_VERSION``, ``HASH_SCHEMA``, ...), never a
+  bare integer literal: inlined schema numbers dodge the single bump
+  point that invalidates stale records.
+
+Usage:
+    python scripts/lint_repro.py            # lint src/ + scripts/
+    python scripts/lint_repro.py PATH...    # lint specific trees
+"""
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOTS = ("src", "scripts", "examples", "benchmarks")
+
+#: Modules whose payloads are hashed or persisted: the clock is banned.
+IDENTITY_MODULES = (
+    "src/repro/campaign/hashing.py",
+    "src/repro/campaign/store.py",
+    "src/repro/diagnose/records.py",
+    "src/repro/api/results.py",
+)
+
+#: Attribute calls that read the wall clock.
+CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def is_test_path(path: Path) -> bool:
+    return "tests" in path.parts or path.name.startswith("test_")
+
+
+def _call_name(node: ast.Call) -> "tuple[str, str] | None":
+    """``("obj", "attr")`` for ``obj.attr(...)`` calls, else ``None``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id, func.attr
+        if isinstance(value, ast.Attribute):
+            # datetime.datetime.now(...) -> ("datetime", "now")
+            return value.attr, func.attr
+    return None
+
+
+def check_unseeded_random(path: Path, tree: ast.AST) -> "list[str]":
+    """RL001: ``random.Random()`` with no seed argument."""
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        unseeded = not node.args and not node.keywords
+        if name == ("random", "Random") and unseeded:
+            problems.append(
+                f"{path}:{node.lineno}: RL001 unseeded random.Random() "
+                f"(pass an explicit seed: results must be reproducible)"
+            )
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "Random"
+            and unseeded
+        ):
+            problems.append(
+                f"{path}:{node.lineno}: RL001 unseeded Random() "
+                f"(pass an explicit seed: results must be reproducible)"
+            )
+    return problems
+
+
+def check_wall_clock(path: Path, tree: ast.AST) -> "list[str]":
+    """RL002: clock reads inside identity/serialization modules."""
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in CLOCK_CALLS:
+            problems.append(
+                f"{path}:{node.lineno}: RL002 wall-clock read "
+                f"{name[0]}.{name[1]}() in an identity module "
+                f"(hashed payloads must not depend on the clock)"
+            )
+    return problems
+
+
+def check_dict_pairs(path: Path, tree: ast.AST) -> "list[str]":
+    """RL003: ``to_dict`` without a matching ``from_dict``."""
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "to_dict" in methods and "from_dict" not in methods:
+            problems.append(
+                f"{path}:{node.lineno}: RL003 class {node.name} defines "
+                f"to_dict without from_dict (serialization must "
+                f"round-trip)"
+            )
+    return problems
+
+
+def check_schema_literals(path: Path, tree: ast.AST) -> "list[str]":
+    """RL004: ``"schema"`` dict keys bound to bare integer literals."""
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if not (
+                isinstance(key, ast.Constant) and key.value == "schema"
+            ):
+                continue
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, int
+            ):
+                problems.append(
+                    f"{path}:{value.lineno}: RL004 schema version is a "
+                    f"bare literal {value.value} (reference the named "
+                    f"SCHEMA constant so bumps happen in one place)"
+                )
+    return problems
+
+
+def lint_file(path: Path) -> "list[str]":
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as error:
+        return [f"{path}: RL000 unparseable: {error}"]
+    problems = []
+    if not is_test_path(path):
+        problems += check_unseeded_random(path, tree)
+    if str(path).replace("\\", "/") in IDENTITY_MODULES:
+        problems += check_wall_clock(path, tree)
+    if not is_test_path(path):
+        problems += check_dict_pairs(path, tree)
+    problems += check_schema_literals(path, tree)
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=list(DEFAULT_ROOTS),
+        help="directories or files to lint (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    files: "list[Path]" = []
+    for root in args.roots:
+        root_path = Path(root)
+        if root_path.is_file():
+            files.append(root_path)
+        else:
+            files.extend(sorted(root_path.rglob("*.py")))
+    problems: "list[str]" = []
+    for path in files:
+        problems.extend(lint_file(path))
+    for problem in problems:
+        print(problem)
+    checked = len(files)
+    if problems:
+        print(
+            f"lint_repro: {len(problems)} problem(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_repro: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -259,9 +259,35 @@ class DesignedTam:
                 f"fault injection needs cycle-accurate simulation, "
                 f"but {blocker}"
             )
+        if config.verify:
+            self._verify_model_outcome(config)
         return self.evaluate(config)
 
     # -- internals ---------------------------------------------------------
+
+    def _verify_model_outcome(self, config: RunConfig) -> None:
+        """Statically check the scheduler's outcome before reporting it.
+
+        Model-path counterpart of the executor's pre-dispatch
+        verification: the strategy's schedule object is re-derived
+        against the cost model and any inconsistency raises
+        :class:`~repro.errors.VerificationError` instead of entering a
+        result.  Fixed-model architectures have nothing to check.
+        """
+        outcome = self.schedule(config)
+        if outcome is None:
+            return
+        from repro.schedule.model import TamProblem
+        from repro.verify import verify_outcome
+
+        problem = TamProblem.of(
+            self.workload.cores,
+            self.workload.resolve_width(config.bus_width),
+            cas_policy=config.cas_policy,
+        )
+        verify_outcome(outcome, problem).raise_if_failed(
+            f"{self.architecture.key}/{self.workload.name}"
+        )
 
     def _simulation_blocker(self, config: RunConfig) -> str | None:
         """Why this run cannot simulate, or ``None`` if it can."""
@@ -299,6 +325,7 @@ class DesignedTam:
             inject_faults=config.inject_faults,
             backend=config.backend,
             capture_syndromes=config.capture_syndromes,
+            verify=config.verify,
         )
         sessions = tuple(
             SessionDetail(

@@ -98,6 +98,14 @@ class Experiment:
         """Record bit-level failure syndromes on simulated results."""
         return self._evolve(capture_syndromes=capture_syndromes)
 
+    def with_verify(self, verify: bool = True) -> "Experiment":
+        """Toggle static verification at the fail-fast boundaries.
+
+        On by default; identity-neutral, so flipping it never changes
+        :meth:`config_hash` (see :mod:`repro.verify`).
+        """
+        return self._evolve(verify=verify)
+
     def with_label(self, label: str) -> "Experiment":
         """Tag the result."""
         return self._evolve(label=label)

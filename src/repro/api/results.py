@@ -58,6 +58,10 @@ class RunConfig:
             (:class:`~repro.diagnose.syndrome.Syndrome`) on simulated
             core results; off by default and free when off (cycle
             counts never change either way).
+        verify: run the static verifier (:mod:`repro.verify`) at the
+            fail-fast boundaries -- executor pre-dispatch, campaign
+            record append, model-path scheduling.  On by default;
+            identity-neutral (never enters the config hash).
         label: free-form tag copied onto the result.
     """
 
@@ -69,6 +73,7 @@ class RunConfig:
     simulate: bool | None = None
     backend: str = "auto"
     capture_syndromes: bool = False
+    verify: bool = True
     label: str = ""
 
     def evolve(self, **changes) -> "RunConfig":
@@ -95,6 +100,7 @@ class RunConfig:
             "simulate": self.simulate,
             "backend": self.backend,
             "capture_syndromes": self.capture_syndromes,
+            "verify": self.verify,
             "label": self.label,
         }
 
@@ -114,6 +120,7 @@ class RunConfig:
             simulate=data.get("simulate"),
             backend=data.get("backend", "auto"),
             capture_syndromes=data.get("capture_syndromes", False),
+            verify=data.get("verify", True),
             label=data.get("label", ""),
         )
 

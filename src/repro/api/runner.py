@@ -186,6 +186,7 @@ def _run_with_store(
     """
     from repro.campaign.hashing import config_hash
     from repro.campaign.store import make_record
+    from repro.verify import verify_record
 
     hashes = [config_hash(item) for item in batch]
     # Records stay serialized until a batch hash actually needs one:
@@ -213,11 +214,13 @@ def _run_with_store(
     for position, result, elapsed in _stream(
             subset, serial or len(subset) == 1, workers):
         index = pending[position]
-        store.append(
-            make_record(batch[index], result, config_hash=hashes[index],
-                        elapsed_s=elapsed),
-            replace=rerun,
-        )
+        record = make_record(batch[index], result,
+                             config_hash=hashes[index], elapsed_s=elapsed)
+        if getattr(batch[index].config, "verify", True):
+            # A record that fails its own serialization contract must
+            # never enter the store: fail loudly before the append.
+            verify_record(record).raise_if_failed(hashes[index][:10])
+        store.append(record, replace=rerun)
         results[index] = result
         if on_result is not None:
             on_result(batch[index], result, cached=False, elapsed=elapsed)

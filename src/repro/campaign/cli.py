@@ -14,7 +14,11 @@ Six verbs drive campaigns headless:
   store like ``sweep`` does;
 * ``repro report`` -- tabulate one or more stores (run records and
   diagnosis records each get their own table);
-* ``repro merge`` -- combine shard stores into one canonical store.
+* ``repro merge`` -- combine shard stores into one canonical store;
+* ``repro verify`` -- statically audit stores against the
+  :mod:`repro.verify` rule set, printing a diagnostics table and
+  exiting non-zero when any record violates its serialization
+  contract.
 
 Plus ``repro list`` to discover registered architectures, schedulers
 and workloads (``--architectures``/``--schedulers``/``--workloads``
@@ -142,6 +146,7 @@ def cmd_run(args) -> int:
         cas_policy=args.policy,
         simulate=False if args.model_only else None,
         backend=args.backend,
+        verify=not args.no_verify,
         label=args.label,
     )
     experiment = Experiment(_resolve_workload(args.workload, args.seed), config)
@@ -183,7 +188,7 @@ def cmd_sweep(args) -> int:
         architectures=_split_csv(args.architectures),
         bus_widths=_parse_widths(args.bus_widths),
         schedulers=_split_csv(args.schedulers),
-        base_config=RunConfig(backend=args.backend),
+        base_config=RunConfig(backend=args.backend, verify=not args.no_verify),
         store=store,
         store_dir=args.store_dir,
     )
@@ -368,6 +373,27 @@ def cmd_diagnose(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import VerifyReport, verify_store
+
+    report = VerifyReport()
+    for source in args.stores:
+        verify_store(as_store(source), report=report)
+    failed = bool(report.errors) or (args.strict and bool(report.warnings))
+    if args.json:
+        payload = {
+            "checked": report.checked,
+            "ok": not failed,
+            "diagnostics": [d.to_dict() for d in report.diagnostics],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 1 if failed else 0
+    if report.diagnostics:
+        print(report.table())
+    print(report.summary())
+    return 1 if failed else 0
+
+
 def cmd_merge(args) -> int:
     target = merge_stores(args.stores, args.out)
     count = len(target)
@@ -549,6 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--store", default=None, help="record into this store")
     run.add_argument("--rerun", action="store_true")
+    run.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip static verification at the fail-fast boundaries",
+    )
     run.add_argument("--json", action="store_true")
     run.set_defaults(func=cmd_run)
 
@@ -586,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--serial", action="store_true")
     sweep.add_argument("--max-workers", type=int, default=None)
     sweep.add_argument("--rerun", action="store_true")
+    sweep.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip static verification at the fail-fast boundaries",
+    )
     sweep.add_argument("--quiet", action="store_true")
     sweep.add_argument("--verbose", action="store_true")
     sweep.set_defaults(func=cmd_sweep)
@@ -668,6 +704,19 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("stores", nargs="+")
     merge.add_argument("-o", "--out", required=True)
     merge.set_defaults(func=cmd_merge)
+
+    verify = commands.add_parser(
+        "verify",
+        help="statically audit campaign stores (exit 1 on violations)",
+    )
+    verify.add_argument("stores", nargs="+")
+    verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, not only errors",
+    )
+    verify.add_argument("--json", action="store_true")
+    verify.set_defaults(func=cmd_verify)
 
     listing = commands.add_parser("list", help="list registered components")
     listing.add_argument(

@@ -67,6 +67,9 @@ def experiment_identity(experiment) -> dict:
         # The flag joined the config after stores existed; dropping
         # the default keeps every pre-existing hash valid.
         effective.pop("capture_syndromes", None)
+    # Verification changes when an invalid run fails, never what a
+    # valid run computes: identity-neutral by design.
+    effective.pop("verify", None)
     effective["architecture"] = ARCHITECTURES.resolve(config.architecture)
     effective["scheduler"] = SCHEDULERS.resolve(config.scheduler)
     try:

@@ -199,6 +199,7 @@ class CasBusTamDesign:
         plan: TestPlan | None = None,
         backend: str = "auto",
         capture_syndromes: bool = False,
+        verify: bool = True,
     ):
         """Build the behavioural system and execute a plan.
 
@@ -207,6 +208,8 @@ class CasBusTamDesign:
         :class:`~repro.sim.session.SessionExecutor`.
         ``capture_syndromes`` records bit-level failing positions on
         every core result (:mod:`repro.diagnose.syndrome`).
+        ``verify`` statically checks the wired system and every
+        session's artifacts before dispatch (:mod:`repro.verify`).
 
         Returns the :class:`~repro.sim.session.ProgramResult`.
         """
@@ -217,5 +220,6 @@ class CasBusTamDesign:
         executor = SessionExecutor(
             system, backend=backend,
             capture_syndromes=capture_syndromes,
+            verify=verify,
         )
         return executor.run_plan(plan or self.executable_plan())

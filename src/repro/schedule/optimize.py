@@ -77,6 +77,21 @@ class ParetoPoint:
             "sessions": self.sessions,
         }
 
+    @classmethod
+    def from_dict(cls, data) -> "ParetoPoint":
+        """Rebuild a point serialized by :meth:`to_dict`.
+
+        The derived ``total_cycles`` key is ignored (it re-derives
+        from the stored test and config cycles).
+        """
+        return cls(
+            bus_width=data["bus_width"],
+            config_bits=data["config_bits"],
+            test_cycles=data["test_cycles"],
+            config_cycles=data["config_cycles"],
+            sessions=data["sessions"],
+        )
+
 
 @dataclass
 class OptimizeOutcome:

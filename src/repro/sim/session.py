@@ -145,12 +145,18 @@ class SessionExecutor:
         capture_syndromes: record bit-level failing positions into
             :attr:`CoreResult.syndrome` (off by default; cycle counts
             are unaffected either way).
+        verify: statically verify the system wiring and each session's
+            configuration/program artifacts before dispatching them
+            (:mod:`repro.verify`); raises
+            :class:`~repro.errors.VerificationError` instead of
+            executing a malformed plan.
     """
 
     def __init__(self, system: CasBusSystem,
                  trace: TraceRecorder | None = None,
                  backend: str = "auto",
-                 capture_syndromes: bool = False) -> None:
+                 capture_syndromes: bool = False,
+                 verify: bool = True) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
@@ -159,9 +165,35 @@ class SessionExecutor:
         self.trace = trace
         self.backend = backend
         self.capture_syndromes = capture_syndromes
+        self.verify = verify
         self._test_sets: dict[str, TestSet] = {}
         self._cycle = 0  # global clock, spans sessions
         self._kernel = None
+        self._system_verified = False
+
+    # -- pre-dispatch static verification --------------------------------
+
+    def _verify_session(self, session: SessionPlan) -> None:
+        """Fail fast on invariant violations before anything executes.
+
+        Runs after the plan's own structural validation, so the
+        planner's :class:`~repro.errors.ConfigurationError` surface is
+        unchanged; what this adds is the static verifier's deeper
+        checks (system wiring bijections, configuration target codes,
+        compiled program packing).
+        """
+        from repro.verify import verify_session_programs, verify_system
+
+        if not self._system_verified:
+            # Raise on wiring violations *before* compiling session
+            # programs: configuration targets are meaningless (and can
+            # raise ConfigurationError) on a corrupted system.
+            verify_system(self.system).raise_if_failed(
+                self.system.soc.name
+            )
+            self._system_verified = True
+        report = verify_session_programs(self.system, session)
+        report.raise_if_failed(self.system.soc.name)
 
     # -- backend dispatch ------------------------------------------------
 
@@ -198,6 +230,10 @@ class SessionExecutor:
     # -- public API ------------------------------------------------------
 
     def run_plan(self, plan: TestPlan) -> ProgramResult:
+        if self.verify:
+            plan.validate(self.system.n)
+            for session in plan.sessions:
+                self._verify_session(session)
         if self._use_kernel():
             return self._kernel_executor().run_plan(plan)
         plan.validate(self.system.n)
@@ -216,6 +252,9 @@ class SessionExecutor:
         label: str = "session",
         undisturbed_paths: Sequence[tuple[str, ...]] = (),
     ) -> SessionResult:
+        if self.verify:
+            session.validate(self.system.n)
+            self._verify_session(session)
         if self._use_kernel():
             return self._kernel_executor().run_session(
                 session, label=label, undisturbed_paths=undisturbed_paths

@@ -1,0 +1,76 @@
+"""Static verification of repro artifacts (no simulation required).
+
+The verifier proves pipeline invariants *before* execution: schedules
+against the cost model, compiled kernel programs against their chain
+geometry, wired TAM systems against the figure-1 bijections, defect
+scenarios against the SoC they target, and campaign-store records
+against their own serialization contract.
+
+Entry points:
+
+* :func:`verify_schedule` / :func:`verify_preemptive` /
+  :func:`verify_static_plan` / :func:`verify_outcome` -- schedule IR;
+* :func:`verify_scan_program` / :func:`verify_configuration_targets` /
+  :func:`verify_session_programs` -- compiled programs;
+* :func:`verify_system` / :func:`verify_scenario` -- TAM designs;
+* :func:`verify_record` / :func:`verify_store` -- campaign stores.
+
+All share the :class:`Diagnostic` / :class:`VerifyReport` framework
+and the :data:`RULES` registry in
+:mod:`repro.verify.diagnostics`.  Fail-fast boundaries
+(:class:`~repro.sim.session.SessionExecutor` pre-dispatch, campaign
+record append, ``Experiment.run``) call
+:meth:`VerifyReport.raise_if_failed`, controlled by the
+``RunConfig.verify`` flag (default on, identity-neutral for config
+hashes); ``python -m repro verify`` audits stores in bulk.
+"""
+
+from repro.verify.diagnostics import (
+    RULES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+    Rule,
+    VerifyReport,
+)
+from repro.verify.schedules import (
+    verify_outcome,
+    verify_preemptive,
+    verify_schedule,
+    verify_static_plan,
+)
+from repro.verify.programs import (
+    verify_configuration_targets,
+    verify_scan_program,
+    verify_session_programs,
+)
+from repro.verify.designs import (
+    TRANSPORT_KINDS,
+    verify_scenario,
+    verify_system,
+)
+from repro.verify.records import (
+    verify_record,
+    verify_store,
+)
+
+__all__ = [
+    "RULES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Diagnostic",
+    "Rule",
+    "TRANSPORT_KINDS",
+    "VerifyReport",
+    "verify_configuration_targets",
+    "verify_outcome",
+    "verify_preemptive",
+    "verify_record",
+    "verify_scan_program",
+    "verify_scenario",
+    "verify_schedule",
+    "verify_session_programs",
+    "verify_static_plan",
+    "verify_store",
+    "verify_system",
+]

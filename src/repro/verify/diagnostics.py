@@ -1,0 +1,173 @@
+"""Diagnostic framework for the static verifier.
+
+Every check in :mod:`repro.verify` reports through the same three
+objects:
+
+* :class:`Rule` -- a registered invariant with a stable id (``SCH001``,
+  ``PRG002``, ...), a default severity and a one-line summary.  The
+  module-level :data:`RULES` registry is the authoritative catalogue;
+  the test suite asserts every registered rule has a mutation test.
+* :class:`Diagnostic` -- one violation: rule id, severity, a
+  slash-separated location path into the artifact, a message and an
+  optional fix hint.
+* :class:`VerifyReport` -- an accumulating collection of diagnostics
+  with table formatting and a :meth:`VerifyReport.raise_if_failed`
+  escape hatch that turns error diagnostics into a
+  :class:`~repro.errors.VerificationError` at the fail-fast
+  boundaries.
+
+Checks never raise on a violation themselves -- they *report*, so one
+pass over an artifact surfaces every problem at once (the CLI audit
+use case), and the boundary hooks decide whether to escalate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VerificationError
+
+#: Diagnostic severities, in increasing order of concern.
+SEVERITY_WARNING = "warning"
+SEVERITY_ERROR = "error"
+
+SEVERITIES = (SEVERITY_WARNING, SEVERITY_ERROR)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered verifier invariant."""
+
+    rule_id: str
+    severity: str
+    summary: str
+
+
+#: The rule catalogue: rule id -> :class:`Rule`.  Populated at import
+#: time by the checker modules via :func:`rule`.
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: str, summary: str) -> str:
+    """Register an invariant and return its id (module-level usage)."""
+    if rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    if severity not in SEVERITIES:
+        raise ValueError(f"{rule_id}: bad severity {severity!r}")
+    RULES[rule_id] = Rule(rule_id=rule_id, severity=severity,
+                          summary=summary)
+    return rule_id
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One reported invariant violation."""
+
+    rule_id: str
+    severity: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (CLI ``--json`` output)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "Diagnostic":
+        """Rebuild a diagnostic serialized by :meth:`to_dict`."""
+        return cls(
+            rule_id=data["rule"],
+            severity=data["severity"],
+            location=data["location"],
+            message=data["message"],
+            hint=data.get("hint", ""),
+        )
+
+    def render(self) -> str:
+        text = (f"{self.rule_id} [{self.severity}] {self.location}: "
+                f"{self.message}")
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class VerifyReport:
+    """Accumulated diagnostics from one or more verification passes."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Artifacts inspected (for the CLI summary line).
+    checked: int = 0
+
+    def add(self, rule_id: str, location: str, message: str,
+            hint: str = "") -> None:
+        """Report a violation of a registered rule."""
+        registered = RULES.get(rule_id)
+        if registered is None:
+            raise ValueError(f"unregistered rule id {rule_id!r}")
+        self.diagnostics.append(Diagnostic(
+            rule_id=rule_id,
+            severity=registered.severity,
+            location=location,
+            message=message,
+            hint=hint,
+        ))
+
+    def extend(self, other: "VerifyReport") -> "VerifyReport":
+        self.diagnostics.extend(other.diagnostics)
+        self.checked += other.checked
+        return self
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == SEVERITY_WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error diagnostics (warnings do not fail a report)."""
+        return not self.errors
+
+    def rule_ids(self) -> set[str]:
+        return {d.rule_id for d in self.diagnostics}
+
+    def summary(self) -> str:
+        return (f"{self.checked} artifact(s) checked: "
+                f"{len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s)")
+
+    def table(self) -> str:
+        """Render the diagnostics as an aligned text table."""
+        from repro.analysis.tables import format_table
+
+        rows = [
+            [d.rule_id, d.severity, d.location, d.message]
+            for d in self.diagnostics
+        ]
+        return format_table(
+            ["rule", "severity", "location", "message"], rows,
+            title="verification diagnostics",
+        )
+
+    def raise_if_failed(self, context: str = "") -> "VerifyReport":
+        """Raise :class:`~repro.errors.VerificationError` on errors."""
+        if self.ok:
+            return self
+        prefix = f"{context}: " if context else ""
+        lines = [d.render() for d in self.errors]
+        raise VerificationError(
+            prefix + f"{len(lines)} invariant violation(s)\n  "
+            + "\n  ".join(lines)
+        )

@@ -1,0 +1,248 @@
+"""Static checks on campaign-store records and whole stores.
+
+One bad record fanned out across a worker fleet poisons every report
+built on the store, so the record checks run both at append time (the
+:func:`repro.api.runner.run_many` boundary) and on demand over
+existing stores (``python -m repro verify``).
+
+Rules::
+
+    REC001  record shape broken (missing keys, wrong types, bad schema)
+    REC002  record hash is not a sha256 hex digest
+    REC003  record payload does not reconstruct
+    REC004  per-session cycles disagree with the result totals
+    REC005  result source invariants broken
+    REC006  record references an unknown architecture or scheduler
+    REC007  store contains unparseable lines
+    REC008  store holds no records (warning)
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Mapping, Optional
+
+from repro.errors import ReproError, StoreError
+from repro.api.results import (
+    SCHEMA_VERSION,
+    SOURCE_MODEL,
+    SOURCE_SIMULATION,
+    RunConfig,
+    RunResult,
+)
+from repro.verify.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    VerifyReport,
+    rule,
+)
+
+REC001 = rule("REC001", SEVERITY_ERROR,
+              "record shape broken")
+REC002 = rule("REC002", SEVERITY_ERROR,
+              "record hash is not a sha256 hex digest")
+REC003 = rule("REC003", SEVERITY_ERROR,
+              "record payload does not reconstruct")
+REC004 = rule("REC004", SEVERITY_ERROR,
+              "per-session cycles disagree with the result totals")
+REC005 = rule("REC005", SEVERITY_ERROR,
+              "result source invariants broken")
+REC006 = rule("REC006", SEVERITY_ERROR,
+              "record references an unknown architecture or scheduler")
+REC007 = rule("REC007", SEVERITY_ERROR,
+              "store contains unparseable lines")
+REC008 = rule("REC008", SEVERITY_WARNING,
+              "store holds no records")
+
+_HEX = set(string.hexdigits.lower())
+
+
+def _is_sha256_hex(text: object) -> bool:
+    return (isinstance(text, str) and len(text) == 64
+            and set(text) <= _HEX)
+
+
+def _check_run_result(
+    record: Mapping, report: VerifyReport, location: str
+) -> None:
+    try:
+        result = RunResult.from_dict(record["result"])
+    except Exception as exc:
+        report.add(
+            REC003, location,
+            f"result does not reconstruct as a RunResult: {exc!r}",
+        )
+        return
+    if result.source not in (SOURCE_MODEL, SOURCE_SIMULATION):
+        report.add(
+            REC005, location,
+            f"unknown result source {result.source!r}",
+        )
+    if result.source == SOURCE_MODEL:
+        if result.passed is not None:
+            report.add(
+                REC005, location,
+                f"model result claims passed={result.passed}; the "
+                f"abstract model moves no bits",
+            )
+        if result.sessions:
+            report.add(
+                REC005, location,
+                "model result carries per-session simulation detail",
+            )
+    if result.source == SOURCE_SIMULATION:
+        if result.passed is None:
+            report.add(
+                REC005, location,
+                "simulated result has no pass/fail verdict",
+            )
+        if result.sessions:
+            test = sum(s.test_cycles for s in result.sessions)
+            config = sum(s.config_cycles for s in result.sessions)
+            if (test != result.test_cycles
+                    or config != result.config_cycles):
+                report.add(
+                    REC004, location,
+                    f"sessions sum to {test} test + {config} config "
+                    f"cycles but the result claims "
+                    f"{result.test_cycles} + {result.config_cycles}",
+                )
+    from repro.api.registry import ARCHITECTURES, SCHEDULERS
+
+    try:
+        ARCHITECTURES.resolve(result.architecture)
+    except ReproError:
+        report.add(
+            REC006, location,
+            f"unknown architecture {result.architecture!r}",
+        )
+    if result.scheduler:
+        try:
+            SCHEDULERS.resolve(result.scheduler)
+        except ReproError:
+            report.add(
+                REC006, location,
+                f"unknown scheduler {result.scheduler!r}",
+            )
+
+
+def _check_diagnosis_result(
+    record: Mapping, report: VerifyReport, location: str
+) -> None:
+    from repro.diagnose.engine import DiagnosisResult
+    from repro.diagnose.inject import DefectScenario
+
+    try:
+        DiagnosisResult.from_dict(record["result"])
+    except Exception as exc:
+        report.add(
+            REC003, location,
+            f"result does not reconstruct as a DiagnosisResult: "
+            f"{exc!r}",
+        )
+    scenario = record.get("scenario")
+    if scenario is not None:
+        try:
+            DefectScenario.from_dict(scenario)
+        except Exception as exc:
+            report.add(
+                REC003, location,
+                f"scenario does not reconstruct: {exc!r}",
+            )
+
+
+def verify_record(
+    record: object,
+    *,
+    report: Optional[VerifyReport] = None,
+    location: str = "record",
+) -> VerifyReport:
+    """Check one store record (run or diagnosis)."""
+    from repro.diagnose.records import is_diagnosis_record
+
+    if report is None:
+        report = VerifyReport()
+    report.checked += 1
+    if not isinstance(record, Mapping):
+        report.add(
+            REC001, location,
+            f"record is {type(record).__name__}, not a mapping",
+        )
+        return report
+    schema = record.get("schema")
+    if not isinstance(schema, int):
+        report.add(
+            REC001, location,
+            f"schema is {schema!r}, not an integer",
+        )
+    elif schema > SCHEMA_VERSION:
+        report.add(
+            REC001, location,
+            f"record schema {schema} is newer than supported schema "
+            f"{SCHEMA_VERSION}",
+        )
+    for key in ("result", "config"):
+        if not isinstance(record.get(key), Mapping):
+            report.add(
+                REC001, location,
+                f"record has no {key!r} mapping",
+            )
+    if not _is_sha256_hex(record.get("hash")):
+        report.add(
+            REC002, location,
+            f"hash {record.get('hash')!r} is not a 64-digit sha256 "
+            f"hex string",
+        )
+    if isinstance(record.get("config"), Mapping):
+        try:
+            RunConfig.from_dict(record["config"])
+        except Exception as exc:
+            report.add(
+                REC003, location,
+                f"config does not reconstruct: {exc!r}",
+            )
+    if not isinstance(record.get("result"), Mapping):
+        return report
+    if is_diagnosis_record(record):
+        _check_diagnosis_result(record, report, location)
+    else:
+        _check_run_result(record, report, location)
+    return report
+
+
+def verify_store(
+    store,
+    *,
+    report: Optional[VerifyReport] = None,
+) -> VerifyReport:
+    """Check every record of a campaign store (path or store object)."""
+    from repro.campaign.store import as_store
+
+    if report is None:
+        report = VerifyReport()
+    store = as_store(store)
+    name = str(store.path)
+    try:
+        records = store.records()
+    except StoreError as exc:
+        report.checked += 1
+        report.add(REC001, name, str(exc))
+        return report
+    if store.skipped_lines:
+        report.add(
+            REC007, name,
+            f"{store.skipped_lines} unparseable line(s) skipped",
+            hint="a writer died mid-append or the file is corrupt",
+        )
+    if not records:
+        report.checked += 1
+        report.add(REC008, name, "store holds no records")
+        return report
+    for index, record in enumerate(records):
+        record_hash = record.get("hash", "")
+        tag = record_hash[:10] if isinstance(record_hash, str) else ""
+        verify_record(
+            record, report=report,
+            location=f"{name}[{index}:{tag}]",
+        )
+    return report

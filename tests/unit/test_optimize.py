@@ -182,3 +182,18 @@ class TestParetoFront:
         outcome = optimize_bnb(d695_like()[:4], 8)
         text = outcome.describe()
         assert "Pareto" in text and "optimize-bnb" in text
+
+
+class TestParetoPointSerialization:
+    def test_round_trips_through_dict(self):
+        point = ParetoPoint(bus_width=8, config_bits=20, test_cycles=100,
+                            config_cycles=10, sessions=2)
+        assert ParetoPoint.from_dict(point.to_dict()) == point
+
+    def test_derived_total_cycles_key_is_ignored(self):
+        point = ParetoPoint(bus_width=8, config_bits=20, test_cycles=100,
+                            config_cycles=10, sessions=2)
+        data = point.to_dict()
+        data["total_cycles"] = 999  # stale derived value must not win
+        rebuilt = ParetoPoint.from_dict(data)
+        assert rebuilt.total_cycles == 110

@@ -1,0 +1,91 @@
+"""Property tests: every registered scheduler verifies clean.
+
+The static verifier encodes the cost-model contract every scheduler
+must satisfy; hypothesis hammers that contract with random workloads so
+a scheduler bug (or an over-strict rule) surfaces as a concrete
+counterexample instead of a lucky pass on the fixture SoCs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.registry import get_scheduler, list_schedulers
+from repro.schedule.model import TamProblem
+from repro.soc.core import CoreTestParams, TestMethod
+from repro.verify import verify_outcome
+
+# optimize-anneal needs a pinned seed to stay deterministic; keep its
+# iteration count low so the property suite stays fast.
+_ANNEAL_OPTIONS = {"seed": 0, "iterations": 30}
+
+
+@st.composite
+def cores(draw):
+    index = draw(st.integers(min_value=0, max_value=10 ** 6))
+    method = draw(st.sampled_from(
+        [TestMethod.SCAN, TestMethod.BIST, TestMethod.EXTERNAL]
+    ))
+    name = f"core{index}"
+    if method is TestMethod.BIST:
+        return CoreTestParams(
+            name=name, method=method, flops=0, patterns=0, max_wires=1,
+            fixed_cycles=draw(st.integers(min_value=1, max_value=500)),
+        )
+    return CoreTestParams(
+        name=name,
+        method=method,
+        flops=draw(st.integers(min_value=1, max_value=120)),
+        patterns=draw(st.integers(min_value=1, max_value=40)),
+        max_wires=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+@st.composite
+def problems(draw):
+    workload = draw(st.lists(
+        cores(), min_size=1, max_size=5,
+        unique_by=lambda core: core.name,
+    ))
+    bus_width = draw(st.integers(min_value=1, max_value=6))
+    return TamProblem.of(tuple(workload), bus_width)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=problems(), strategy=st.sampled_from(list_schedulers()))
+def test_scheduler_outcomes_verify_clean(problem, strategy):
+    options = _ANNEAL_OPTIONS if strategy == "optimize-anneal" else {}
+    outcome = get_scheduler(strategy).schedule(
+        problem.cores, problem.bus_width, **options
+    )
+    report = verify_outcome(outcome, problem)
+    assert report.diagnostics == [], report.table()
+
+
+@settings(max_examples=15, deadline=None)
+@given(problem=problems())
+def test_uncharged_outcomes_verify_clean(problem):
+    # charge_config=False flows through to SCH007/PRE003's valid set.
+    for strategy in ("greedy", "preemptive"):
+        outcome = get_scheduler(strategy).schedule(
+            problem.cores, problem.bus_width, charge_config=False
+        )
+        report = verify_outcome(outcome, problem)
+        assert report.diagnostics == [], report.table()
+
+
+@settings(max_examples=15, deadline=None)
+@given(problem=problems())
+def test_practical_policy_outcomes_verify_clean(problem):
+    # cas_policy=None (practical sizing) must verify against the same
+    # policy, not silently against "all" (regression: the model-path
+    # boundary once rebuilt the problem with the wrong policy).
+    practical = TamProblem.of(
+        problem.cores, problem.bus_width, cas_policy=None
+    )
+    outcome = get_scheduler("greedy").schedule(
+        problem.cores, problem.bus_width, cas_policy=None
+    )
+    report = verify_outcome(outcome, practical)
+    assert report.diagnostics == [], report.table()
