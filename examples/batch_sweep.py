@@ -1,0 +1,102 @@
+"""Monte-Carlo defect sweep through one vectorized batch dispatch.
+
+Yield analysis asks one question many times: *how does the same test
+program respond across many defective instances of one design?*  The
+geometry -- CAS hardware, schedule, compiled scan programs -- never
+changes between instances; only the injected defect does.  The batch
+kernel (:mod:`repro.sim.batch`) exploits that: the program is lowered
+to packed word arrays once and all N scenarios execute as array ops,
+one dispatch per shift window, instead of N full simulator runs.
+
+The sweep below screens 64 seeded stuck-at instances of the paper's
+figure-1 SoC three ways -- the batch entry point on the executor, the
+``run_many`` fault-sweep routing, and a scalar reference loop -- and
+shows they agree bit for bit.
+
+Run:  python examples/batch_sweep.py
+"""
+
+import time
+from collections import Counter
+
+from repro.analysis.tables import format_table
+from repro.api import Experiment
+from repro.api.runner import run_many
+from repro.bist.engine import random_detectable_fault
+from repro.core.tam import CasBusTamDesign
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.library import fig1_soc
+
+N_SCENARIOS = 64
+
+
+def scenarios_for(soc):
+    """Clean plus seeded detectable stuck-at faults, round-robin over
+    the scan cores (expected data always comes from clean builds)."""
+    victims = [core for core in soc.cores if core.method.value == "scan"]
+    scenarios = [None]
+    for seed in range(N_SCENARIOS - 1):
+        victim = victims[seed % len(victims)]
+        fault = random_detectable_fault(victim.build_scannable(),
+                                        seed=seed)
+        scenarios.append({victim.name: fault})
+    return scenarios
+
+
+def main() -> None:
+    soc = fig1_soc()
+    plan = CasBusTamDesign.for_soc(soc).executable_plan()
+    scenarios = scenarios_for(soc)
+
+    # -- One dispatch for the whole sweep.
+    executor = SessionExecutor(build_system(soc))
+    start = time.perf_counter()
+    batch = executor.run_batch(plan, scenarios)
+    batch_s = time.perf_counter() - start
+
+    # -- The same sweep as a scalar per-scenario loop (the old way).
+    start = time.perf_counter()
+    scalar = [
+        SessionExecutor(
+            build_system(soc, inject_faults=scenario)  # RL005 baseline
+        ).run_plan(plan)
+        for scenario in scenarios
+    ]
+    scalar_s = time.perf_counter() - start
+    assert batch == scalar, "batch must be byte-identical to scalar"
+
+    # -- And through the experiment API: run_many detects the
+    #    same-geometry fault sweep and routes it through one dispatch.
+    base = Experiment(soc)
+    results = run_many(
+        [base if s is None else base.with_faults(s) for s in scenarios],
+        parallel=False,
+    )
+    assert [r.passed for r in results] == [r.passed for r in batch]
+
+    failing = Counter(
+        core.name
+        for program in batch
+        for core in program.core_results()
+        if not core.passed
+    )
+    rows = [(name, failing[name]) for name in sorted(failing)]
+    print(format_table(
+        ("victim core", "failing instances"), rows,
+        title=f"defect sweep over {N_SCENARIOS} instances -- fig-1 SoC",
+    ))
+    # A couple of faults detectable by a core's standalone test set
+    # alias in the compacted in-system response -- real escapes the
+    # sweep exists to count, and both execution paths agree on them.
+    passed = sum(1 for program in batch if program.passed)
+    print(f"{passed}/{N_SCENARIOS} instances pass "
+          f"(clean + {passed - 1} escape(s))")
+    print(f"batch dispatch: {batch_s * 1e3:.0f} ms for the sweep; "
+          f"scalar loop: {scalar_s * 1e3:.0f} ms "
+          f"({scalar_s / batch_s:.1f}x)")
+    assert batch[0].passed and passed <= N_SCENARIOS // 8
+
+
+if __name__ == "__main__":
+    main()

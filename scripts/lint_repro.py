@@ -21,6 +21,12 @@ auditable.  Four checks, each with a stable id:
   named constant (``SCHEMA_VERSION``, ``HASH_SCHEMA``, ...), never a
   bare integer literal: inlined schema numbers dodge the single bump
   point that invalidates stale records.
+* ``RL005`` -- no per-scenario Python loops over the scalar executor
+  (``for ... in scenarios: ....run_plan(...)``) outside ``tests/``:
+  the vectorized batch kernel (:mod:`repro.sim.batch`,
+  ``SessionExecutor.run_batch``) executes same-geometry scenario
+  sweeps in one dispatch.  Deliberate scalar loops (fallbacks,
+  benchmark baselines) carry ``RL005`` on the offending line.
 
 Usage:
     python scripts/lint_repro.py            # lint src/ + scripts/
@@ -154,9 +160,50 @@ def check_schema_literals(path: Path, tree: ast.AST) -> "list[str]":
     return problems
 
 
+def _names_in(node: ast.AST) -> "set[str]":
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def check_scenario_loops(
+    path: Path, tree: ast.AST, source_lines: "list[str]"
+) -> "list[str]":
+    """RL005: per-scenario loops over the scalar executor."""
+
+    def waived(lineno: int) -> bool:
+        line = (source_lines[lineno - 1]
+                if 0 < lineno <= len(source_lines) else "")
+        return "RL005" in line
+
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        names = _names_in(node.target) | _names_in(node.iter)
+        if not any("scenario" in name.lower() for name in names):
+            continue
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in ("run_session", "run_plan")):
+                continue
+            if waived(node.lineno) or waived(call.lineno):
+                continue
+            problems.append(
+                f"{path}:{call.lineno}: RL005 per-scenario loop over "
+                f"the scalar executor (one batch dispatch via "
+                f"SessionExecutor.run_batch / repro.sim.batch runs the "
+                f"whole sweep; waive deliberate loops with RL005 on "
+                f"the line)"
+            )
+    return problems
+
+
 def lint_file(path: Path) -> "list[str]":
     try:
-        tree = ast.parse(path.read_text(), filename=str(path))
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
         return [f"{path}: RL000 unparseable: {error}"]
     problems = []
@@ -167,6 +214,9 @@ def lint_file(path: Path) -> "list[str]":
     if not is_test_path(path):
         problems += check_dict_pairs(path, tree)
     problems += check_schema_literals(path, tree)
+    if not is_test_path(path):
+        problems += check_scenario_loops(path, tree,
+                                         source.splitlines())
     return problems
 
 

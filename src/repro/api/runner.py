@@ -4,7 +4,10 @@ Experiment`.
 :func:`run_many` runs a batch of experiments, optionally fanned out
 over worker processes with :mod:`concurrent.futures`; result order
 always matches input order, so ``parallel=True`` and ``parallel=False``
-are interchangeable.  :func:`sweep_experiments` builds the standard
+are interchangeable.  Experiments that differ only in their injected
+faults -- a Monte-Carlo defect sweep over one design -- are detected
+up front and routed through a single vectorized simulator dispatch
+(:mod:`repro.sim.batch`) instead of one process per scenario.  :func:`sweep_experiments` builds the standard
 design-space grid (architectures x bus widths x schedulers) and
 :func:`run_sweep` is the one-call version benchmarks use.
 
@@ -27,7 +30,12 @@ from repro.errors import ConfigurationError
 from repro.api.architectures import WorkloadLike
 from repro.api.experiment import Experiment
 from repro.api.registry import get_architecture, get_scheduler
-from repro.api.results import RunConfig, RunResult
+from repro.api.results import (
+    SOURCE_SIMULATION,
+    RunConfig,
+    RunResult,
+    SessionDetail,
+)
 
 #: Progress callback: ``on_result(experiment, result, cached=..., elapsed=...)``
 #: invoked once per experiment as its result becomes available.
@@ -53,12 +61,168 @@ def _default_workers(count: int) -> int:
     return max(1, min(count, os.cpu_count() or 1))
 
 
+def _group_key(experiment: Experiment) -> Optional[str]:
+    """Canonical identity minus faults: the one-dispatch group key.
+
+    Experiments that agree on everything except ``inject_faults`` (and
+    the identity-excluded ``label``) are the same compiled simulation
+    with different scenario overlays, so they can share one batch
+    dispatch.  Returns ``None`` for experiments the batch kernel must
+    not take: a pinned scalar backend, a forbidden or unsupported
+    simulation, or a non-CAS-BUS architecture.
+    """
+    from repro.campaign.hashing import canonical_json, experiment_identity
+
+    config = experiment.config
+    if config.simulate is False or config.backend not in ("auto", "batch"):
+        return None
+    if get_architecture(config.architecture).key != "casbus":
+        return None
+    if experiment.workload.soc is None:
+        return None
+    if experiment.build()._simulation_blocker(config) is not None:
+        return None
+    identity = experiment_identity(experiment)
+    identity["config"].pop("inject_faults", None)
+    # ``verify`` is identity-neutral, but one batch shares one
+    # executor: keep differing verify settings in different groups.
+    identity["config"]["verify"] = bool(config.verify)
+    return canonical_json(identity)
+
+
+def _batch_partition(
+    batch: Sequence[Experiment],
+) -> tuple[list[list[int]], list[int]]:
+    """``(groups, rest)``: same-geometry index groups plus leftovers.
+
+    A group needs at least two members -- a lone simulatable
+    experiment gains nothing from the batch path and stays on the
+    pool, where it can run beside its siblings.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, item in enumerate(batch):
+        try:
+            key = _group_key(item)
+        except ConfigurationError:
+            key = None
+        if key is not None:
+            groups.setdefault(key, []).append(index)
+    grouped = [indices for indices in groups.values() if len(indices) >= 2]
+    batched = {index for indices in grouped for index in indices}
+    rest = [index for index in range(len(batch)) if index not in batched]
+    return grouped, rest
+
+
+def _run_batch_group(
+    items: Sequence[Experiment],
+) -> Optional[list[tuple[RunResult, float]]]:
+    """One simulator dispatch for a same-geometry fault sweep.
+
+    Every item shares its workload, architecture, scheduler and
+    backend -- only the injected faults (and labels) differ -- so the
+    CAS hardware, the executable plan and the compiled programs are
+    built once and the scenarios execute through
+    :meth:`repro.sim.session.SessionExecutor.run_batch`.  Returns one
+    ``(result, seconds)`` per item with the group's wall clock split
+    evenly, or ``None`` when the batch path is unavailable and the
+    items should run individually.
+    """
+    from repro.core.tam import CasBusTamDesign
+    from repro.sim.session import SessionExecutor
+    from repro.sim.system import build_system
+
+    leader = items[0]
+    config = leader.config
+    soc = leader.workload.soc
+    assert soc is not None
+    start = time.perf_counter()
+    try:
+        facade = CasBusTamDesign.for_soc(
+            soc,
+            policy="all" if config.cas_policy is None
+            else config.cas_policy,
+        )
+        plan = facade.executable_plan()
+        executor = SessionExecutor(
+            build_system(soc),
+            backend=config.backend,
+            capture_syndromes=config.capture_syndromes,
+            verify=config.verify,
+        )
+        programs = executor.run_batch(
+            plan, [item.config.inject_faults for item in items]
+        )
+    except (ImportError, ConfigurationError):
+        return None
+    elapsed = (time.perf_counter() - start) / len(items)
+    architecture = get_architecture(config.architecture).key
+    scheduler = get_scheduler(config.scheduler).name
+    executed: list[tuple[RunResult, float]] = []
+    for item, program in zip(items, programs):
+        sessions = tuple(
+            SessionDetail(
+                label=session.label,
+                config_cycles=session.config_cycles,
+                test_cycles=session.test_cycles,
+                cores=tuple(r.name for r in session.core_results),
+                passed=session.passed,
+            )
+            for session in program.sessions
+        )
+        executed.append((
+            RunResult(
+                architecture=architecture,
+                scheduler=scheduler,
+                workload=item.workload.name,
+                bus_width=soc.bus_width,
+                test_cycles=program.test_cycles,
+                config_cycles=program.config_cycles,
+                extra_pins=soc.bus_width,
+                area_ge=facade.total_cas_ge,
+                source=SOURCE_SIMULATION,
+                passed=program.passed,
+                sessions=sessions,
+                label=item.config.label,
+            ),
+            elapsed,
+        ))
+    return executed
+
+
 def _stream(
     batch: Sequence[Experiment],
     serial: bool,
     workers: int,
 ) -> Iterator[tuple[int, RunResult, float]]:
     """Yield ``(index, result, seconds)`` in *completion* order.
+
+    Same-geometry fault sweeps are peeled off first and executed one
+    group per simulator dispatch (see :func:`_run_batch_group`); the
+    leftovers run on the historical pool path below.
+    """
+    grouped, rest = _batch_partition(batch)
+    for indices in grouped:
+        executed = _run_batch_group([batch[index] for index in indices])
+        if executed is None:
+            rest.extend(indices)
+            continue
+        for index, (result, elapsed) in zip(indices, executed):
+            yield index, result, elapsed
+    if not rest:
+        return
+    rest.sort()
+    subset = [batch[index] for index in rest]
+    for position, result, elapsed in _stream_pool(
+            subset, serial or len(subset) == 1, workers):
+        yield rest[position], result, elapsed
+
+
+def _stream_pool(
+    batch: Sequence[Experiment],
+    serial: bool,
+    workers: int,
+) -> Iterator[tuple[int, RunResult, float]]:
+    """The per-experiment pool: one :meth:`Experiment.run` per item.
 
     Results are yielded the moment each run finishes -- not in input
     order -- so a store-aware caller can persist every completed run

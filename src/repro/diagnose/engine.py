@@ -44,6 +44,7 @@ from repro.soc.core import CoreSpec, TestMethod
 from repro.soc.soc import SocSpec
 from repro.core.tam import CasBusTamDesign
 from repro.schedule.model import CostModel, TamProblem
+from repro.sim.cache import BoundedCache
 from repro.sim.kernel import chain_capture, chain_geometries
 from repro.sim.plan import CoreAssignment, SessionPlan
 from repro.sim.session import CoreResult, SessionExecutor
@@ -57,7 +58,7 @@ CANDIDATE_CLOUD = "cloud"
 CANDIDATE_TAM_WIRE = "tam-wire"
 CANDIDATE_WRAPPER = "wrapper"
 
-#: Cap on cached fault dictionaries (FIFO, like the test-set cache).
+#: Cap on cached fault dictionaries (LRU, like the test-set cache).
 MAX_CACHED_DICTIONARIES = 256
 
 #: Exact-match score.
@@ -294,7 +295,9 @@ class DictionaryEntry:
     key: object
 
 
-_DICTIONARIES: "dict[CoreSpec, tuple[DictionaryEntry, ...]]" = {}
+_DICTIONARIES: "BoundedCache[CoreSpec, tuple[DictionaryEntry, ...]]" = (
+    BoundedCache(MAX_CACHED_DICTIONARIES)
+)
 
 
 def clear_dictionary_cache() -> None:
@@ -323,9 +326,7 @@ def fault_dictionary(spec: CoreSpec) -> "tuple[DictionaryEntry, ...]":
         raise ConfigurationError(
             f"{spec.name}: no fault dictionary for {spec.method}"
         )
-    while len(_DICTIONARIES) >= MAX_CACHED_DICTIONARIES:
-        _DICTIONARIES.pop(next(iter(_DICTIONARIES)))
-    _DICTIONARIES[spec] = entries
+    _DICTIONARIES.put(spec, entries)
     return entries
 
 
@@ -339,24 +340,49 @@ def _group(by_key: "dict[object, list]") -> "tuple[DictionaryEntry, ...]":
 
 
 def _scan_dictionary(spec: CoreSpec) -> "tuple[DictionaryEntry, ...]":
-    """Bit-parallel diff of every fault against the golden responses."""
+    """Pattern-parallel diff of every fault against the golden responses.
+
+    All faults run through the vectorized batch kernel in a handful of
+    array dispatches (:func:`repro.sim.batch.scan_fault_failing_sets`);
+    without numpy, the original word-at-a-time scalar loop computes the
+    identical sets.
+    """
     core = spec.build_scannable()
     patterns = test_set_for(spec).patterns
     if not patterns:
         return ()
+    fault_pairs = [
+        (fault.node, fault.stuck_value) for fault in core_fault_list(core)
+    ]
+    try:
+        from repro.sim.batch import scan_fault_failing_sets
+    except ImportError:
+        failing_sets = _scan_failing_sets_scalar(core, patterns, fault_pairs)
+    else:
+        failing_sets = scan_fault_failing_sets(spec, fault_pairs)
+    by_key: "dict[object, list]" = {}
+    for fault, failing in zip(fault_pairs, failing_sets):
+        if failing:
+            by_key.setdefault(frozenset(failing), []).append(fault)
+    return _group(by_key)
+
+
+def _scan_failing_sets_scalar(
+    core, patterns, fault_pairs
+) -> "list[set[tuple[int, int]]]":
+    """Per-fault failing ``(pattern, output)`` sets, one fault at a time."""
     batches = pack_patterns(core, patterns)
     goldens = [
         core.cloud.evaluate_words(batch.input_words, batch.mask)
         for batch in batches
     ]
-    by_key: "dict[object, list]" = {}
-    for fault in core_fault_list(core):
+    failing_sets: "list[set[tuple[int, int]]]" = []
+    for fault in fault_pairs:
         failing: "set[tuple[int, int]]" = set()
         base = 0
         for batch, golden in zip(batches, goldens):
             faulty = core.cloud.evaluate_words(
-                batch.input_words, batch.mask,
-                fault=(fault.node, fault.stuck_value),
+                batch.input_words, batch.mask, fault=fault,
             )
             for output, (good, bad) in enumerate(zip(golden, faulty)):
                 diff = (good ^ bad) & batch.mask
@@ -365,11 +391,8 @@ def _scan_dictionary(spec: CoreSpec) -> "tuple[DictionaryEntry, ...]":
                     failing.add((base + bit, output))
                     diff &= diff - 1
             base += batch.count
-        if failing:
-            by_key.setdefault(frozenset(failing), []).append(
-                (fault.node, fault.stuck_value)
-            )
-    return _group(by_key)
+        failing_sets.append(failing)
+    return failing_sets
 
 
 def _bist_dictionary(spec: CoreSpec) -> "tuple[DictionaryEntry, ...]":

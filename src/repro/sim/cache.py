@@ -1,0 +1,67 @@
+"""Keyed-and-bounded LRU cache shared by the process-wide caches.
+
+The simulation layer memoizes several pure-function-of-spec artifacts
+process-wide: ATPG test sets (:mod:`repro.sim.testsets`), compiled
+scan programs (:mod:`repro.sim.kernel`), fault dictionaries
+(:mod:`repro.diagnose.engine`) and batch scan programs
+(:mod:`repro.sim.batch`).  All of them used to evict FIFO -- fine for
+one-shot runs, wrong for thousand-scenario batch sweeps, where a hot
+spec inserted early is exactly the one that must *stay* cached.
+
+:class:`BoundedCache` is a plain LRU: a hit refreshes recency, an
+insert past ``capacity`` evicts the least recently used entry.  Not
+thread-safe by design -- the simulation layer is single-threaded per
+process and the campaign runner fans out over *processes*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class BoundedCache(Generic[K, V]):
+    """An LRU mapping holding at most ``capacity`` entries."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+
+    def get(self, key: K, default=None):
+        """The cached value (refreshing its recency), else ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/overwrite ``key``; evicts the LRU entry past capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BoundedCache({len(self._entries)}/{self.capacity} "
+                f"entries)")

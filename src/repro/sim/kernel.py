@@ -59,6 +59,7 @@ from repro.bist.lfsr import Lfsr
 from repro.bist.misr import Misr
 from repro.scan.atpg import TestSet
 from repro.soc.core import CoreSpec, TestMethod
+from repro.sim.cache import BoundedCache
 from repro.sim.config import configuration_targets, state_snapshot
 from repro.sim.nodes import BistNode, CasNode, ScanNode
 from repro.sim.plan import CoreAssignment, SessionPlan, TestPlan
@@ -161,11 +162,13 @@ class _ScanProgram:
     detail: str
 
 
-_SCAN_PROGRAMS: dict[CoreSpec, _ScanProgram] = {}
-
-#: FIFO-bounded like :data:`repro.sim.testsets.MAX_CACHED`, so sweeps
+#: LRU-bounded like :data:`repro.sim.testsets.MAX_CACHED`, so sweeps
 #: over generated workloads cannot grow memory monotonically.
 MAX_CACHED_PROGRAMS = 1024
+
+_SCAN_PROGRAMS: "BoundedCache[CoreSpec, _ScanProgram]" = BoundedCache(
+    MAX_CACHED_PROGRAMS
+)
 
 
 def _scan_program(spec: CoreSpec, wrapper: P1500Wrapper) -> _ScanProgram:
@@ -200,9 +203,7 @@ def _scan_program(spec: CoreSpec, wrapper: P1500Wrapper) -> _ScanProgram:
             f"coverage={test_set.fault_coverage:.2%}"
         ),
     )
-    while len(_SCAN_PROGRAMS) >= MAX_CACHED_PROGRAMS:
-        _SCAN_PROGRAMS.pop(next(iter(_SCAN_PROGRAMS)))
-    _SCAN_PROGRAMS[spec] = program
+    _SCAN_PROGRAMS.put(spec, program)
     return program
 
 

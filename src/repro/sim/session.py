@@ -25,6 +25,11 @@ Two interchangeable backends execute plans:
 * ``"kernel"`` -- the compiled engine of :mod:`repro.sim.kernel`:
   sessions are lowered once into bit-packed integer programs and run
   as whole shift bursts.  Much faster, bit-exact.
+* ``"batch"`` -- the compiled kernel with scan captures executed on
+  the vectorized array evaluator of :mod:`repro.sim.batch` (requires
+  numpy; silently degrades to ``"kernel"`` without it).  Bit-exact,
+  and the backend :meth:`SessionExecutor.run_batch` amortises over
+  whole scenario batches.
 * ``"legacy"`` -- the original object-stepping path below: every cycle
   routes the bus through every node object.  Required for per-cycle
   :class:`~repro.sim.trace.TraceRecorder` capture and for gate-level
@@ -37,7 +42,7 @@ The default ``backend="auto"`` picks the kernel whenever it applies
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro import values as lv
 from repro.diagnose.syndrome import (
@@ -62,7 +67,7 @@ from repro.wrapper.wir import Wir
 from repro.wrapper.wrapper import P1500Wrapper
 
 #: Accepted ``SessionExecutor(backend=...)`` values.
-BACKENDS = ("auto", "kernel", "legacy")
+BACKENDS = ("auto", "kernel", "batch", "legacy")
 
 
 @dataclass
@@ -202,7 +207,7 @@ class SessionExecutor:
 
         if self.backend == "legacy":
             return False
-        if self.backend == "kernel":
+        if self.backend in ("kernel", "batch"):
             if self.trace is not None:
                 raise ConfigurationError(
                     "the kernel backend runs whole shift bursts and "
@@ -220,8 +225,16 @@ class SessionExecutor:
     def _kernel_executor(self):
         from repro.sim.kernel import KernelExecutor
 
+        executor_class = KernelExecutor
+        if self.backend == "batch":
+            try:
+                from repro.sim.batch import BatchKernelExecutor
+            except ImportError:
+                pass  # no numpy: the scalar kernel is bit-identical
+            else:
+                executor_class = BatchKernelExecutor
         if self._kernel is None:
-            self._kernel = KernelExecutor(
+            self._kernel = executor_class(
                 self.system, test_sets=self._test_sets,
                 capture_syndromes=self.capture_syndromes,
             )
@@ -244,6 +257,45 @@ class SessionExecutor:
                 self._run_session_legacy(session, label=label)
             )
         return program
+
+    def run_batch(self, plan: TestPlan, scenarios) -> "list[ProgramResult]":
+        """Run ``plan`` against N independent scenario instances.
+
+        Each scenario is ``None`` (clean), an ``inject_faults``-style
+        mapping, or a :class:`~repro.diagnose.inject.DefectScenario`.
+        Fresh-instance semantics: element ``i`` is byte-identical to
+        running the plan on a brand-new system built with scenario
+        ``i`` applied -- this executor's own live system is never
+        touched.
+
+        Same-geometry scenarios execute through the vectorized batch
+        kernel (:mod:`repro.sim.batch`) in one dispatch per shift
+        window; scenarios the kernel cannot express (transport
+        defects), ``backend="legacy"``, or a missing numpy fall back
+        to per-scenario scalar runs transparently.
+        """
+        scenarios = list(scenarios)
+        if self.backend != "legacy" and self.trace is None:
+            try:
+                from repro.sim.batch import BatchExecutor
+            except ImportError:
+                pass  # no numpy: per-scenario scalar runs below
+            else:
+                return BatchExecutor(
+                    self.system.soc,
+                    capture_syndromes=self.capture_syndromes,
+                    verify=self.verify,
+                ).run_batch(plan, scenarios)
+        results = []
+        for scenario in scenarios:  # RL005: this IS the scalar fallback
+            executor = SessionExecutor(
+                _scenario_system(self.system.soc, scenario),
+                backend=self.backend,
+                capture_syndromes=self.capture_syndromes,
+                verify=self.verify,
+            )
+            results.append(executor.run_plan(plan))
+        return results
 
     def run_session(
         self,
@@ -612,6 +664,24 @@ class SessionExecutor:
 
 def _to_bit(value: int) -> int:
     return 1 if value == lv.ONE else 0
+
+
+def _scenario_system(soc, scenario):
+    """A fresh system with one :meth:`SessionExecutor.run_batch`
+    scenario applied (numpy-free twin of the batch module's helper)."""
+    from repro.diagnose.inject import DefectScenario, build_faulty_system
+    from repro.sim.system import build_system
+
+    if scenario is None:
+        return build_system(soc)
+    if isinstance(scenario, DefectScenario):
+        return build_faulty_system(soc, scenario)
+    if isinstance(scenario, Mapping):
+        return build_system(soc, inject_faults=dict(scenario))
+    raise ConfigurationError(
+        f"cannot interpret scenario {scenario!r}; expected None, a "
+        f"fault mapping, or a DefectScenario"
+    )
 
 
 class _TerminalDriver:

@@ -10,14 +10,15 @@ sets per executor instance, which dominated repeated simulation runs.
 from __future__ import annotations
 
 from repro.scan.atpg import TestSet, generate_test_set
+from repro.sim.cache import BoundedCache
 from repro.soc.core import CoreSpec
 
-_CACHE: dict[CoreSpec, TestSet] = {}
-
-#: Oldest entries are evicted past this size, so sweeps over unbounded
-#: generated workloads (``random_soc`` et al.) cannot grow memory
-#: monotonically.
+#: Least-recently-used entries are evicted past this size, so sweeps
+#: over unbounded generated workloads (``random_soc`` et al.) cannot
+#: grow memory monotonically while hot specs stay cached.
 MAX_CACHED = 1024
+
+_CACHE: "BoundedCache[CoreSpec, TestSet]" = BoundedCache(MAX_CACHED)
 
 
 def test_set_for(spec: CoreSpec) -> TestSet:
@@ -37,9 +38,7 @@ def test_set_for(spec: CoreSpec) -> TestSet:
         max_patterns=spec.atpg_max_patterns,
         deterministic_topup=spec.atpg_deterministic,
     )
-    while len(_CACHE) >= MAX_CACHED:
-        _CACHE.pop(next(iter(_CACHE)))
-    _CACHE[spec] = test_set
+    _CACHE.put(spec, test_set)
     return test_set
 
 

@@ -10,7 +10,8 @@ Entry points:
 
 * :func:`verify_schedule` / :func:`verify_preemptive` /
   :func:`verify_static_plan` / :func:`verify_outcome` -- schedule IR;
-* :func:`verify_scan_program` / :func:`verify_configuration_targets` /
+* :func:`verify_scan_program` / :func:`verify_batch_program` /
+  :func:`verify_configuration_targets` /
   :func:`verify_session_programs` -- compiled programs;
 * :func:`verify_system` / :func:`verify_scenario` -- TAM designs;
 * :func:`verify_record` / :func:`verify_store` -- campaign stores.
@@ -40,6 +41,7 @@ from repro.verify.schedules import (
     verify_static_plan,
 )
 from repro.verify.programs import (
+    verify_batch_program,
     verify_configuration_targets,
     verify_scan_program,
     verify_session_programs,
@@ -62,6 +64,7 @@ __all__ = [
     "Rule",
     "TRANSPORT_KINDS",
     "VerifyReport",
+    "verify_batch_program",
     "verify_configuration_targets",
     "verify_outcome",
     "verify_preemptive",

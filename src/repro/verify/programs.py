@@ -12,6 +12,8 @@ Rules::
     PRG003  program window/cycle accounting inconsistent
     PRG004  configuration load references an unknown register
     PRG005  configuration load carries an invalid instruction code
+    PRG006  batch golden responses disagree with the scalar program
+    PRG007  batch program shape/mask/column accounting inconsistent
 """
 
 from __future__ import annotations
@@ -35,6 +37,10 @@ PRG004 = rule("PRG004", SEVERITY_ERROR,
               "configuration load references an unknown register")
 PRG005 = rule("PRG005", SEVERITY_ERROR,
               "configuration load carries an invalid instruction code")
+PRG006 = rule("PRG006", SEVERITY_ERROR,
+              "batch golden responses disagree with the scalar program")
+PRG007 = rule("PRG007", SEVERITY_ERROR,
+              "batch program shape/mask/column accounting inconsistent")
 
 
 def _check_partition(
@@ -138,6 +144,115 @@ def verify_scan_program(
                     f"expected bits set outside the care mask "
                     f"(want={want:#x}, care={care:#x})",
                     hint="don't-care positions must expect nothing",
+                )
+    return report
+
+
+def verify_batch_program(
+    program,
+    spec: CoreSpec,
+    *,
+    report: Optional[VerifyReport] = None,
+    location: str = "",
+) -> VerifyReport:
+    """Check one lowered :class:`~repro.sim.batch.BatchScanProgram`.
+
+    PRG007 proves the array shapes, per-word care masks and output
+    scan coordinates are internally consistent; PRG006 proves the
+    packed golden responses agree bit-for-bit with the scalar
+    program's want/care words at every output position.  Works on
+    plain Python ints (``tolist``), so this module still imports
+    without numpy -- a batch program can only exist where
+    :mod:`repro.sim.batch` already loaded it.
+    """
+    if report is None:
+        report = VerifyReport()
+    report.checked += 1
+    loc = location or f"batch[{spec.name}]"
+    scalar = program.scalar
+    lengths = scalar.lengths
+    word_width = 64
+    words = (program.num_patterns + word_width - 1) // word_width
+    if program.words != words:
+        report.add(
+            PRG007, loc,
+            f"declared {program.words} words for {program.num_patterns} "
+            f"patterns (expected {words})",
+        )
+    if program.num_patterns != scalar.num_patterns:
+        report.add(
+            PRG007, loc,
+            f"batch holds {program.num_patterns} patterns but the "
+            f"scalar program {scalar.num_patterns}",
+        )
+    masks = [int(word) for word in program.masks.tolist()]
+    full = (1 << word_width) - 1
+    for index, mask in enumerate(masks):
+        used = min(
+            word_width,
+            program.num_patterns - index * word_width,
+        )
+        expected = ((1 << used) - 1) if used < word_width else full
+        if mask != expected:
+            report.add(
+                PRG007, f"{loc}/word[{index}]",
+                f"care mask {mask:#x} does not cover the {used} "
+                f"pattern bits of this word",
+            )
+    if program.inputs.shape != (program.cloud.num_inputs, len(masks)):
+        report.add(
+            PRG007, loc,
+            f"input array shaped {program.inputs.shape}, expected "
+            f"({program.cloud.num_inputs}, {len(masks)})",
+        )
+    outputs = len(program.cloud.outputs)
+    if program.golden.shape != (outputs, len(masks)):
+        report.add(
+            PRG007, loc,
+            f"golden array shaped {program.golden.shape}, expected "
+            f"({outputs}, {len(masks)})",
+        )
+    if len(program.out_chain) != outputs or len(program.out_offset) != outputs:
+        report.add(
+            PRG007, loc,
+            f"{len(program.out_chain)} chain / {len(program.out_offset)} "
+            f"offset coordinates for {outputs} outputs",
+        )
+        return report  # coordinates unusable: skip the golden check
+    for index, (chain, offset) in enumerate(
+            zip(program.out_chain, program.out_offset)):
+        if not 0 <= chain < len(lengths) or not 0 <= offset < (
+                lengths[chain] if 0 <= chain < len(lengths) else 0):
+            report.add(
+                PRG007, f"{loc}/output[{index}]",
+                f"scan coordinate (chain={chain}, offset={offset}) "
+                f"outside the geometry",
+            )
+            return report
+    golden = [
+        [int(word) for word in row] for row in program.golden.tolist()
+    ]
+    for output in range(outputs):
+        chain = program.out_chain[output]
+        offset = program.out_offset[output]
+        row = golden[output]
+        for pattern in range(program.num_patterns):
+            want, care = scalar.want_care[pattern][chain]
+            bit = (row[pattern // word_width]
+                   >> (pattern % word_width)) & 1
+            if not (care >> offset) & 1:
+                report.add(
+                    PRG006,
+                    f"{loc}/response[{pattern}]/output[{output}]",
+                    f"scalar program does not care about chain {chain} "
+                    f"offset {offset}, but the batch captures it",
+                )
+            elif (want >> offset) & 1 != bit:
+                report.add(
+                    PRG006,
+                    f"{loc}/response[{pattern}]/output[{output}]",
+                    f"golden bit {bit} contradicts the scalar expected "
+                    f"bit at chain {chain} offset {offset}",
                 )
     return report
 

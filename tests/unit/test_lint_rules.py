@@ -1,0 +1,90 @@
+"""The project lint's RL005 rule: no scalar per-scenario loops.
+
+RL005 exists because the batch kernel makes the obvious
+``for scenario in scenarios: executor.run_plan(...)`` loop an
+anti-pattern everywhere a batch path is available; the rule flags it
+in product modules while honouring explicit ``RL005`` waivers (the
+fallback loop inside ``run_batch`` itself, benchmark baselines).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "lint_repro.py"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("lint_repro", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _check(lint, source: str):
+    tree = ast.parse(source)
+    return lint.check_scenario_loops(
+        Path("src/example.py"), tree, source.splitlines()
+    )
+
+
+class TestRl005:
+    def test_flags_scenario_loop_over_run_plan(self, lint):
+        problems = _check(lint, (
+            "for scenario in scenarios:\n"
+            "    results.append(executor.run_plan(plan))\n"
+        ))
+        assert len(problems) == 1
+        assert "RL005" in problems[0]
+
+    def test_flags_run_session_too(self, lint):
+        problems = _check(lint, (
+            "for item in scenario_list:\n"
+            "    executor.run_session(session)\n"
+        ))
+        assert len(problems) == 1
+
+    def test_waiver_on_loop_line(self, lint):
+        assert _check(lint, (
+            "for scenario in scenarios:  # RL005: deliberate baseline\n"
+            "    executor.run_plan(plan)\n"
+        )) == []
+
+    def test_waiver_on_call_line(self, lint):
+        assert _check(lint, (
+            "for scenario in scenarios:\n"
+            "    executor.run_plan(plan)  # RL005 scalar fallback\n"
+        )) == []
+
+    def test_ignores_non_scenario_loops(self, lint):
+        assert _check(lint, (
+            "for session in plan.sessions:\n"
+            "    executor.run_session(session)\n"
+        )) == []
+
+    def test_ignores_scenario_loops_without_executor_calls(self, lint):
+        assert _check(lint, (
+            "for scenario in scenarios:\n"
+            "    overlays.append(normalise(scenario))\n"
+        )) == []
+
+    def test_tests_are_exempt(self, lint):
+        assert lint.is_test_path(Path("tests/unit/test_x.py"))
+        assert lint.is_test_path(Path("test_standalone.py"))
+        assert not lint.is_test_path(Path("src/repro/sim/batch.py"))
+
+    def test_whole_repo_is_clean(self, lint):
+        root = _SCRIPT.parents[1]
+        problems = []
+        for rel in ("src", "scripts", "examples", "benchmarks"):
+            tree = root / rel
+            if not tree.is_dir():
+                continue
+            for path in sorted(tree.rglob("*.py")):
+                problems.extend(lint.lint_file(path))
+        assert problems == [], problems

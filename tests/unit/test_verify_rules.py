@@ -45,6 +45,7 @@ from repro.verify import (
     SEVERITY_ERROR,
     SEVERITY_WARNING,
     VerifyReport,
+    verify_batch_program,
     verify_configuration_targets,
     verify_outcome,
     verify_preemptive,
@@ -353,6 +354,46 @@ def _mut_prg003():
     return verify_scan_program(broken, spec), f"program[{spec.name}]"
 
 
+def _batch_program():
+    np = pytest.importorskip("numpy")
+    from repro.sim.batch import batch_scan_program
+
+    system = build_system(small_soc())
+    node = _scan_node(system)
+    return np, batch_scan_program(node.spec, node.wrapper), node.spec
+
+
+def test_batch_programs_are_clean():
+    _, program, spec = _batch_program()
+    report = verify_batch_program(program, spec)
+    assert report.diagnostics == [], report.table()
+
+
+def _mut_prg006():
+    np, program, spec = _batch_program()
+    golden = program.golden.copy()
+    golden[0, 0] ^= np.uint64(1)  # flip pattern 0 of output 0
+    broken = dataclasses.replace(program, golden=golden)
+    return (
+        verify_batch_program(broken, spec),
+        "response[0]/output[0]",
+    )
+
+
+def _mut_prg007():
+    _, program, spec = _batch_program()
+    broken = dataclasses.replace(program, words=program.words + 1)
+    return verify_batch_program(broken, spec), f"batch[{spec.name}]"
+
+
+def _mut_prg007_mask():
+    np, program, spec = _batch_program()
+    masks = program.masks.copy()
+    masks[0] = np.uint64(1)
+    broken = dataclasses.replace(program, masks=masks)
+    return verify_batch_program(broken, spec), "word[0]"
+
+
 def _session_targets():
     soc = small_soc()
     system = build_system(soc)
@@ -500,6 +541,9 @@ MUTATIONS = [
     ("PRG003", _mut_prg003),
     ("PRG004", _mut_prg004),
     ("PRG005", _mut_prg005),
+    ("PRG006", _mut_prg006),
+    ("PRG007", _mut_prg007),
+    ("PRG007", _mut_prg007_mask),
     ("DES001", _mut_des001),
     ("DES002", _mut_des002),
     ("DES003", _mut_des003),
