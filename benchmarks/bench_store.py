@@ -1,0 +1,191 @@
+"""Store backend scaling: indexed SQLite versus the JSONL scan.
+
+The SQLite backend's contract is that the operations a campaign
+performs constantly -- resume-skip lookups, filtered reports, summary
+aggregation -- stop scaling with store size.  This benchmark populates
+both backends with the same 10^5-record corpus and measures the three
+operations head to head, gating the headline claim: a filtered report
+off the secondary indexes beats the JSONL full scan by at least
+``STORE_SPEEDUP_GATE`` (default 10x; CI overrides it looser because
+shared runners are noisy).
+
+Every measurement opens a *fresh* store handle: the JSONL backend
+caches parsed records per instance, and a cached scan would flatter
+exactly the cost this benchmark exists to expose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.api.results import SCHEMA_VERSION
+from repro.campaign import CampaignStore, SqliteStore
+
+from conftest import emit
+
+#: Corpus size; 10^5 records is the scale the tentpole claim is made at.
+RECORDS = int(os.environ.get("STORE_BENCH_RECORDS", "100000"))
+
+#: Distinct workloads the corpus spreads over (so a filtered report
+#: selects a 1/50 slice, the realistic "one workload of many" shape).
+WORKLOADS = 50
+
+#: Minimum indexed-report speedup over the JSONL scan.
+SPEEDUP_GATE = float(os.environ.get("STORE_SPEEDUP_GATE", "10"))
+
+#: Batch size of the append-throughput and resume-lookup measurements.
+BATCH = 1000
+
+
+def _record(index: int) -> dict:
+    workload = f"wl-{index % WORKLOADS:02d}"
+    return {
+        "schema": SCHEMA_VERSION,
+        "hash": hashlib.sha256(f"bench-{index}".encode()).hexdigest(),
+        "workload": {"kind": "cores", "name": workload},
+        "config": {"architecture": "casbus", "scheduler": "greedy"},
+        "result": {
+            "architecture": "casbus",
+            "area_ge": 1.0,
+            "bus_width": 8,
+            "config_cycles": 4,
+            "extra_pins": 8,
+            "label": "",
+            "passed": None,
+            "scheduler": "greedy",
+            "sessions": [],
+            "source": "model",
+            "test_cycles": index,
+            "workload": workload,
+        },
+        "elapsed_s": 0.001,
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """Both backends holding the same RECORDS-record corpus."""
+    root = tmp_path_factory.mktemp("store-bench")
+    records = [_record(index) for index in range(RECORDS)]
+    jsonl = CampaignStore(root / "corpus.jsonl")
+    jsonl.write_all(records)
+    sqlite = SqliteStore(root / "corpus.sqlite")
+    sqlite.write_all(records)
+    assert len(SqliteStore(sqlite.path)) == RECORDS
+    return root
+
+
+def _timed(operation, *args):
+    start = time.perf_counter()
+    result = operation(*args)
+    return result, time.perf_counter() - start
+
+
+def test_append_throughput(corpus, benchmark):
+    """Batch appends on both backends, records per second."""
+    fresh = [_record(RECORDS + index) for index in range(BATCH)]
+
+    counter = iter(range(10_000))
+
+    def sqlite_batch():
+        path = corpus / f"append-{next(counter)}.sqlite"
+        return SqliteStore(path).append_many(fresh)
+
+    stored = benchmark.pedantic(sqlite_batch, rounds=3, iterations=1)
+    assert stored == BATCH
+    _, sqlite_s = _timed(sqlite_batch)
+    _, jsonl_s = _timed(
+        lambda: CampaignStore(
+            corpus / f"append-{next(counter)}.jsonl"
+        ).append_many(fresh)
+    )
+    emit(format_table(
+        ("backend", "records/s"),
+        [
+            ("jsonl", f"{BATCH / jsonl_s:,.0f}"),
+            ("sqlite", f"{BATCH / sqlite_s:,.0f}"),
+        ],
+        title=f"append_many of {BATCH} records (one durability barrier)",
+    ))
+
+
+def test_indexed_report_speedup(corpus, benchmark):
+    """A one-workload filtered report: index lookup versus full scan.
+
+    This is the ``repro report --workload X`` path.  The SQLite side
+    reads only the ~RECORDS/WORKLOADS matching rows off the workload
+    index; the JSONL side has no choice but to parse everything.
+    """
+    expected = RECORDS // WORKLOADS
+
+    def sqlite_report():
+        store = SqliteStore(corpus / "corpus.sqlite")
+        return list(store.iter_latest(workload="wl-07"))
+
+    rows = benchmark.pedantic(sqlite_report, rounds=3, iterations=1)
+    assert len(rows) == expected
+    _, sqlite_s = _timed(sqlite_report)
+
+    def jsonl_report():
+        store = CampaignStore(corpus / "corpus.jsonl")
+        return list(store.iter_latest(workload="wl-07"))
+
+    scanned, jsonl_s = _timed(jsonl_report)
+    assert len(scanned) == expected
+    assert {r["hash"] for r in scanned} == {r["hash"] for r in rows}
+
+    def sqlite_summary():
+        return SqliteStore(corpus / "corpus.sqlite").aggregate_counts()
+
+    counts, summary_s = _timed(sqlite_summary)
+    assert sum(counts.values()) == RECORDS
+
+    speedup = jsonl_s / sqlite_s if sqlite_s else float("inf")
+    emit(format_table(
+        ("operation", "ms", "records touched"),
+        [
+            ("jsonl filtered report (scan)", f"{jsonl_s * 1e3:.1f}",
+             RECORDS),
+            ("sqlite filtered report (index)", f"{sqlite_s * 1e3:.1f}",
+             expected),
+            ("sqlite summary (aggregates)", f"{summary_s * 1e3:.2f}",
+             0),
+        ],
+        title=f"report over {RECORDS:,} records ({speedup:.1f}x)",
+    ))
+    assert jsonl_s >= SPEEDUP_GATE * sqlite_s, (
+        f"indexed report only {speedup:.1f}x faster than the scan "
+        f"(gate: {SPEEDUP_GATE}x over {RECORDS:,} records)"
+    )
+
+
+def test_resume_lookup_vs_scan(corpus, benchmark):
+    """The resume-skip primitive: O(batch) lookup versus O(store) scan."""
+    wanted = [_record(index)["hash"] for index in range(0, RECORDS,
+                                                       RECORDS // BATCH)]
+
+    def sqlite_lookup():
+        return SqliteStore(corpus / "corpus.sqlite").lookup(wanted)
+
+    found = benchmark.pedantic(sqlite_lookup, rounds=3, iterations=1)
+    assert len(found) == len(wanted)
+    _, sqlite_s = _timed(sqlite_lookup)
+    scanned, jsonl_s = _timed(
+        lambda: CampaignStore(corpus / "corpus.jsonl").lookup(wanted)
+    )
+    assert scanned.keys() == found.keys()
+    emit(format_table(
+        ("backend", "ms"),
+        [
+            ("jsonl (scan all records)", f"{jsonl_s * 1e3:.1f}"),
+            ("sqlite (indexed lookup)", f"{sqlite_s * 1e3:.2f}"),
+        ],
+        title=f"resume-skip lookup of {len(wanted)} hashes "
+              f"in {RECORDS:,} records",
+    ))
+    assert jsonl_s > sqlite_s, "indexed lookup should beat the full scan"

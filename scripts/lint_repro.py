@@ -42,7 +42,9 @@ DEFAULT_ROOTS = ("src", "scripts", "examples", "benchmarks")
 
 #: Modules whose payloads are hashed or persisted: the clock is banned.
 IDENTITY_MODULES = (
+    "src/repro/campaign/backend.py",
     "src/repro/campaign/hashing.py",
+    "src/repro/campaign/sqlite.py",
     "src/repro/campaign/store.py",
     "src/repro/diagnose/records.py",
     "src/repro/api/results.py",

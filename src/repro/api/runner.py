@@ -292,7 +292,9 @@ def run_many(
             default).  Falls back to threads, then serial, if the
             platform cannot spawn processes.
         max_workers: pool size; default ``min(len, cpu_count)``.
-        store: a :class:`~repro.campaign.store.CampaignStore`.  When
+        store: a :class:`~repro.campaign.backend.StoreBackend` (the
+            JSONL :class:`~repro.campaign.store.CampaignStore` or the
+            indexed :class:`~repro.campaign.sqlite.SqliteStore`).  When
             given, experiments whose config hash already has a stored
             result are *not executed* -- the stored result is returned
             in their place -- and every freshly executed result is
@@ -353,10 +355,12 @@ def _run_with_store(
     from repro.verify import verify_record
 
     hashes = [config_hash(item) for item in batch]
-    # Records stay serialized until a batch hash actually needs one:
-    # resuming a small shard against a large shared store must not
-    # reconstruct every RunResult it contains.
-    stored = {} if rerun else store.latest()
+    # Ask the store only about this batch's hashes: resuming a small
+    # shard against a large shared store must not load (let alone
+    # reconstruct) every record it contains.  On the indexed SQLite
+    # backend this is O(batch); on JSONL it is the one full scan the
+    # format always costs.
+    stored = {} if rerun else store.lookup(hashes)
     results: list[RunResult] = [None] * len(batch)  # type: ignore[list-item]
     pending: list[int] = []
     leaders: dict[str, int] = {}

@@ -5,7 +5,12 @@ explorations three properties the in-memory runner cannot:
 
 * **durability** -- every completed run appends one self-describing
   JSON record (config hash, schema version, config, result, timing)
-  to a :class:`CampaignStore` the moment it finishes;
+  to a store the moment it finishes; the default
+  :class:`CampaignStore` keeps records in a flat JSONL file, the
+  indexed :class:`SqliteStore` keeps the same contract
+  (:class:`StoreBackend`) behind secondary indexes and incrementally
+  maintained aggregates, and :func:`migrate_store` moves records
+  losslessly between them;
 * **resumability** -- re-running a campaign skips every config hash
   already stored, so an interrupted 10k-run sweep continues where it
   died and unchanged configs are free;
@@ -17,23 +22,30 @@ explorations three properties the in-memory runner cannot:
 
 The ``python -m repro`` command line (:mod:`repro.campaign.cli`)
 drives all of it headless: ``repro run``, ``repro sweep``,
-``repro report``, ``repro merge``.
+``repro report``, ``repro merge``, ``repro migrate``.
 """
 
+from repro.campaign.backend import StoreBackend, index_columns
 from repro.campaign.campaign import Campaign, CampaignReport
 from repro.campaign.hashing import (
     canonical_json,
     config_hash,
     experiment_identity,
     in_shard,
+    is_config_hash,
     parse_shard,
     shard_index,
 )
+from repro.campaign.sqlite import SqliteStore
 from repro.campaign.store import (
     DEFAULT_STORE_DIR,
     CampaignStore,
+    as_store,
     make_record,
     merge_stores,
+    migrate_store,
+    open_store,
+    store_for_campaign,
 )
 
 __all__ = [
@@ -41,12 +53,20 @@ __all__ = [
     "CampaignReport",
     "CampaignStore",
     "DEFAULT_STORE_DIR",
+    "SqliteStore",
+    "StoreBackend",
+    "as_store",
     "canonical_json",
     "config_hash",
     "experiment_identity",
     "in_shard",
+    "index_columns",
+    "is_config_hash",
     "make_record",
     "merge_stores",
+    "migrate_store",
+    "open_store",
     "parse_shard",
     "shard_index",
+    "store_for_campaign",
 ]

@@ -1,0 +1,293 @@
+"""The storage contract every campaign store backend satisfies.
+
+:class:`StoreBackend` is the abstract interface the campaign layer is
+written against: the runner resumes through :meth:`StoreBackend.lookup`,
+``repro report`` tabulates through :meth:`StoreBackend.latest` /
+:meth:`StoreBackend.iter_latest`, ``repro merge`` rewrites through
+:meth:`StoreBackend.write_all`.  Two implementations exist:
+
+* :class:`repro.campaign.store.CampaignStore` -- the historical
+  append-only JSONL file (greppable, diffable, ``cat``-mergeable);
+* :class:`repro.campaign.sqlite.SqliteStore` -- an indexed SQLite
+  database for million-run campaigns, where resume-skip checks and
+  filtered reports are index lookups instead of full scans.
+
+Every backend must preserve the invariants the campaign layer is built
+on, whatever its on-disk shape:
+
+* **append-only, last record wins** -- :meth:`append` never rewrites
+  history; duplicate hashes are resolved at read time in favour of the
+  most recently appended record, so deliberate re-runs supersede old
+  results without destroying the audit trail;
+* **deterministic merge** -- :func:`repro.campaign.store.merge_stores`
+  writes the deduplicated union sorted by hash through
+  :meth:`write_all`, so merging the same shards in any order yields
+  an identical store (bit-for-bit on JSONL);
+* **tolerant reads, healing appends** -- a store damaged by a killed
+  writer must still read (salvaging every intact record, counting the
+  damage in :attr:`skipped_lines`) and must accept appends afterwards.
+
+Records are classified for indexing and filtering through one shared
+helper, :func:`index_columns`, so a filtered report is the same result
+set whether it came from a SQLite index scan or a JSONL full scan.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.api.results import RunResult
+
+#: ``record["kind"]`` of a plain experiment-run record.  Historical
+#: records carry no ``kind`` key at all; readers treat absence as this.
+RUN_KIND = "run"
+
+#: The indexed identity axes, in column order.
+INDEX_FIELDS: "Tuple[str, ...]" = (
+    "kind",
+    "workload",
+    "architecture",
+    "scheduler",
+)
+
+#: One aggregate bucket: the values of :data:`INDEX_FIELDS`, in order.
+AggregateKey = Tuple[str, Optional[str], Optional[str], Optional[str]]
+
+
+def record_kind(record: Mapping) -> str:
+    """The record's kind tag (``"run"`` when untagged)."""
+    kind = record.get("kind")
+    return kind if isinstance(kind, str) and kind else RUN_KIND
+
+
+def index_columns(record: Mapping) -> "Dict[str, Optional[str]]":
+    """The indexed identity columns of one store record.
+
+    Both backends classify records through this helper -- SQLite at
+    append time (into real indexed columns), JSONL at scan time -- so
+    filtered reads agree across backends by construction.  Missing or
+    malformed fields index as ``None`` rather than raising: a store
+    must stay readable even when it holds records this library version
+    does not fully understand.
+    """
+    result = record.get("result")
+    result = result if isinstance(result, Mapping) else {}
+    config = record.get("config")
+    config = config if isinstance(config, Mapping) else {}
+
+    def field(key: str) -> "Optional[str]":
+        for source in (result, config):
+            value = source.get(key)
+            if isinstance(value, str) and value:
+                return value
+        return None
+
+    workload = field("workload")
+    if workload is None:
+        identity = record.get("workload")
+        name = identity.get("name") if isinstance(identity, Mapping) else None
+        workload = name if isinstance(name, str) and name else None
+    return {
+        "kind": record_kind(record),
+        "workload": workload,
+        "architecture": field("architecture"),
+        "scheduler": field("scheduler"),
+    }
+
+
+def aggregate_key(record: Mapping) -> AggregateKey:
+    """The aggregate bucket a record counts into."""
+    columns = index_columns(record)
+    return (
+        columns["kind"] or RUN_KIND,
+        columns["workload"],
+        columns["architecture"],
+        columns["scheduler"],
+    )
+
+
+def _matches(
+    record: Mapping,
+    filters: "Mapping[str, Optional[str]]",
+) -> bool:
+    """Whether a record satisfies every non-``None`` filter."""
+    columns = index_columns(record)
+    return all(
+        value is None or columns.get(key) == value
+        for key, value in filters.items()
+    )
+
+
+class StoreBackend(abc.ABC):
+    """One durable campaign result store, keyed by config hash.
+
+    Subclasses implement the physical layer -- :meth:`records`,
+    :meth:`append`, :meth:`write_all` -- and may override the derived
+    queries (:meth:`lookup`, :meth:`iter_latest`,
+    :meth:`aggregate_counts`, ...) with indexed implementations.  The
+    scan-based defaults here define the semantics every override must
+    reproduce exactly.
+    """
+
+    #: Canonical backend name (``"jsonl"``, ``"sqlite"``).
+    format: str = ""
+
+    path: Path
+
+    #: Damage skipped by the most recent scan: malformed JSONL lines,
+    #: unreadable SQLite rows, or 1 per unreadable database when the
+    #: row count is unknowable.  Non-zero almost always means a writer
+    #: was killed mid-append.
+    skipped_lines: int = 0
+
+    # -- physical layer ----------------------------------------------------
+
+    @abc.abstractmethod
+    def records(self) -> "List[dict]":
+        """Every well-formed record in append order, duplicates included.
+
+        Unreadable content is skipped and counted in
+        :attr:`skipped_lines`; a record stamped with a *newer* schema
+        than this library understands raises
+        :class:`~repro.errors.StoreError` instead of being misread.
+        """
+
+    @abc.abstractmethod
+    def append(self, record: Mapping, *, replace: bool = False) -> bool:
+        """Durably append one record; ``False`` if its hash is present.
+
+        The record must be on disk when this returns (fsync or
+        equivalent).  ``replace=True`` appends even when the hash
+        already exists (last record wins on read) -- deliberate
+        re-runs use this.
+        """
+
+    @abc.abstractmethod
+    def write_all(self, records: "Iterable[Mapping]") -> None:
+        """Atomically replace the store's contents with ``records``.
+
+        Order is preserved (it carries the last-wins semantics), and
+        the replacement must be all-or-nothing: a crash mid-write
+        leaves the old contents intact.
+        """
+
+    def append_many(
+        self,
+        records: "Iterable[Mapping]",
+        *,
+        replace: bool = False,
+    ) -> int:
+        """Append a batch; returns how many records were stored.
+
+        Semantically ``sum(append(r, replace=...) for r in records)``;
+        backends override this with one-transaction implementations.
+        """
+        count = 0
+        for record in records:
+            count += bool(self.append(record, replace=replace))
+        return count
+
+    # -- derived queries (override with indexed versions) ------------------
+
+    def latest(self) -> "Dict[str, dict]":
+        """Config hash -> record, last record winning."""
+        return {record["hash"]: record for record in self.records()}
+
+    def hashes(self) -> "Set[str]":
+        """Config hashes with a completed run on disk."""
+        return set(self.latest())
+
+    def lookup(self, hashes: "Iterable[str]") -> "Dict[str, dict]":
+        """The latest record of every listed hash present in the store.
+
+        This is the resume-skip primitive: the runner asks about the
+        batch it is about to execute, nothing more, so an indexed
+        backend answers in O(batch) however large the store is.
+        """
+        wanted = set(hashes)
+        return {
+            config_hash: record
+            for config_hash, record in self.latest().items()
+            if config_hash in wanted
+        }
+
+    def iter_latest(
+        self,
+        *,
+        kind: "Optional[str]" = None,
+        workload: "Optional[str]" = None,
+        architecture: "Optional[str]" = None,
+        scheduler: "Optional[str]" = None,
+    ) -> "Iterator[dict]":
+        """Latest-wins records matching every given filter.
+
+        Filters compare against :func:`index_columns`; ``None`` means
+        "any".  Yield order is unspecified (reports sort by hash).
+        """
+        filters = {
+            "kind": kind,
+            "workload": workload,
+            "architecture": architecture,
+            "scheduler": scheduler,
+        }
+        for record in self.latest().values():
+            if _matches(record, filters):
+                yield record
+
+    def aggregate_counts(self) -> "Dict[AggregateKey, int]":
+        """Latest-wins record counts per aggregate bucket.
+
+        Scan-based here; the SQLite backend answers from aggregates
+        maintained transactionally on append, making campaign-level
+        summaries O(buckets) instead of O(store).
+        """
+        return self.scan_aggregate_counts()
+
+    def scan_aggregate_counts(self) -> "Dict[AggregateKey, int]":
+        """Aggregate counts recomputed from the records themselves.
+
+        The reference implementation :meth:`aggregate_counts` must
+        agree with -- ``repro verify`` checks exactly that (REC009) on
+        backends that maintain materialized aggregates.
+        """
+        counts: "Counter[AggregateKey]" = Counter(
+            aggregate_key(record) for record in self.latest().values()
+        )
+        return dict(counts)
+
+    def results(self) -> "Dict[str, RunResult]":
+        """Config hash -> reconstructed :class:`RunResult`."""
+        return {
+            config_hash: RunResult.from_dict(record["result"])
+            for config_hash, record in self.latest().items()
+        }
+
+    def compact(self) -> None:
+        """Drop superseded duplicates, rewriting sorted by hash.
+
+        After compaction the store holds exactly its :meth:`latest`
+        set in hash order -- the same canonical layout
+        :func:`~repro.campaign.store.merge_stores` produces, so
+        compacting equal stores yields equal stores.
+        """
+        latest = self.latest()
+        self.write_all(latest[config_hash] for config_hash in sorted(latest))
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The campaign name (file stem)."""
+        return self.path.stem
+
+    def __len__(self) -> int:
+        return len(self.latest())
+
+    def __contains__(self, config_hash: str) -> bool:
+        return bool(self.lookup([config_hash]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({str(self.path)!r})"

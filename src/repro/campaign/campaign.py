@@ -34,8 +34,9 @@ from repro.errors import ConfigurationError
 from repro.api.experiment import Experiment
 from repro.api.results import RunConfig, RunResult
 from repro.api.runner import run_many, sweep_experiments
+from repro.campaign.backend import StoreBackend
 from repro.campaign.hashing import config_hash, in_shard, validate_shard
-from repro.campaign.store import CampaignStore
+from repro.campaign.store import store_for_campaign
 
 
 @dataclass
@@ -78,8 +79,9 @@ class Campaign:
         name: str,
         experiments: Iterable[Experiment],
         *,
-        store: "CampaignStore | None" = None,
+        store: "StoreBackend | None" = None,
         store_dir=None,
+        backend: str = "jsonl",
     ) -> None:
         self.name = name
         self.experiments = list(experiments)
@@ -91,7 +93,7 @@ class Campaign:
                 )
                 raise ConfigurationError(message)
         if store is None:
-            store = CampaignStore.for_campaign(name, store_dir)
+            store = store_for_campaign(name, store_dir, backend=backend)
         self.store = store
 
     @classmethod
@@ -104,14 +106,17 @@ class Campaign:
         bus_widths: "Sequence[int | None]" = (None,),
         schedulers: Sequence[str] = ("greedy",),
         base_config: "RunConfig | None" = None,
-        store: "CampaignStore | None" = None,
+        store: "StoreBackend | None" = None,
         store_dir=None,
+        backend: str = "jsonl",
     ) -> "Campaign":
         """A campaign over the standard design-space grid.
 
         The grid is workloads (outer) x architectures x bus widths x
         schedulers (inner), exactly as
-        :func:`repro.api.runner.run_matrix` builds it.
+        :func:`repro.api.runner.run_matrix` builds it.  ``backend``
+        picks the store format for the default named store
+        (``"jsonl"`` or ``"sqlite"``); an explicit ``store`` wins.
         """
         if isinstance(workloads, str):
             workloads = [workloads]
@@ -126,20 +131,28 @@ class Campaign:
                     base_config=base_config,
                 )
             )
-        return cls(name, experiments, store=store, store_dir=store_dir)
+        return cls(
+            name,
+            experiments,
+            store=store,
+            store_dir=store_dir,
+            backend=backend,
+        )
 
     def hashes(self) -> "list[str]":
         """Config hash per experiment, in grid order."""
         return [config_hash(item) for item in self.experiments]
 
     def pending(self, shard: "tuple[int, int] | None" = None) -> int:
-        """How many selected runs have no stored result yet."""
-        stored = self.store.hashes()
-        return sum(
-            1
-            for item_hash in self.selected_hashes(shard)
-            if item_hash not in stored
-        )
+        """How many selected runs have no stored result yet.
+
+        Asks the store only about this campaign's own hashes
+        (:meth:`~repro.campaign.backend.StoreBackend.lookup`), so the
+        answer is O(campaign) even against a million-run shared store.
+        """
+        selected = self.selected_hashes(shard)
+        stored = self.store.lookup(selected)
+        return sum(1 for item_hash in selected if item_hash not in stored)
 
     def selected_hashes(
         self,

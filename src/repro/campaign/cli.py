@@ -13,8 +13,13 @@ Six verbs drive campaigns headless:
   localisation-accuracy and diagnosis-cycles table and resumes from a
   store like ``sweep`` does;
 * ``repro report`` -- tabulate one or more stores (run records and
-  diagnosis records each get their own table);
+  diagnosis records each get their own table); ``--workload`` /
+  ``--architecture`` / ``--scheduler`` filter through the store's
+  indexes, and ``--summary`` prints the per-bucket aggregate counts
+  without loading a single record;
 * ``repro merge`` -- combine shard stores into one canonical store;
+* ``repro migrate`` -- copy a store into another backend (JSONL <->
+  SQLite), losslessly and in full append order;
 * ``repro verify`` -- statically audit stores against the
   :mod:`repro.verify` rule set, printing a diagnostics table and
   exiting non-zero when any record violates its serialization
@@ -24,8 +29,11 @@ Plus ``repro list`` to discover registered architectures, schedulers
 and workloads (``--architectures``/``--schedulers``/``--workloads``
 print name, aliases and a one-line description).  Tables print sorted
 by config hash, so the report of merged shard stores is byte-identical
-to the report of the equivalent unsharded run -- CI asserts exactly
-that.
+to the report of the equivalent unsharded run -- and identical across
+store backends (JSONL or SQLite, picked per path by
+:func:`repro.campaign.store.open_store`; ``repro sweep
+--store-format sqlite`` selects the indexed backend for named
+stores).  CI asserts exactly that, on both backends.
 
 Seeded workloads: ``--seed N`` with the pseudo-workloads
 ``random-soc`` / ``random-cores`` builds
@@ -54,7 +62,7 @@ from repro.api.results import RESULT_HEADERS, RunConfig
 from repro.api.workloads import WORKLOADS, get_workload, list_workloads
 from repro.campaign.campaign import Campaign
 from repro.campaign.hashing import parse_shard
-from repro.campaign.store import as_store, merge_stores
+from repro.campaign.store import as_store, merge_stores, migrate_store
 
 #: Leading hash characters shown in tables.
 HASH_PREFIX = 10
@@ -191,6 +199,7 @@ def cmd_sweep(args) -> int:
         base_config=RunConfig(backend=args.backend, verify=not args.no_verify),
         store=store,
         store_dir=args.store_dir,
+        backend=args.store_format,
     )
     shard = parse_shard(args.shard) if args.shard else None
     report = campaign.run(
@@ -245,14 +254,59 @@ def _diagnosis_table(pairs) -> str:
     return format_table(DIAGNOSIS_HEADERS, rows)
 
 
+#: Column order of the ``repro report --summary`` aggregate table.
+SUMMARY_HEADERS = ("kind", "workload", "architecture", "scheduler", "runs")
+
+
+def _report_summary(stores) -> int:
+    """The aggregate table: no record is loaded, let alone parsed.
+
+    On the SQLite backend this reads the transactionally maintained
+    ``aggregates`` table -- O(buckets) however many records the
+    campaign holds; on JSONL it falls back to the one scan the format
+    always costs.
+    """
+    totals: "dict[tuple, int]" = {}
+    for store in stores:
+        for bucket, count in store.aggregate_counts().items():
+            totals[bucket] = totals.get(bucket, 0) + count
+    rows = [
+        [part if part is not None else "-" for part in bucket]
+        + [totals[bucket]]
+        for bucket in sorted(
+            totals, key=lambda key: tuple(part or "" for part in key)
+        )
+    ]
+    print(format_table(SUMMARY_HEADERS, rows))
+    print(f"{sum(totals.values())} record(s) from {len(stores)} store(s)")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.diagnose.records import is_diagnosis_record
 
+    stores = [as_store(source) for source in args.stores]
+    if args.summary:
+        return _report_summary(stores)
+    filtered = any(
+        value is not None
+        for value in (args.workload, args.architecture, args.scheduler)
+    )
+    # One load per store, shared by every rendering below (the JSON
+    # dump, the run table, the diagnosis table and the trailing
+    # counts): records are read and parsed exactly once per report.
     merged = {}
     skipped = 0
-    for source in args.stores:
-        store = as_store(source)
-        merged.update(store.latest())
+    for store in stores:
+        if filtered:
+            for record in store.iter_latest(
+                workload=args.workload,
+                architecture=args.architecture,
+                scheduler=args.scheduler,
+            ):
+                merged[record["hash"]] = record
+        else:
+            merged.update(store.latest())
         skipped += store.skipped_lines
     if skipped:
         print(f"warning: skipped {skipped} malformed line(s)", file=sys.stderr)
@@ -317,15 +371,22 @@ def cmd_diagnose(args) -> int:
     if not seeds:
         raise ConfigurationError("--scenarios selected no seeds")
     store = as_store(args.store) if args.store else None
-    stored = store.latest() if store else {}
+    scenarios = [
+        (random_scenario(soc, scenario_seed), scenario_seed)
+        for scenario_seed in seeds
+    ]
+    hashes = [
+        diagnosis_hash(experiment, scenario) for scenario, _ in scenarios
+    ]
+    # Ask the store only about this sweep's own hashes: an indexed
+    # lookup on SQLite, one scan on JSONL -- never a full latest().
+    stored = store.lookup(hashes) if store else {}
     pairs = []
     localized = 0
     in_top5 = 0
     diagnosis_total = 0
     full_total = 0
-    for scenario_seed in seeds:
-        scenario = random_scenario(soc, scenario_seed)
-        record_hash = diagnosis_hash(experiment, scenario)
+    for (scenario, scenario_seed), record_hash in zip(scenarios, hashes):
         record = stored.get(record_hash)
         if record is not None and is_diagnosis_record(record) and not args.rerun:
             result = result_from_record(record)
@@ -340,6 +401,7 @@ def cmd_diagnose(args) -> int:
                         scenario,
                         result,
                         elapsed_s=elapsed,
+                        config_hash=record_hash,
                     ),
                     replace=args.rerun,
                 )
@@ -398,6 +460,15 @@ def cmd_merge(args) -> int:
     target = merge_stores(args.stores, args.out)
     count = len(target)
     print(f"merged {len(args.stores)} store(s) -> {target.path} ({count} runs)")
+    return 0
+
+
+def cmd_migrate(args) -> int:
+    target = migrate_store(args.store, args.out)
+    print(
+        f"migrated {args.store} -> {target.path} "
+        f"({len(target)} runs, {target.format})"
+    )
     return 0
 
 
@@ -613,6 +684,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for named stores (default artifacts/campaigns)",
     )
+    sweep.add_argument(
+        "--store-format",
+        choices=("jsonl", "sqlite"),
+        default="jsonl",
+        help="backend for the default named store (ignored with --store, "
+        "where the path's suffix decides)",
+    )
     sweep.add_argument("--shard", default=None, metavar="K/N")
     sweep.add_argument("--serial", action="store_true")
     sweep.add_argument("--max-workers", type=int, default=None)
@@ -697,6 +775,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = commands.add_parser("report", help="tabulate stores")
     report.add_argument("stores", nargs="+")
+    report.add_argument(
+        "--workload",
+        default=None,
+        help="only records for this workload (indexed on sqlite stores)",
+    )
+    report.add_argument(
+        "--architecture",
+        default=None,
+        help="only records for this architecture",
+    )
+    report.add_argument(
+        "--scheduler",
+        default=None,
+        help="only records for this scheduler",
+    )
+    report.add_argument(
+        "--summary",
+        action="store_true",
+        help="per-bucket aggregate counts only, no record loading",
+    )
     report.add_argument("--json", action="store_true")
     report.set_defaults(func=cmd_report)
 
@@ -704,6 +802,19 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("stores", nargs="+")
     merge.add_argument("-o", "--out", required=True)
     merge.set_defaults(func=cmd_merge)
+
+    migrate = commands.add_parser(
+        "migrate",
+        help="copy a store into another backend (suffix of -o decides)",
+    )
+    migrate.add_argument("store", help="source store path")
+    migrate.add_argument(
+        "-o",
+        "--out",
+        required=True,
+        help="destination path (.jsonl or .sqlite/.sqlite3/.db)",
+    )
+    migrate.set_defaults(func=cmd_migrate)
 
     verify = commands.add_parser(
         "verify",

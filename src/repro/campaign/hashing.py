@@ -28,8 +28,25 @@ from __future__ import annotations
 
 import hashlib
 import json
+import string
 
 from repro.errors import ConfigurationError
+
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+
+def is_config_hash(text: object) -> bool:
+    """Whether ``text`` is a well-formed config hash (sha256 hex).
+
+    Store backends and the static verifier share this one predicate,
+    so "what counts as a hash" cannot drift between the layer that
+    writes records and the layer that audits them.
+    """
+    return (
+        isinstance(text, str)
+        and len(text) == 64
+        and set(text) <= _HEX_DIGITS
+    )
 
 #: Version of the hashed payload layout.  Bumping it invalidates every
 #: stored hash (old records simply stop matching), so bump only on

@@ -1,0 +1,600 @@
+"""Indexed SQLite campaign stores for million-run campaigns.
+
+:class:`SqliteStore` implements the
+:class:`~repro.campaign.backend.StoreBackend` contract on one SQLite
+database file.  Records land in an append-only ``records`` table keyed
+by config hash with secondary indexes on workload identity,
+architecture and scheduler, so the operations that are O(store) on a
+JSONL file become indexed lookups:
+
+* resume-skip checks (:meth:`SqliteStore.lookup`,
+  :meth:`SqliteStore.__contains__`) touch only the hashes asked about;
+* filtered reports (:meth:`SqliteStore.iter_latest`) read only the
+  matching rows;
+* campaign summaries (:meth:`SqliteStore.aggregate_counts`) read a
+  per-bucket ``aggregates`` table maintained *transactionally with
+  every append*, so summarising 10^6 records is O(buckets).
+
+Semantics match the JSONL backend exactly: append-only rows with
+last-record-wins dedup on read, deliberate re-runs via
+``append(..., replace=True)``, deterministic
+:meth:`SqliteStore.write_all` rebuilds for merge/compact/migrate, and
+crash tolerance -- a truncated or corrupt database file still reads
+(salvaging every reachable row, counting the damage in
+:attr:`~SqliteStore.skipped_lines`) and the next append heals it by
+rebuilding from the salvaged records, mirroring the JSONL
+heal-on-append discipline.  Concurrent appenders serialize through
+``BEGIN IMMEDIATE`` transactions with a generous busy timeout instead
+of corrupting each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from contextlib import closing
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.api.results import SCHEMA_VERSION
+from repro.campaign.backend import (
+    AggregateKey,
+    StoreBackend,
+    aggregate_key,
+    index_columns,
+)
+
+#: First bytes of every SQLite database file.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: Version of this backend's table layout, recorded in ``store_meta``.
+#: Bump on incompatible layout changes; newer layouts are refused
+#: rather than misread, exactly like newer record schemas.
+SQLITE_STORE_SCHEMA = 1
+
+#: How long a writer waits on a sibling's transaction before failing.
+_BUSY_TIMEOUT_MS = 30_000
+
+#: Hash batch size per ``IN (...)`` lookup query (SQLite caps bound
+#: parameters per statement; 400 stays far below every default).
+_LOOKUP_CHUNK = 400
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS records (
+    seq INTEGER PRIMARY KEY,
+    hash TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    workload TEXT,
+    architecture TEXT,
+    scheduler TEXT,
+    record TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS records_by_hash ON records(hash);
+CREATE INDEX IF NOT EXISTS records_by_workload ON records(workload);
+CREATE INDEX IF NOT EXISTS records_by_architecture
+    ON records(architecture);
+CREATE INDEX IF NOT EXISTS records_by_scheduler ON records(scheduler);
+CREATE TABLE IF NOT EXISTS aggregates (
+    kind TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    architecture TEXT NOT NULL,
+    scheduler TEXT NOT NULL,
+    runs INTEGER NOT NULL,
+    PRIMARY KEY (kind, workload, architecture, scheduler)
+);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: Aggregate rows cannot hold NULL primary-key parts (SQLite treats
+#: them as distinct); absent identity columns store as this sentinel.
+_NONE = ""
+
+
+def _canonical_line(record: Mapping) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _row_columns(
+    record: Mapping,
+) -> "Tuple[str, Optional[str], Optional[str], Optional[str]]":
+    columns = index_columns(record)
+    return (
+        columns["kind"] or "run",
+        columns["workload"],
+        columns["architecture"],
+        columns["scheduler"],
+    )
+
+
+def _is_corruption(error: sqlite3.Error) -> bool:
+    """Whether an error means "this file is damaged", not "busy".
+
+    ``OperationalError`` covers locking and missing tables -- states a
+    rebuild must never stomp on; everything else under
+    :class:`sqlite3.DatabaseError` (malformed image, not a database)
+    is damage the heal path may repair.
+    """
+    return isinstance(error, sqlite3.DatabaseError) and not isinstance(
+        error, sqlite3.OperationalError
+    )
+
+
+class SqliteStore(StoreBackend):
+    """One indexed SQLite result store, keyed by config hash."""
+
+    format = "sqlite"
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self.skipped_lines = 0
+
+    # -- connections -------------------------------------------------------
+
+    def _connect(self, path: "Optional[Path]" = None) -> sqlite3.Connection:
+        connection = sqlite3.connect(str(path or self.path), timeout=30.0)
+        connection.isolation_level = None  # explicit transactions only
+        connection.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        return connection
+
+    def _write_connection(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        connection = self._connect()
+        # Match the JSONL fsync discipline: a committed append must
+        # survive the process dying immediately afterwards.
+        connection.execute("PRAGMA synchronous=FULL")
+        self._ensure_schema(connection)
+        return connection
+
+    @staticmethod
+    def _ensure_schema(connection: sqlite3.Connection) -> None:
+        connection.executescript(_SCHEMA_SQL)
+        row = connection.execute(
+            "SELECT value FROM store_meta WHERE key='store_schema'"
+        ).fetchone()
+        if row is None:
+            connection.execute(
+                "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                ("store_schema", str(SQLITE_STORE_SCHEMA)),
+            )
+        elif int(row[0]) > SQLITE_STORE_SCHEMA:
+            raise StoreError(
+                f"store layout {row[0]} is newer than supported layout "
+                f"{SQLITE_STORE_SCHEMA}"
+            )
+
+    def _empty(self) -> bool:
+        try:
+            return self.path.stat().st_size == 0
+        except OSError:
+            return True
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> "List[dict]":
+        """Every well-formed record in append order, duplicates included.
+
+        Damage -- unreadable rows, or a database too broken to open --
+        is counted in :attr:`skipped_lines` and skipped, never raised;
+        whatever rows remain reachable are salvaged.  A record stamped
+        with a newer schema than this library understands still raises
+        :class:`~repro.errors.StoreError` rather than being misread.
+        """
+        self.skipped_lines = 0
+        if self._empty():
+            return []
+        rows, damaged = self._salvage_rows(
+            "SELECT record FROM records ORDER BY seq"
+        )
+        self.skipped_lines += damaged
+        out = []
+        for (text,) in rows:
+            record = self._parse(text)
+            if record is not None:
+                out.append(record)
+        return out
+
+    def _salvage_rows(
+        self, sql: str, params: "Tuple" = ()
+    ) -> "Tuple[List[tuple], int]":
+        """``(rows, damage)``: every row readable before the first error.
+
+        A truncated database typically loses its tail pages the way a
+        killed JSONL writer loses its tail line; rows on intact pages
+        still read.  Damage counts 1 per failure event -- the number
+        of rows lost is unknowable.
+        """
+        rows: "List[tuple]" = []
+        damaged = 0
+        try:
+            with closing(self._connect()) as connection:
+                cursor = connection.execute(sql, params)
+                while True:
+                    try:
+                        row = cursor.fetchone()
+                    except sqlite3.DatabaseError:
+                        damaged += 1
+                        break
+                    if row is None:
+                        break
+                    rows.append(row)
+        except sqlite3.DatabaseError:
+            damaged += 1
+        return rows, damaged
+
+    def _parse(self, text: object) -> "Optional[dict]":
+        """One stored row back into a record dict (``None`` = skip)."""
+        if not isinstance(text, str):
+            self.skipped_lines += 1
+            return None
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            self.skipped_lines += 1
+            return None
+        if not (
+            isinstance(record, dict)
+            and isinstance(record.get("schema"), int)
+            and isinstance(record.get("hash"), str)
+            and isinstance(record.get("result"), dict)
+        ):
+            self.skipped_lines += 1
+            return None
+        if record["schema"] > SCHEMA_VERSION:
+            raise StoreError(
+                f"{self.path}: record schema {record['schema']} is "
+                f"newer than supported schema {SCHEMA_VERSION}"
+            )
+        return record
+
+    def latest(self) -> "Dict[str, dict]":
+        """Config hash -> record, last record winning (one index scan)."""
+        self.skipped_lines = 0
+        if self._empty():
+            return {}
+        rows, damaged = self._salvage_rows(
+            "SELECT hash, MAX(seq), record FROM records GROUP BY hash "
+            "ORDER BY MAX(seq)"
+        )
+        self.skipped_lines += damaged
+        out = {}
+        for config_hash, _seq, text in rows:
+            record = self._parse(text)
+            if record is not None:
+                out[config_hash] = record
+        return out
+
+    def hashes(self) -> "Set[str]":
+        if self._empty():
+            return set()
+        try:
+            with closing(self._connect()) as connection:
+                rows = connection.execute(
+                    "SELECT DISTINCT hash FROM records"
+                ).fetchall()
+            return {row[0] for row in rows}
+        except sqlite3.DatabaseError:
+            return set(self.latest())
+
+    def lookup(self, hashes: "Iterable[str]") -> "Dict[str, dict]":
+        """Indexed resume-skip: O(batch) whatever the store size."""
+        wanted = list(dict.fromkeys(hashes))
+        if not wanted or self._empty():
+            return {}
+        out: "Dict[str, dict]" = {}
+        try:
+            with closing(self._connect()) as connection:
+                for start in range(0, len(wanted), _LOOKUP_CHUNK):
+                    chunk = wanted[start:start + _LOOKUP_CHUNK]
+                    marks = ",".join("?" * len(chunk))
+                    rows = connection.execute(
+                        f"SELECT hash, MAX(seq), record FROM records "
+                        f"WHERE hash IN ({marks}) GROUP BY hash",
+                        chunk,
+                    ).fetchall()
+                    for config_hash, _seq, text in rows:
+                        record = self._parse(text)
+                        if record is not None:
+                            out[config_hash] = record
+            return out
+        except sqlite3.DatabaseError as error:
+            if not _is_corruption(error):
+                raise
+            return StoreBackend.lookup(self, wanted)
+
+    def iter_latest(
+        self,
+        *,
+        kind: "Optional[str]" = None,
+        workload: "Optional[str]" = None,
+        architecture: "Optional[str]" = None,
+        scheduler: "Optional[str]" = None,
+    ) -> "Iterator[dict]":
+        """Filtered latest-wins records off the secondary indexes.
+
+        Identity columns are immutable per config hash (a replace
+        re-records the same experiment), so filtering rows before the
+        last-wins dedup selects exactly the records the scan-based
+        default selects.
+        """
+        clauses: "List[str]" = []
+        params: "List[str]" = []
+        for column, value in (
+            ("kind", kind),
+            ("workload", workload),
+            ("architecture", architecture),
+            ("scheduler", scheduler),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if self._empty():
+            return
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        try:
+            with closing(self._connect()) as connection:
+                rows = connection.execute(
+                    f"SELECT hash, MAX(seq), record FROM records{where} "
+                    f"GROUP BY hash ORDER BY MAX(seq)",
+                    params,
+                ).fetchall()
+        except sqlite3.DatabaseError as error:
+            if not _is_corruption(error):
+                raise
+            yield from StoreBackend.iter_latest(
+                self,
+                kind=kind,
+                workload=workload,
+                architecture=architecture,
+                scheduler=scheduler,
+            )
+            return
+        for _hash, _seq, text in rows:
+            record = self._parse(text)
+            if record is not None:
+                yield record
+
+    def aggregate_counts(self) -> "Dict[AggregateKey, int]":
+        """The transactionally maintained per-bucket counts, O(buckets)."""
+        try:
+            return self.stored_aggregate_counts()
+        except sqlite3.DatabaseError as error:
+            if not _is_corruption(error):
+                raise
+            return self.scan_aggregate_counts()
+
+    def stored_aggregate_counts(self) -> "Dict[AggregateKey, int]":
+        """The ``aggregates`` table as maintained, no recomputation.
+
+        ``repro verify`` compares this against
+        :meth:`~repro.campaign.backend.StoreBackend.scan_aggregate_counts`
+        (rule REC009) to prove the incremental maintenance never
+        drifted from the records themselves.
+        """
+        if self._empty():
+            return {}
+        with closing(self._connect()) as connection:
+            rows = connection.execute(
+                "SELECT kind, workload, architecture, scheduler, runs "
+                "FROM aggregates WHERE runs != 0"
+            ).fetchall()
+        return {
+            (
+                kind,
+                workload or None,
+                architecture or None,
+                scheduler or None,
+            ): runs
+            for kind, workload, architecture, scheduler, runs in rows
+        }
+
+    def __len__(self) -> int:
+        if self._empty():
+            return 0
+        try:
+            with closing(self._connect()) as connection:
+                row = connection.execute(
+                    "SELECT COUNT(DISTINCT hash) FROM records"
+                ).fetchone()
+            return int(row[0])
+        except sqlite3.DatabaseError:
+            return len(self.latest())
+
+    def __contains__(self, config_hash: str) -> bool:
+        if self._empty():
+            return False
+        try:
+            with closing(self._connect()) as connection:
+                row = connection.execute(
+                    "SELECT 1 FROM records WHERE hash = ? LIMIT 1",
+                    (config_hash,),
+                ).fetchone()
+            return row is not None
+        except sqlite3.DatabaseError:
+            return config_hash in self.latest()
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: Mapping, *, replace: bool = False) -> bool:
+        """Durably append one record inside one immediate transaction.
+
+        The row insert and its aggregate bump commit atomically; the
+        dedup check runs inside the write lock, so concurrent
+        appenders of the same hash store it exactly once.  A corrupt
+        database is healed first -- rebuilt from every salvageable
+        record -- and the append then lands in the healed store.
+        """
+        try:
+            return self._append_locked([record], replace=replace) == 1
+        except sqlite3.DatabaseError as error:
+            if not _is_corruption(error):
+                raise
+            self._heal()
+            return self._append_locked([record], replace=replace) == 1
+
+    def append_many(
+        self,
+        records: "Iterable[Mapping]",
+        *,
+        replace: bool = False,
+    ) -> int:
+        """Batch append: one transaction, one durability barrier."""
+        batch = list(records)
+        if not batch:
+            return 0
+        try:
+            return self._append_locked(batch, replace=replace)
+        except sqlite3.DatabaseError as error:
+            if not _is_corruption(error):
+                raise
+            self._heal()
+            return self._append_locked(batch, replace=replace)
+
+    def _append_locked(
+        self, batch: "List[Mapping]", *, replace: bool
+    ) -> int:
+        with closing(self._write_connection()) as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                stored = 0
+                for record in batch:
+                    stored += self._insert(connection, record, replace)
+                connection.execute("COMMIT")
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+        return stored
+
+    @staticmethod
+    def _insert(
+        connection: sqlite3.Connection,
+        record: Mapping,
+        replace: bool,
+    ) -> int:
+        config_hash = record["hash"]
+        previous = connection.execute(
+            "SELECT kind, workload, architecture, scheduler FROM records "
+            "WHERE hash = ? ORDER BY seq DESC LIMIT 1",
+            (config_hash,),
+        ).fetchone()
+        if previous is not None and not replace:
+            return 0
+        kind, workload, architecture, scheduler = _row_columns(record)
+        connection.execute(
+            "INSERT INTO records "
+            "(hash, kind, workload, architecture, scheduler, record) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                config_hash,
+                kind,
+                workload,
+                architecture,
+                scheduler,
+                _canonical_line(record),
+            ),
+        )
+        if previous is not None:
+            SqliteStore._bump(connection, tuple(previous), -1)
+        SqliteStore._bump(
+            connection, (kind, workload, architecture, scheduler), +1
+        )
+        return 1
+
+    @staticmethod
+    def _bump(
+        connection: sqlite3.Connection,
+        columns: "Tuple",
+        delta: int,
+    ) -> None:
+        kind, workload, architecture, scheduler = columns
+        connection.execute(
+            "INSERT INTO aggregates "
+            "(kind, workload, architecture, scheduler, runs) "
+            "VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT(kind, workload, architecture, scheduler) "
+            "DO UPDATE SET runs = runs + excluded.runs",
+            (
+                kind or _NONE,
+                workload or _NONE,
+                architecture or _NONE,
+                scheduler or _NONE,
+                delta,
+            ),
+        )
+        connection.execute("DELETE FROM aggregates WHERE runs = 0")
+
+    def write_all(self, records: "Iterable[Mapping]") -> None:
+        """Atomically replace the store with ``records``, re-indexed.
+
+        The replacement database is built beside the store and slid
+        into place with :func:`os.replace`, so a crash mid-rebuild
+        leaves the old store intact.  Rows insert in the given order
+        with sequence numbers 1..n and aggregates rebuild sorted, so
+        equal record sequences produce byte-identical databases --
+        the property :func:`~repro.campaign.store.merge_stores`
+        determinism rests on.
+        """
+        batch = [dict(record) for record in records]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = self.path.with_name(self.path.name + ".tmp")
+        if scratch.exists():
+            scratch.unlink()
+        with closing(self._connect(scratch)) as connection:
+            connection.execute("PRAGMA synchronous=FULL")
+            self._ensure_schema(connection)
+            connection.execute("BEGIN IMMEDIATE")
+            connection.executemany(
+                "INSERT INTO records "
+                "(hash, kind, workload, architecture, scheduler, record) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (record["hash"], *_row_columns(record),
+                     _canonical_line(record))
+                    for record in batch
+                ],
+            )
+            latest = {record["hash"]: record for record in batch}
+            counts: "Dict[AggregateKey, int]" = {}
+            for record in latest.values():
+                bucket = aggregate_key(record)
+                counts[bucket] = counts.get(bucket, 0) + 1
+            connection.executemany(
+                "INSERT INTO aggregates "
+                "(kind, workload, architecture, scheduler, runs) "
+                "VALUES (?, ?, ?, ?, ?)",
+                [
+                    (
+                        bucket[0] or _NONE,
+                        bucket[1] or _NONE,
+                        bucket[2] or _NONE,
+                        bucket[3] or _NONE,
+                        counts[bucket],
+                    )
+                    for bucket in sorted(
+                        counts, key=lambda key: tuple(part or "" for part in key)
+                    )
+                ],
+            )
+            connection.execute("COMMIT")
+        with open(scratch, "rb") as handle:
+            os.fsync(handle.fileno())
+        os.replace(scratch, self.path)
+        try:
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            pass
+        else:
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        self.skipped_lines = 0
+
+    def _heal(self) -> None:
+        """Rebuild a damaged database from its salvageable records."""
+        salvaged = self.records()
+        self.write_all(salvaged)

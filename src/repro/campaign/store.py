@@ -1,7 +1,8 @@
-"""Durable, append-only JSONL stores of completed campaign runs.
+"""Durable stores of completed campaign runs, JSONL by default.
 
-A store is one flat file -- ``artifacts/campaigns/<name>.jsonl`` by
-default -- holding one self-describing JSON record per completed run:
+The historical (and default) backend is one flat append-only JSONL
+file -- ``artifacts/campaigns/<name>.jsonl`` -- holding one
+self-describing JSON record per completed run:
 
 .. code-block:: json
 
@@ -15,6 +16,13 @@ the next read.  Reads deduplicate by config hash with *last record
 wins*, which makes deliberate re-runs supersede older results without
 any in-place rewriting.
 
+Large campaigns outgrow the full-file scan; the indexed SQLite backend
+(:class:`repro.campaign.sqlite.SqliteStore`) implements the same
+:class:`~repro.campaign.backend.StoreBackend` contract behind indexed
+lookups.  :func:`open_store` picks the backend from a path (suffix
+first, content sniff for unrecognized suffixes) and
+:func:`migrate_store` converts losslessly between them.
+
 Shard stores produced by independent workers merge with
 :func:`merge_stores`: records are combined, deduplicated by hash and
 written sorted by hash, so the merged file is byte-identical whatever
@@ -26,16 +34,23 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Mapping, Union
+from typing import Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, StoreError
 from repro.api.results import SCHEMA_VERSION, RunResult
+from repro.campaign.backend import StoreBackend
 
 #: Where named campaign stores live unless told otherwise.
 DEFAULT_STORE_DIR = Path("artifacts") / "campaigns"
 
 #: Anything accepted where a store is expected.
-StoreLike = Union["CampaignStore", str, Path]
+StoreLike = Union[StoreBackend, str, Path]
+
+#: Path suffixes that select the SQLite backend.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: Path suffix of the JSONL backend.
+JSONL_SUFFIX = ".jsonl"
 
 
 def make_record(
@@ -56,14 +71,29 @@ def make_record(
     }
 
 
-class CampaignStore:
-    """One JSONL result store, keyed by config hash.
+def _canonical_line(record: Mapping) -> str:
+    """One store line: deterministic compact JSON."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
-    The store is intentionally primitive: no index files, no locks, no
-    binary format.  A store is greppable, diffable, mergeable with
+
+def _validate_campaign_name(name: str) -> None:
+    if not name or name != Path(name).name or name.startswith("."):
+        message = f"campaign name must be a bare file stem, got {name!r}"
+        raise ConfigurationError(message)
+
+
+class CampaignStore(StoreBackend):
+    """The JSONL result store, keyed by config hash.
+
+    The format is intentionally primitive: no index files, no locks,
+    no binary layout.  A store is greppable, diffable, mergeable with
     ``cat`` in a pinch, and safe to append from exactly one writer at
-    a time (shards each own a separate file).
+    a time (shards each own a separate file).  Parsed records are
+    cached per instance and invalidated by file stat, so rendering
+    several tables from one store costs one read, not one per table.
     """
+
+    format = "jsonl"
 
     def __init__(self, path: "str | Path") -> None:
         self.path = Path(path)
@@ -71,6 +101,8 @@ class CampaignStore:
         #: Malformed lines skipped by the most recent scan (a non-zero
         #: value almost always means a writer was killed mid-append).
         self.skipped_lines = 0
+        # Parsed-record cache: (stat key, records, skipped count).
+        self._cache: "Optional[Tuple[Tuple[int, int], List[dict], int]]" = None
 
     @classmethod
     def for_campaign(
@@ -79,18 +111,18 @@ class CampaignStore:
         store_dir: "str | Path | None" = None,
     ) -> "CampaignStore":
         """The store for a named campaign (``<store_dir>/<name>.jsonl``)."""
-        if not name or name != Path(name).name or name.startswith("."):
-            message = f"campaign name must be a bare file stem, got {name!r}"
-            raise ConfigurationError(message)
+        _validate_campaign_name(name)
         root = Path(store_dir) if store_dir is not None else DEFAULT_STORE_DIR
-        return cls(root / f"{name}.jsonl")
-
-    @property
-    def name(self) -> str:
-        """The campaign name (file stem)."""
-        return self.path.stem
+        return cls(root / f"{name}{JSONL_SUFFIX}")
 
     # -- reading -----------------------------------------------------------
+
+    def _stat_key(self) -> "Optional[Tuple[int, int]]":
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        return stat.st_mtime_ns, stat.st_size
 
     def records(self) -> "list[dict]":
         """Well-formed records in file order (duplicates included).
@@ -100,9 +132,16 @@ class CampaignStore:
         than this library understands raises :class:`StoreError`
         instead of being misread.
         """
-        self.skipped_lines = 0
-        if not self.path.exists():
+        key = self._stat_key()
+        if key is None:
+            self.skipped_lines = 0
+            self._cache = None
             return []
+        if self._cache is not None and self._cache[0] == key:
+            _, cached, skipped = self._cache
+            self.skipped_lines = skipped
+            return list(cached)
+        self.skipped_lines = 0
         out = []
         for line in self.path.read_text(encoding="utf-8").splitlines():
             line = line.strip()
@@ -123,7 +162,8 @@ class CampaignStore:
                 )
                 raise StoreError(message)
             out.append(record)
-        return out
+        self._cache = (key, out, self.skipped_lines)
+        return list(out)
 
     @staticmethod
     def _well_formed(record) -> bool:
@@ -133,24 +173,6 @@ class CampaignStore:
             and isinstance(record.get("hash"), str)
             and isinstance(record.get("result"), dict)
         )
-
-    def latest(self) -> "dict[str, dict]":
-        """Config hash -> record, last record winning."""
-        return {record["hash"]: record for record in self.records()}
-
-    def hashes(self) -> "set[str]":
-        """Config hashes with a completed run on disk."""
-        return set(self.latest())
-
-    def results(self) -> "dict[str, RunResult]":
-        """Config hash -> reconstructed :class:`RunResult`."""
-        return {
-            config_hash: RunResult.from_dict(record["result"])
-            for config_hash, record in self.latest().items()
-        }
-
-    def __len__(self) -> int:
-        return len(self.latest())
 
     def __contains__(self, config_hash: str) -> bool:
         return config_hash in self._seen()
@@ -169,7 +191,10 @@ class CampaignStore:
         if not replace and config_hash in self._seen():
             return False
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        line = _canonical_line(record)
+        cache_was_current = (
+            self._cache is not None and self._cache[0] == self._stat_key()
+        )
         with open(self.path, "ab+") as handle:
             # A writer killed mid-append leaves a partial line with no
             # newline; start this record on a fresh line so it is not
@@ -183,16 +208,22 @@ class CampaignStore:
             handle.flush()
             os.fsync(handle.fileno())
         self._seen().add(config_hash)
+        if cache_was_current and self._cache is not None:
+            key = self._stat_key()
+            _, cached, skipped = self._cache
+            # Cache what a re-read would parse (JSON round-trip), not
+            # the caller's object, so cached and cold reads agree.
+            cached.append(json.loads(line))
+            self._cache = (key, cached, skipped) if key else None
+        else:
+            self._cache = None
         return True
 
     def write_all(self, records: Iterable[Mapping]) -> None:
         """Atomically replace the store's contents with ``records``."""
         records = list(records)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        lines = [
-            json.dumps(record, sort_keys=True, separators=(",", ":"))
-            for record in records
-        ]
+        lines = [_canonical_line(record) for record in records]
         text = "".join(line + "\n" for line in lines)
         scratch = self.path.with_suffix(".jsonl.tmp")
         with open(scratch, "w", encoding="utf-8") as handle:
@@ -212,6 +243,43 @@ class CampaignStore:
             finally:
                 os.close(dir_fd)
         self._known = {record["hash"] for record in records}
+        self._cache = None
+
+    def append_many(
+        self,
+        records: Iterable[Mapping],
+        *,
+        replace: bool = False,
+    ) -> int:
+        """Batch append with one open/fsync instead of one per record."""
+        fresh: "list[Mapping]" = []
+        seen = self._seen()
+        for record in records:
+            config_hash = record["hash"]
+            if not replace and (
+                config_hash in seen
+                or any(item["hash"] == config_hash for item in fresh)
+            ):
+                continue
+            fresh.append(record)
+        if not fresh:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = "".join(
+            _canonical_line(record) + "\n" for record in fresh
+        )
+        with open(self.path, "ab+") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(payload.encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        seen.update(record["hash"] for record in fresh)
+        self._cache = None
+        return len(fresh)
 
     def _seen(self) -> "set[str]":
         if self._known is None:
@@ -222,24 +290,71 @@ class CampaignStore:
         return f"CampaignStore({str(self.path)!r})"
 
 
-def as_store(source: StoreLike) -> CampaignStore:
-    """Coerce a path-or-store into a :class:`CampaignStore`."""
-    if isinstance(source, CampaignStore):
+def open_store(path: "str | Path") -> StoreBackend:
+    """The right backend for ``path``, chosen without opening a run.
+
+    Recognized suffixes decide outright (``.jsonl`` -> JSONL;
+    ``.sqlite`` / ``.sqlite3`` / ``.db`` -> SQLite) so a damaged file
+    still routes to the backend that knows how to salvage it.  For any
+    other suffix an existing file is sniffed by content (SQLite files
+    open with a fixed 16-byte magic); new paths default to JSONL.
+    """
+    from repro.campaign.sqlite import SQLITE_MAGIC, SqliteStore
+
+    resolved = Path(path)
+    suffix = resolved.suffix.lower()
+    if suffix in SQLITE_SUFFIXES:
+        return SqliteStore(resolved)
+    if suffix == JSONL_SUFFIX:
+        return CampaignStore(resolved)
+    try:
+        with open(resolved, "rb") as handle:
+            header = handle.read(len(SQLITE_MAGIC))
+    except OSError:
+        header = b""
+    if header == SQLITE_MAGIC:
+        return SqliteStore(resolved)
+    return CampaignStore(resolved)
+
+
+def store_for_campaign(
+    name: str,
+    store_dir: "str | Path | None" = None,
+    *,
+    backend: str = "jsonl",
+) -> StoreBackend:
+    """The store for a named campaign, in the requested backend."""
+    from repro.campaign.sqlite import SqliteStore
+
+    _validate_campaign_name(name)
+    root = Path(store_dir) if store_dir is not None else DEFAULT_STORE_DIR
+    if backend == "jsonl":
+        return CampaignStore(root / f"{name}{JSONL_SUFFIX}")
+    if backend == "sqlite":
+        return SqliteStore(root / f"{name}{SQLITE_SUFFIXES[0]}")
+    message = f"unknown store backend {backend!r} (jsonl, sqlite)"
+    raise ConfigurationError(message)
+
+
+def as_store(source: StoreLike) -> StoreBackend:
+    """Coerce a path-or-store into a :class:`StoreBackend`."""
+    if isinstance(source, StoreBackend):
         return source
-    return CampaignStore(source)
+    return open_store(source)
 
 
 def merge_stores(
     sources: Iterable[StoreLike],
     out: StoreLike,
-) -> CampaignStore:
+) -> StoreBackend:
     """Merge shard stores into ``out``, deduplicated by config hash.
 
     Later sources win on hash collisions (matching the in-file
     last-record-wins rule); the merged store is written sorted by hash,
     so merging the same shards in any order yields identical bytes.
-    Merging *onto* one of the sources is refused -- the atomic rewrite
-    would otherwise destroy an input mid-merge.
+    Sources and target may use different backends -- the target's path
+    picks its format.  Merging *onto* one of the sources is refused --
+    the atomic rewrite would otherwise destroy an input mid-merge.
     """
     target = as_store(out)
     merged: "dict[str, dict]" = {}
@@ -252,4 +367,23 @@ def merge_stores(
         for record in store.records():
             merged[record["hash"]] = record
     target.write_all(merged[h] for h in sorted(merged))
+    return target
+
+
+def migrate_store(source: StoreLike, out: StoreLike) -> StoreBackend:
+    """Copy ``source`` into ``out``, converting between backends.
+
+    The *full* record history migrates -- every append, superseded
+    duplicates included, in order -- so last-wins semantics, reports
+    and ``repro verify`` verdicts are identical before and after, and
+    a JSONL -> SQLite -> JSONL round trip reproduces the original file
+    byte-for-byte (for store-written files).  The target is rewritten
+    atomically; migrating a store onto itself is refused.
+    """
+    src = as_store(source)
+    target = as_store(out)
+    if src.path.resolve() == target.path.resolve():
+        message = f"migration target {target.path} is also the source"
+        raise StoreError(message)
+    target.write_all(src.records())
     return target

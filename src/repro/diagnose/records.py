@@ -49,12 +49,18 @@ def make_diagnosis_record(
     result: DiagnosisResult,
     *,
     elapsed_s: "float | None" = None,
+    config_hash: "str | None" = None,
 ) -> dict:
-    """The self-describing store record of one completed diagnosis."""
+    """The self-describing store record of one completed diagnosis.
+
+    ``config_hash`` lets callers that already computed
+    :func:`diagnosis_hash` (e.g. for a batched store lookup) pass it
+    in instead of paying the canonicalisation twice.
+    """
     return {
         "schema": SCHEMA_VERSION,
         "kind": RECORD_KIND,
-        "hash": diagnosis_hash(experiment, scenario),
+        "hash": config_hash or diagnosis_hash(experiment, scenario),
         "workload": experiment.workload.identity(),
         "config": experiment.config.to_dict(),
         "scenario": scenario.to_dict() if scenario else None,

@@ -15,11 +15,11 @@ Rules::
     REC006  record references an unknown architecture or scheduler
     REC007  store contains unparseable lines
     REC008  store holds no records (warning)
+    REC009  maintained aggregates disagree with the stored records
 """
 
 from __future__ import annotations
 
-import string
 from typing import Mapping, Optional
 
 from repro.errors import ReproError, StoreError
@@ -30,6 +30,7 @@ from repro.api.results import (
     RunConfig,
     RunResult,
 )
+from repro.campaign.hashing import is_config_hash
 from repro.verify.diagnostics import (
     SEVERITY_ERROR,
     SEVERITY_WARNING,
@@ -53,13 +54,8 @@ REC007 = rule("REC007", SEVERITY_ERROR,
               "store contains unparseable lines")
 REC008 = rule("REC008", SEVERITY_WARNING,
               "store holds no records")
-
-_HEX = set(string.hexdigits.lower())
-
-
-def _is_sha256_hex(text: object) -> bool:
-    return (isinstance(text, str) and len(text) == 64
-            and set(text) <= _HEX)
+REC009 = rule("REC009", SEVERITY_ERROR,
+              "maintained aggregates disagree with the stored records")
 
 
 def _check_run_result(
@@ -187,7 +183,7 @@ def verify_record(
                 REC001, location,
                 f"record has no {key!r} mapping",
             )
-    if not _is_sha256_hex(record.get("hash")):
+    if not is_config_hash(record.get("hash")):
         report.add(
             REC002, location,
             f"hash {record.get('hash')!r} is not a 64-digit sha256 "
@@ -245,4 +241,40 @@ def verify_store(
             record, report=report,
             location=f"{name}[{index}:{tag}]",
         )
+    _check_aggregates(store, report, name)
     return report
+
+
+def _check_aggregates(store, report: VerifyReport, name: str) -> None:
+    """REC009: incremental aggregates must equal a full rescan.
+
+    Only backends that maintain aggregates transactionally (SQLite's
+    ``aggregates`` table) expose ``stored_aggregate_counts``; scanning
+    backends have nothing that could drift, so the rule is vacuous for
+    them.
+    """
+    stored_counts = getattr(store, "stored_aggregate_counts", None)
+    if stored_counts is None:
+        return
+    maintained = stored_counts()
+    scanned = store.scan_aggregate_counts()
+    if maintained == scanned:
+        return
+    drifted = sorted(
+        set(maintained) | set(scanned),
+        key=lambda key: tuple(part or "" for part in key),
+    )
+    details = [
+        f"{key}: stored {maintained.get(key, 0)} != scanned "
+        f"{scanned.get(key, 0)}"
+        for key in drifted
+        if maintained.get(key, 0) != scanned.get(key, 0)
+    ]
+    report.add(
+        REC009, name,
+        f"{len(details)} aggregate bucket(s) drifted: "
+        + "; ".join(details[:3])
+        + ("; ..." if len(details) > 3 else ""),
+        hint="the aggregates table was modified outside append/merge; "
+        "compact() rebuilds it from the records",
+    )

@@ -305,6 +305,98 @@ class TestDiagnose:
         assert "--scenarios" in capsys.readouterr().err
 
 
+class TestStoreBackendsOnCli:
+    def test_sweep_store_format_sqlite(self, tmp_path, capsys):
+        assert main([
+            "sweep", "itc02-d695", "--campaign", "sq",
+            "--store-dir", str(tmp_path), "--store-format", "sqlite",
+            *SWEEP_ARGS, "--quiet",
+        ]) == 0
+        assert "4 executed, 0 cached" in capsys.readouterr().out
+        assert (tmp_path / "sq.sqlite").exists()
+        # Resumes against the indexed store exactly like JSONL.
+        assert main([
+            "sweep", "itc02-d695", "--campaign", "sq",
+            "--store-dir", str(tmp_path), "--store-format", "sqlite",
+            *SWEEP_ARGS, "--quiet",
+        ]) == 0
+        assert "0 executed, 4 cached" in capsys.readouterr().out
+
+    def test_report_identical_across_backends(self, tmp_path, capsys):
+        jsonl = tmp_path / "s.jsonl"
+        _sweep(jsonl)
+        capsys.readouterr()
+        assert main([
+            "migrate", str(jsonl), "-o", str(tmp_path / "s.sqlite"),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(jsonl)]) == 0
+        expected = capsys.readouterr().out
+        assert main(["report", str(tmp_path / "s.sqlite")]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_migrate_round_trip_verifies(self, tmp_path, capsys):
+        jsonl = tmp_path / "s.jsonl"
+        _sweep(jsonl)
+        capsys.readouterr()
+        sqlite_path = tmp_path / "m.sqlite"
+        assert main(["migrate", str(jsonl), "-o", str(sqlite_path)]) == 0
+        assert "8 runs" in capsys.readouterr().out
+        assert main(["verify", "--strict", str(sqlite_path)]) == 0
+        capsys.readouterr()
+        back = tmp_path / "back.jsonl"
+        assert main(["migrate", str(sqlite_path), "-o", str(back)]) == 0
+        assert back.read_bytes() == jsonl.read_bytes()
+
+    def test_migrate_onto_source_errors(self, tmp_path, capsys):
+        store = tmp_path / "s.jsonl"
+        _sweep(store)
+        capsys.readouterr()
+        assert main(["migrate", str(store), "-o", str(store)]) == 2
+        assert "source" in capsys.readouterr().err
+
+    def test_report_filters(self, tmp_path, capsys):
+        for suffix in (".jsonl", ".sqlite"):
+            store = tmp_path / f"f{suffix}"
+            _sweep(store)
+            capsys.readouterr()
+            assert main([
+                "report", str(store), "--architecture", "mux-bus",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "mux-bus" in out and "4 run(s)" in out
+            assert " casbus " not in out
+            assert main([
+                "report", str(store), "--workload", "no-such",
+            ]) == 0
+            assert "0 run(s)" in capsys.readouterr().out
+
+    def test_report_summary(self, tmp_path, capsys):
+        outputs = []
+        for suffix in (".jsonl", ".sqlite"):
+            store = tmp_path / f"sum{suffix}"
+            _sweep(store)
+            capsys.readouterr()
+            assert main(["report", str(store), "--summary"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        out = outputs[0]
+        assert "runs" in out and "itc02-d695" in out
+        assert "8 record(s) from 1 store(s)" in out
+
+    def test_diagnose_resumes_on_sqlite(self, tmp_path, capsys):
+        store = tmp_path / "diag.sqlite"
+        args = [
+            "diagnose", "small", "--scenarios", "0,1",
+            "--store", str(store),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "localisation accuracy 2/2" in first
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestModuleEntrypoint:
     def test_python_dash_m_repro(self, tmp_path):
         """`python -m repro` resolves to the campaign CLI."""

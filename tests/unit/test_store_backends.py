@@ -1,0 +1,436 @@
+"""The StoreBackend contract, proven on both backends at once.
+
+Every test in :class:`TestContract` runs against the JSONL and the
+SQLite backend through one parameterized fixture: the contract *is*
+the test, the backend is a detail.  The SQLite-only classes cover what
+JSONL tests already cover for their format -- crash tolerance, healing
+appends, concurrent writers -- plus the property JSONL cannot have:
+incremental aggregates that must never drift from the records
+(``repro verify`` rule REC009).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StoreError
+from repro.api.results import SCHEMA_VERSION
+from repro.campaign import (
+    CampaignStore,
+    SqliteStore,
+    merge_stores,
+    migrate_store,
+    open_store,
+    store_for_campaign,
+)
+from repro.campaign.sqlite import SQLITE_MAGIC
+
+BACKENDS = {
+    "jsonl": (CampaignStore, ".jsonl"),
+    "sqlite": (SqliteStore, ".sqlite"),
+}
+
+WORKLOADS = ("wl-a", "wl-b")
+ARCHITECTURES = ("casbus", "mux-bus")
+SCHEDULERS = ("greedy", "balanced-lpt")
+
+
+def _record(tag, *, workload="wl-a", architecture="casbus",
+            scheduler="greedy", elapsed=0.1, kind=None):
+    """A slim, fully valid store record with a deterministic hash."""
+    digest = hashlib.sha256(f"backend-test-{tag}".encode()).hexdigest()
+    record = {
+        "schema": SCHEMA_VERSION,
+        "hash": digest,
+        "workload": {"kind": "cores", "name": workload},
+        "config": {"architecture": architecture, "scheduler": scheduler},
+        "result": {
+            "architecture": architecture,
+            "area_ge": 1.0,
+            "bus_width": 8,
+            "config_cycles": 4,
+            "extra_pins": 8,
+            "label": "",
+            "passed": None,
+            "scheduler": scheduler,
+            "sessions": [],
+            "source": "model",
+            "test_cycles": 100 + len(tag),
+            "workload": workload,
+        },
+        "elapsed_s": elapsed,
+    }
+    if kind is not None:
+        record["kind"] = kind
+    return record
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def store(backend, tmp_path):
+    cls, suffix = BACKENDS[backend]
+    return cls(tmp_path / f"s{suffix}")
+
+
+def _reopen(store):
+    """A fresh handle on the same path (no shared in-memory state)."""
+    return type(store)(store.path)
+
+
+class TestContract:
+    def test_roundtrip(self, store):
+        record = _record("one")
+        assert store.append(record)
+        assert record["hash"] in store
+        assert store.records() == [record]
+        assert store.latest() == {record["hash"]: record}
+        assert len(store) == 1
+
+    def test_missing_file_is_empty(self, backend, tmp_path):
+        cls, suffix = BACKENDS[backend]
+        absent = cls(tmp_path / f"absent{suffix}")
+        assert absent.records() == []
+        assert absent.latest() == {}
+        assert len(absent) == 0
+        assert "0" * 64 not in absent
+
+    def test_duplicate_hash_not_appended(self, store):
+        record = _record("dup")
+        assert store.append(record)
+        assert not store.append(record)
+        assert len(store.records()) == 1
+
+    def test_replace_appends_and_last_wins(self, store):
+        first = _record("re", elapsed=1.0)
+        second = dict(first, elapsed_s=2.0)
+        store.append(first)
+        assert store.append(second, replace=True)
+        assert len(store.records()) == 2  # history preserved
+        assert len(store) == 1
+        assert store.latest()[first["hash"]]["elapsed_s"] == 2.0
+
+    def test_fresh_handle_sees_disk_state(self, store):
+        store.append(_record("disk"))
+        reopened = _reopen(store)
+        assert len(reopened) == 1
+        assert not reopened.append(_record("disk"))
+
+    def test_append_many_dedupes_and_counts(self, store):
+        store.append(_record("a"))
+        batch = [_record("a"), _record("b"), _record("c"), _record("b")]
+        assert store.append_many(batch) == 2
+        assert len(store) == 3
+
+    def test_lookup_returns_only_asked_hashes(self, store):
+        kept = _record("kept")
+        store.append_many([kept, _record("other")])
+        absent = "f" * 64
+        found = store.lookup([kept["hash"], absent])
+        assert found == {kept["hash"]: kept}
+
+    def test_lookup_sees_replacement(self, store):
+        first = _record("latest", elapsed=1.0)
+        store.append(first)
+        store.append(dict(first, elapsed_s=2.0), replace=True)
+        assert store.lookup([first["hash"]])[first["hash"]]["elapsed_s"] == 2.0
+
+    def test_iter_latest_filters(self, store):
+        store.append_many([
+            _record("m1", workload="wl-a", architecture="casbus"),
+            _record("m2", workload="wl-a", architecture="mux-bus"),
+            _record("m3", workload="wl-b", architecture="casbus"),
+        ])
+        hits = list(store.iter_latest(workload="wl-a",
+                                      architecture="casbus"))
+        assert [r["hash"] for r in hits] == [_record("m1")["hash"]]
+        assert len(list(store.iter_latest(workload="wl-a"))) == 2
+        assert len(list(store.iter_latest())) == 3
+        assert list(store.iter_latest(workload="nope")) == []
+
+    def test_iter_latest_kind_filter(self, store):
+        store.append_many([
+            _record("k1"),
+            _record("k2", kind="diagnosis"),
+        ])
+        [diagnosis] = store.iter_latest(kind="diagnosis")
+        assert diagnosis["kind"] == "diagnosis"
+        [run] = store.iter_latest(kind="run")
+        assert "kind" not in run
+
+    def test_aggregates_match_scan(self, store):
+        store.append_many([
+            _record("g1", workload="wl-a"),
+            _record("g2", workload="wl-a", scheduler="balanced-lpt"),
+            _record("g3", workload="wl-b", kind="diagnosis"),
+        ])
+        counts = store.aggregate_counts()
+        assert counts == store.scan_aggregate_counts()
+        assert counts[("run", "wl-a", "casbus", "greedy")] == 1
+        assert counts[("diagnosis", "wl-b", "casbus", "greedy")] == 1
+        assert sum(counts.values()) == 3
+
+    def test_aggregates_follow_replacement(self, store):
+        record = _record("agg")
+        store.append(record)
+        store.append(dict(record, elapsed_s=9.9), replace=True)
+        counts = store.aggregate_counts()
+        assert counts == store.scan_aggregate_counts()
+        assert sum(counts.values()) == 1
+
+    def test_compact_keeps_latest_sorted(self, store):
+        first = _record("c1", elapsed=1.0)
+        store.append_many([first, _record("c2")])
+        store.append(dict(first, elapsed_s=2.0), replace=True)
+        store.compact()
+        records = store.records()
+        assert [r["hash"] for r in records] == sorted(r["hash"]
+                                                      for r in records)
+        assert len(records) == 2  # superseded duplicate dropped
+        assert store.latest()[first["hash"]]["elapsed_s"] == 2.0
+        assert store.aggregate_counts() == store.scan_aggregate_counts()
+
+    def test_newer_record_schema_refused(self, store):
+        store.append(dict(_record("new"), schema=SCHEMA_VERSION + 1))
+        with pytest.raises(StoreError, match="newer"):
+            _reopen(store).records()
+
+    def test_store_for_campaign(self, backend, tmp_path):
+        cls, suffix = BACKENDS[backend]
+        named = store_for_campaign("nightly", tmp_path, backend=backend)
+        assert isinstance(named, cls)
+        assert named.path == tmp_path / f"nightly{suffix}"
+        assert named.name == "nightly"
+
+
+class TestOpenStore:
+    def test_suffixes_decide(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.jsonl"), CampaignStore)
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            assert isinstance(open_store(tmp_path / f"a{suffix}"),
+                              SqliteStore)
+
+    def test_unknown_suffix_sniffs_content(self, tmp_path):
+        path = tmp_path / "store.bin"
+        SqliteStore(path).append(_record("sniff"))
+        assert path.read_bytes()[:16] == SQLITE_MAGIC
+        assert isinstance(open_store(path), SqliteStore)
+
+    def test_unknown_suffix_defaults_to_jsonl(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "brand.new"), CampaignStore)
+        text = tmp_path / "existing.log"
+        text.write_text("not sqlite\n")
+        assert isinstance(open_store(text), CampaignStore)
+
+
+class TestMigrate:
+    def _seed(self, store):
+        first = _record("mig1", elapsed=1.0)
+        store.append_many([first, _record("mig2", workload="wl-b")])
+        store.append(dict(first, elapsed_s=2.0), replace=True)
+        return store
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        source = self._seed(CampaignStore(tmp_path / "src.jsonl"))
+        source.compact()  # canonical layout, as merge_stores writes it
+        migrate_store(source, tmp_path / "mid.sqlite")
+        migrate_store(tmp_path / "mid.sqlite", tmp_path / "back.jsonl")
+        assert ((tmp_path / "back.jsonl").read_bytes()
+                == source.path.read_bytes())
+
+    def test_history_and_reports_survive(self, tmp_path):
+        source = self._seed(CampaignStore(tmp_path / "src.jsonl"))
+        target = migrate_store(source, tmp_path / "dst.sqlite")
+        assert isinstance(target, SqliteStore)
+        assert target.records() == source.records()  # full history
+        assert target.latest() == source.latest()
+        assert target.aggregate_counts() == source.aggregate_counts()
+
+    def test_migrate_onto_source_refused(self, tmp_path):
+        source = self._seed(SqliteStore(tmp_path / "s.sqlite"))
+        with pytest.raises(StoreError, match="source"):
+            migrate_store(source, source.path)
+        assert len(source) == 2  # untouched
+
+
+class TestMergeCrossBackend:
+    def test_mixed_sources_merge(self, tmp_path):
+        a = CampaignStore(tmp_path / "a.jsonl")
+        b = SqliteStore(tmp_path / "b.sqlite")
+        a.append(_record("x", elapsed=1.0))
+        b.append_many([_record("x", elapsed=2.0), _record("y")])
+        merged = merge_stores([a, b], tmp_path / "m.sqlite")
+        assert isinstance(merged, SqliteStore)
+        assert len(merged) == 2
+        latest = merged.latest()
+        assert latest[_record("x")["hash"]]["elapsed_s"] == 2.0
+
+    def test_sqlite_merge_order_independent_bytes(self, tmp_path):
+        a = SqliteStore(tmp_path / "a.sqlite")
+        b = SqliteStore(tmp_path / "b.sqlite")
+        a.append(_record("oa"))
+        b.append(_record("ob"))
+        merge_stores([a, b], tmp_path / "ab.sqlite")
+        merge_stores([b, a], tmp_path / "ba.sqlite")
+        assert ((tmp_path / "ab.sqlite").read_bytes()
+                == (tmp_path / "ba.sqlite").read_bytes())
+
+    def test_cross_backend_merges_agree(self, tmp_path):
+        a = CampaignStore(tmp_path / "a.jsonl")
+        b = SqliteStore(tmp_path / "b.sqlite")
+        a.append_many([_record("p"), _record("q", elapsed=1.0)])
+        b.append(_record("q", elapsed=2.0))
+        as_jsonl = merge_stores([a, b], tmp_path / "m.jsonl")
+        as_sqlite = merge_stores([a, b], tmp_path / "m.sqlite")
+        assert as_jsonl.latest() == as_sqlite.latest()
+        assert as_jsonl.records() == as_sqlite.records()
+
+
+class TestSqliteTolerance:
+    def test_truncated_file_reads_and_heals(self, tmp_path):
+        store = SqliteStore(tmp_path / "t.sqlite")
+        store.append_many(_record(f"t{i}") for i in range(20))
+        data = store.path.read_bytes()
+        store.path.write_bytes(data[: int(len(data) * 0.6)])
+        survivor = SqliteStore(store.path)
+        salvaged = survivor.records()  # must not raise
+        assert survivor.skipped_lines >= 1
+        assert survivor.append(_record("fresh"))  # heal-on-append
+        healed = SqliteStore(store.path)
+        assert healed.records()[len(salvaged):] == [_record("fresh")]
+        assert healed.skipped_lines == 0
+        assert (healed.stored_aggregate_counts()
+                == healed.scan_aggregate_counts())
+
+    def test_non_database_file_reads_empty_and_heals(self, tmp_path):
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"this is not a database at all\n" * 10)
+        store = SqliteStore(path)
+        assert store.records() == []
+        assert store.skipped_lines == 1
+        assert store.append(_record("after"))
+        assert SqliteStore(path).records() == [_record("after")]
+
+    def test_garbage_row_skipped(self, tmp_path):
+        store = SqliteStore(tmp_path / "g.sqlite")
+        store.append(_record("good"))
+        with sqlite3.connect(store.path) as connection:
+            connection.execute(
+                "INSERT INTO records (hash, kind, record) "
+                "VALUES ('nothex', 'run', 'not json {')"
+            )
+        survivor = SqliteStore(store.path)
+        assert survivor.records() == [_record("good")]
+        assert survivor.skipped_lines == 1
+
+    def test_newer_store_layout_refused(self, tmp_path):
+        store = SqliteStore(tmp_path / "n.sqlite")
+        store.append(_record("old"))
+        with sqlite3.connect(store.path) as connection:
+            connection.execute(
+                "UPDATE store_meta SET value='99' "
+                "WHERE key='store_schema'"
+            )
+        with pytest.raises(StoreError, match="newer"):
+            SqliteStore(store.path).append(_record("refused"))
+
+    def test_concurrent_appends_serialize(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        records = [
+            _record(f"c{i % 50}", workload=WORKLOADS[i % 2])
+            for i in range(200)
+        ]
+        failures = []
+
+        def worker(slice_):
+            try:
+                store = SqliteStore(path)
+                for record in slice_:
+                    store.append(record, replace=True)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(records[k::4],))
+            for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        store = SqliteStore(path)
+        assert len(store) == 50
+        assert len(store.records()) == 200
+        assert (store.stored_aggregate_counts()
+                == store.scan_aggregate_counts())
+
+
+# -- property: the backends are observationally identical ------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),          # record tag
+        st.sampled_from(WORKLOADS),
+        st.sampled_from(ARCHITECTURES),
+        st.sampled_from(SCHEDULERS),
+        st.booleans(),                                   # replace
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=_ops, split=st.integers(min_value=0, max_value=12))
+def test_interleaved_appends_and_merge_agree(tmp_path_factory, ops, split):
+    """Random append/replace interleavings (split across two shard
+    stores, merged back) are observationally identical on both
+    backends: same latest set, same aggregates, same merged report."""
+    root = tmp_path_factory.mktemp("prop")
+    stores = {
+        "jsonl": (CampaignStore(root / "a.jsonl"),
+                  CampaignStore(root / "b.jsonl")),
+        "sqlite": (SqliteStore(root / "a.sqlite"),
+                   SqliteStore(root / "b.sqlite")),
+    }
+    for index, (tag, workload, architecture, scheduler, replace) in (
+            enumerate(ops)):
+        record = _record(
+            f"prop{tag}",
+            workload=workload,
+            architecture=architecture,
+            scheduler=scheduler,
+            elapsed=float(index),
+        )
+        shard = 0 if index < split else 1
+        outcomes = {
+            name: pair[shard].append(record, replace=replace)
+            for name, pair in stores.items()
+        }
+        assert outcomes["jsonl"] == outcomes["sqlite"]
+    merged = {
+        name: merge_stores(
+            stores[name],
+            root / f"m-{name}{'.jsonl' if name == 'jsonl' else '.sqlite'}",
+        )
+        for name in stores
+    }
+    assert merged["jsonl"].latest() == merged["sqlite"].latest()
+    assert merged["jsonl"].records() == merged["sqlite"].records()
+    assert (merged["jsonl"].aggregate_counts()
+            == merged["sqlite"].aggregate_counts())
+    for name, pair in stores.items():
+        for shard_store in pair:
+            assert (shard_store.aggregate_counts()
+                    == shard_store.scan_aggregate_counts())

@@ -520,6 +520,20 @@ def _mut_rec008(tmp_path):
     return verify_store(store), "empty.jsonl"
 
 
+def _mut_rec009(tmp_path):
+    import sqlite3
+
+    from repro.campaign import SqliteStore
+
+    store = SqliteStore(tmp_path / "drift.sqlite")
+    store.append(_model_record())
+    # Drift the maintained aggregates away from the records the way
+    # only out-of-band writes can (append/merge keep them in step).
+    with sqlite3.connect(store.path) as connection:
+        connection.execute("UPDATE aggregates SET runs = runs + 5")
+    return verify_store(store), "drift.sqlite"
+
+
 MUTATIONS = [
     ("SCH001", _mut_sch001),
     ("SCH002", _mut_sch002),
@@ -561,6 +575,7 @@ MUTATIONS = [
     ("REC006", _mut_rec006),
     ("REC007", _mut_rec007),
     ("REC008", _mut_rec008),
+    ("REC009", _mut_rec009),
 ]
 
 
