@@ -1,0 +1,95 @@
+"""Scaling the optimizer: the parallel multi-start portfolio.
+
+Single-start annealing leaves quality on the table at industrial
+scale: different move sequences get stuck in different local optima.
+``optimize_portfolio`` runs a *portfolio* of seeded searches -- anneal
+restarts on a temperature ladder, a genetic crossover over session
+partitions, and large-neighbourhood destroy-and-repair -- that share
+one memoised cost model through a serialisable evaluation cache, and
+merge their best partitions at round barriers.
+
+Three properties worth seeing end to end:
+
+1. on a p93791-class 110-core workload the portfolio beats both the
+   greedy packer and a single-start anneal at the same move budget;
+2. small problems stay *certified*: within exact reach the spec adds
+   a branch-and-bound unit, so the answer is provably optimal;
+3. results are a pure function of the seed -- ``--jobs 4`` returns
+   byte-identical outcomes to ``--jobs 1``, only faster.
+
+The same engine is available headless:
+
+    python -m repro optimize itc02-p93791 -w 32 --jobs 4 --verbose
+
+Run:  python examples/optimize_portfolio.py [--jobs N]
+"""
+
+import argparse
+
+from repro.schedule.optimize import optimize_anneal, optimize_bnb
+from repro.schedule.portfolio import PortfolioSpec, optimize_portfolio
+from repro.schedule.scheduler import schedule_greedy
+from repro.soc.itc02 import d695_like, p93791_like
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="portfolio worker processes (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    # -- 1. Industrial scale: portfolio vs greedy vs single-start.
+    # Equal wall-clock framing: with enough workers every unit of the
+    # round runs concurrently, so the portfolio's elapsed time equals
+    # one unit budget -- the budget the single-start anneal gets.
+    cores = p93791_like()
+    width = 32
+    unit_budget = 1600
+    greedy = schedule_greedy(cores, width)
+    single = optimize_anneal(
+        cores, width, widths=(width,), iterations=unit_budget
+    )
+    outcome = optimize_portfolio(
+        cores, width, widths=(width,),
+        spec=PortfolioSpec(rounds=1, iterations=unit_budget),
+        seed=0, jobs=args.jobs,
+    )
+    print(f"p93791-like ({len(cores)} cores) on N={width}, "
+          f"{unit_budget} moves per search, jobs={args.jobs}:")
+    print(f"  greedy packer        {greedy.total_cycles:>8}")
+    print(f"  single-start anneal  {single.total_cycles:>8}")
+    print(f"  portfolio            {outcome.total_cycles:>8}")
+    assert outcome.total_cycles <= greedy.total_cycles
+    assert outcome.total_cycles < single.total_cycles
+    shared = outcome.cache_stats["shared_cache"]
+    evals = outcome.cache_stats["evaluations"]
+    print(f"  shared cache: {evals['hits']} evaluation hits, "
+          f"{shared['merged']} worker delta entries merged back")
+
+    # -- 2. Certified optimality where exact search reaches.
+    small = d695_like()
+    certified = optimize_portfolio(small, 16, seed=0, jobs=args.jobs)
+    exact = optimize_bnb(small, 16)
+    assert certified.total_cycles == exact.total_cycles
+    assert certified.cache_stats["certified_widths"] == [1, 2, 4, 8, 16]
+    print(f"\nd695-like: portfolio == branch-and-bound "
+          f"({exact.total_cycles} cycles), every width certified")
+
+    # -- 3. Determinism: the worker count never changes the answer.
+    spec = PortfolioSpec(starts=1, rounds=1, iterations=300)
+    runs = {
+        jobs: optimize_portfolio(
+            small, 16, widths=(8, 16), spec=spec, seed=7, jobs=jobs
+        )
+        for jobs in (1, 2)
+    }
+    assert (runs[1].cache_stats == runs[2].cache_stats
+            and runs[1].pareto == runs[2].pareto)
+    print("jobs=1 and jobs=2 agree point for point -- the seed, not "
+          "the scheduling, decides the answer")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,12 @@ auditable.  Four checks, each with a stable id:
   ``SessionExecutor.run_batch``) executes same-geometry scenario
   sweeps in one dispatch.  Deliberate scalar loops (fallbacks,
   benchmark baselines) carry ``RL005`` on the offending line.
+* ``RL006`` -- no direct ``random.Random(...)`` construction inside
+  ``repro.schedule`` (seeded or not): search randomness must flow
+  from :class:`repro.schedule.seeds.SeedStream`, whose coordinate
+  hashing keeps portfolio results independent of worker count and
+  draw order.  The one sanctioned construction site
+  (``seeds.py``) carries ``RL006`` on the line.
 
 Usage:
     python scripts/lint_repro.py            # lint src/ + scripts/
@@ -202,6 +208,47 @@ def check_scenario_loops(
     return problems
 
 
+def check_schedule_randomness(
+    path: Path, tree: ast.AST, source_lines: "list[str]"
+) -> "list[str]":
+    """RL006: ``random.Random`` construction inside ``repro.schedule``.
+
+    Unlike RL001 this bans *seeded* construction too: a generator built
+    mid-search couples results to draw order and work distribution.
+    Generators must come from ``SeedStream.rng(...)``, a pure function
+    of ``(root, coordinates)``; the one sanctioned site in ``seeds.py``
+    carries ``RL006`` on the offending line as a waiver.
+    """
+
+    def waived(lineno: int) -> bool:
+        line = (source_lines[lineno - 1]
+                if 0 < lineno <= len(source_lines) else "")
+        return "RL006" in line
+
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        direct = isinstance(func, ast.Name) and func.id == "Random"
+        if not direct and _call_name(node) != ("random", "Random"):
+            continue
+        if waived(node.lineno) or waived(node.lineno - 1):
+            continue
+        problems.append(
+            f"{path}:{node.lineno}: RL006 direct random.Random() "
+            f"construction in repro.schedule (draw generators from "
+            f"SeedStream.rng(...) so results stay independent of "
+            f"worker count; the sanctioned site carries RL006)"
+        )
+    return problems
+
+
+def _in_schedule_package(path: Path) -> bool:
+    normalized = str(path).replace("\\", "/")
+    return "repro/schedule/" in normalized
+
+
 def lint_file(path: Path) -> "list[str]":
     try:
         source = path.read_text()
@@ -219,6 +266,9 @@ def lint_file(path: Path) -> "list[str]":
     if not is_test_path(path):
         problems += check_scenario_loops(path, tree,
                                          source.splitlines())
+    if not is_test_path(path) and _in_schedule_package(path):
+        problems += check_schedule_randomness(path, tree,
+                                              source.splitlines())
     return problems
 
 

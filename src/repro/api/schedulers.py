@@ -19,6 +19,8 @@ name                    algorithm
                         (:func:`repro.schedule.optimize.optimize_bnb`)
 ``optimize-anneal``     annealed width/session co-optimisation
                         (:func:`repro.schedule.optimize.optimize_anneal`)
+``optimize-portfolio``  parallel multi-start portfolio
+                        (:func:`repro.schedule.portfolio.optimize_portfolio`)
 ======================  =================================================
 
 Only ``greedy`` produces schedules the cycle-accurate
@@ -210,11 +212,26 @@ def _run_optimize_bnb(cores, bus_width, *, charge_config, cas_policy,
 
 
 def _run_optimize_anneal(cores, bus_width, *, charge_config, cas_policy,
-                         widths=None, seed=0, iterations=None):
+                         widths=None, seed=0, iterations=None,
+                         restarts=1):
     outcome = optimize_anneal(
         cores, bus_width, widths=widths,
         charge_config=charge_config, cas_policy=cas_policy,
-        seed=seed, iterations=iterations,
+        seed=seed, iterations=iterations, restarts=restarts,
+    )
+    return outcome.test_cycles, outcome.config_cycles, outcome
+
+
+def _run_optimize_portfolio(cores, bus_width, *, charge_config,
+                            cas_policy, widths=None, seed=0, spec=None,
+                            jobs=1, budget=None, progress=None):
+    from repro.schedule.portfolio import optimize_portfolio
+
+    outcome = optimize_portfolio(
+        cores, bus_width, widths=widths,
+        charge_config=charge_config, cas_policy=cas_policy,
+        seed=seed, spec=spec, jobs=jobs, budget=budget,
+        progress=progress,
     )
     return outcome.test_cycles, outcome.config_cycles, outcome
 
@@ -252,6 +269,11 @@ _STRATEGY_SPECS: "dict[str, tuple[ScheduleFn, bool, tuple, str]]" = {
         _run_optimize_anneal, False, ("anneal",),
         "Annealed width/session co-optimisation with a Pareto front "
         "(ITC'02 scale).",
+    ),
+    "optimize-portfolio": (
+        _run_optimize_portfolio, False, ("portfolio",),
+        "Parallel multi-start portfolio (anneal ladder, genetic, LNS) "
+        "over a shared evaluation cache; jobs-independent results.",
     ),
 }
 

@@ -84,6 +84,10 @@ _ITC02_BLURBS = {
     "g1023": "fourteen mid-sized cores with two autonomous BIST blocks",
     "p22810": "twenty-eight cores, very wide size spread (stress case)",
     "h953": "eight cores dominated by fixed-length memory-style BIST",
+    "t512505": "thirty-one cores under one monster core that sets the "
+               "test-time floor",
+    "p93791": "one hundred and ten cores, the industrial-scale "
+              "flagship the optimizer portfolio targets",
 }
 
 

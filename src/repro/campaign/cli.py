@@ -515,20 +515,44 @@ def cmd_optimize(args) -> int:
         widths = [int(token) for token in _split_csv(args.widths)]
     method = args.method
     if method == "auto":
-        method = "bnb" if len(workload.cores) <= BNB_MAX_CORES else "anneal"
+        if args.portfolio is not None or args.jobs > 1:
+            method = "portfolio"
+        elif len(workload.cores) <= BNB_MAX_CORES:
+            method = "bnb"
+        else:
+            method = "anneal"
+    progress = None
+    if args.verbose and method == "portfolio":
+
+        def progress(event):
+            print(
+                "  round {round}  N={width:>3}  {strategy}[{variant}]  "
+                "total={total}  best={best}".format(**event),
+                flush=True,
+            )
+
     outcome = co_optimize(
         workload.cores,
         width,
         method=method,
         widths=widths,
         cas_policy=args.policy,
+        seed=args.seed,
+        restarts=args.restarts,
+        portfolio=args.portfolio,
+        jobs=args.jobs,
+        budget=args.budget,
+        progress=progress,
     )
     if args.json:
+        # Deliberately excludes --jobs: the payload is a pure function
+        # of the search inputs, so CI can diff --jobs 1 vs --jobs 4.
         payload = {
             "workload": workload.name,
             "method": outcome.method,
             "bus_width": width,
             "evaluations": outcome.evaluations,
+            "cache_stats": outcome.cache_stats,
             "pareto": [point.to_dict() for point in outcome.pareto],
         }
         print(json.dumps(payload, sort_keys=True, indent=2))
@@ -538,6 +562,12 @@ def cmd_optimize(args) -> int:
             f"{outcome.total_cycles} total cycles "
             f"({outcome.evaluations} session evaluations)"
         )
+        model_stats = outcome.cache_stats.get("cost_model")
+        if model_stats:
+            print(
+                "cost-model cache: {hits} hits / {misses} misses "
+                "({entries} entries)".format(**model_stats)
+            )
         rows = [_pareto_row(point, width) for point in outcome.pareto]
         title = "Pareto front (bus width / config bits / total cycles)"
         print(format_table(PARETO_HEADERS, rows, title=title))
@@ -724,10 +754,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.add_argument(
         "--method",
-        choices=("auto", "bnb", "anneal"),
+        choices=("auto", "bnb", "anneal", "portfolio"),
         default="auto",
-        help="search engine: exact branch-and-bound or simulated "
-        "annealing (auto picks by core count)",
+        help="search engine: exact branch-and-bound, simulated "
+        "annealing, or the multi-start portfolio (auto picks by core "
+        "count, or portfolio when --jobs/--portfolio are given)",
+    )
+    optimize.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed of the stochastic engines (results are a pure "
+        "function of it, never of --jobs)",
+    )
+    optimize.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        help="independent anneal restarts per width (anneal method)",
+    )
+    optimize.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the portfolio; changes wall-clock "
+        "only, never the result",
+    )
+    optimize.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="total per-width move budget for the portfolio, split "
+        "across its units and rounds",
+    )
+    optimize.add_argument(
+        "--portfolio",
+        default=None,
+        help="portfolio strategy mix, e.g. 'anneal,genetic,lns' "
+        "(implies --method portfolio)",
+    )
+    optimize.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print one progress line per completed portfolio unit",
     )
     optimize.add_argument("--policy", default=None, help="CAS policy")
     optimize.add_argument("--label", default="")

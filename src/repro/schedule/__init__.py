@@ -40,10 +40,13 @@ from repro.schedule.optimize import (
     ParetoPoint,
     candidate_widths,
     co_optimize,
+    default_anneal_budget,
     optimize_anneal,
     optimize_bnb,
     pareto_front,
 )
+from repro.schedule.portfolio import PortfolioSpec, optimize_portfolio
+from repro.schedule.seeds import SeedStream, as_seed_stream
 from repro.schedule.reconfig import ReconfigComparison, compare_reconfiguration
 from repro.schedule.concurrent import maintenance_session
 
@@ -54,10 +57,15 @@ __all__ = [
     "two_stage_config_cycles",
     "OptimizeOutcome",
     "ParetoPoint",
+    "PortfolioSpec",
+    "SeedStream",
+    "as_seed_stream",
     "candidate_widths",
     "co_optimize",
+    "default_anneal_budget",
     "optimize_anneal",
     "optimize_bnb",
+    "optimize_portfolio",
     "pareto_front",
     "cas_config_bits",
     "config_cycles",

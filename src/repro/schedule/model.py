@@ -194,6 +194,8 @@ class CostModel:
         self.problem = problem
         self._core_cycles: dict[tuple[CoreTestParams, int], int] = {}
         self._cas_bits: int | None = None
+        self._hits = 0
+        self._misses = 0
 
     # -- width normalisation (the one copy) --------------------------------
 
@@ -220,7 +222,24 @@ class CostModel:
         if cached is None:
             cached = core_test_cycles(params, key[1])
             self._core_cycles[key] = cached
+            self._misses += 1
+        else:
+            self._hits += 1
         return cached
+
+    def stats(self) -> dict:
+        """Memoisation effectiveness counters (JSON-ready).
+
+        ``hits``/``misses`` count :meth:`core_cycles` lookups;
+        ``entries`` is the resident cache size.  Surfaced by
+        ``repro optimize --json`` so cache sharing is observable
+        rather than assumed.
+        """
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": len(self._core_cycles),
+        }
 
     def session_cycles(
         self, allocation: Iterable[tuple[CoreTestParams, int]]

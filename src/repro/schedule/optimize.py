@@ -37,10 +37,14 @@ from repro.errors import ScheduleError
 from repro.soc.core import CoreTestParams
 from repro.schedule.model import CostModel, Schedule, TamProblem
 from repro.schedule.scheduler import schedule_greedy
+from repro.schedule.seeds import SeedStream, as_seed_stream
 
-#: Largest core count the exact branch-and-bound search accepts
-#: (Bell(10) partitions with pruning stays sub-second).
-BNB_MAX_CORES = 10
+#: Largest core count the exact branch-and-bound search accepts.  The
+#: min-area packing bound plus the config-marginal bound (see
+#: :func:`_bnb_session_search`) keep the search tractable well past
+#: the old 10-core limit; g1023-class 14-core tables certify in
+#: seconds.
+BNB_MAX_CORES = 14
 
 
 @dataclass(frozen=True)
@@ -104,6 +108,13 @@ class OptimizeOutcome:
     evaluations: int = 0
     #: Best schedule found at every candidate width (width -> Schedule).
     schedules: dict = field(default_factory=dict)
+    #: Cache-effectiveness counters: ``cost_model`` aggregates
+    #: :meth:`repro.schedule.model.CostModel.stats` over the width
+    #: sweep; ``evaluations`` counts session-evaluation cache hits and
+    #: misses (portfolio runs add the shared-cache ``shipped``/
+    #: ``merged`` entry counts).  Purely observational -- identical for
+    #: identical searches, whatever the worker count.
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def test_cycles(self) -> int:
@@ -184,19 +195,28 @@ def pareto_front(points: Sequence[ParetoPoint]) -> tuple[ParetoPoint, ...]:
 
 
 class _PartitionSearch:
-    """Session-partition search state shared by both engines.
+    """Session-partition search state shared by every engine.
 
     Holds the memoised group -> optimal-session cache; groups are
-    tuples of sorted core indices.
+    tuples of sorted core indices.  ``warm`` pre-seeds the cache from
+    a snapshot (the portfolio ships the driver's merged cache to its
+    workers at fork); entries computed locally accumulate in
+    ``delta`` so workers can send just their news back.
     """
 
-    def __init__(self, model: CostModel, charge_config: bool) -> None:
+    def __init__(self, model: CostModel, charge_config: bool,
+                 warm: "dict | None" = None) -> None:
         self.model = model
         self.charge_config = charge_config
         self.cores = model.problem.cores
         self.width = model.problem.bus_width
         self.evaluations = 0
-        self._session_cycles: dict[tuple[int, ...], int] = {}
+        self.hits = 0
+        self._session_cycles: dict[tuple[int, ...], int] = (
+            dict(warm) if warm else {}
+        )
+        self.delta: dict[tuple[int, ...], int] = {}
+        self._min_area: dict[int, int] = {}
 
     def group_cycles(self, key: tuple[int, ...]) -> int:
         """Makespan of one group under its optimal wire split."""
@@ -207,7 +227,31 @@ class _PartitionSearch:
             assert session is not None  # callers keep |group| <= width
             cached = session.cycles
             self._session_cycles[key] = cached
+            self.delta[key] = cached
             self.evaluations += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def snapshot(self) -> "dict[tuple[int, ...], int]":
+        """A picklable copy of the evaluation cache (warm start)."""
+        return dict(self._session_cycles)
+
+    def min_core_area(self, index: int) -> int:
+        """Smallest wires-times-time area of one core (memoised).
+
+        The admissible per-core work term of the packing bound: no
+        legal allocation tests the core in less bus area.
+        """
+        cached = self._min_area.get(index)
+        if cached is None:
+            core = self.cores[index]
+            limit = self.model.port_width(core)
+            cached = min(
+                wires * self.model.core_cycles(core, wires)
+                for wires in range(1, limit + 1)
+            )
+            self._min_area[index] = cached
         return cached
 
     def config_of(self, group_sizes) -> int:
@@ -243,62 +287,138 @@ class _PartitionSearch:
 # -- exact search -------------------------------------------------------------
 
 
+#: Core count above which the exact search tightens its incumbent
+#: with a short deterministic anneal before descending (pruning aid
+#: only -- the optimum is unaffected).
+_BNB_ANNEAL_INCUMBENT_ABOVE = 10
+
+
 def _bnb_session_search(search: _PartitionSearch) -> Schedule:
     """Best-partition branch and bound at one width.
 
     Cores are assigned in descending single-wire-time order; each core
     either joins an existing group (canonical partition enumeration,
     no symmetric duplicates) or opens a new one.  A node is cut when
-    the partial total -- the sum of its groups' optimal makespans plus
-    the configuration already committed, both of which only grow as
-    cores join -- cannot beat the incumbent.
+    no completion can beat the incumbent under two admissible bounds:
+
+    * the **min-area packing bound**: the committed session makespans
+      only grow, and whatever area of the remaining cores does not fit
+      into the committed sessions' slack (``width x makespan`` minus
+      the area already packed there) must be paid across the N wires;
+      a remaining core taller than every committed session stretches
+      the test time by at least the difference, whichever session it
+      lands in;
+    * the **config-marginal bound**: every unassigned core splices at
+      least the cheapest stage-B increment into some session's
+      configuration pass (opening a new session costs strictly more).
+
+    The incumbent starts at greedy; above
+    :data:`_BNB_ANNEAL_INCUMBENT_ABOVE` cores a short fixed-seed
+    anneal tightens it first, which prunes most of the exponential
+    tail on g1023-class tables.  Together these push exact reach from
+    ~10 to ~14-16 cores.
     """
     model = search.model
     cores = search.cores
+    width = search.width
     if not cores:
-        return Schedule(bus_width=search.width)
+        return Schedule(bus_width=width)
     incumbent = schedule_greedy(
-        cores, search.width,
+        cores, width,
         charge_config=search.charge_config,
         cas_policy=model.problem.cas_policy,
     )
     best_total = incumbent.total_cycles
-    if best_total <= search.floor_total():
-        return incumbent  # greedy already meets the lower bound
+    best_groups: list[tuple[int, ...]] | None = None
+    if len(cores) > _BNB_ANNEAL_INCUMBENT_ABOVE:
+        rng = SeedStream("bnb-incumbent").rng(width)
+        annealed_total, annealed_groups = _anneal_from(
+            search, rng, 400 + 80 * len(cores), _greedy_groups(search)
+        )
+        if annealed_total < best_total:
+            best_total = annealed_total
+            best_groups = list(annealed_groups)
+    floor = search.floor_total()
+    if best_total <= floor:
+        if best_groups is None:
+            return incumbent  # greedy already meets the lower bound
+        return search.build_schedule(best_groups)
     order = sorted(
         range(len(cores)), key=lambda i: -model.core_cycles(cores[i], 1)
     )
-    groups: list[list[int]] = []
-    best_groups: list[tuple[int, ...]] | None = None
-
-    def descend(position: int, partial_test: int) -> None:
-        nonlocal best_total, best_groups
-        partial = partial_test + search.config_of(
-            len(group) for group in groups
+    count = len(order)
+    # Suffix sums/maxima over the not-yet-assigned tail, by position.
+    remaining_area = [0] * (count + 1)
+    tallest_remaining = [0] * (count + 1)
+    for position in range(count - 1, -1, -1):
+        index = order[position]
+        remaining_area[position] = (
+            remaining_area[position + 1] + search.min_core_area(index)
         )
-        if partial >= best_total:
+        tallest_remaining[position] = max(
+            tallest_remaining[position + 1],
+            model.core_cycles(cores[index], width),
+        )
+    if search.charge_config:
+        scc = model.session_config_cycles
+        config_marginal = min(
+            [scc(1)]
+            + [scc(size + 1) - scc(size) for size in range(1, count)]
+        )
+        config_marginal = max(0, config_marginal)
+    else:
+        config_marginal = 0
+    groups: list[list[int]] = []
+
+    def descend(position: int, partial_test: int,
+                assigned_area: int, tallest: int) -> None:
+        nonlocal best_total, best_groups
+        config_now = search.config_of(len(group) for group in groups)
+        if position == count:
+            total = partial_test + config_now
+            if total < best_total:
+                best_total = total
+                best_groups = [tuple(sorted(group)) for group in groups]
             return
-        if position == len(order):
-            best_total = partial
-            best_groups = [tuple(sorted(group)) for group in groups]
+        # Admissible completion bound (see docstring).
+        slack = width * partial_test - assigned_area
+        overflow = remaining_area[position] - slack
+        packed = partial_test + (
+            -(-overflow // width) if overflow > 0 else 0
+        )
+        stretch = partial_test + max(
+            0, tallest_remaining[position] - tallest
+        )
+        bound = max(packed, stretch) + config_now \
+            + (count - position) * config_marginal
+        if bound >= best_total:
             return
         core = order[position]
+        area = search.min_core_area(core)
         for group in groups:
-            if len(group) >= search.width:
+            if len(group) >= width:
                 continue
             before = search.group_cycles(tuple(sorted(group)))
             group.append(core)
             after = search.group_cycles(tuple(sorted(group)))
-            descend(position + 1, partial_test - before + after)
+            descend(
+                position + 1,
+                partial_test - before + after,
+                assigned_area + area,
+                max(tallest, after),
+            )
             group.pop()
         groups.append([core])
+        solo = search.group_cycles((core,))
         descend(
             position + 1,
-            partial_test + search.group_cycles((core,)),
+            partial_test + solo,
+            assigned_area + area,
+            max(tallest, solo),
         )
         groups.pop()
 
-    descend(0, 0)
+    descend(0, 0, 0, 0)
     if best_groups is None:
         return incumbent  # greedy was already optimal
     return search.build_schedule(best_groups)
@@ -339,32 +459,45 @@ def optimize_bnb(
 # -- annealed search ----------------------------------------------------------
 
 
-def _anneal_session_search(
-    search: _PartitionSearch,
-    rng: random.Random,
-    iterations: int,
-) -> Schedule:
-    """Simulated annealing over session partitions at one width.
+def _greedy_groups(search: _PartitionSearch) -> list[list[int]]:
+    """The greedy schedule's session partition as core-index groups.
 
-    Starts from the greedy partition (re-split optimally), so the
-    result is never worse than greedy; explores move/swap
-    neighbourhoods with Metropolis acceptance and returns the best
-    partition seen.
+    The common start of every local search: beginning from greedy (and
+    only ever keeping the best partition seen) makes every engine
+    never-worse-than-greedy by construction.
     """
-    model = search.model
     cores = search.cores
-    if not cores:
-        return Schedule(bus_width=search.width)
     greedy = schedule_greedy(
         cores, search.width,
         charge_config=search.charge_config,
-        cas_policy=model.problem.cas_policy,
+        cas_policy=search.model.problem.cas_policy,
     )
     index_of = {id(core): index for index, core in enumerate(cores)}
-    groups: list[list[int]] = [
+    return [
         [index_of[id(entry.params)] for entry in session.entries]
         for session in greedy.sessions
     ]
+
+
+def _anneal_from(
+    search: _PartitionSearch,
+    rng: random.Random,
+    iterations: int,
+    start_groups: Sequence[Sequence[int]],
+    *,
+    temperature_scale: float = 1.0,
+) -> "tuple[int, list[tuple[int, ...]]]":
+    """Simulated annealing over session partitions at one width.
+
+    Starts from ``start_groups`` (the greedy partition for plain
+    restarts, a previous round's best for portfolio continuations) and
+    explores move/swap neighbourhoods with Metropolis acceptance,
+    returning ``(best_total, best_groups)`` -- never worse than the
+    start.  ``temperature_scale`` diversifies portfolio restarts: hot
+    schedules roam, cold ones polish.
+    """
+    model = search.model
+    groups: list[list[int]] = [list(group) for group in start_groups]
     current = search.partition_total(
         [tuple(sorted(group)) for group in groups]
     )
@@ -372,8 +505,8 @@ def _anneal_session_search(
     best_groups = [tuple(sorted(group)) for group in groups]
     floor = search.floor_total()
     if best_total <= floor:
-        return search.build_schedule(best_groups)
-    temperature = max(1.0, 0.05 * current)
+        return best_total, best_groups
+    temperature = max(1.0, 0.05 * current * temperature_scale)
     cooling = (0.01 / temperature) ** (1.0 / max(1, iterations)) \
         if temperature > 0.01 else 1.0
 
@@ -455,7 +588,12 @@ def _anneal_session_search(
             best_groups = [tuple(sorted(group)) for group in groups]
             if best_total <= floor:
                 break
-    return search.build_schedule(best_groups)
+    return best_total, best_groups
+
+
+def default_anneal_budget(num_cores: int) -> int:
+    """The per-width move budget one anneal start gets by default."""
+    return 600 + 200 * num_cores
 
 
 def optimize_anneal(
@@ -467,20 +605,40 @@ def optimize_anneal(
     cas_policy: str | None = "all",
     seed: int = 0,
     iterations: "int | None" = None,
+    restarts: int = 1,
+    seeds: "SeedStream | None" = None,
 ) -> OptimizeOutcome:
     """Annealed width/session co-optimisation (ITC'02 scale).
 
-    ``seed`` fixes every random choice (per-width streams are derived
-    from it), so identical calls return identical outcomes --
-    campaign stores can hash them.  ``iterations=None`` scales the
-    per-width move budget with the core count.
+    Every random choice flows from an explicit
+    :class:`~repro.schedule.seeds.SeedStream` (``seeds``, defaulting
+    to ``SeedStream(seed)``): restart ``r`` at width ``w`` draws its
+    generator at the fixed coordinates ``("anneal", w, r)``, so the
+    result is a pure function of ``(seed, restarts)`` -- identical
+    however the restarts are distributed over workers, which is what
+    makes portfolio runs reproducible across ``--jobs`` values.
+    ``restarts`` keeps the best of that many independent anneals per
+    width; ``iterations=None`` scales each restart's move budget with
+    the core count.
     """
+    if restarts < 1:
+        raise ScheduleError(f"restarts must be >= 1, got {restarts}")
     budget = iterations if iterations is not None \
-        else 600 + 200 * len(cores)
+        else default_anneal_budget(len(cores))
+    stream = seeds if seeds is not None else as_seed_stream(seed)
 
     def engine(search: _PartitionSearch) -> Schedule:
-        rng = random.Random(f"{seed}:{search.width}")
-        return _anneal_session_search(search, rng, budget)
+        if not search.cores:
+            return Schedule(bus_width=search.width)
+        start = _greedy_groups(search)
+        best: "tuple[int, list[tuple[int, ...]]] | None" = None
+        for restart in range(restarts):
+            rng = stream.rng("anneal", search.width, restart)
+            result = _anneal_from(search, rng, budget, start)
+            if best is None or result[0] < best[0]:
+                best = result
+        assert best is not None
+        return search.build_schedule(best[1])
 
     return _co_optimize(
         "optimize-anneal",
@@ -503,11 +661,30 @@ def co_optimize(
     cas_policy: str | None = "all",
     seed: int = 0,
     iterations: "int | None" = None,
+    restarts: int = 1,
+    seeds: "SeedStream | None" = None,
+    portfolio: object = None,
+    jobs: int = 1,
+    budget: "int | None" = None,
+    progress: "Callable | None" = None,
 ) -> OptimizeOutcome:
     """Dispatch to the right engine: exact when feasible, annealed
-    beyond :data:`BNB_MAX_CORES` (``method="auto"``)."""
+    beyond :data:`BNB_MAX_CORES` (``method="auto"``), or the parallel
+    multi-start portfolio (``method="portfolio"``, or any ``portfolio``
+    spec / ``jobs > 1``).
+
+    ``portfolio`` accepts a
+    :class:`~repro.schedule.portfolio.PortfolioSpec`, a sequence of
+    strategy names, or ``True`` for the default spec; ``jobs`` fans
+    the portfolio's search units over that many worker processes
+    (never changing the result), and ``budget`` caps its total
+    per-width move budget.
+    """
     if method == "auto":
-        method = "bnb" if len(cores) <= BNB_MAX_CORES else "anneal"
+        if portfolio is not None or jobs > 1:
+            method = "portfolio"
+        else:
+            method = "bnb" if len(cores) <= BNB_MAX_CORES else "anneal"
     if method in ("bnb", "optimize-bnb"):
         return optimize_bnb(
             cores, bus_width, widths=widths,
@@ -518,10 +695,28 @@ def co_optimize(
             cores, bus_width, widths=widths,
             charge_config=charge_config, cas_policy=cas_policy,
             seed=seed, iterations=iterations,
+            restarts=restarts, seeds=seeds,
+        )
+    if method in ("portfolio", "optimize-portfolio"):
+        from repro.schedule.portfolio import (
+            PortfolioSpec,
+            optimize_portfolio,
+        )
+
+        spec = portfolio
+        if spec is None or spec is True:
+            spec = PortfolioSpec()
+        elif not isinstance(spec, PortfolioSpec):
+            spec = PortfolioSpec.of(spec)
+        return optimize_portfolio(
+            cores, bus_width, widths=widths,
+            charge_config=charge_config, cas_policy=cas_policy,
+            seed=seed, seeds=seeds, spec=spec,
+            jobs=jobs, budget=budget, progress=progress,
         )
     raise ScheduleError(
         f"unknown optimisation method {method!r}; "
-        f"known: auto, bnb, anneal"
+        f"known: auto, bnb, anneal, portfolio"
     )
 
 
@@ -545,11 +740,17 @@ def _co_optimize(
     points: list[ParetoPoint] = []
     schedules: dict[int, Schedule] = {}
     evaluations = 0
+    model_stats = {"hits": 0, "misses": 0, "entries": 0}
+    search_stats = {"hits": 0, "misses": 0}
     for width in sorted(sweep):
         model = CostModel(problem.with_width(width))
         search = _PartitionSearch(model, charge_config)
         schedule = engine(search)
         evaluations += search.evaluations
+        search_stats["hits"] += search.hits
+        search_stats["misses"] += search.evaluations
+        for key, value in model.stats().items():
+            model_stats[key] = model_stats.get(key, 0) + value
         schedules[width] = schedule
         points.append(ParetoPoint(
             bus_width=width,
@@ -565,4 +766,8 @@ def _co_optimize(
         pareto=pareto_front(points),
         evaluations=evaluations,
         schedules=schedules,
+        cache_stats={
+            "cost_model": model_stats,
+            "evaluations": search_stats,
+        },
     )

@@ -50,6 +50,11 @@ class BoundedCache(Generic[K, V]):
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def items(self) -> "list[tuple[K, V]]":
+        """A snapshot of the entries, LRU first, without refreshing
+        recency (picklable -- the portfolio ships these to workers)."""
+        return list(self._entries.items())
+
     def clear(self) -> None:
         self._entries.clear()
 

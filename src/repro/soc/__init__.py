@@ -18,7 +18,12 @@ from repro.soc.library import (
     small_soc,
     make_synthetic_soc,
 )
-from repro.soc.itc02 import d695_like, random_test_params
+from repro.soc.itc02 import (
+    d695_like,
+    p93791_like,
+    random_test_params,
+    t512505_like,
+)
 
 __all__ = [
     "TestMethod",
@@ -29,5 +34,7 @@ __all__ = [
     "small_soc",
     "make_synthetic_soc",
     "d695_like",
+    "p93791_like",
+    "t512505_like",
     "random_test_params",
 ]

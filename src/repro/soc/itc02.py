@@ -16,7 +16,13 @@ claiming to be the published data:
 * ``p22810`` -- twenty-eight cores with a very wide size spread, the
   large industrial-style stress case;
 * ``h953``   -- eight cores dominated by fixed-length (memory-style)
-  BIST tests, where TAM width buys almost nothing.
+  BIST tests, where TAM width buys almost nothing;
+* ``t512505`` -- thirty-one cores dominated by one monster core (the
+  classic "one core sets the floor" shape of the real t512505);
+* ``p93791`` -- one hundred and ten cores, the industrial-scale
+  flagship: a heavy head of scan monsters, a broad middle, a long
+  glue-logic tail and a dozen BIST blocks.  This is the table the
+  parallel optimizer portfolio is sized for.
 
 Each family member exists in two forms:
 
@@ -85,6 +91,71 @@ def _bist_row(name: str, fixed_cycles: int) -> tuple:
     return (name, TestMethod.BIST, 0, 0, 1, fixed_cycles)
 
 
+def _t512505_rows() -> tuple:
+    """The t512505-proportioned table: one monster, thirty satellites.
+
+    The defining feature of the real t512505 is a single core so large
+    it sets the test-time floor at every width; everything else is
+    about packing the remaining cores into its shadow.  Rows are
+    generated from a fixed literal seed, so the table is as immutable
+    as a hand-written tuple.
+    """
+    rng = random.Random("itc02-t512505")
+    rows = [_scan_row("t1", 23790, 210, 32)]
+    for index in range(2, 26):
+        rows.append(_scan_row(
+            f"t{index}",
+            rng.randint(150, 2400),
+            rng.randint(12, 130),
+            rng.choice((1, 2, 2, 4, 4, 8)),
+        ))
+    for index in range(26, 32):
+        rows.append(_bist_row(f"t{index}", rng.choice(
+            (1024, 2048, 3072, 4096, 6144, 8192)
+        )))
+    return tuple(rows)
+
+
+def _p93791_rows() -> tuple:
+    """The p93791-proportioned table: 110 cores, industrial scale.
+
+    Shaped like the real flagship benchmark: a handful of scan
+    monsters that dominate any schedule, a broad band of mid-sized
+    cores, a long tail of narrow glue logic, and a dozen autonomous
+    BIST blocks.  Generated from a fixed literal seed (see
+    :func:`_t512505_rows`); the partition space is what matters here,
+    not any individual row.
+    """
+    rng = random.Random("itc02-p93791")
+    rows = []
+    for index in range(1, 9):  # scan monsters
+        rows.append(_scan_row(
+            f"q{index}",
+            rng.randint(3200, 5600),
+            rng.randint(60, 230),
+            rng.choice((16, 16, 32)),
+        ))
+    for index in range(9, 49):  # mid-sized band
+        rows.append(_scan_row(
+            f"q{index}",
+            rng.randint(600, 2600),
+            rng.randint(30, 160),
+            rng.choice((4, 8, 8, 16)),
+        ))
+    for index in range(49, 99):  # glue-logic tail
+        rows.append(_scan_row(
+            f"q{index}",
+            rng.randint(20, 550),
+            rng.randint(10, 80),
+            rng.choice((1, 1, 2, 2, 4)),
+        ))
+    for index in range(99, 111):  # BIST blocks
+        rows.append(_bist_row(f"q{index}", rng.choice(
+            (512, 1024, 2048, 3072, 4096, 6144, 8192, 12288)
+        )))
+    return tuple(rows)
+
+
 _TABLES: dict[str, tuple] = {
     "d695": tuple(
         _scan_row(name, flops, patterns, max_wires)
@@ -149,12 +220,17 @@ _TABLES: dict[str, tuple] = {
         _scan_row("h7", 377, 28, 2),
         _bist_row("h8", 2048),
     ),
+    # Thirty-one cores under one monster: the t512505 shape.
+    "t512505": _t512505_rows(),
+    # One hundred and ten cores: the industrial-scale flagship.
+    "p93791": _p93791_rows(),
 }
 
 
 def benchmark_names() -> tuple[str, ...]:
-    """The ITC'02-style family members, canonical order."""
-    return ("d695", "g1023", "p22810", "h953")
+    """The ITC'02-style family members, canonical order (small to
+    industrial-scale)."""
+    return ("d695", "g1023", "p22810", "h953", "t512505", "p93791")
 
 
 def workload(name: str) -> list[CoreTestParams]:
@@ -198,6 +274,16 @@ def p22810_like() -> list[CoreTestParams]:
 def h953_like() -> list[CoreTestParams]:
     """The synthetic h953-proportioned BIST-heavy workload."""
     return workload("h953")
+
+
+def t512505_like() -> list[CoreTestParams]:
+    """The synthetic t512505-proportioned one-monster workload."""
+    return workload("t512505")
+
+
+def p93791_like() -> list[CoreTestParams]:
+    """The synthetic p93791-proportioned 110-core workload."""
+    return workload("p93791")
 
 
 def random_test_params(
@@ -248,6 +334,7 @@ def benchmark_soc(
     bus_width: int = 8,
     scale: int = 96,
     seed: int = 1,
+    max_cores: int = 32,
 ) -> SocSpec:
     """A simulatable SoC proportioned like one family member.
 
@@ -257,12 +344,28 @@ def benchmark_soc(
     backend).  The relative magnitudes -- which cores are scan-heavy,
     which are fixed-duration BIST -- survive the scaling, so schedule
     shapes match the abstract table's.
+
+    Industrial-scale tables (``p93791`` is 110 cores) are sampled
+    down to ``max_cores`` by a deterministic stride over the table, so
+    the method mix and size spread survive while the cycle-accurate
+    simulator and the fault-diagnosis property tests stay fast; the
+    *abstract* tables (:func:`workload`) are never sampled -- the
+    optimizer portfolio always sees the full partition space.
     """
     rows = _TABLES.get(name)
     if rows is None:
         known = ", ".join(benchmark_names())
         raise ConfigurationError(
             f"unknown ITC'02-style workload {name!r}; known: {known}"
+        )
+    if max_cores < 1:
+        raise ConfigurationError(
+            f"max_cores must be >= 1, got {max_cores}"
+        )
+    if len(rows) > max_cores:
+        stride = len(rows) / max_cores
+        rows = tuple(
+            rows[int(index * stride)] for index in range(max_cores)
         )
     cores: list[CoreSpec] = []
     for index, (core_name, method, flops, patterns, max_wires,

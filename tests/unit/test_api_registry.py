@@ -25,7 +25,7 @@ EXPECTED_ARCHITECTURES = {
 }
 EXPECTED_SCHEDULERS = {
     "greedy", "exhaustive", "balanced-lpt", "preemptive", "reconfig",
-    "optimize-bnb", "optimize-anneal",
+    "optimize-bnb", "optimize-anneal", "optimize-portfolio",
 }
 
 

@@ -198,6 +198,54 @@ class TestOptimize:
         assert code == 2
         assert "bus width" in capsys.readouterr().err
 
+    def test_json_carries_cache_stats(self, capsys):
+        code = main(["optimize", "small", "--method", "bnb", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["cache_stats"]
+        assert stats["cost_model"]["misses"] > 0
+        assert stats["evaluations"]["misses"] == payload["evaluations"]
+
+    def test_portfolio_json_identical_across_jobs(self, capsys):
+        payloads = []
+        for jobs in ("1", "2"):
+            code = main([
+                "optimize", "itc02-d695", "-w", "8", "--widths", "8",
+                "--method", "portfolio", "--budget", "400",
+                "--jobs", jobs, "--json",
+            ])
+            assert code == 0
+            payloads.append(json.loads(capsys.readouterr().out))
+        assert payloads[0] == payloads[1]
+        assert payloads[0]["method"] == "optimize-portfolio"
+        assert "shared_cache" in payloads[0]["cache_stats"]
+
+    def test_portfolio_flag_implies_method_and_persists(
+            self, tmp_path, capsys):
+        store = tmp_path / "portfolio.jsonl"
+        code = main([
+            "optimize", "itc02-d695", "-w", "8", "--widths", "8",
+            "--portfolio", "anneal,lns", "--budget", "300",
+            "--quiet", "--store", str(store),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimize-portfolio" in out
+        assert "persisted" in out
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        assert "optimize-portfolio" in capsys.readouterr().out
+
+    def test_portfolio_verbose_progress(self, capsys):
+        code = main([
+            "optimize", "itc02-d695", "-w", "8", "--widths", "8",
+            "--method", "portfolio", "--budget", "300", "--quiet",
+            "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "anneal[0]" in out and "round 0" in out
+
 
 class TestSeededWorkloads:
     def test_seed_builds_reproducible_random_soc(self, capsys):

@@ -15,6 +15,7 @@ from repro.soc import itc02
 class TestTables:
     @pytest.mark.parametrize("name,count", [
         ("d695", 10), ("g1023", 14), ("p22810", 28), ("h953", 8),
+        ("t512505", 31), ("p93791", 110),
     ])
     def test_family_members_well_formed(self, name, count):
         cores = itc02.workload(name)
@@ -34,17 +35,31 @@ class TestTables:
         assert itc02.g1023_like() == itc02.workload("g1023")
         assert itc02.p22810_like() == itc02.workload("p22810")
         assert itc02.h953_like() == itc02.workload("h953")
+        assert itc02.t512505_like() == itc02.workload("t512505")
+        assert itc02.p93791_like() == itc02.workload("p93791")
 
     def test_h953_is_bist_dominated(self):
         cores = itc02.h953_like()
         bist = [c for c in cores if c.method == TestMethod.BIST]
         assert len(bist) > len(cores) / 2
 
+    def test_industrial_tables_have_scale(self):
+        """The portfolio's targets: a dominant monster core in
+        t512505, 100+ cores with a dozen BIST blocks in p93791."""
+        t512505 = itc02.t512505_like()
+        tallest = max(t512505, key=lambda core: core.flops)
+        others = [core.flops for core in t512505 if core is not tallest]
+        assert tallest.flops > 4 * max(others)
+        p93791 = itc02.p93791_like()
+        assert len(p93791) >= 100
+        bist = [c for c in p93791 if c.method == TestMethod.BIST]
+        assert len(bist) >= 10
+
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigurationError, match="known:"):
-            itc02.workload("t512505")
+            itc02.workload("z9999")
         with pytest.raises(ConfigurationError, match="known:"):
-            itc02.benchmark_soc("t512505")
+            itc02.benchmark_soc("z9999")
 
 
 class TestSeededRandomness:
@@ -89,7 +104,8 @@ class TestSimulatableSocs:
     def test_benchmark_socs_validate(self, name):
         soc = itc02.benchmark_soc(name)
         soc.validate()
-        assert len(soc.cores) == len(itc02.workload(name))
+        # Industrial tables sample down to the simulatable cap.
+        assert len(soc.cores) == min(32, len(itc02.workload(name)))
         assert all(core.p <= soc.bus_width for core in soc.cores)
 
     def test_benchmark_soc_preserves_method_mix(self):

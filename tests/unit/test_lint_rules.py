@@ -1,10 +1,18 @@
-"""The project lint's RL005 rule: no scalar per-scenario loops.
+"""The project lint's RL005 and RL006 rules.
 
 RL005 exists because the batch kernel makes the obvious
 ``for scenario in scenarios: executor.run_plan(...)`` loop an
 anti-pattern everywhere a batch path is available; the rule flags it
 in product modules while honouring explicit ``RL005`` waivers (the
 fallback loop inside ``run_batch`` itself, benchmark baselines).
+
+RL006 guards the portfolio's determinism contract: inside
+``repro.schedule``, generators must come from ``SeedStream.rng(...)``
+(a pure function of coordinates), never from direct
+``random.Random(...)`` construction -- seeded or not -- because a
+generator minted mid-search couples results to draw order and worker
+count.  The single sanctioned site in ``seeds.py`` carries an
+``RL006`` waiver comment.
 """
 
 from __future__ import annotations
@@ -74,6 +82,69 @@ class TestRl005:
         )) == []
 
     def test_tests_are_exempt(self, lint):
+        assert lint.is_test_path(Path("tests/unit/test_x.py"))
+        assert lint.is_test_path(Path("test_standalone.py"))
+        assert not lint.is_test_path(Path("src/repro/sim/batch.py"))
+
+
+def _check_rl006(lint, source: str):
+    tree = ast.parse(source)
+    return lint.check_schedule_randomness(
+        Path("src/repro/schedule/example.py"), tree, source.splitlines()
+    )
+
+
+class TestRl006:
+    def test_flags_seeded_construction(self, lint):
+        """Mutation test: RL001 would pass a seeded Random; RL006 must
+        still flag it inside repro.schedule."""
+        problems = _check_rl006(lint, "rng = random.Random(42)\n")
+        assert len(problems) == 1
+        assert "RL006" in problems[0]
+        assert "SeedStream" in problems[0]
+
+    def test_flags_unseeded_and_bare_construction(self, lint):
+        assert len(_check_rl006(lint, "rng = random.Random()\n")) == 1
+        assert len(_check_rl006(
+            lint, "from random import Random\nrng = Random(7)\n"
+        )) == 1
+
+    def test_waiver_on_line_or_preceding_line(self, lint):
+        assert _check_rl006(
+            lint, "rng = random.Random(token)  # RL006: sanctioned\n"
+        ) == []
+        assert _check_rl006(lint, (
+            "# RL006: the one sanctioned construction site.\n"
+            "rng = random.Random(token)\n"
+        )) == []
+
+    def test_ignores_stream_usage(self, lint):
+        assert _check_rl006(lint, (
+            "rng = stream.rng('anneal', width, restart)\n"
+            "value = rng.random()\n"
+        )) == []
+
+    def test_scoped_to_schedule_package(self, lint):
+        assert lint._in_schedule_package(
+            Path("src/repro/schedule/portfolio.py")
+        )
+        assert not lint._in_schedule_package(
+            Path("src/repro/soc/itc02.py")
+        )
+
+    def test_seeds_module_is_the_only_waiver(self, lint):
+        """The sanctioned site exists, is waived, and is unique."""
+        root = _SCRIPT.parents[1]
+        schedule = root / "src" / "repro" / "schedule"
+        waivers = []
+        for path in sorted(schedule.rglob("*.py")):
+            source = path.read_text()
+            if "RL006" in source:
+                waivers.append(path.name)
+            assert lint.lint_file(path) == [], path
+        assert waivers == ["seeds.py"]
+
+    def test_path_scope(self, lint):
         assert lint.is_test_path(Path("tests/unit/test_x.py"))
         assert lint.is_test_path(Path("test_standalone.py"))
         assert not lint.is_test_path(Path("src/repro/sim/batch.py"))

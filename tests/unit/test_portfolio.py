@@ -1,0 +1,227 @@
+"""Property suite for the parallel optimizer portfolio.
+
+The four contracts the portfolio ships with:
+
+* **never worse than greedy** on random SoCs -- every stochastic unit
+  starts from (or continues) the greedy partition and only ever keeps
+  improvements;
+* **equal to ``optimize_bnb``** on small problems -- the spec
+  auto-adds one exact branch-and-bound unit per width within
+  ``exact_limit``, so optimality there is structural;
+* **byte-identical ``OptimizeOutcome`` for a fixed seed regardless of
+  worker count** -- units draw from fixed seed coordinates and merge
+  at a round barrier in fixed order, so ``jobs`` can only change
+  wall-clock time;
+* **Pareto dominance invariants** -- no front point dominates another,
+  and the front is sorted by width.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.schedule.optimize import optimize_bnb
+from repro.schedule.portfolio import (
+    PortfolioSpec,
+    _canon,
+    optimize_portfolio,
+)
+from repro.schedule.scheduler import schedule_greedy
+from repro.schedule.seeds import SeedStream
+from repro.soc.itc02 import g1023_like, random_test_params
+
+#: A cheap spec for property tests: one round, one start per strategy.
+_FAST = PortfolioSpec(starts=1, rounds=1, iterations=120)
+
+
+def _outcome_fingerprint(outcome):
+    """Every observable field of an OptimizeOutcome, deep-compared."""
+    return (
+        outcome.method,
+        outcome.evaluations,
+        outcome.cache_stats,
+        outcome.pareto,
+        {
+            width: (
+                schedule.test_cycles,
+                schedule.config_cycles_total,
+                tuple(
+                    tuple(entry.params.name for entry in session.entries)
+                    for session in schedule.sessions
+                ),
+            )
+            for width, schedule in outcome.schedules.items()
+        },
+    )
+
+
+class TestNeverWorseThanGreedy:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 9), st.integers(1, 12))
+    def test_random_socs(self, seed, num_cores, width):
+        cores = random_test_params(seed, num_cores=num_cores)
+        greedy = schedule_greedy(cores, width)
+        outcome = optimize_portfolio(
+            cores, width, widths=(width,), spec=_FAST, seed=seed
+        )
+        assert outcome.total_cycles <= greedy.total_cycles
+
+    def test_itc02_scale(self):
+        cores = g1023_like()
+        greedy = schedule_greedy(cores, 16)
+        outcome = optimize_portfolio(
+            cores, 16, widths=(16,), spec=_FAST, budget=600
+        )
+        assert outcome.total_cycles <= greedy.total_cycles
+
+
+class TestMatchesBnbOnSmallProblems:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6), st.integers(1, 8))
+    def test_certified_totals(self, seed, num_cores, width):
+        cores = random_test_params(seed, num_cores=num_cores)
+        exact = optimize_bnb(cores, width, widths=(width,))
+        outcome = optimize_portfolio(
+            cores, width, widths=(width,), spec=_FAST, seed=seed
+        )
+        assert outcome.total_cycles == exact.total_cycles
+        assert outcome.cache_stats["certified_widths"] == [width]
+
+    def test_certificate_spans_the_sweep(self):
+        cores = random_test_params(5, num_cores=5)
+        exact = optimize_bnb(cores, 8)
+        outcome = optimize_portfolio(cores, 8, spec=_FAST)
+        assert outcome.pareto == exact.pareto
+        assert outcome.cache_stats["certified_widths"] == [1, 2, 4, 8]
+
+    def test_no_certificate_beyond_exact_limit(self):
+        outcome = optimize_portfolio(
+            g1023_like(), 8, widths=(8,), spec=_FAST, budget=300
+        )
+        assert outcome.cache_stats["certified_widths"] == []
+
+
+class TestJobsInvariance:
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_outcome_identical_across_worker_counts(self, jobs):
+        cores = random_test_params(11, num_cores=12)
+        kwargs = dict(widths=(4, 8), seed=7, budget=800)
+        serial = optimize_portfolio(cores, 8, jobs=1, **kwargs)
+        fanned = optimize_portfolio(cores, 8, jobs=jobs, **kwargs)
+        assert _outcome_fingerprint(serial) == _outcome_fingerprint(fanned)
+
+    def test_progress_events_identical_across_worker_counts(self):
+        cores = random_test_params(3, num_cores=10)
+        logs = {}
+        for jobs in (1, 2):
+            events = []
+            optimize_portfolio(
+                cores, 8, widths=(8,), seed=1, budget=400, jobs=jobs,
+                progress=events.append,
+            )
+            logs[jobs] = events
+        assert logs[1] == logs[2]
+
+    def test_seed_changes_the_search(self):
+        cores = random_test_params(2, num_cores=14)
+        a = optimize_portfolio(cores, 8, widths=(8,), seed=0, budget=600)
+        b = optimize_portfolio(cores, 8, widths=(8,), seed=1, budget=600)
+        # Different seeds explore differently (stats diverge) even when
+        # both land on good totals.
+        assert (a.cache_stats != b.cache_stats
+                or a.total_cycles != b.total_cycles)
+
+
+class TestParetoInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    def test_no_point_dominates_another(self, seed, num_cores):
+        cores = random_test_params(seed, num_cores=num_cores)
+        outcome = optimize_portfolio(cores, 8, spec=_FAST, seed=seed)
+        front = outcome.pareto
+        widths = [point.bus_width for point in front]
+        assert widths == sorted(widths)
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (
+                    a.bus_width <= b.bus_width
+                    and a.config_bits <= b.config_bits
+                    and a.total_cycles <= b.total_cycles
+                    and (
+                        a.bus_width < b.bus_width
+                        or a.config_bits < b.config_bits
+                        or a.total_cycles < b.total_cycles
+                    )
+                )
+                assert not dominates, (a, b)
+
+
+class TestSpec:
+    def test_of_accepts_names_and_sequences(self):
+        assert PortfolioSpec.of("anneal").strategies == ("anneal",)
+        assert PortfolioSpec.of("anneal, lns").strategies == (
+            "anneal", "lns",
+        )
+        assert PortfolioSpec.of(["genetic"]).strategies == ("genetic",)
+        spec = PortfolioSpec(starts=3)
+        assert PortfolioSpec.of(spec) is spec
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ScheduleError, match="known:"):
+            PortfolioSpec(strategies=("gradient-descent",))
+        with pytest.raises(ScheduleError, match="known:"):
+            PortfolioSpec.of("")
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ScheduleError):
+            PortfolioSpec(starts=0)
+        with pytest.raises(ScheduleError):
+            PortfolioSpec(rounds=0)
+        with pytest.raises(ScheduleError):
+            optimize_portfolio(g1023_like(), 8, jobs=0)
+        with pytest.raises(ScheduleError):
+            optimize_portfolio(g1023_like(), 8, budget=0)
+
+    def test_exact_unit_leads_the_grid(self):
+        spec = PortfolioSpec(starts=1)
+        assert spec.units(4)[0] == ("bnb", 0)
+        assert ("bnb", 0) not in spec.units(40)
+        assert spec.units(0) == []
+
+
+class TestSeedStream:
+    def test_rng_is_pure_function_of_coordinates(self):
+        stream = SeedStream(42)
+        a = stream.rng("anneal", 8, 0).random()
+        b = stream.rng("anneal", 8, 0).random()
+        assert a == b
+        assert stream.rng("anneal", 8, 1).random() != a
+
+    def test_child_namespaces_do_not_collide(self):
+        stream = SeedStream(0)
+        assert (stream.child("portfolio").rng(1).random()
+                != stream.rng(1).random())
+        assert stream.child("a").token(1) == stream.token("a", 1)
+
+    def test_equality_and_normalisation(self):
+        from repro.schedule.seeds import as_seed_stream
+
+        assert SeedStream(5) == SeedStream("5") == as_seed_stream(5)
+        stream = SeedStream("root")
+        assert as_seed_stream(stream) is stream
+
+
+class TestCanonicalPartitions:
+    def test_canon_is_order_free(self):
+        assert _canon([[3, 1], [2]]) == _canon([[2], [1, 3]])
+        assert _canon([]) == ()
+
+    def test_empty_workload(self):
+        outcome = optimize_portfolio([], 4, spec=_FAST)
+        assert outcome.total_cycles == 0
+        assert outcome.evaluations == 0
