@@ -1,0 +1,149 @@
+"""Observability overhead: near-free disabled, cheap when tracing.
+
+``repro.obs`` instruments every hot path (executor phases, batch
+dispatches, cache events), which is only acceptable if the
+instrumentation is close to free.  Two gates:
+
+* disabled, the combined cost of every span/metric site a traced run
+  touches stays under ``OBS_DISABLED_GATE`` percent of that run's
+  wall time (default 2%) -- a disabled site is one global read plus
+  an identity check;
+* enabled with an in-memory sink, the same cycle-accurate run slows
+  down by at most ``OBS_ENABLED_GATE`` percent (default 10%).
+
+CI smoke jobs on shared runners export looser gates (jitter must not
+flake the build); the defaults are the local PR gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import obs
+from repro.analysis.tables import format_table
+from repro.core.tam import CasBusTamDesign
+from repro.obs import MemorySink
+from repro.sim.session import SessionExecutor
+from repro.sim.system import build_system
+from repro.soc.library import fig1_soc
+
+from conftest import emit
+
+DISABLED_GATE_PCT = float(os.environ.get("OBS_DISABLED_GATE", "2.0"))
+ENABLED_GATE_PCT = float(os.environ.get("OBS_ENABLED_GATE", "10.0"))
+
+#: Per-sample executions / timed samples: the comparison uses the best
+#: sample, so scheduler noise inflates neither side.
+RUNS_PER_SAMPLE = 3
+SAMPLES = 7
+
+
+def _plan_and_soc():
+    soc = fig1_soc()
+    plan = CasBusTamDesign.for_soc(soc).executable_plan()
+    return soc, plan
+
+
+def _best_sample_seconds(soc, plan) -> float:
+    """Best-of-N seconds for RUNS_PER_SAMPLE plan executions."""
+    best = float("inf")
+    for _ in range(SAMPLES):
+        start = time.perf_counter()
+        for _ in range(RUNS_PER_SAMPLE):
+            executor = SessionExecutor(build_system(soc),
+                                       backend="kernel")
+            executor.run_plan(plan)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _event_counts(soc, plan) -> "tuple[int, int]":
+    """(spans, metric events) one plan execution emits when traced."""
+    with obs.capture() as collector:
+        SessionExecutor(build_system(soc),
+                        backend="kernel").run_plan(plan)
+    snapshot = collector.metrics.snapshot()
+    metric_events = sum(snapshot["counters"].values()) + sum(
+        entry["count"] for entry in snapshot["histograms"].values()
+    )
+    return len(collector.spans()), metric_events
+
+
+def _per_call_disabled_cost() -> "tuple[float, float]":
+    """Seconds per disabled span / disabled metric call."""
+    assert not obs.enabled()
+    loops = 20_000
+    start = time.perf_counter()
+    for _ in range(loops):
+        with obs.span("bench.noop", item=1):
+            pass
+    span_cost = (time.perf_counter() - start) / loops
+    start = time.perf_counter()
+    for _ in range(loops):
+        obs.counter("bench.noop").inc()
+    metric_cost = (time.perf_counter() - start) / loops
+    return span_cost, metric_cost
+
+
+def test_disabled_sites_are_near_free(benchmark):
+    """The instrumentation footprint of an untraced run is < 2%."""
+    obs.shutdown()
+    soc, plan = _plan_and_soc()
+
+    def run():
+        _best_sample_seconds(soc, plan)  # cache warmup
+        run_s = _best_sample_seconds(soc, plan) / RUNS_PER_SAMPLE
+        spans, metric_events = _event_counts(soc, plan)
+        obs.shutdown()
+        span_cost, metric_cost = _per_call_disabled_cost()
+        footprint_s = spans * span_cost + metric_events * metric_cost
+        return run_s, spans, metric_events, footprint_s
+
+    run_s, spans, metric_events, footprint_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    share_pct = 100.0 * footprint_s / run_s
+    emit(format_table(
+        ("quantity", "value"),
+        [
+            ("run wall time", f"{run_s * 1e3:.2f} ms"),
+            ("span sites hit", str(spans)),
+            ("metric events", str(metric_events)),
+            ("disabled footprint", f"{footprint_s * 1e6:.1f} us"),
+            ("share of run", f"{share_pct:.3f} %"),
+        ],
+        title="disabled observability footprint -- fig-1 SoC",
+    ))
+    assert share_pct <= DISABLED_GATE_PCT, (
+        f"disabled obs footprint {share_pct:.2f}% "
+        f"> {DISABLED_GATE_PCT}% of the run"
+    )
+
+
+def test_enabled_tracing_overhead(benchmark):
+    """A full in-memory trace costs <= 10% on the simulator path."""
+    obs.shutdown()
+    soc, plan = _plan_and_soc()
+
+    def run():
+        _best_sample_seconds(soc, plan)  # cache warmup
+        plain_s = _best_sample_seconds(soc, plan)
+        with obs.capture(sinks=[MemorySink()]):
+            traced_s = _best_sample_seconds(soc, plan)
+        return plain_s, traced_s
+
+    plain_s, traced_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead_pct = 100.0 * (traced_s - plain_s) / plain_s
+    emit(format_table(
+        ("mode", "ms / sample", "overhead"),
+        [
+            ("disabled", f"{plain_s * 1e3:.2f}", "--"),
+            ("tracing", f"{traced_s * 1e3:.2f}",
+             f"{overhead_pct:+.1f} %"),
+        ],
+        title="tracing overhead (MemorySink) -- fig-1 SoC",
+    ))
+    assert overhead_pct <= ENABLED_GATE_PCT, (
+        f"tracing overhead {overhead_pct:.1f}% > {ENABLED_GATE_PCT}%"
+    )

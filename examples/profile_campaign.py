@@ -1,0 +1,77 @@
+"""Observing a run: spans, metrics, traces, and the profile view.
+
+Demonstrates the ``repro.obs`` layer end to end:
+
+1. capture a traced campaign -- every executor phase, batch dispatch
+   and store append becomes a nested span, every cache hit a counter;
+2. print the aggregated profile (where did the time go?);
+3. export the same trace as JSONL and read it back;
+4. check the identity contract: tracing never changes a result.
+
+The same flows are available headless:
+
+    python -m repro profile run fig1
+    python -m repro sweep fig1 --campaign demo --trace trace.jsonl
+    python -m repro sweep itc02-d695 --campaign big --dashboard
+
+Run:  python examples/profile_campaign.py
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro import obs
+from repro.campaign import Campaign
+
+ARTIFACTS = Path("artifacts")
+STORE_DIR = ARTIFACTS / "profile_campaign"
+TRACE = ARTIFACTS / "profile_campaign_trace.jsonl"
+
+
+def fresh_campaign(name: str) -> Campaign:
+    return Campaign.sweep(
+        name,
+        ["fig1"],
+        architectures=("casbus",),
+        bus_widths=(None, 8),
+        store_dir=STORE_DIR,
+    )
+
+
+def main() -> None:
+    shutil.rmtree(STORE_DIR, ignore_errors=True)  # deterministic demo
+    ARTIFACTS.mkdir(exist_ok=True)
+
+    # -- 1. Trace a campaign: scoped collector + JSONL export.
+    with obs.capture(sinks=[obs.JsonlSink(TRACE)]) as collector:
+        report = fresh_campaign("traced").run(parallel=False)
+        collector.close()
+    print(report.summary())
+
+    # -- 2. The aggregated profile: span tree rolled up by name.
+    print()
+    print(obs.format_profile(collector.spans(),
+                             collector.metrics.snapshot()))
+
+    # -- 3. The exported trace round-trips.
+    spans, metrics = obs.read_trace(TRACE)
+    roots = [span for span in spans if span.parent_id is None]
+    print(f"\ntrace: {len(spans)} spans ({len(roots)} roots) "
+          f"+ {len(metrics['counters'])} counters -> {TRACE}")
+    assert {span.name for span in roots} == {"campaign.run"}
+    assert any(span.name == "executor.session" for span in spans)
+
+    # -- 4. Tracing is identity-neutral: same results, same bytes.
+    untraced = fresh_campaign("untraced").run(parallel=False)
+    traced_bytes = [json.dumps(r.to_dict(), sort_keys=True)
+                    for r in report.results]
+    untraced_bytes = [json.dumps(r.to_dict(), sort_keys=True)
+                      for r in untraced.results]
+    assert traced_bytes == untraced_bytes
+    print("identity check: traced and untraced results are "
+          "byte-identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,14 @@ auditable.  Four checks, each with a stable id:
   hashing keeps portfolio results independent of worker count and
   draw order.  The one sanctioned construction site
   (``seeds.py``) carries ``RL006`` on the line.
+* ``RL007`` -- no ``print(...)`` and no self-built timers
+  (``time.perf_counter``/``time.monotonic``/``time.time``) inside
+  ``src/repro``: user-facing text flows through
+  :class:`repro.obs.Console` and timing through
+  :mod:`repro.obs.timing`, so ``--quiet``/``--json`` stay coherent
+  and every duration is measured the same way.  The sanctioned sites
+  (the console/dashboard rendering layer, the one ``perf_counter``
+  call in ``obs/timing.py``) carry ``RL007`` on the line.
 
 Usage:
     python scripts/lint_repro.py            # lint src/ + scripts/
@@ -64,6 +72,17 @@ CLOCK_CALLS = {
     ("datetime", "utcnow"),
     ("datetime", "today"),
     ("date", "today"),
+}
+
+#: Attribute calls that build an ad-hoc timer (RL007): library code
+#: times work through ``repro.obs.timing`` instead.
+TIMER_CALLS = {
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "time"),
+    ("time", "time_ns"),
 }
 
 
@@ -244,9 +263,56 @@ def check_schedule_randomness(
     return problems
 
 
+def check_print_and_timers(
+    path: Path, tree: ast.AST, source_lines: "list[str]"
+) -> "list[str]":
+    """RL007: ``print`` / hand-rolled timers inside ``src/repro``.
+
+    Library code records spans and metrics; what the user *sees* is
+    the CLI rendering layer's job (:class:`repro.obs.Console`, the
+    sweep dashboard), and what gets *timed* flows through
+    :mod:`repro.obs.timing` so one clock rules every duration.  The
+    sanctioned sites carry ``RL007`` on the offending line.
+    """
+
+    def waived(lineno: int) -> bool:
+        line = (source_lines[lineno - 1]
+                if 0 < lineno <= len(source_lines) else "")
+        return "RL007" in line
+
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if waived(node.lineno) or waived(node.lineno - 1):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            problems.append(
+                f"{path}:{node.lineno}: RL007 print() in library code "
+                f"(render through repro.obs.Console so --quiet/--json "
+                f"stay coherent; sanctioned rendering sites carry "
+                f"RL007 on the line)"
+            )
+        name = _call_name(node)
+        if name in TIMER_CALLS:
+            problems.append(
+                f"{path}:{node.lineno}: RL007 ad-hoc timer "
+                f"{name[0]}.{name[1]}() (time through "
+                f"repro.obs.timing -- stopwatch() / perf_seconds(); "
+                f"the one sanctioned site carries RL007 on the line)"
+            )
+    return problems
+
+
 def _in_schedule_package(path: Path) -> bool:
     normalized = str(path).replace("\\", "/")
     return "repro/schedule/" in normalized
+
+
+def _in_repro_package(path: Path) -> bool:
+    normalized = str(path).replace("\\", "/")
+    return "src/repro/" in normalized
 
 
 def lint_file(path: Path) -> "list[str]":
@@ -269,6 +335,9 @@ def lint_file(path: Path) -> "list[str]":
     if not is_test_path(path) and _in_schedule_package(path):
         problems += check_schedule_randomness(path, tree,
                                               source.splitlines())
+    if not is_test_path(path) and _in_repro_package(path):
+        problems += check_print_and_timers(path, tree,
+                                           source.splitlines())
     return problems
 
 

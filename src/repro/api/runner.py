@@ -22,11 +22,14 @@ structured :class:`~repro.api.results.RunResult` objects
 from __future__ import annotations
 
 import os
-import time
 from concurrent import futures
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.spans import active as obs_active
+from repro.obs.spans import capture as obs_capture
+from repro.obs.spans import span as obs_span
+from repro.obs.timing import stopwatch
 from repro.api.architectures import WorkloadLike
 from repro.api.experiment import Experiment
 from repro.api.registry import get_architecture, get_scheduler
@@ -52,9 +55,25 @@ def _run_one(experiment: Experiment) -> RunResult:
 
 def _timed_run(experiment: Experiment) -> tuple[RunResult, float]:
     """Pool entry point reporting per-run wall-clock seconds."""
-    start = time.perf_counter()
-    result = experiment.run()
-    return result, time.perf_counter() - start
+    with stopwatch() as watch:
+        result = experiment.run()
+    return result, watch.seconds
+
+
+def _timed_run_captured(
+    experiment: Experiment,
+) -> tuple[RunResult, float, dict]:
+    """Pool entry point that also harvests the worker's telemetry.
+
+    A spawned worker starts with observability disabled (the
+    collector is process-global and never pickled), so when the
+    parent is tracing it submits this wrapper instead: the run
+    executes under a scoped collector whose picklable payload rides
+    home with the result for :meth:`Collector.absorb`.
+    """
+    with obs_capture() as collector:
+        result, elapsed = _timed_run(experiment)
+        return result, elapsed, collector.payload()
 
 
 def _default_workers(count: int) -> int:
@@ -135,7 +154,7 @@ def _run_batch_group(
     config = leader.config
     soc = leader.workload.soc
     assert soc is not None
-    start = time.perf_counter()
+    watch = stopwatch()
     try:
         facade = CasBusTamDesign.for_soc(
             soc,
@@ -154,7 +173,7 @@ def _run_batch_group(
         )
     except (ImportError, ConfigurationError):
         return None
-    elapsed = (time.perf_counter() - start) / len(items)
+    elapsed = watch.elapsed / len(items)
     architecture = get_architecture(config.architecture).key
     scheduler = get_scheduler(config.scheduler).name
     executed: list[tuple[RunResult, float]] = []
@@ -238,17 +257,22 @@ def _stream_pool(
             yield index, result, elapsed
         return
     yielded: set[int] = set()
+    # When the parent is tracing, workers run under a scoped collector
+    # and ship their spans/metrics home beside the result; the thread
+    # fallback below shares this process's collector and needs nothing.
+    collector = obs_active()
+    entry = _timed_run if collector is None else _timed_run_captured
     try:
         with futures.ProcessPoolExecutor(max_workers=workers) as executor:
             submitted = {
-                executor.submit(_timed_run, item): index
+                executor.submit(entry, item): index
                 for index, item in enumerate(batch)
             }
             broken = False
             for future in futures.as_completed(submitted):
                 index = submitted[future]
                 try:
-                    result, elapsed = future.result()
+                    outcome = future.result()
                 except (OSError, PermissionError, futures.BrokenExecutor,
                         ConfigurationError):
                     # No subprocesses here (sandbox) or divergent
@@ -257,6 +281,11 @@ def _stream_pool(
                     broken = True
                     executor.shutdown(wait=False, cancel_futures=True)
                     break
+                if collector is None:
+                    result, elapsed = outcome
+                else:
+                    result, elapsed, payload = outcome
+                    collector.absorb(payload)
                 yielded.add(index)
                 yield index, result, elapsed
             if not broken:
@@ -388,7 +417,8 @@ def _run_with_store(
             # A record that fails its own serialization contract must
             # never enter the store: fail loudly before the append.
             verify_record(record).raise_if_failed(hashes[index][:10])
-        store.append(record, replace=rerun)
+        with obs_span("store.append", config_hash=hashes[index][:10]):
+            store.append(record, replace=rerun)
         results[index] = result
         if on_result is not None:
             on_result(batch[index], result, cached=False, elapsed=elapsed)

@@ -31,6 +31,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import counter as obs_counter
+from repro.obs.metrics import histogram as obs_histogram
+from repro.obs.spans import span as obs_span
 from repro.api.experiment import Experiment
 from repro.api.results import RunConfig, RunResult
 from repro.api.runner import run_many, sweep_experiments
@@ -207,19 +210,28 @@ class Campaign:
             nonlocal executed_count, cached_count
             if cached:
                 cached_count += 1
+                obs_counter("campaign.resume_skips").inc()
             else:
                 executed_count += 1
+                obs_histogram("campaign.record_s").observe(elapsed)
             if on_result is not None:
                 on_result(experiment, result, cached=cached, elapsed=elapsed)
 
-        results = run_many(
-            [self.experiments[position] for position in selected],
-            parallel=parallel,
-            max_workers=max_workers,
-            store=self.store,
-            rerun=rerun,
-            on_result=tally,
-        )
+        with obs_span(
+            "campaign.run",
+            campaign=self.name,
+            selected=len(selected),
+            shard=f"{shard[0]}/{shard[1]}" if shard else None,
+        ) as run_span:
+            results = run_many(
+                [self.experiments[position] for position in selected],
+                parallel=parallel,
+                max_workers=max_workers,
+                store=self.store,
+                rerun=rerun,
+                on_result=tally,
+            )
+            run_span.set(executed=executed_count, cached=cached_count)
         return CampaignReport(
             name=self.name,
             store_path=str(self.store.path),

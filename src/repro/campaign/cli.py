@@ -23,7 +23,18 @@ Six verbs drive campaigns headless:
 * ``repro verify`` -- statically audit stores against the
   :mod:`repro.verify` rule set, printing a diagnostics table and
   exiting non-zero when any record violates its serialization
-  contract.
+  contract;
+* ``repro profile`` -- run any other verb under the
+  :mod:`repro.obs` tracer and print where the time went.
+
+Observability: ``--trace out.jsonl`` on run/sweep/diagnose/optimize
+streams every :mod:`repro.obs` span to a JSONL trace (spans observe
+runs, they are not part of them -- results and config hashes are
+byte-identical with tracing on or off), and ``repro sweep
+--dashboard`` renders live progress with rate and ETA.  All human
+output flows through :class:`repro.obs.Console`, so ``--quiet`` /
+``--verbose`` mean the same thing everywhere and ``--json`` keeps
+stdout machine-parseable.
 
 Plus ``repro list`` to discover registered architectures, schedulers
 and workloads (``--architectures``/``--schedulers``/``--workloads``
@@ -46,12 +57,19 @@ it lands in every campaign config hash.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.errors import ConfigurationError, ReproError
 from repro.analysis.tables import format_table
 from repro.api.experiment import Experiment
+from repro.obs import (
+    Console,
+    JsonlSink,
+    SweepDashboard,
+    format_profile,
+)
+from repro.obs import spans as obs_spans
+from repro.obs.timing import stopwatch
 from repro.api.registry import (
     ARCHITECTURES,
     SCHEDULERS,
@@ -128,25 +146,40 @@ def _hash_table(pairs) -> str:
     return format_table(headers, rows)
 
 
-def _progress_printer(args):
+def _progress_printer(args, console: Console):
     if not getattr(args, "verbose", False):
         return None
 
     def echo(experiment, result, *, cached, elapsed):
         state = "cached  " if cached else f"{elapsed:8.3f}s"
-        line = (
+        console.detail(
             f"  {experiment.config_hash()[:HASH_PREFIX]}  {state}  "
             f"{result.workload} / {result.architecture}"
         )
-        print(line, flush=True)
 
     return echo
+
+
+def _compose_progress(*callbacks):
+    """One ``on_result`` fanning out to every non-``None`` callback."""
+    active = [callback for callback in callbacks if callback is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+
+    def fanout(experiment, result, *, cached, elapsed):
+        for callback in active:
+            callback(experiment, result, cached=cached, elapsed=elapsed)
+
+    return fanout
 
 
 # -- verbs -----------------------------------------------------------------
 
 
 def cmd_run(args) -> int:
+    console = Console.from_args(args)
     config = RunConfig(
         architecture=args.architecture,
         scheduler=args.scheduler,
@@ -180,15 +213,16 @@ def cmd_run(args) -> int:
         cached = outcome.get("cached", False)
     if args.json:
         payload = dict(result.to_dict(), hash=experiment.config_hash())
-        print(json.dumps(payload, sort_keys=True, indent=2))
+        console.json(payload)
     else:
-        print(_hash_table([(experiment.config_hash(), result)]))
+        console.result(_hash_table([(experiment.config_hash(), result)]))
         if cached:
-            print("(cached result; pass --rerun to execute again)")
+            console.info("(cached result; pass --rerun to execute again)")
     return 0
 
 
 def cmd_sweep(args) -> int:
+    console = Console.from_args(args)
     store = as_store(args.store) if args.store else None
     campaign = Campaign.sweep(
         args.campaign,
@@ -202,17 +236,33 @@ def cmd_sweep(args) -> int:
         backend=args.store_format,
     )
     shard = parse_shard(args.shard) if args.shard else None
-    report = campaign.run(
-        shard=shard,
-        parallel=not args.serial,
-        max_workers=args.max_workers,
-        rerun=args.rerun,
-        on_result=_progress_printer(args),
-    )
-    print(report.summary())
+    dashboard = None
+    dashboard_progress = None
+    if args.dashboard:
+        dashboard = SweepDashboard(len(campaign.selected_hashes(shard)))
+
+        def dashboard_progress(experiment, result, *, cached, elapsed):
+            dashboard.update(
+                executed=0 if cached else 1, cached=1 if cached else 0
+            )
+
+    try:
+        report = campaign.run(
+            shard=shard,
+            parallel=not args.serial,
+            max_workers=args.max_workers,
+            rerun=args.rerun,
+            on_result=_compose_progress(
+                dashboard_progress, _progress_printer(args, console)
+            ),
+        )
+    finally:
+        if dashboard is not None:
+            dashboard.finish()
+    console.result(report.summary())
     if not args.quiet:
         pairs = zip(campaign.selected_hashes(shard), report.results)
-        print(_hash_table(list(pairs)))
+        console.result(_hash_table(list(pairs)))
     return 0
 
 
@@ -258,7 +308,7 @@ def _diagnosis_table(pairs) -> str:
 SUMMARY_HEADERS = ("kind", "workload", "architecture", "scheduler", "runs")
 
 
-def _report_summary(stores) -> int:
+def _report_summary(stores, console: Console) -> int:
     """The aggregate table: no record is loaded, let alone parsed.
 
     On the SQLite backend this reads the transactionally maintained
@@ -277,17 +327,20 @@ def _report_summary(stores) -> int:
             totals, key=lambda key: tuple(part or "" for part in key)
         )
     ]
-    print(format_table(SUMMARY_HEADERS, rows))
-    print(f"{sum(totals.values())} record(s) from {len(stores)} store(s)")
+    console.result(format_table(SUMMARY_HEADERS, rows))
+    console.result(
+        f"{sum(totals.values())} record(s) from {len(stores)} store(s)"
+    )
     return 0
 
 
 def cmd_report(args) -> int:
     from repro.diagnose.records import is_diagnosis_record
 
+    console = Console.from_args(args)
     stores = [as_store(source) for source in args.stores]
     if args.summary:
-        return _report_summary(stores)
+        return _report_summary(stores, console)
     filtered = any(
         value is not None
         for value in (args.workload, args.architecture, args.scheduler)
@@ -298,6 +351,8 @@ def cmd_report(args) -> int:
     merged = {}
     skipped = 0
     for store in stores:
+        before = len(merged)
+        watch = stopwatch()
         if filtered:
             for record in store.iter_latest(
                 workload=args.workload,
@@ -307,12 +362,18 @@ def cmd_report(args) -> int:
                 merged[record["hash"]] = record
         else:
             merged.update(store.latest())
+        # Long scans on large stores used to be silent; --verbose now
+        # narrates each store as it is read.
+        console.detail(
+            f"  {store.path}: {len(merged) - before} new record(s) "
+            f"in {watch.elapsed:.3f}s"
+        )
         skipped += store.skipped_lines
     if skipped:
-        print(f"warning: skipped {skipped} malformed line(s)", file=sys.stderr)
+        console.warn(f"warning: skipped {skipped} malformed line(s)")
     if args.json:
         records = [merged[h] for h in sorted(merged)]
-        print(json.dumps(records, sort_keys=True, indent=2))
+        console.json(records)
         return 0
     from repro.api.results import RunResult
     from repro.diagnose.records import result_from_record
@@ -325,12 +386,12 @@ def cmd_report(args) -> int:
         else:
             run_pairs.append((config_hash, RunResult.from_dict(record["result"])))
     if run_pairs or not diagnosis_pairs:
-        print(_hash_table(run_pairs))
+        console.result(_hash_table(run_pairs))
     if diagnosis_pairs:
         if run_pairs:
-            print()
-        print(_diagnosis_table(diagnosis_pairs))
-    print(
+            console.result()
+        console.result(_diagnosis_table(diagnosis_pairs))
+    console.result(
         f"{len(run_pairs)} run(s), {len(diagnosis_pairs)} diagnosis "
         f"record(s) from {len(args.stores)} store(s)"
     )
@@ -338,8 +399,6 @@ def cmd_report(args) -> int:
 
 
 def cmd_diagnose(args) -> int:
-    import time
-
     from repro.diagnose.inject import random_scenario
     from repro.diagnose.records import (
         diagnosis_hash,
@@ -348,6 +407,7 @@ def cmd_diagnose(args) -> int:
         result_from_record,
     )
 
+    console = Console.from_args(args)
     config = RunConfig(
         cas_policy=args.policy,
         backend=args.backend,
@@ -390,21 +450,30 @@ def cmd_diagnose(args) -> int:
         record = stored.get(record_hash)
         if record is not None and is_diagnosis_record(record) and not args.rerun:
             result = result_from_record(record)
+            console.detail(f"  {record_hash[:HASH_PREFIX]}  cached")
         else:
-            start = time.perf_counter()
-            result = experiment.diagnose(scenario)
-            elapsed = time.perf_counter() - start
+            with obs_spans.span("diagnose.scenario", seed=scenario_seed):
+                with stopwatch() as watch:
+                    result = experiment.diagnose(scenario)
+            elapsed = watch.seconds
+            console.detail(
+                f"  {record_hash[:HASH_PREFIX]}  {elapsed:8.3f}s  "
+                f"seed {scenario_seed}"
+            )
             if store is not None:
-                store.append(
-                    make_diagnosis_record(
-                        experiment,
-                        scenario,
-                        result,
-                        elapsed_s=elapsed,
-                        config_hash=record_hash,
-                    ),
-                    replace=args.rerun,
-                )
+                with obs_spans.span(
+                    "store.append", config_hash=record_hash[:HASH_PREFIX]
+                ):
+                    store.append(
+                        make_diagnosis_record(
+                            experiment,
+                            scenario,
+                            result,
+                            elapsed_s=elapsed,
+                            config_hash=record_hash,
+                        ),
+                        replace=args.rerun,
+                    )
         pairs.append((record_hash, result))
         rank = result.scenario_rank()
         if result.localized_core == scenario.core and rank is not None:
@@ -418,17 +487,17 @@ def cmd_diagnose(args) -> int:
             dict(result.to_dict(), hash=record_hash)
             for record_hash, result in pairs
         ]
-        print(json.dumps(payload, sort_keys=True, indent=2))
+        console.json(payload)
         return 0
-    print(_diagnosis_table(pairs))
+    console.result(_diagnosis_table(pairs))
     count = len(pairs)
     mean_diag = diagnosis_total / count
     mean_full = full_total / count
-    print(
+    console.result(
         f"localisation accuracy {localized}/{count}, "
         f"true fault in top-5 {in_top5}/{count}"
     )
-    print(
+    console.result(
         f"mean diagnosis cycles {mean_diag:.0f} vs full re-test "
         f"{mean_full:.0f} ({mean_diag / mean_full:.1%})"
     )
@@ -438,6 +507,7 @@ def cmd_diagnose(args) -> int:
 def cmd_verify(args) -> int:
     from repro.verify import VerifyReport, verify_store
 
+    console = Console.from_args(args)
     report = VerifyReport()
     for source in args.stores:
         verify_store(as_store(source), report=report)
@@ -448,24 +518,28 @@ def cmd_verify(args) -> int:
             "ok": not failed,
             "diagnostics": [d.to_dict() for d in report.diagnostics],
         }
-        print(json.dumps(payload, sort_keys=True, indent=2))
+        console.json(payload)
         return 1 if failed else 0
     if report.diagnostics:
-        print(report.table())
-    print(report.summary())
+        console.result(report.table())
+    console.result(report.summary())
     return 1 if failed else 0
 
 
 def cmd_merge(args) -> int:
+    console = Console.from_args(args)
     target = merge_stores(args.stores, args.out)
     count = len(target)
-    print(f"merged {len(args.stores)} store(s) -> {target.path} ({count} runs)")
+    console.result(
+        f"merged {len(args.stores)} store(s) -> {target.path} ({count} runs)"
+    )
     return 0
 
 
 def cmd_migrate(args) -> int:
+    console = Console.from_args(args)
     target = migrate_store(args.store, args.out)
-    print(
+    console.result(
         f"migrated {args.store} -> {target.path} "
         f"({len(target)} runs, {target.format})"
     )
@@ -500,6 +574,7 @@ def cmd_optimize(args) -> int:
     from repro.api.runner import run_many
     from repro.schedule.optimize import BNB_MAX_CORES, co_optimize
 
+    console = Console.from_args(args)
     workload = get_workload(args.workload)
     width = (
         args.bus_width if args.bus_width is not None else workload.bus_width
@@ -525,10 +600,9 @@ def cmd_optimize(args) -> int:
     if args.verbose and method == "portfolio":
 
         def progress(event):
-            print(
+            console.detail(
                 "  round {round}  N={width:>3}  {strategy}[{variant}]  "
-                "total={total}  best={best}".format(**event),
-                flush=True,
+                "total={total}  best={best}".format(**event)
             )
 
     outcome = co_optimize(
@@ -555,24 +629,24 @@ def cmd_optimize(args) -> int:
             "cache_stats": outcome.cache_stats,
             "pareto": [point.to_dict() for point in outcome.pareto],
         }
-        print(json.dumps(payload, sort_keys=True, indent=2))
+        console.json(payload)
     else:
-        print(
+        console.result(
             f"{workload.name}: {outcome.method} on N={width} -> "
             f"{outcome.total_cycles} total cycles "
             f"({outcome.evaluations} session evaluations)"
         )
         model_stats = outcome.cache_stats.get("cost_model")
         if model_stats:
-            print(
+            console.result(
                 "cost-model cache: {hits} hits / {misses} misses "
                 "({entries} entries)".format(**model_stats)
             )
         rows = [_pareto_row(point, width) for point in outcome.pareto]
         title = "Pareto front (bus width / config bits / total cycles)"
-        print(format_table(PARETO_HEADERS, rows, title=title))
+        console.result(format_table(PARETO_HEADERS, rows, title=title))
         if not args.quiet:
-            print(outcome.schedule.describe())
+            console.result(outcome.schedule.describe())
     if args.store is None:
         return 0
     # Persist one experiment per front point through the standard
@@ -601,7 +675,9 @@ def cmd_optimize(args) -> int:
         store=as_store(args.store),
         rerun=args.rerun,
     )
-    print(f"persisted {len(experiments)} Pareto point(s) -> {args.store}")
+    console.result(
+        f"persisted {len(experiments)} Pareto point(s) -> {args.store}"
+    )
     return 0
 
 
@@ -617,6 +693,7 @@ def cmd_list(args) -> int:
     # Importing repro.api.workloads (above) transitively loads the
     # architecture and scheduler modules, so all three registries are
     # populated by the time any listing runs.
+    console = Console.from_args(args)
     detail = (
         ("architectures", ARCHITECTURES, args.architectures),
         ("schedulers", SCHEDULERS, args.schedulers),
@@ -628,10 +705,10 @@ def cmd_list(args) -> int:
             if not selected:
                 continue
             if not first:
-                print()
+                console.result()
             first = False
-            print(f"{title}:")
-            print(_detail_table(registry))
+            console.result(f"{title}:")
+            console.result(_detail_table(registry))
         return 0
     sections = (
         ("architectures", list_architectures()),
@@ -639,13 +716,44 @@ def cmd_list(args) -> int:
         ("workloads", list_workloads()),
     )
     for title, names in sections:
-        print(f"{title}:")
+        console.result(f"{title}:")
         for name in names:
-            print(f"  {name}")
+            console.result(f"  {name}")
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run any other verb under the tracer, then print the profile."""
+    console = Console.from_args(args)
+    cmdline = list(args.cmdline)
+    if cmdline and cmdline[0] == "--":
+        cmdline = cmdline[1:]
+    if not cmdline:
+        raise ConfigurationError(
+            "profile needs a command to run, e.g. "
+            "`repro profile sweep itc02-d695 --serial`"
+        )
+    if cmdline[0] == "profile":
+        raise ConfigurationError("profile cannot profile itself")
+    with obs_spans.capture() as collector:
+        code = main(cmdline)
+    console.result("")
+    console.result(
+        format_profile(collector.spans(), collector.metrics.snapshot())
+    )
+    return code
+
+
 # -- parser ----------------------------------------------------------------
+
+
+def _add_trace_flag(sub) -> None:
+    sub.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.JSONL",
+        help="stream obs spans/metrics to this JSONL trace file",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -682,6 +790,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip static verification at the fail-fast boundaries",
     )
     run.add_argument("--json", action="store_true")
+    run.add_argument("--quiet", action="store_true")
+    run.add_argument("--verbose", action="store_true")
+    _add_trace_flag(run)
     run.set_defaults(func=cmd_run)
 
     sweep = commands.add_parser(
@@ -732,6 +843,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--quiet", action="store_true")
     sweep.add_argument("--verbose", action="store_true")
+    sweep.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="live progress bar with rate and ETA (stderr)",
+    )
+    _add_trace_flag(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     optimize = commands.add_parser(
@@ -812,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the per-session schedule dump",
     )
+    _add_trace_flag(optimize)
     optimize.set_defaults(func=cmd_optimize)
 
     diagnose = commands.add_parser(
@@ -840,6 +958,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diagnose.add_argument("--rerun", action="store_true")
     diagnose.add_argument("--json", action="store_true")
+    diagnose.add_argument("--quiet", action="store_true")
+    diagnose.add_argument("--verbose", action="store_true")
+    _add_trace_flag(diagnose)
     diagnose.set_defaults(func=cmd_diagnose)
 
     report = commands.add_parser("report", help="tabulate stores")
@@ -865,6 +986,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-bucket aggregate counts only, no record loading",
     )
     report.add_argument("--json", action="store_true")
+    report.add_argument("--quiet", action="store_true")
+    report.add_argument(
+        "--verbose",
+        action="store_true",
+        help="narrate per-store row counts and elapsed read time",
+    )
     report.set_defaults(func=cmd_report)
 
     merge = commands.add_parser("merge", help="merge shard stores")
@@ -916,15 +1043,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     listing.set_defaults(func=cmd_list)
 
+    profile = commands.add_parser(
+        "profile",
+        help="run another verb under the obs tracer, print the profile",
+    )
+    profile.add_argument(
+        "cmdline",
+        nargs=argparse.REMAINDER,
+        help="the repro command line to profile",
+    )
+    profile.set_defaults(func=cmd_profile)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    traced = False
+    trace = getattr(args, "trace", None)
+    if trace:
+        if obs_spans.enabled():
+            # `repro profile <cmd> --trace ...`: one collector at a
+            # time; the outer one wins.
+            Console.from_args(args).warn(
+                "warning: tracing already active; --trace ignored"
+            )
+        else:
+            obs_spans.configure(sinks=[JsonlSink(trace)])
+            traced = True
     try:
         return args.func(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        Console.from_args(args).warn(f"error: {error}")
         return 2
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `repro list | head`).
@@ -933,6 +1083,9 @@ def main(argv=None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        if traced:
+            obs_spans.shutdown()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

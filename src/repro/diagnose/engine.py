@@ -296,7 +296,7 @@ class DictionaryEntry:
 
 
 _DICTIONARIES: "BoundedCache[CoreSpec, tuple[DictionaryEntry, ...]]" = (
-    BoundedCache(MAX_CACHED_DICTIONARIES)
+    BoundedCache(MAX_CACHED_DICTIONARIES, name="fault_dictionaries")
 )
 
 

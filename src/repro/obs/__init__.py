@@ -1,0 +1,78 @@
+"""repro.obs -- cross-cutting observability: spans, metrics, sinks.
+
+The instrumentation substrate for every hot path in the repo: the
+session executor phases, batch dispatch, the bounded caches, the
+optimizer portfolio's round barriers, and campaign record loops all
+report here.  Three layers:
+
+* **Spans** (:mod:`repro.obs.spans`): nested, timed sections --
+  ``with obs.span("kernel.dispatch", cores=4): ...`` -- collected
+  thread-safely and harvested across process pools via
+  :func:`capture` / :meth:`Collector.absorb`.
+* **Metrics** (:mod:`repro.obs.metrics`): typed counters / gauges /
+  histograms, either registry-routed (``obs.counter(name).inc()``)
+  or standalone instances owned by identity-sensitive components.
+* **Sinks** (:mod:`repro.obs.sinks`): where spans land --
+  :class:`MemorySink` for tests, :class:`JsonlSink` for ``--trace``
+  export, plus the terminal-facing :class:`SweepDashboard` and
+  :class:`Console` rendering layers.
+
+Disabled is the default and costs one global read per site; nothing
+here ever touches run configuration, so config hashes and
+``RunResult`` payloads are byte-identical with tracing on or off.
+"""
+
+from repro.obs.console import Console
+from repro.obs.dashboard import SweepDashboard
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_event,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.profile import build_tree, format_profile
+from repro.obs.sinks import JsonlSink, MemorySink, read_trace
+from repro.obs.spans import (
+    Collector,
+    SpanRecord,
+    active,
+    capture,
+    configure,
+    enabled,
+    shutdown,
+    span,
+)
+from repro.obs.timing import Stopwatch, perf_seconds, stopwatch
+
+__all__ = [
+    "Collector",
+    "Console",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Stopwatch",
+    "SweepDashboard",
+    "active",
+    "build_tree",
+    "cache_event",
+    "capture",
+    "configure",
+    "counter",
+    "enabled",
+    "format_profile",
+    "gauge",
+    "histogram",
+    "perf_seconds",
+    "read_trace",
+    "shutdown",
+    "span",
+    "stopwatch",
+]

@@ -1,0 +1,32 @@
+"""The one process-global slot holding the active collector.
+
+Kept in its own module so the layering stays acyclic: ``spans`` owns
+the :class:`~repro.obs.spans.Collector` type and installs instances
+here, while ``metrics`` (which ``spans`` imports) can still consult
+the slot to answer "is observability on right now?" without importing
+``spans`` back.
+
+The slot being ``None`` *is* the disabled state -- there is no
+separate flag to keep in sync, and the hot-path check everywhere is a
+single module-attribute read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: The active collector, or ``None`` while observability is disabled.
+ACTIVE: Optional[Any] = None
+
+
+def get() -> Optional[Any]:
+    """The active collector, or ``None`` when disabled."""
+    return ACTIVE
+
+
+def install(collector: Optional[Any]) -> Optional[Any]:
+    """Install ``collector`` (or ``None``); returns the previous one."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = collector
+    return previous

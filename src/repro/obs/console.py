@@ -1,0 +1,82 @@
+"""The CLI rendering layer: the sanctioned ``print`` site (RL007).
+
+Library code never prints -- it records spans and metrics.  Everything
+the user *sees* flows through a :class:`Console`, which gives every
+verb the same three-position verbosity knob and keeps stdout
+machine-parseable under ``--json``:
+
+* ``result``  -- the answer; always shown (stdout).
+* ``info``    -- progress narration; hidden by ``--quiet``.
+* ``detail``  -- per-item noise; shown only with ``--verbose``.
+* ``warn``    -- problems; always shown (stderr).
+* ``json``    -- a JSON document on stdout (the only stdout writer in
+  ``--json`` mode; human text is rerouted to stderr there).
+"""
+
+from __future__ import annotations
+
+import json as _json
+import sys
+from typing import Any, IO, Optional
+
+
+class Console:
+    """Verbosity-aware, json-safe text output for the CLI."""
+
+    def __init__(
+        self,
+        *,
+        quiet: bool = False,
+        verbose: bool = False,
+        json_mode: bool = False,
+        stream: Optional[IO[str]] = None,
+        err_stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.quiet = quiet
+        # --verbose wins over --quiet: quiet mutes narration, verbose
+        # opts into per-item detail, and asking for both means "only
+        # the details, please".
+        self.verbose = verbose
+        self.json_mode = json_mode
+        self._out = stream if stream is not None else sys.stdout
+        self._err = err_stream if err_stream is not None else sys.stderr
+
+    @classmethod
+    def from_args(cls, args: Any) -> "Console":
+        """Build from parsed argparse flags (absent flags default off)."""
+        return cls(
+            quiet=getattr(args, "quiet", False),
+            verbose=getattr(args, "verbose", False),
+            json_mode=getattr(args, "json", False),
+        )
+
+    # -- output levels -----------------------------------------------
+
+    def result(self, text: str = "") -> None:
+        """The command's answer; in ``--json`` mode human-format
+        results are dropped (the JSON document is the answer)."""
+        if not self.json_mode:
+            print(text, file=self._out)  # RL007: console rendering
+
+    def info(self, text: str) -> None:
+        """Progress narration; silenced by ``--quiet``."""
+        if not self.quiet:
+            target = self._err if self.json_mode else self._out
+            print(text, file=target)  # RL007: console rendering
+
+    def detail(self, text: str) -> None:
+        """Per-item chatter; needs ``--verbose``."""
+        if self.verbose:
+            target = self._err if self.json_mode else self._out
+            print(text, file=target)  # RL007: console rendering
+
+    def warn(self, text: str) -> None:
+        """Problems; always visible, never on stdout."""
+        print(text, file=self._err)  # RL007: console rendering
+
+    def json(self, payload: Any, *, indent: int = 2) -> None:
+        """A JSON document on stdout (works in either mode)."""
+        print(  # RL007: console rendering
+            _json.dumps(payload, indent=indent, sort_keys=True),
+            file=self._out,
+        )

@@ -1,0 +1,124 @@
+"""Live terminal dashboard for sweeps and campaigns (RL007 waived).
+
+One updating status line on a TTY::
+
+    [=============>------------]  42/80  52% | 30 run, 12 cached | 2.6 rec/s | ETA 0:15
+
+On a non-TTY stream (CI logs, pipes) the in-place rewrite would smear
+control characters everywhere, so the dashboard degrades to plain
+progress lines at coarse intervals instead.  Rendering is throttled to
+:data:`MIN_REDRAW_S` so a fast cache-replay sweep doesn't spend its
+time painting the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.obs.timing import perf_seconds
+
+BAR_WIDTH = 26
+MIN_REDRAW_S = 0.1
+PLAIN_STEP = 10  # non-TTY: one line every N percent
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+class SweepDashboard:
+    """Progress over a known number of records, rate, and ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.total = max(total, 0)
+        self.done = 0
+        self.executed = 0
+        self.cached = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._start = perf_seconds()
+        self._last_draw = 0.0
+        self._last_plain_pct = -PLAIN_STEP
+        self._line_len = 0
+
+    def update(
+        self,
+        *,
+        executed: int = 0,
+        cached: int = 0,
+        label: str = "",
+    ) -> None:
+        """Record one finished unit and redraw (throttled)."""
+        self.done += executed + cached
+        self.executed += executed
+        self.cached += cached
+        now = perf_seconds()
+        if self._tty:
+            if now - self._last_draw >= MIN_REDRAW_S or self.done >= self.total:
+                self._last_draw = now
+                self._draw(label)
+        else:
+            pct = self._percent()
+            if pct - self._last_plain_pct >= PLAIN_STEP or self.done >= self.total:
+                self._last_plain_pct = pct
+                print(  # RL007: console rendering
+                    self._status(label), file=self._stream, flush=True
+                )
+
+    def finish(self) -> None:
+        """Final redraw and, on a TTY, terminate the status line."""
+        if self._tty:
+            self._draw("")
+            print(file=self._stream)  # RL007: console rendering
+        else:
+            print(  # RL007: console rendering
+                self._status("done"), file=self._stream, flush=True
+            )
+
+    # -- rendering ---------------------------------------------------
+
+    def _percent(self) -> int:
+        if not self.total:
+            return 100
+        return int(100 * self.done / self.total)
+
+    def _status(self, label: str) -> str:
+        elapsed = perf_seconds() - self._start
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - self.done
+        eta = _format_eta(remaining / rate) if rate > 0 else "-:--"
+        text = (
+            f"{self.done}/{self.total} {self._percent():3d}%"
+            f" | {self.executed} run, {self.cached} cached"
+            f" | {rate:.1f} rec/s | ETA {eta}"
+        )
+        if label:
+            text += f" | {label}"
+        return text
+
+    def _draw(self, label: str) -> None:
+        fill = (
+            BAR_WIDTH
+            if not self.total
+            else int(BAR_WIDTH * self.done / self.total)
+        )
+        fill = min(fill, BAR_WIDTH)
+        head = ">" if 0 < fill < BAR_WIDTH else ""
+        bar = "=" * (fill - len(head)) + head + "-" * (BAR_WIDTH - fill)
+        line = f"[{bar}] {self._status(label)}"
+        pad = max(self._line_len - len(line), 0)
+        self._line_len = len(line)
+        print(  # RL007: console rendering
+            "\r" + line + " " * pad,
+            end="",
+            file=self._stream,
+            flush=True,
+        )

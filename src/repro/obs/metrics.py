@@ -1,0 +1,227 @@
+"""Typed metrics: counters, gauges, histograms, and their registry.
+
+Two usage modes share these types:
+
+* **Registry-bound** -- ``obs.counter("cache.atpg.hits").inc()``
+  routes through the active collector's :class:`MetricsRegistry`; when
+  observability is disabled the module helpers hand back shared no-op
+  instances, so call sites never branch.
+* **Standalone** -- identity-sensitive components own their instances
+  directly (:class:`~repro.schedule.model.CostModel` keeps its
+  hit/miss counters as plain :class:`Counter` objects), so their
+  reported stats stay a pure function of the work they did, never of
+  whatever else the process observed.
+
+Registries are process-local.  For multiprocess collection a worker
+returns :meth:`MetricsRegistry.snapshot` (JSON-ready, picklable) and
+the parent folds it in with :meth:`MetricsRegistry.merge`: counters
+and histograms accumulate, gauges keep the merged-last value.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.obs import _state
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max).
+
+    Deliberately bucket-free: the consumers (profile tables, the
+    bench gate, the dashboard) want means and extremes, and a fixed
+    bucket layout would be one more thing to version in traces.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Noop:
+    """Absorbs every metric call; handed out while obs is disabled."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NOOP_METRIC = _Noop()
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with snapshot/merge for multiprocess use.
+
+    Get-or-create is locked; the returned metric objects mutate
+    without a lock -- CPython's atomic attribute stores make lost
+    updates a non-issue for the statistics these feed, and the hot
+    paths (cache hits inside compiled-kernel runs) cannot afford a
+    lock round trip per increment.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter())
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge())
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(name, Histogram())
+        return metric
+
+    def snapshot(self) -> dict:
+        """JSON-ready (and picklable) state, keys sorted for stable
+        serialization."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name].value
+                    for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name].value
+                    for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: {
+                        "count": hist.count,
+                        "total": hist.total,
+                        "min": hist.min,
+                        "max": hist.max,
+                    }
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold one :meth:`snapshot` in (a worker's, typically)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, state in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += state["count"]
+            hist.total += state["total"]
+            for bound, better in (("min", min), ("max", max)):
+                incoming = state[bound]
+                if incoming is None:
+                    continue
+                current = getattr(hist, bound)
+                setattr(
+                    hist,
+                    bound,
+                    incoming if current is None else better(
+                        current, incoming
+                    ),
+                )
+
+
+# -- module helpers (active-collector routed) ---------------------------------
+
+
+def counter(name: str):
+    """The active registry's counter, or a no-op when disabled."""
+    collector = _state.ACTIVE
+    if collector is None:
+        return NOOP_METRIC
+    return collector.metrics.counter(name)
+
+
+def gauge(name: str):
+    """The active registry's gauge, or a no-op when disabled."""
+    collector = _state.ACTIVE
+    if collector is None:
+        return NOOP_METRIC
+    return collector.metrics.gauge(name)
+
+
+def histogram(name: str):
+    """The active registry's histogram, or a no-op when disabled."""
+    collector = _state.ACTIVE
+    if collector is None:
+        return NOOP_METRIC
+    return collector.metrics.histogram(name)
+
+
+def cache_event(cache_name: str, kind: str, amount: int = 1) -> None:
+    """Count one cache event (``hits``/``misses``/``evictions``).
+
+    The one-call form :class:`~repro.sim.cache.BoundedCache` uses:
+    near-free when disabled (one global read), one counter increment
+    when enabled.
+    """
+    collector = _state.ACTIVE
+    if collector is not None:
+        collector.metrics.counter(
+            f"cache.{cache_name}.{kind}"
+        ).inc(amount)

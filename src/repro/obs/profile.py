@@ -1,0 +1,116 @@
+"""Turn a pile of finished spans into a readable profile.
+
+Consumes what a :class:`~repro.obs.sinks.MemorySink` (or
+:func:`~repro.obs.sinks.read_trace`) holds and produces the table
+behind ``repro profile <cmd>``: per-span-name call counts, total /
+self / mean wall time, sorted by where the time actually went, plus
+the counters and histograms collected along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import SpanRecord
+
+
+def build_tree(
+    spans: Sequence[SpanRecord],
+) -> Tuple[List[SpanRecord], Dict[str, List[SpanRecord]]]:
+    """``(roots, children_by_parent_id)`` from completion-ordered spans.
+
+    A span whose parent never made it into the trace (e.g. the parent
+    was opened by a worker whose payload was lost) counts as a root,
+    so a truncated trace still renders.
+    """
+    by_id = {record.span_id: record for record in spans}
+    roots: List[SpanRecord] = []
+    children: Dict[str, List[SpanRecord]] = {}
+    for record in spans:
+        parent = record.parent_id
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda record: record.start_s)
+    roots.sort(key=lambda record: record.start_s)
+    return roots, children
+
+
+class _Row:
+    __slots__ = ("count", "total_s", "self_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.max_s = 0.0
+
+
+def aggregate(spans: Sequence[SpanRecord]) -> Dict[str, _Row]:
+    """Per-name totals; *self* time excludes same-trace child spans."""
+    child_total: Dict[str, float] = {}
+    for record in spans:
+        if record.parent_id is not None:
+            child_total[record.parent_id] = (
+                child_total.get(record.parent_id, 0.0) + record.duration_s
+            )
+    rows: Dict[str, _Row] = {}
+    for record in spans:
+        row = rows.setdefault(record.name, _Row())
+        row.count += 1
+        row.total_s += record.duration_s
+        row.self_s += max(
+            record.duration_s - child_total.get(record.span_id, 0.0), 0.0
+        )
+        row.max_s = max(row.max_s, record.duration_s)
+    return rows
+
+
+def format_profile(
+    spans: Sequence[SpanRecord],
+    metrics: Optional[dict] = None,
+) -> str:
+    """The ``repro profile`` report: span table + metrics summary."""
+    lines: List[str] = []
+    rows = aggregate(spans)
+    if rows:
+        header = (
+            f"{'span':<28} {'count':>7} {'total_s':>10}"
+            f" {'self_s':>10} {'mean_ms':>9} {'max_ms':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, row in sorted(
+            rows.items(), key=lambda item: -item[1].total_s
+        ):
+            mean_ms = 1e3 * row.total_s / row.count
+            lines.append(
+                f"{name:<28} {row.count:>7} {row.total_s:>10.3f}"
+                f" {row.self_s:>10.3f} {mean_ms:>9.2f}"
+                f" {1e3 * row.max_s:>9.2f}"
+            )
+    else:
+        lines.append("(no spans recorded)")
+
+    counters = (metrics or {}).get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<38} {counters[name]:>12}")
+    histograms = (metrics or {}).get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            state = histograms[name]
+            count = state.get("count", 0)
+            mean = state.get("total", 0.0) / count if count else 0.0
+            lines.append(
+                f"  {name:<38} n={count}"
+                f" mean={mean:.4g} min={state.get('min', 0.0):.4g}"
+                f" max={state.get('max', 0.0):.4g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Span sinks: where finished spans go.
+
+A sink is any object with ``emit(record)`` and ``close()``; an
+optional ``finalize(metrics_snapshot)`` hook runs right before close
+so file-backed sinks can append the end-of-run metrics.  Sinks receive
+spans in *completion* order (inner spans before the outer span that
+contains them) -- consumers that want the tree rebuild it from
+``parent_id``, e.g. via :func:`repro.obs.profile.build_tree`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.obs.spans import SpanRecord
+
+TRACE_SCHEMA = 1
+
+
+class MemorySink:
+    """Keeps every span in a list -- the test-suite sink."""
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self.metrics: Optional[dict] = None
+        self.closed = False
+
+    def emit(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+    def finalize(self, metrics_snapshot: dict) -> None:
+        self.metrics = metrics_snapshot
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink:
+    """Streams spans to a JSONL trace file.
+
+    Line 1 is a header (``{"trace_schema": 1}``), then one span object
+    per line as they finish, then a final ``{"metrics": {...}}`` line
+    written by :meth:`finalize`.  Keys are sorted and floats are plain
+    ``repr``, so identical runs produce byte-identical traces modulo
+    the timings themselves.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._write({"trace_schema": TRACE_SCHEMA})
+
+    def _write(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def emit(self, record: SpanRecord) -> None:
+        self._write(record.to_dict())
+
+    def finalize(self, metrics_snapshot: dict) -> None:
+        self._write({"metrics": metrics_snapshot})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_trace(
+    path: Union[str, Path],
+) -> Tuple[List[SpanRecord], dict]:
+    """Load a :class:`JsonlSink` trace -> ``(spans, metrics)``.
+
+    Validates the schema header and raises ``ValueError`` on a
+    malformed file, so tests and tooling fail loudly rather than
+    silently parsing half a trace.
+    """
+    spans: List[SpanRecord] = []
+    metrics: dict = {}
+    with Path(path).open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(first)
+        if header.get("trace_schema") != TRACE_SCHEMA:
+            raise ValueError(
+                f"unsupported trace schema in {path}: {header!r}"
+            )
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if "metrics" in payload and "span_id" not in payload:
+                metrics = payload["metrics"]
+            else:
+                spans.append(SpanRecord.from_dict(payload))
+    return spans, metrics

@@ -1,0 +1,324 @@
+"""Span tracer: nested, timed, exception-safe sections of work.
+
+A *span* is one named stretch of wall time with optional attributes::
+
+    with obs.span("kernel.dispatch", cores=4) as span:
+        run()
+        span.set(scenarios=len(batch))
+
+Spans nest through a per-thread stack, so a trace reconstructs the
+call tree (``executor.run_plan`` > ``executor.compile`` > ...) from
+``parent_id`` alone.  Exceptions propagate untouched; the span closes
+first and records the error type, so a crashed run still exports a
+coherent trace.
+
+Enablement is process-global (see :mod:`repro.obs._state`) and
+deliberately **never** reaches run configuration: spans observe work,
+they are not part of it, which is what keeps config hashes and
+``RunResult`` payloads byte-identical with tracing on or off.  While
+disabled, :func:`span` hands back a shared no-op object -- the cost at
+every instrumentation site is one global read and one identity check.
+
+Worker processes do not inherit the parent's collector (spawn starts
+clean; fork would share an unpicklable lock).  Pool workers wrap their
+task in :func:`capture` and ship :meth:`Collector.payload` back with
+the result; the parent folds it in with :meth:`Collector.absorb`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.obs import _state
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import perf_seconds
+
+
+class SpanRecord:
+    """One finished span, ready for sinks and JSONL export."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "start_s",
+        "duration_s",
+        "attrs",
+        "error",
+    )
+
+    def __init__(
+        self,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        start_s: float,
+        duration_s: float,
+        attrs: Dict[str, Any],
+        error: Optional[str] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.attrs = attrs
+        self.error = error
+
+    def to_dict(self) -> dict:
+        record = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            name=payload["name"],
+            start_s=payload["start_s"],
+            duration_s=payload["duration_s"],
+            attrs=dict(payload.get("attrs", {})),
+            error=payload.get("error"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, id={self.span_id},"
+            f" duration_s={self.duration_s:.6f})"
+        )
+
+
+class _LiveSpan:
+    """An open span; becomes a :class:`SpanRecord` when it exits."""
+
+    __slots__ = (
+        "_collector",
+        "span_id",
+        "parent_id",
+        "name",
+        "attrs",
+        "_start",
+    )
+
+    def __init__(
+        self,
+        collector: "Collector",
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._collector = collector
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self._start = perf_seconds()
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (counts, sizes...)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = perf_seconds() - self._start
+        error = None if exc_type is None else exc_type.__name__
+        self._collector._finish(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                start_s=self._start,
+                duration_s=duration,
+                attrs=self.attrs,
+                error=error,
+            )
+        )
+        return False  # never swallow the exception
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while obs is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Collector:
+    """Accumulates finished spans and metrics; fans out to sinks.
+
+    Thread-safe: the span list and id sequence are lock-guarded, and
+    the nesting stack is thread-local so concurrent threads build
+    independent subtrees.  Not shared across processes -- see
+    :func:`capture` / :meth:`absorb` for the worker protocol.
+    """
+
+    def __init__(self, sinks: Sequence[Any] = ()) -> None:
+        self.metrics = MetricsRegistry()
+        self.sinks: List[Any] = list(sinks)
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self._seq = 0
+        self._pid = os.getpid()
+        self._tls = threading.local()
+
+    # -- span lifecycle ----------------------------------------------
+
+    def start_span(self, name: str, attrs: Dict[str, Any]) -> _LiveSpan:
+        with self._lock:
+            self._seq += 1
+            span_id = f"{self._pid:x}.{self._seq}"
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = _LiveSpan(self, span_id, parent_id, name, attrs)
+        stack.append(span)
+        return span
+
+    def _finish(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        # Pop by identity: exception unwinds close inner-to-outer, but
+        # guard against a span being closed from a different thread
+        # than opened it (then it simply isn't on this stack).
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index].span_id == record.span_id:
+                del stack[index]
+                break
+        with self._lock:
+            self._spans.append(record)
+            sinks = tuple(self.sinks)
+        for sink in sinks:
+            sink.emit(record)
+
+    def _stack(self) -> List[_LiveSpan]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    # -- inspection --------------------------------------------------
+
+    def spans(self) -> List[SpanRecord]:
+        """Finished spans so far (copy; safe to iterate while tracing)."""
+        with self._lock:
+            return list(self._spans)
+
+    # -- multiprocess harvest ----------------------------------------
+
+    def payload(self) -> dict:
+        """Picklable state a pool worker ships back to the parent."""
+        with self._lock:
+            spans = [record.to_dict() for record in self._spans]
+        return {"spans": spans, "metrics": self.metrics.snapshot()}
+
+    def absorb(self, payload: Optional[dict]) -> None:
+        """Fold a worker's :meth:`payload` into this collector."""
+        if not payload:
+            return
+        records = [
+            SpanRecord.from_dict(item) for item in payload.get("spans", ())
+        ]
+        with self._lock:
+            self._spans.extend(records)
+            sinks = tuple(self.sinks)
+        for sink in sinks:
+            for record in records:
+                sink.emit(record)
+        self.metrics.merge(payload.get("metrics", {}))
+
+    # -- teardown ----------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close every sink (metrics snapshot goes last)."""
+        snapshot = self.metrics.snapshot()
+        for sink in self.sinks:
+            finalize = getattr(sink, "finalize", None)
+            if finalize is not None:
+                finalize(snapshot)
+            sink.close()
+
+
+# -- module-level API ------------------------------------------------
+
+
+def span(name: str, **attrs: Any):
+    """Open a span under the active collector (no-op when disabled)."""
+    collector = _state.ACTIVE
+    if collector is None:
+        return NOOP_SPAN
+    return collector.start_span(name, attrs)
+
+
+def enabled() -> bool:
+    """Whether a collector is currently installed."""
+    return _state.ACTIVE is not None
+
+
+def active() -> Optional[Collector]:
+    """The installed collector, or ``None`` while disabled."""
+    return _state.ACTIVE
+
+
+def configure(sinks: Sequence[Any] = ()) -> Collector:
+    """Install a fresh collector process-wide and return it.
+
+    Closes and replaces any previously installed collector, so a CLI
+    can call this unconditionally.  Pair with :func:`shutdown`.
+    """
+    previous = _state.install(None)
+    if previous is not None:
+        previous.close()
+    collector = Collector(sinks)
+    _state.install(collector)
+    return collector
+
+
+def shutdown() -> Optional[Collector]:
+    """Uninstall the active collector, close its sinks, return it."""
+    collector = _state.install(None)
+    if collector is not None:
+        collector.close()
+    return collector
+
+
+@contextlib.contextmanager
+def capture(sinks: Sequence[Any] = ()) -> Iterator[Collector]:
+    """Scoped collector: install, yield, then restore the previous one.
+
+    The worker-side half of the multiprocess protocol -- wrap the task,
+    ship ``collector.payload()`` home -- and equally the unit-test
+    idiom for tracing a block without touching global state for longer
+    than the block.  Sinks are **not** closed on exit (the caller may
+    still be reading them); close them yourself if they buffer.
+    """
+    collector = Collector(sinks)
+    previous = _state.install(collector)
+    try:
+        yield collector
+    finally:
+        _state.install(previous)

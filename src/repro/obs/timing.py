@@ -1,0 +1,64 @@
+"""The sanctioned monotonic-timer site (lint rule RL007).
+
+Library code under ``src/repro/`` must not construct its own timers:
+scattered ``time.perf_counter()`` pairs are exactly the ad-hoc
+instrumentation :mod:`repro.obs` replaces, and they dodge the span
+collector entirely.  This module is the one place the monotonic clock
+is read; everything else measures wall time through
+:func:`perf_seconds`, :class:`Stopwatch`, or a span.
+
+Wall-clock reads (``time.time``, ``datetime.now``) stay banned in the
+identity modules by RL002 -- nothing here weakens that: the monotonic
+clock never lands in a hashed payload, only in elapsed-seconds fields
+and trace records.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def perf_seconds() -> float:
+    """Monotonic seconds, for measuring elapsed wall time."""
+    return time.perf_counter()  # RL007: the sanctioned timer site
+
+
+class Stopwatch:
+    """Context-managed elapsed-seconds measurement.
+
+    .. code-block:: python
+
+        with stopwatch() as watch:
+            run()
+        record(elapsed_s=watch.seconds)
+
+    ``seconds`` is the frozen total after exit; :attr:`elapsed` reads
+    the running value while still inside the block.
+    """
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = perf_seconds()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (running; use inside the block)."""
+        return perf_seconds() - self._start
+
+    def restart(self) -> None:
+        """Re-arm the start mark (reuse one watch across laps)."""
+        self._start = perf_seconds()
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = perf_seconds()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = perf_seconds() - self._start
+
+
+def stopwatch() -> Stopwatch:
+    """A fresh :class:`Stopwatch`, started now."""
+    return Stopwatch()

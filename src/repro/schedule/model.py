@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.errors import ScheduleError
+from repro.obs.metrics import Counter
 from repro.soc.core import CoreTestParams
 from repro.schedule.timing import (
     cas_config_bits,
@@ -194,8 +195,12 @@ class CostModel:
         self.problem = problem
         self._core_cycles: dict[tuple[CoreTestParams, int], int] = {}
         self._cas_bits: int | None = None
-        self._hits = 0
-        self._misses = 0
+        # Instance-scoped obs counters, deliberately NOT registry-
+        # routed: the reported stats must be a pure function of the
+        # work *this* model did (the portfolio CI gate diffs them
+        # across --jobs 1 vs --jobs 4), never of global obs state.
+        self._hits = Counter()
+        self._misses = Counter()
 
     # -- width normalisation (the one copy) --------------------------------
 
@@ -222,22 +227,23 @@ class CostModel:
         if cached is None:
             cached = core_test_cycles(params, key[1])
             self._core_cycles[key] = cached
-            self._misses += 1
+            self._misses.inc()
         else:
-            self._hits += 1
+            self._hits.inc()
         return cached
 
     def stats(self) -> dict:
         """Memoisation effectiveness counters (JSON-ready).
 
-        ``hits``/``misses`` count :meth:`core_cycles` lookups;
-        ``entries`` is the resident cache size.  Surfaced by
+        A view over the model's :class:`repro.obs.metrics.Counter`
+        instances: ``hits``/``misses`` count :meth:`core_cycles`
+        lookups; ``entries`` is the resident cache size.  Surfaced by
         ``repro optimize --json`` so cache sharing is observable
         rather than assumed.
         """
         return {
-            "hits": self._hits,
-            "misses": self._misses,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
             "entries": len(self._core_cycles),
         }
 

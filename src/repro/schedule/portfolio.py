@@ -42,6 +42,9 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import ScheduleError
+from repro.obs.metrics import gauge as obs_gauge
+from repro.obs.metrics import histogram as obs_histogram
+from repro.obs.spans import span as obs_span
 from repro.sim.cache import BoundedCache
 from repro.soc.core import CoreTestParams
 from repro.schedule.model import CostModel, Schedule, TamProblem
@@ -456,7 +459,8 @@ def optimize_portfolio(
     if budget is not None:
         per_unit = max(1, budget // max(1, stochastic * spec.rounds))
     caches: "dict[int, BoundedCache]" = {
-        width: BoundedCache(spec.cache_entries) for width in sweep
+        width: BoundedCache(spec.cache_entries, name=f"portfolio_w{width}")
+        for width in sweep
     }
     best: "dict[int, tuple[int, tuple[tuple[int, ...], ...]]]" = {}
     shipped = merged = hits = misses = 0
@@ -484,38 +488,57 @@ def optimize_portfolio(
                     "seed_token": stream.token(strategy, width, variant),
                 })
         shipped += sum(len(payload["warm"]) for payload in payloads)
-        if jobs == 1 or len(payloads) == 1:
-            results = [_run_unit(payload) for payload in payloads]
-        else:
-            workers = min(jobs, len(payloads))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_run_unit, payloads))
-        # Round barrier: merge every unit's news in payload order
-        # (fixed, jobs-independent), then update the incumbents.
-        for payload, result in zip(payloads, results):
-            width = payload["width"]
-            cache = caches[width]
-            for key in sorted(result["delta"]):
-                if key not in cache:
-                    merged += 1
-                cache.put(key, result["delta"][key])
-            hits += result["hits"]
-            misses += result["misses"]
-            for name, value in result["model_stats"].items():
-                model_stats[name] = model_stats.get(name, 0) + value
-            candidate = (result["total"], result["groups"])
-            if width not in best or candidate < best[width]:
-                best[width] = candidate
-            if progress is not None:
-                progress({
-                    "round": round_index,
-                    "width": width,
-                    "strategy": payload["strategy"],
-                    "variant": payload["variant"],
-                    "total": result["total"],
-                    "best": best[width][0],
-                    "evaluations": result["misses"],
-                })
+        with obs_span(
+            "portfolio.round",
+            round=round_index,
+            units=len(payloads),
+            workers=min(jobs, max(len(payloads), 1)),
+        ) as round_span:
+            if jobs == 1 or len(payloads) == 1:
+                results = [_run_unit(payload) for payload in payloads]
+            else:
+                workers = min(jobs, len(payloads))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(_run_unit, payloads))
+            # Round barrier: merge every unit's news in payload order
+            # (fixed, jobs-independent), then update the incumbents.
+            with obs_span("portfolio.merge") as merge_span:
+                round_merged = 0
+                for payload, result in zip(payloads, results):
+                    width = payload["width"]
+                    cache = caches[width]
+                    for key in sorted(result["delta"]):
+                        if key not in cache:
+                            merged += 1
+                            round_merged += 1
+                        cache.put(key, result["delta"][key])
+                    hits += result["hits"]
+                    misses += result["misses"]
+                    for name, value in result["model_stats"].items():
+                        model_stats[name] = model_stats.get(name, 0) + value
+                    obs_histogram("portfolio.unit_evaluations").observe(
+                        result["misses"]
+                    )
+                    candidate = (result["total"], result["groups"])
+                    if width not in best or candidate < best[width]:
+                        best[width] = candidate
+                    if progress is not None:
+                        progress({
+                            "round": round_index,
+                            "width": width,
+                            "strategy": payload["strategy"],
+                            "variant": payload["variant"],
+                            "total": result["total"],
+                            "best": best[width][0],
+                            "evaluations": result["misses"],
+                        })
+                merge_span.set(entries=round_merged)
+            round_span.set(shipped=shipped, merged=merged)
+            for width in sweep:
+                if width in best:
+                    obs_gauge(f"portfolio.best_w{width}").set(
+                        best[width][0]
+                    )
     points: "list[ParetoPoint]" = []
     schedules: "dict[int, Schedule]" = {}
     for width in sweep:

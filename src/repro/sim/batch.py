@@ -67,6 +67,10 @@ from repro.diagnose.syndrome import (
 from repro.errors import ConfigurationError, SimulationError
 from repro.scan.core_model import CombCloud
 from repro.scan.fault_sim import WORD_WIDTH, pack_patterns
+from repro.obs.metrics import counter as obs_counter
+from repro.obs.metrics import histogram as obs_histogram
+from repro.obs.spans import span as obs_span
+from repro.obs.timing import stopwatch
 from repro.soc.core import CoreSpec
 from repro.soc.soc import SocSpec
 from repro.sim.cache import BoundedCache
@@ -218,7 +222,7 @@ class BatchScanProgram:
 MAX_CACHED_BATCH_PROGRAMS = 1024
 
 _BATCH_PROGRAMS: "BoundedCache[CoreSpec, BatchScanProgram]" = BoundedCache(
-    MAX_CACHED_BATCH_PROGRAMS
+    MAX_CACHED_BATCH_PROGRAMS, name="batch_programs"
 )
 
 
@@ -337,7 +341,9 @@ def _scan_fault_results(
     if program.words == 0:
         return [(0, {}) for _ in faults]
     for _, count, diff in _fault_chunks(program, faults):
+        watch = stopwatch()
         counts = _popcount_words(diff).sum(axis=(0, 2))
+        obs_histogram("batch.popcount_s").observe(watch.elapsed)
         for index in range(count):
             masks: "dict[tuple[int, int], int]" = {}
             if capture and counts[index]:
@@ -525,19 +531,27 @@ class BatchExecutor:
         overlays = [scenario_overlay(scenario) for scenario in scenarios]
         results: "list[ProgramResult | None]" = [None] * len(scenarios)
         batched = [i for i, ov in enumerate(overlays) if ov is not None]
-        if batched:
-            template = build_system(self.soc)
-            if kernel_supports(template):
-                self._run_batched(
-                    plan, template,
-                    [overlays[i] for i in batched],
-                    batched, results,
-                )
-            else:  # pragma: no cover - clean builds always qualify
-                batched = []
-        for index, result in enumerate(results):
-            if result is None:
-                results[index] = self._run_fallback(plan, scenarios[index])
+        with obs_span(
+            "batch.run", scenarios=len(scenarios), batched=len(batched)
+        ):
+            if batched:
+                template = build_system(self.soc)
+                if kernel_supports(template):
+                    self._run_batched(
+                        plan, template,
+                        [overlays[i] for i in batched],
+                        batched, results,
+                    )
+                else:  # pragma: no cover - clean builds always qualify
+                    batched = []
+            obs_counter("batch.fallback_scenarios").inc(
+                len(scenarios) - len(batched)
+            )
+            for index, result in enumerate(results):
+                if result is None:
+                    results[index] = self._run_fallback(
+                        plan, scenarios[index]
+                    )
         return results  # type: ignore[return-value]
 
     # -- batched path ----------------------------------------------------
@@ -583,12 +597,18 @@ class BatchExecutor:
         for index, session in enumerate(plan.sessions):
             label = session.label or f"session{index}"
             session.validate(template.n)
-            compiled = kernel.compile_session(session)
-            config_cycles = kernel._apply_configuration(session)
-            per_driver = [
-                self._driver_results(driver, overlays, external_state)
-                for driver in compiled.drivers
-            ]
+            with obs_span(
+                "batch.dispatch", label=label, scenarios=len(overlays)
+            ):
+                compiled = kernel.compile_session(session)
+                config_cycles = kernel._apply_configuration(session)
+                per_driver = [
+                    self._driver_results(driver, overlays, external_state)
+                    for driver in compiled.drivers
+                ]
+            obs_histogram("batch.scenarios_per_dispatch").observe(
+                len(overlays)
+            )
             for scenario_i in range(len(overlays)):
                 programs[scenario_i].sessions.append(SessionResult(
                     label=label,

@@ -12,12 +12,19 @@ spec inserted early is exactly the one that must *stay* cached.
 insert past ``capacity`` evicts the least recently used entry.  Not
 thread-safe by design -- the simulation layer is single-threaded per
 process and the campaign runner fans out over *processes*.
+
+Named caches report hit/miss/evict counts to :mod:`repro.obs` (as
+``cache.<name>.hits`` etc.); anonymous ones stay silent.  The report
+is one guarded call per operation and a no-op while observability is
+disabled, so naming a cache costs nothing on the hot path.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Iterator, TypeVar
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.obs.metrics import cache_event
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -28,18 +35,23 @@ _MISSING = object()
 class BoundedCache(Generic[K, V]):
     """An LRU mapping holding at most ``capacity`` entries."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.name = name
         self._entries: "OrderedDict[K, V]" = OrderedDict()
 
     def get(self, key: K, default=None):
         """The cached value (refreshing its recency), else ``default``."""
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
+            if self.name is not None:
+                cache_event(self.name, "misses")
             return default
         self._entries.move_to_end(key)
+        if self.name is not None:
+            cache_event(self.name, "hits")
         return value
 
     def put(self, key: K, value: V) -> None:
@@ -49,6 +61,8 @@ class BoundedCache(Generic[K, V]):
         self._entries[key] = value
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            if self.name is not None:
+                cache_event(self.name, "evictions")
 
     def items(self) -> "list[tuple[K, V]]":
         """A snapshot of the entries, LRU first, without refreshing

@@ -59,6 +59,7 @@ from repro.bist.lfsr import Lfsr
 from repro.bist.misr import Misr
 from repro.scan.atpg import TestSet
 from repro.soc.core import CoreSpec, TestMethod
+from repro.obs.spans import span as obs_span
 from repro.sim.cache import BoundedCache
 from repro.sim.config import configuration_targets, state_snapshot
 from repro.sim.nodes import BistNode, CasNode, ScanNode
@@ -167,7 +168,7 @@ class _ScanProgram:
 MAX_CACHED_PROGRAMS = 1024
 
 _SCAN_PROGRAMS: "BoundedCache[CoreSpec, _ScanProgram]" = BoundedCache(
-    MAX_CACHED_PROGRAMS
+    MAX_CACHED_PROGRAMS, name="scan_programs"
 )
 
 
@@ -300,19 +301,27 @@ class KernelExecutor:
         undisturbed_paths: Sequence[tuple[str, ...]] = (),
     ) -> SessionResult:
         session.validate(self.system.n)
-        compiled = self.compile_session(session)
-        snapshots = {
-            "/".join(path): state_snapshot(self.system, path)
-            for path in undisturbed_paths
-        }
-        config_cycles = self._apply_configuration(session)
+        with obs_span("executor.session", label=label, backend="kernel"):
+            with obs_span("executor.compile"):
+                compiled = self.compile_session(session)
+            snapshots = {
+                "/".join(path): state_snapshot(self.system, path)
+                for path in undisturbed_paths
+            }
+            with obs_span("executor.config"):
+                config_cycles = self._apply_configuration(session)
+            with obs_span(
+                "executor.capture", cycles=compiled.test_cycles
+            ):
+                core_results = [
+                    self._execute_driver(driver)
+                    for driver in compiled.drivers
+                ]
         result = SessionResult(
             label=label,
             config_cycles=config_cycles,
             test_cycles=compiled.test_cycles,
-            core_results=[
-                self._execute_driver(driver) for driver in compiled.drivers
-            ],
+            core_results=core_results,
         )
         for name, before in snapshots.items():
             after = state_snapshot(self.system, tuple(name.split("/")))

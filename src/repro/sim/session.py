@@ -57,6 +57,7 @@ from repro.bist.lfsr import Lfsr
 from repro.bist.misr import Misr
 from repro.scan.atpg import TestSet
 from repro.soc.core import CoreSpec, TestMethod
+from repro.obs.spans import span as obs_span
 from repro.sim.config import configuration_targets, state_snapshot
 from repro.sim.nodes import BistNode, CasNode, NodeControls, ScanNode
 from repro.sim.plan import CoreAssignment, SessionPlan, TestPlan
@@ -243,20 +244,25 @@ class SessionExecutor:
     # -- public API ------------------------------------------------------
 
     def run_plan(self, plan: TestPlan) -> ProgramResult:
-        if self.verify:
+        with obs_span(
+            "executor.run_plan",
+            sessions=len(plan.sessions),
+            backend=self.backend,
+        ):
+            if self.verify:
+                plan.validate(self.system.n)
+                for session in plan.sessions:
+                    self._verify_session(session)
+            if self._use_kernel():
+                return self._kernel_executor().run_plan(plan)
             plan.validate(self.system.n)
-            for session in plan.sessions:
-                self._verify_session(session)
-        if self._use_kernel():
-            return self._kernel_executor().run_plan(plan)
-        plan.validate(self.system.n)
-        program = ProgramResult()
-        for index, session in enumerate(plan.sessions):
-            label = session.label or f"session{index}"
-            program.sessions.append(
-                self._run_session_legacy(session, label=label)
-            )
-        return program
+            program = ProgramResult()
+            for index, session in enumerate(plan.sessions):
+                label = session.label or f"session{index}"
+                program.sessions.append(
+                    self._run_session_legacy(session, label=label)
+                )
+            return program
 
     def run_batch(self, plan: TestPlan, scenarios) -> "list[ProgramResult]":
         """Run ``plan`` against N independent scenario instances.
@@ -327,16 +333,20 @@ class SessionExecutor:
             "/".join(path): self._state_snapshot(path)
             for path in undisturbed_paths
         }
-        config_cycles = self._configure(session)
-        drivers = [self._driver_for(assignment)
-                   for assignment in session.assignments]
-        test_cycles = self._run_test_phase(drivers)
-        result = SessionResult(
-            label=label,
-            config_cycles=config_cycles,
-            test_cycles=test_cycles,
-            core_results=[driver.finish() for driver in drivers],
-        )
+        with obs_span("executor.session", label=label, backend="legacy"):
+            with obs_span("executor.config"):
+                config_cycles = self._configure(session)
+            drivers = [self._driver_for(assignment)
+                       for assignment in session.assignments]
+            with obs_span("executor.shift") as shift_span:
+                test_cycles = self._run_test_phase(drivers)
+                shift_span.set(cycles=test_cycles)
+            result = SessionResult(
+                label=label,
+                config_cycles=config_cycles,
+                test_cycles=test_cycles,
+                core_results=[driver.finish() for driver in drivers],
+            )
         for name, before in snapshots.items():
             after = self._state_snapshot(tuple(name.split("/")))
             result.undisturbed[name] = (before == after)

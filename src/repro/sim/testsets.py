@@ -18,7 +18,9 @@ from repro.soc.core import CoreSpec
 #: grow memory monotonically while hot specs stay cached.
 MAX_CACHED = 1024
 
-_CACHE: "BoundedCache[CoreSpec, TestSet]" = BoundedCache(MAX_CACHED)
+_CACHE: "BoundedCache[CoreSpec, TestSet]" = BoundedCache(
+    MAX_CACHED, name="testsets"
+)
 
 
 def test_set_for(spec: CoreSpec) -> TestSet:

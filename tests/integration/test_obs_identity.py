@@ -1,0 +1,145 @@
+"""Observability is identity-neutral: tracing never changes results.
+
+The contract that lets ``--trace`` stay on in production campaigns:
+with observability off, on, or on across a worker pool, every
+``RunResult`` serializes to the same bytes and every config hash is
+unchanged -- spans observe work, they are not part of it.  The other
+half of the contract is that the trace is actually *useful*: a traced
+campaign exports valid JSONL whose spans nest (campaign > store
+appends, executor phases under the run), and a fault sweep records its
+batch dispatches.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.api import Experiment
+from repro.api.runner import run_many
+from repro.campaign import Campaign
+from repro.campaign.hashing import config_hash
+from repro.bist.engine import random_detectable_fault
+from repro.obs import JsonlSink, read_trace
+from repro.soc.library import fig1_soc
+
+
+@pytest.fixture(autouse=True)
+def _no_global_collector():
+    obs.shutdown()
+    yield
+    obs.shutdown()
+
+
+def _experiments():
+    """A mixed grid: simulated runs across two bus widths."""
+    return [
+        Experiment(fig1_soc(bus_width=width)).with_label(f"w{width}")
+        for width in (3, 4)
+    ]
+
+
+def _result_bytes(results):
+    return [
+        json.dumps(result.to_dict(), sort_keys=True).encode()
+        for result in results
+    ]
+
+
+class TestIdentityNeutral:
+    def test_results_and_hashes_identical_across_tracing_modes(
+        self, tmp_path
+    ):
+        experiments = _experiments()
+        hashes_off = [config_hash(item) for item in experiments]
+
+        plain = run_many(experiments, parallel=False)
+
+        with obs.capture(
+            sinks=[JsonlSink(tmp_path / "trace.jsonl")]
+        ) as collector:
+            traced = run_many(experiments, parallel=False)
+            hashes_on = [config_hash(item) for item in experiments]
+            parallel = run_many(experiments, parallel=True,
+                                max_workers=4)
+            collector.close()
+        assert collector.spans(), "tracing recorded nothing"
+
+        assert hashes_on == hashes_off
+        assert _result_bytes(traced) == _result_bytes(plain)
+        assert _result_bytes(parallel) == _result_bytes(plain)
+
+    def test_campaign_stores_identical_records(self, tmp_path):
+        """The persisted record's result payload is tracing-invariant."""
+
+        def stored_results(name, traced):
+            campaign = Campaign(name, _experiments(),
+                                store_dir=tmp_path)
+            if traced:
+                with obs.capture():
+                    campaign.run(parallel=False)
+            else:
+                campaign.run(parallel=False)
+            return [
+                json.dumps(record["result"], sort_keys=True)
+                for record in campaign.store.records()
+            ]
+
+        assert stored_results("plain", False) == \
+            stored_results("traced", True)
+
+
+class TestTraceContents:
+    def test_campaign_trace_nests_runs_and_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        campaign = Campaign("traced", _experiments(),
+                            store_dir=tmp_path)
+        with obs.capture(sinks=[JsonlSink(path)]) as collector:
+            campaign.run(parallel=False)
+            collector.close()
+
+        spans, metrics = read_trace(path)
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+
+        (root,) = by_name["campaign.run"]
+        assert root.parent_id is None
+        assert root.attrs["campaign"] == "traced"
+        assert root.attrs["executed"] == 2
+
+        appends = by_name["store.append"]
+        assert len(appends) == 2
+        assert all(s.parent_id == root.span_id for s in appends)
+
+        # Executor phases nest under their session span.
+        sessions = {s.span_id for s in by_name["executor.session"]}
+        assert sessions
+        for phase in ("executor.compile", "executor.capture"):
+            assert all(s.parent_id in sessions for s in by_name[phase])
+
+        assert metrics["histograms"]["campaign.record_s"]["count"] == 2
+
+    def test_fault_sweep_records_batch_dispatches(self):
+        soc = fig1_soc()
+        clean = soc.core_named("core2").build_scannable()
+        fault = {"core2": random_detectable_fault(clean, seed=3)}
+        base = Experiment(soc)
+        experiments = [base, base.with_faults(fault)]
+
+        with obs.capture() as collector:
+            results = run_many(experiments, parallel=False)
+        assert results[0].passed and not results[1].passed
+
+        names = [span.name for span in collector.spans()]
+        assert "batch.run" in names
+        dispatches = [
+            span for span in collector.spans()
+            if span.name == "batch.dispatch"
+        ]
+        assert dispatches
+        assert all(s.attrs["scenarios"] == 2 for s in dispatches)
+        histograms = collector.metrics.snapshot()["histograms"]
+        assert histograms["batch.scenarios_per_dispatch"]["max"] == 2

@@ -1,4 +1,4 @@
-"""The project lint's RL005 and RL006 rules.
+"""The project lint's RL005, RL006 and RL007 rules.
 
 RL005 exists because the batch kernel makes the obvious
 ``for scenario in scenarios: executor.run_plan(...)`` loop an
@@ -13,6 +13,13 @@ RL006 guards the portfolio's determinism contract: inside
 generator minted mid-search couples results to draw order and worker
 count.  The single sanctioned site in ``seeds.py`` carries an
 ``RL006`` waiver comment.
+
+RL007 keeps observability honest: inside ``src/repro`` nothing prints
+(user-facing text flows through ``repro.obs.Console`` so ``--quiet``
+and ``--json`` stay coherent) and nothing builds its own timer
+(durations flow through ``repro.obs.timing``).  The sanctioned sites
+-- the console/dashboard rendering layer, the one ``perf_counter``
+call in ``obs/timing.py`` -- carry ``RL007`` waiver comments.
 """
 
 from __future__ import annotations
@@ -159,3 +166,72 @@ class TestRl006:
             for path in sorted(tree.rglob("*.py")):
                 problems.extend(lint.lint_file(path))
         assert problems == [], problems
+
+
+def _check_rl007(lint, source: str, path: str = "src/repro/example.py"):
+    tree = ast.parse(source)
+    return lint.check_print_and_timers(
+        Path(path), tree, source.splitlines()
+    )
+
+
+class TestRl007:
+    def test_flags_print_in_library_code(self, lint):
+        problems = _check_rl007(lint, "print('done')\n")
+        assert len(problems) == 1
+        assert "RL007" in problems[0]
+        assert "Console" in problems[0]
+
+    def test_flags_perf_counter_timer(self, lint):
+        """Mutation test: RL002 only watches identity modules; RL007
+        must flag an ad-hoc timer anywhere in src/repro."""
+        problems = _check_rl007(lint, (
+            "start = time.perf_counter()\n"
+            "work()\n"
+            "elapsed = time.perf_counter() - start\n"
+        ))
+        assert len(problems) == 2
+        assert all("repro.obs.timing" in item for item in problems)
+
+    def test_flags_monotonic_and_wall_clock_timers(self, lint):
+        assert len(_check_rl007(lint, "t = time.monotonic()\n")) == 1
+        assert len(_check_rl007(lint, "t = time.time()\n")) == 1
+
+    def test_waiver_on_line_or_preceding_line(self, lint):
+        assert _check_rl007(
+            lint, "print(text)  # RL007: console rendering\n"
+        ) == []
+        assert _check_rl007(lint, (
+            "# RL007: the sanctioned timer site.\n"
+            "return time.perf_counter()\n"
+        )) == []
+
+    def test_ignores_method_named_print(self, lint):
+        assert _check_rl007(lint, "console.print('fine')\n") == []
+
+    def test_ignores_obs_timing_usage(self, lint):
+        assert _check_rl007(lint, (
+            "with stopwatch() as watch:\n"
+            "    work()\n"
+            "record(watch.seconds)\n"
+        )) == []
+
+    def test_scoped_to_repro_package(self, lint):
+        assert lint._in_repro_package(Path("src/repro/sim/batch.py"))
+        assert not lint._in_repro_package(Path("scripts/lint_repro.py"))
+        assert not lint._in_repro_package(Path("examples/minimal.py"))
+
+    def test_sanctioned_sites_are_waived_and_bounded(self, lint):
+        """Every RL007 waiver lives in the obs rendering/timing layer."""
+        root = _SCRIPT.parents[1]
+        package = root / "src" / "repro"
+        waivers = set()
+        for path in sorted(package.rglob("*.py")):
+            if "RL007" in path.read_text():
+                waivers.add(path.relative_to(package).as_posix())
+            assert lint.lint_file(path) == [], path
+        assert waivers == {
+            "obs/console.py",
+            "obs/dashboard.py",
+            "obs/timing.py",
+        }

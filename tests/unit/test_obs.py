@@ -1,0 +1,265 @@
+"""The observability layer: spans, metrics, sinks, console.
+
+The invariants that make ``repro.obs`` safe to leave in every hot
+path: a disabled site costs one global read and hands back shared
+no-op singletons; spans nest per thread and survive exceptions; a
+JSONL trace round-trips; a worker's :meth:`Collector.payload` folds
+losslessly into the parent via :meth:`Collector.absorb` (the
+multiprocess harvest protocol); and the :class:`Console` keeps stdout
+machine-parseable under ``--json``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    Collector,
+    Console,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    SpanRecord,
+    read_trace,
+)
+from repro.obs.metrics import NOOP_METRIC, cache_event
+from repro.obs.spans import NOOP_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _no_global_collector():
+    """Every test starts and ends with observability disabled."""
+    obs.shutdown()
+    yield
+    obs.shutdown()
+
+
+class TestDisabled:
+    def test_span_is_the_shared_noop(self):
+        assert obs.span("anything", attr=1) is NOOP_SPAN
+        with obs.span("nested") as span:
+            span.set(cores=4)  # must be accepted and dropped
+
+    def test_metrics_are_the_shared_noop(self):
+        assert obs.counter("c") is NOOP_METRIC
+        assert obs.gauge("g") is NOOP_METRIC
+        assert obs.histogram("h") is NOOP_METRIC
+        obs.counter("c").inc()
+        obs.gauge("g").set(3)
+        obs.histogram("h").observe(0.5)
+        cache_event("cache", "hits")  # silently dropped
+
+    def test_enabled_reports_state(self):
+        assert not obs.enabled()
+        assert obs.active() is None
+        with obs.capture():
+            assert obs.enabled()
+        assert not obs.enabled()
+
+
+class TestSpans:
+    def test_nesting_builds_parent_chain(self):
+        with obs.capture() as collector:
+            with obs.span("outer"):
+                with obs.span("middle"):
+                    with obs.span("inner"):
+                        pass
+        inner, middle, outer = collector.spans()
+        assert [s.name for s in (inner, middle, outer)] == [
+            "inner", "middle", "outer",
+        ]
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_siblings_share_a_parent(self):
+        with obs.capture() as collector:
+            with obs.span("round"):
+                with obs.span("unit"):
+                    pass
+                with obs.span("unit"):
+                    pass
+        first, second, parent = collector.spans()
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert first.span_id != second.span_id
+
+    def test_exception_closes_span_and_propagates(self):
+        with obs.capture() as collector:
+            with pytest.raises(ValueError):
+                with obs.span("outer"):
+                    with obs.span("doomed"):
+                        raise ValueError("boom")
+            # The stack unwound completely: a new span is a root again.
+            with obs.span("after"):
+                pass
+        doomed, outer, after = collector.spans()
+        assert doomed.error == "ValueError"
+        assert outer.error == "ValueError"
+        assert after.error is None
+        assert after.parent_id is None
+
+    def test_attributes_at_open_and_mid_span(self):
+        with obs.capture() as collector:
+            with obs.span("dispatch", cores=4) as span:
+                span.set(scenarios=17)
+        (record,) = collector.spans()
+        assert record.attrs == {"cores": 4, "scenarios": 17}
+        assert record.duration_s >= 0.0
+
+    def test_record_round_trips_as_dict(self):
+        record = SpanRecord("1.1", None, "x", 0.0, 0.25, {"k": "v"},
+                            error="KeyError")
+        assert SpanRecord.from_dict(record.to_dict()).to_dict() == \
+            record.to_dict()
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        with obs.capture() as collector:
+            obs.counter("runs").inc()
+            obs.counter("runs").inc(2)
+            obs.gauge("best").set(41)
+            obs.gauge("best").set(40)
+            obs.histogram("latency").observe(1.0)
+            obs.histogram("latency").observe(3.0)
+        snapshot = collector.metrics.snapshot()
+        assert snapshot["counters"] == {"runs": 3}
+        assert snapshot["gauges"] == {"best": 40}
+        assert snapshot["histograms"]["latency"] == {
+            "count": 2, "total": 4.0, "min": 1.0, "max": 3.0,
+        }
+
+    def test_cache_event_namespaces_by_cache(self):
+        with obs.capture() as collector:
+            cache_event("testsets", "hits")
+            cache_event("testsets", "misses", 2)
+        assert collector.metrics.snapshot()["counters"] == {
+            "cache.testsets.hits": 1,
+            "cache.testsets.misses": 2,
+        }
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        left = MetricsRegistry()
+        left.counter("n").inc(1)
+        left.histogram("h").observe(1.0)
+        left.gauge("g").set(10)
+        right = MetricsRegistry()
+        right.counter("n").inc(2)
+        right.histogram("h").observe(5.0)
+        right.gauge("g").set(20)
+        left.merge(right.snapshot())
+        snapshot = left.snapshot()
+        assert snapshot["counters"] == {"n": 3}
+        assert snapshot["gauges"] == {"g": 20}
+        assert snapshot["histograms"]["h"] == {
+            "count": 2, "total": 6.0, "min": 1.0, "max": 5.0,
+        }
+
+
+class TestHarvest:
+    """The capture / payload / absorb worker protocol."""
+
+    def test_payload_is_plain_json_data(self):
+        with obs.capture() as collector:
+            with obs.span("work", item=1):
+                obs.counter("done").inc()
+        payload = collector.payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_absorb_folds_spans_and_metrics(self):
+        worker = Collector()
+        with obs.capture() as scoped:
+            with obs.span("worker.task"):
+                obs.counter("items").inc(3)
+            payload = scoped.payload()
+        del worker
+        parent_sink = MemorySink()
+        parent = Collector(sinks=[parent_sink])
+        parent.metrics.counter("items").inc(1)
+        parent.absorb(payload)
+        assert [s.name for s in parent.spans()] == ["worker.task"]
+        assert parent.metrics.snapshot()["counters"] == {"items": 4}
+        # Absorbed spans reach the parent's sinks too.
+        assert [s.name for s in parent_sink.records] == ["worker.task"]
+
+    def test_absorb_tolerates_empty_payload(self):
+        parent = Collector()
+        parent.absorb(None)
+        parent.absorb({})
+        assert parent.spans() == []
+
+    def test_capture_restores_previous_collector(self):
+        outer = obs.configure()
+        with obs.capture() as inner:
+            assert obs.active() is inner
+        assert obs.active() is outer
+
+
+class TestJsonlSink:
+    def test_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.capture(sinks=[JsonlSink(path)]) as collector:
+            with obs.span("outer", campaign="demo"):
+                with obs.span("inner"):
+                    obs.counter("records").inc(2)
+            collector.close()
+        spans, metrics = read_trace(path)
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert spans[0].parent_id == spans[1].span_id
+        assert metrics["counters"] == {"records": 2}
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace_schema": 99}\n')
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_configure_and_shutdown_finalize_the_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(sinks=[JsonlSink(path)])
+        with obs.span("only"):
+            obs.gauge("depth").set(1)
+        obs.shutdown()
+        spans, metrics = read_trace(path)
+        assert [s.name for s in spans] == ["only"]
+        assert metrics["gauges"] == {"depth": 1}
+
+
+class TestConsole:
+    def _console(self, **kwargs):
+        out, err = io.StringIO(), io.StringIO()
+        console = Console(stream=out, err_stream=err, **kwargs)
+        return console, out, err
+
+    def test_default_levels(self):
+        console, out, err = self._console()
+        console.result("answer")
+        console.info("progress")
+        console.detail("noise")
+        console.warn("problem")
+        assert out.getvalue() == "answer\nprogress\n"
+        assert err.getvalue() == "problem\n"
+
+    def test_quiet_mutes_info_not_result(self):
+        console, out, _ = self._console(quiet=True)
+        console.result("answer")
+        console.info("progress")
+        assert out.getvalue() == "answer\n"
+
+    def test_verbose_wins_over_quiet(self):
+        console, out, _ = self._console(quiet=True, verbose=True)
+        console.detail("per-item")
+        assert out.getvalue() == "per-item\n"
+
+    def test_json_mode_keeps_stdout_machine_parseable(self):
+        console, out, err = self._console(json_mode=True)
+        console.result("human table")
+        console.info("progress")
+        console.json({"b": 2, "a": 1})
+        assert json.loads(out.getvalue()) == {"a": 1, "b": 2}
+        assert err.getvalue() == "progress\n"
